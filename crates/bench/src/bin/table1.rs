@@ -1,0 +1,77 @@
+//! Table I: "Presto deployments to support selected use cases".
+//!
+//! The paper tabulates, per use case: query duration range, workload
+//! shape, cluster size, concurrency, and connector. We measure the
+//! duration column from the live workload generators and report the rest
+//! from the fixture configuration, printing the same table layout.
+//!
+//! ```sh
+//! cargo run --release -p presto-bench --bin table1
+//! ```
+
+use presto_bench::{percentile, scale_factor, worker_count, BenchCluster};
+use presto_workload::usecases::{UseCase, WorkloadGenerator};
+use std::time::Duration;
+
+fn main() {
+    let scale = scale_factor();
+    println!("Table I reproduction: deployments per use case (SF {scale})\n");
+    let fixture = BenchCluster::new("table1", scale);
+    fixture.hive.set_read_latency(Duration::from_micros(300));
+
+    let shape = |u: UseCase| match u {
+        UseCase::DeveloperAdvertiser => "joins, aggregations and window functions",
+        UseCase::AbTesting => "transform, filter and join rows",
+        UseCase::Interactive => "exploratory analysis",
+        UseCase::BatchEtl => "transform, filter, join or aggregate",
+    };
+    let concurrency = |u: UseCase| match u {
+        UseCase::DeveloperAdvertiser => "100s of queries",
+        UseCase::AbTesting => "10s of queries",
+        UseCase::Interactive => "50-100 queries",
+        UseCase::BatchEtl => "10s of queries",
+    };
+    let connector = |u: UseCase| match u {
+        UseCase::DeveloperAdvertiser => "Sharded SQL",
+        UseCase::AbTesting => "Raptor",
+        UseCase::Interactive | UseCase::BatchEtl => "Hive/HDFS",
+    };
+
+    println!(
+        "{:<28} {:<22} {:<40} {:<12} {:<16} {:<12}",
+        "Use Case", "Query Duration", "Workload Shape", "Cluster", "Concurrency", "Connector"
+    );
+    for use_case in UseCase::all() {
+        let mut generator = WorkloadGenerator::new(use_case, 11);
+        let session = use_case.session();
+        let mut times = Vec::new();
+        for _ in 0..20 {
+            match fixture
+                .cluster
+                .execute_with_session(&generator.next_query(), &session)
+            {
+                Ok(out) => times.push(out.wall_time),
+                Err(e) => eprintln!("{}: {e}", use_case.label()),
+            }
+        }
+        times.sort();
+        let duration = format!(
+            "{:.0?} - {:.0?}",
+            percentile(&times, 0.05),
+            percentile(&times, 0.95)
+        );
+        println!(
+            "{:<28} {:<22} {:<40} {:<12} {:<16} {:<12}",
+            use_case.label(),
+            duration,
+            shape(use_case),
+            format!("{} nodes", worker_count()),
+            concurrency(use_case),
+            connector(use_case)
+        );
+    }
+    println!(
+        "\npaper Table I durations: Dev/Adv 50ms-5s | A/B 1s-25s | Interactive 10s-30min | ETL 20min-5h"
+    );
+    println!("(absolute durations scale with the simulated data; the ordering is the result)");
+}

@@ -1,0 +1,117 @@
+//! The embedding facade: start a cluster, run SQL.
+
+use presto_common::{NodeId, Result, Session};
+use presto_connector::CatalogManager;
+use std::sync::Arc;
+
+use crate::config::ClusterConfig;
+use crate::coordinator::{Coordinator, QueryError, QueryOutput};
+use crate::memory::{NodeMemoryPool, ReservedPoolLock};
+use crate::telemetry::ClusterTelemetry;
+use crate::worker::Worker;
+
+/// Re-exported result type.
+pub type QueryResult = QueryOutput;
+
+/// A running simulated cluster: one coordinator, N workers.
+pub struct Cluster {
+    coordinator: Arc<Coordinator>,
+    workers: Vec<Arc<Worker>>,
+}
+
+impl Cluster {
+    /// Start a cluster with the given catalogs mounted.
+    pub fn start(config: ClusterConfig, catalogs: CatalogManager) -> Result<Cluster> {
+        config.validate()?;
+        let telemetry = ClusterTelemetry::new(config.workers);
+        let reserved = ReservedPoolLock::new();
+        let workers: Vec<Arc<Worker>> = (0..config.workers)
+            .map(|i| {
+                let pool = NodeMemoryPool::new(
+                    NodeId(i as u32),
+                    config.node_memory_bytes,
+                    config.reserved_pool_bytes,
+                    config.kill_on_memory_exhausted,
+                    Arc::clone(&reserved),
+                );
+                Worker::start(
+                    NodeId(i as u32),
+                    i,
+                    config.threads_per_worker,
+                    pool,
+                    telemetry.clone(),
+                )
+            })
+            .collect();
+        let coordinator = Arc::new(Coordinator::new(
+            config,
+            catalogs,
+            workers.clone(),
+            telemetry,
+            reserved,
+        ));
+        Ok(Cluster {
+            coordinator,
+            workers,
+        })
+    }
+
+    /// Execute SQL with the default session, blocking until completion.
+    pub fn execute(&self, sql: &str) -> std::result::Result<QueryOutput, QueryError> {
+        self.execute_with_session(sql, &Session::default())
+    }
+
+    /// Execute SQL under a specific session.
+    pub fn execute_with_session(
+        &self,
+        sql: &str,
+        session: &Session,
+    ) -> std::result::Result<QueryOutput, QueryError> {
+        self.coordinator.execute(sql, session)
+    }
+
+    /// Submit a query on a background thread (concurrent workloads).
+    pub fn submit(
+        &self,
+        sql: impl Into<String>,
+        session: Session,
+    ) -> std::thread::JoinHandle<std::result::Result<QueryOutput, QueryError>> {
+        let coordinator = Arc::clone(&self.coordinator);
+        let sql = sql.into();
+        std::thread::spawn(move || coordinator.execute(&sql, &session))
+    }
+
+    pub fn telemetry(&self) -> &ClusterTelemetry {
+        &self.coordinator.telemetry
+    }
+
+    pub fn catalogs(&self) -> &CatalogManager {
+        &self.coordinator.catalogs
+    }
+
+    pub fn config(&self) -> &ClusterConfig {
+        &self.coordinator.config
+    }
+
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Simulate a worker crash (§IV-G): queries with tasks there fail.
+    pub fn kill_worker(&self, index: usize) {
+        self.workers[index].kill();
+    }
+
+    /// Stop all worker threads. Queries in flight are cancelled.
+    pub fn shutdown(&self) {
+        for w in &self.workers {
+            w.shutdown();
+        }
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

@@ -1,0 +1,143 @@
+//! Cluster configuration.
+//!
+//! §VII "Static configuration": configuration is fixed at startup and
+//! validated loudly; per-query knobs live in [`presto_common::Session`].
+
+use std::time::Duration;
+
+/// Shape and limits of a simulated cluster.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of worker nodes.
+    pub workers: usize,
+    /// Number of racks; workers are assigned round-robin. The split
+    /// scheduler prefers node-local, then rack-local placement (§IV-D2:
+    /// "Network-constrained deployments at Facebook can use this mechanism
+    /// to express to the engine a preference for rack-local reads over
+    /// rack-remote reads").
+    pub racks: usize,
+    /// Executor threads per worker.
+    pub threads_per_worker: usize,
+    /// Parallel drivers per leaf pipeline per task (§IV-C4).
+    pub leaf_parallelism: usize,
+    /// General (query) memory pool per node, in bytes (§IV-F2).
+    pub node_memory_bytes: u64,
+    /// Reserved pool per node, in bytes.
+    pub reserved_pool_bytes: u64,
+    /// When the general pool is exhausted and the reserved pool occupied,
+    /// kill the query using the most memory instead of stalling ("Clusters
+    /// can be configured to instead kill the query that unblocks most
+    /// nodes").
+    pub kill_on_memory_exhausted: bool,
+    /// Maximum concurrently-running queries (admission control; the queue
+    /// policy of §III).
+    pub max_concurrent_queries: usize,
+    /// Maximum queued queries before admission rejects outright.
+    pub max_queued_queries: usize,
+    /// Output buffer capacity per task.
+    pub output_buffer_bytes: usize,
+    /// Exchange client input buffer capacity per task.
+    pub exchange_buffer_bytes: usize,
+    /// Simulated network latency per exchange poll (models the HTTP
+    /// long-poll round trip; zero for latency-free benchmarks).
+    pub exchange_poll_latency: Duration,
+    /// Splits fetched from a connector per enumeration batch (§IV-D3).
+    pub split_batch_size: usize,
+    /// Maximum queued splits per task before assignment pauses (keeping
+    /// queues small lets the cluster adapt to stragglers, §IV-D3).
+    pub max_queued_splits_per_task: usize,
+    /// Upper bound for adaptive writer scaling (§IV-E3).
+    pub max_writer_tasks: usize,
+    /// Output-buffer utilization above which a writer task is added.
+    pub writer_scale_up_threshold: f64,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            workers: 4,
+            racks: 2,
+            threads_per_worker: 2,
+            leaf_parallelism: 2,
+            node_memory_bytes: 512 << 20,
+            reserved_pool_bytes: 128 << 20,
+            kill_on_memory_exhausted: false,
+            max_concurrent_queries: 100,
+            max_queued_queries: 1000,
+            output_buffer_bytes: 32 << 20,
+            exchange_buffer_bytes: 32 << 20,
+            exchange_poll_latency: Duration::ZERO,
+            split_batch_size: 64,
+            max_queued_splits_per_task: 32,
+            max_writer_tasks: 4,
+            writer_scale_up_threshold: 0.5,
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// A small latency-free config for tests.
+    pub fn test() -> ClusterConfig {
+        ClusterConfig {
+            workers: 2,
+            threads_per_worker: 2,
+            ..Default::default()
+        }
+    }
+
+    /// Validate invariants, failing loudly at startup (§VII).
+    pub fn validate(&self) -> presto_common::Result<()> {
+        let fail = |msg: &str| Err(presto_common::PrestoError::user(msg.to_string()));
+        if self.workers == 0 {
+            return fail("cluster needs at least one worker");
+        }
+        if self.racks == 0 {
+            return fail("cluster needs at least one rack");
+        }
+        if self.threads_per_worker == 0 {
+            return fail("workers need at least one thread");
+        }
+        if self.leaf_parallelism == 0 {
+            return fail("leaf parallelism must be at least 1");
+        }
+        if self.max_concurrent_queries == 0 {
+            return fail("max_concurrent_queries must be at least 1");
+        }
+        if self.max_writer_tasks == 0 {
+            return fail("max_writer_tasks must be at least 1");
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        ClusterConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn invalid_configs_fail_loudly() {
+        assert!(ClusterConfig {
+            workers: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(ClusterConfig {
+            threads_per_worker: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(ClusterConfig {
+            max_concurrent_queries: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+    }
+}

@@ -1,0 +1,464 @@
+//! The coordinator: admission, planning, and query orchestration (§III).
+
+use parking_lot::{Condvar, Mutex};
+use presto_common::id::QueryIdGenerator;
+use presto_common::{DataType, PrestoError, QueryId, Result, Schema, Session, TaskId, Value};
+use presto_connector::CatalogManager;
+use presto_exec::task::{create_task, TaskContext};
+use presto_page::{deserialize_page, Page};
+use presto_planner::{OutputPartitioning, PhysicalPlan};
+use presto_sql::ast::Statement;
+use presto_sql::parse_statement;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::config::ClusterConfig;
+use crate::memory::{QueryMemoryLimits, ReservedPoolLock};
+use crate::scheduler::{build_side_sources, place_fragments, Placement, SplitFeeder};
+use crate::telemetry::ClusterTelemetry;
+use crate::worker::{QueryState, TaskHandle, Worker};
+
+/// A failed query: the error plus its id.
+#[derive(Debug, Clone)]
+pub struct QueryError {
+    pub query: QueryId,
+    pub error: PrestoError,
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "query {} failed: {}", self.query, self.error)
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// Successful query result.
+#[derive(Debug, Clone)]
+pub struct QueryOutput {
+    pub query: QueryId,
+    pub schema: Schema,
+    pub pages: Vec<Page>,
+    pub wall_time: Duration,
+    pub queued_time: Duration,
+    pub cpu_time: Duration,
+}
+
+impl QueryOutput {
+    pub fn rows(&self) -> Vec<Vec<Value>> {
+        self.pages
+            .iter()
+            .flat_map(|p| p.to_rows(&self.schema))
+            .collect()
+    }
+
+    pub fn row_count(&self) -> usize {
+        self.pages.iter().map(Page::row_count).sum()
+    }
+}
+
+/// FIFO admission gate ("queue policies", §III). Blocks until a run slot
+/// frees; rejects outright above the queue bound.
+struct Admission {
+    state: Mutex<(usize, usize)>, // (running, waiting)
+    cv: Condvar,
+    max_running: usize,
+    max_waiting: usize,
+}
+
+impl Admission {
+    fn new(max_running: usize, max_waiting: usize) -> Admission {
+        Admission {
+            state: Mutex::new((0, 0)),
+            cv: Condvar::new(),
+            max_running,
+            max_waiting,
+        }
+    }
+
+    fn acquire(&self) -> Result<()> {
+        let mut state = self.state.lock();
+        if state.1 >= self.max_waiting {
+            return Err(PrestoError::resources(format!(
+                "query queue is full ({} queued)",
+                state.1
+            )));
+        }
+        state.1 += 1;
+        while state.0 >= self.max_running {
+            self.cv.wait(&mut state);
+        }
+        state.1 -= 1;
+        state.0 += 1;
+        Ok(())
+    }
+
+    fn release(&self) {
+        let mut state = self.state.lock();
+        state.0 -= 1;
+        self.cv.notify_one();
+    }
+}
+
+/// The coordinator node.
+pub struct Coordinator {
+    pub config: ClusterConfig,
+    pub catalogs: CatalogManager,
+    pub workers: Vec<Arc<Worker>>,
+    pub telemetry: ClusterTelemetry,
+    pub reserved: Arc<ReservedPoolLock>,
+    ids: QueryIdGenerator,
+    admission: Admission,
+}
+
+impl Coordinator {
+    pub fn new(
+        config: ClusterConfig,
+        catalogs: CatalogManager,
+        workers: Vec<Arc<Worker>>,
+        telemetry: ClusterTelemetry,
+        reserved: Arc<ReservedPoolLock>,
+    ) -> Coordinator {
+        let admission = Admission::new(config.max_concurrent_queries, config.max_queued_queries);
+        Coordinator {
+            config,
+            catalogs,
+            workers,
+            telemetry,
+            reserved,
+            ids: QueryIdGenerator::new(),
+            admission,
+        }
+    }
+
+    /// Execute a SQL statement to completion on the calling thread.
+    pub fn execute(
+        &self,
+        sql: &str,
+        session: &Session,
+    ) -> std::result::Result<QueryOutput, QueryError> {
+        let query = self.ids.next_id();
+        let queued_at = Instant::now();
+        self.telemetry.query_queued(query);
+        let fail = |e: PrestoError| QueryError { query, error: e };
+        // Parse before queueing so syntax errors fail fast.
+        let statement = parse_statement(sql).map_err(|e| {
+            self.telemetry.query_started(query);
+            self.telemetry.query_finished(query, Duration::ZERO, true);
+            self.telemetry.record_error(e.code.tag());
+            fail(e)
+        })?;
+        self.admission.acquire().map_err(|e| {
+            self.telemetry.query_started(query);
+            self.telemetry.query_finished(query, Duration::ZERO, true);
+            fail(e)
+        })?;
+        self.telemetry.query_started(query);
+        let queued_time = queued_at.elapsed();
+        let started_at = Instant::now();
+        let result = self.run_admitted(query, &statement, session);
+        self.admission.release();
+        match result {
+            Ok((schema, pages, cpu)) => {
+                self.telemetry.query_finished(query, cpu, false);
+                Ok(QueryOutput {
+                    query,
+                    schema,
+                    pages,
+                    wall_time: started_at.elapsed(),
+                    queued_time,
+                    cpu_time: cpu,
+                })
+            }
+            Err(e) => {
+                self.telemetry.query_finished(query, Duration::ZERO, true);
+                self.telemetry.record_error(e.code.tag());
+                Err(fail(e))
+            }
+        }
+    }
+
+    fn run_admitted(
+        &self,
+        query: QueryId,
+        statement: &Statement,
+        session: &Session,
+    ) -> Result<(Schema, Vec<Page>, Duration)> {
+        // EXPLAIN returns the distributed plan as text.
+        if let Statement::Explain(inner) = statement {
+            let plan = presto_planner::plan_statement(inner, session, &self.catalogs)?;
+            let schema = Schema::of(&[("plan", DataType::Varchar)]);
+            let page = Page::from_rows(&schema, &[vec![Value::varchar(plan.explain())]]);
+            return Ok((schema, vec![page], Duration::ZERO));
+        }
+        let plan = presto_planner::plan_statement(statement, session, &self.catalogs)?;
+        let schema = plan.output_schema();
+        let state = QueryState::new(query);
+        // Register memory limits on every node.
+        let limits = QueryMemoryLimits::new(
+            query,
+            session.query_max_memory,
+            session.query_max_memory_per_node,
+            session.query_max_total_memory_per_node,
+        );
+        for w in &self.workers {
+            w.pool.register_query(Arc::clone(&limits));
+        }
+        let run = self.run_tasks(query, &plan, session, &state);
+        // Cleanup regardless of outcome: cancel first so stragglers (e.g.
+        // leaf drivers of a LIMIT query that finished early) stop before
+        // their memory registration disappears.
+        state.cancel();
+        for w in &self.workers {
+            w.pool.unregister_query(query);
+        }
+        self.reserved.release(query);
+        let cpu = state.cpu();
+        run.map(|pages| (schema, pages, cpu))
+    }
+
+    fn run_tasks(
+        &self,
+        query: QueryId,
+        plan: &PhysicalPlan,
+        session: &Session,
+        state: &Arc<QueryState>,
+    ) -> Result<Vec<Page>> {
+        let placements = place_fragments(plan, &self.config);
+        // Create every task (compiled, not yet running).
+        let mut tasks: Vec<Vec<presto_exec::Task>> = Vec::with_capacity(plan.fragments.len());
+        for fragment in &plan.fragments {
+            let placement = &placements[fragment.id as usize];
+            let consumer_count = if fragment.id == plan.root {
+                1
+            } else {
+                let consumer = crate::scheduler::consumer_of(plan, fragment.id);
+                placements[consumer as usize].tasks.len()
+            };
+            let mut fragment_tasks = Vec::new();
+            for (task_index, _) in placement.tasks.iter().enumerate() {
+                let worker_index = placement.tasks[task_index];
+                let ctx = TaskContext {
+                    task_id: TaskId {
+                        stage: query.stage(fragment.id),
+                        task: task_index as u32,
+                    },
+                    session: session.clone(),
+                    catalogs: self.catalogs.clone(),
+                    memory_pool: Arc::clone(&self.workers[worker_index].pool)
+                        as Arc<dyn presto_exec::MemoryPool>,
+                    consumer_count,
+                    leaf_parallelism: self.config.leaf_parallelism,
+                    output_buffer_bytes: self.config.output_buffer_bytes,
+                    exchange_buffer_bytes: self.config.exchange_buffer_bytes,
+                    exchange_poll_latency: self.config.exchange_poll_latency,
+                };
+                fragment_tasks.push(create_task(fragment, &ctx)?);
+            }
+            tasks.push(fragment_tasks);
+        }
+        // Wire exchanges: consumer clients subscribe to producer buffers.
+        for (fid, fragment_tasks) in tasks.iter().enumerate() {
+            for (consumer_index, task) in fragment_tasks.iter().enumerate() {
+                for exchange in &task.exchanges {
+                    let producers = &tasks[exchange.source_fragment as usize];
+                    let mut client = exchange.client.lock();
+                    for producer in producers {
+                        client.add_source(Arc::clone(&producer.output), consumer_index);
+                    }
+                    drop(client);
+                    exchange
+                        .no_more_sources
+                        .store(true, std::sync::atomic::Ordering::SeqCst);
+                }
+            }
+            let _ = fid;
+        }
+        // Writer scaling: round-robin producers start with one active
+        // partition; the monitor below raises it under backpressure.
+        let mut scaling_buffers = Vec::new();
+        for (fid, fragment) in plan.fragments.iter().enumerate() {
+            if fragment.output == OutputPartitioning::RoundRobin {
+                for task in &tasks[fid] {
+                    task.output.set_active_partitions(1);
+                    scaling_buffers.push(Arc::clone(&task.output));
+                }
+            }
+        }
+        // Submission order: all-at-once, or phased (build sides first).
+        let order = match session.scheduling_policy {
+            presto_common::session::SchedulingPolicy::AllAtOnce => {
+                (0..plan.fragments.len() as u32).collect::<Vec<_>>()
+            }
+            presto_common::session::SchedulingPolicy::Phased => phased_order(plan),
+        };
+        // Handles per fragment, for phased waiting.
+        let mut handles: Vec<Vec<Arc<TaskHandle>>> =
+            (0..plan.fragments.len()).map(|_| Vec::new()).collect();
+        // Pre-compute phased dependencies.
+        let deps: Vec<Vec<u32>> = plan.fragments.iter().map(build_side_sources).collect();
+        let phased = session.scheduling_policy == presto_common::session::SchedulingPolicy::Phased;
+        // We must take tasks out in submission order.
+        let mut task_slots: Vec<Option<Vec<presto_exec::Task>>> =
+            tasks.into_iter().map(Some).collect();
+        for fid in order {
+            if phased {
+                // Wait for build-side source fragments to finish first.
+                for &dep in &deps[fid as usize] {
+                    loop {
+                        if state.is_cancelled() {
+                            break;
+                        }
+                        let done = handles[dep as usize].iter().all(|h| h.is_done())
+                            && !handles[dep as usize].is_empty();
+                        if done {
+                            break;
+                        }
+                        std::thread::sleep(Duration::from_micros(200));
+                    }
+                }
+            }
+            let fragment_tasks = task_slots[fid as usize].take().expect("unsubmitted");
+            let placement: &Placement = &placements[fid as usize];
+            for (i, task) in fragment_tasks.into_iter().enumerate() {
+                let worker = &self.workers[placement.tasks[i]];
+                let handle = worker.submit_task(
+                    task,
+                    Arc::clone(state),
+                    session.quanta,
+                    session.spill_enabled,
+                );
+                handles[fid as usize].push(handle);
+            }
+            // Feed splits for this fragment's scans.
+            self.feed_fragment_splits(plan, fid, &placements, &handles[fid as usize], state)?;
+        }
+        // Drive: poll root output, monitor writer scaling, watch errors.
+        let root_handles = &handles[plan.root as usize];
+        let root_output = Arc::clone(&root_handles[0].task.output);
+        let mut pages = Vec::new();
+        let mut token = 0u64;
+        loop {
+            if let Some(e) = state.error() {
+                return Err(e);
+            }
+            let response = root_output.poll(0, token, 1 << 20);
+            token = response.next_token;
+            for bytes in &response.pages {
+                pages.push(deserialize_page(bytes)?);
+            }
+            if response.finished {
+                break;
+            }
+            // Adaptive writer scaling (§IV-E3).
+            for buffer in &scaling_buffers {
+                if buffer.utilization() > self.config.writer_scale_up_threshold {
+                    let active = buffer.active_partitions();
+                    if active < buffer.consumer_count() {
+                        buffer.set_active_partitions(active + 1);
+                    }
+                }
+            }
+            if response.pages.is_empty() {
+                std::thread::sleep(Duration::from_micros(200));
+            }
+        }
+        if let Some(e) = state.error() {
+            return Err(e);
+        }
+        Ok(pages)
+    }
+
+    /// Start asynchronous split enumeration for every scan of a fragment.
+    /// Feeding runs on its own threads so (a) co-located fragments with two
+    /// scans cannot deadlock on bounded split queues, and (b) queries can
+    /// start returning results before enumeration completes (§IV-D3).
+    fn feed_fragment_splits(
+        &self,
+        plan: &PhysicalPlan,
+        fid: u32,
+        placements: &[Placement],
+        handles: &[Arc<TaskHandle>],
+        state: &Arc<QueryState>,
+    ) -> Result<()> {
+        let fragment = plan.fragment(fid);
+        if fragment.scans().is_empty() {
+            return Ok(());
+        }
+        let placement = placements[fid as usize].clone();
+        let scan_count = handles[0].task.scans.len();
+        let node_of: Vec<presto_common::NodeId> = self.workers.iter().map(|w| w.node).collect();
+        for scan_idx in 0..scan_count {
+            let proto = &handles[0].task.scans[scan_idx];
+            let catalog = proto.catalog.clone();
+            let table = proto.table.clone();
+            let layout = proto.layout.clone();
+            let predicate = proto.predicate.clone();
+            let queues: Vec<(usize, Arc<presto_exec::scan::SplitQueue>)> = handles
+                .iter()
+                .enumerate()
+                .map(|(i, h)| {
+                    (
+                        placement.tasks[i],
+                        Arc::clone(&h.task.scans[scan_idx].queue),
+                    )
+                })
+                .collect();
+            let catalogs = self.catalogs.clone();
+            let config = self.config.clone();
+            let state = Arc::clone(state);
+            let bucketed = placement.bucketed;
+            let node_of = node_of.clone();
+            std::thread::Builder::new()
+                .name(format!("split-feed-{fid}-{scan_idx}"))
+                .spawn(move || {
+                    let feeder = SplitFeeder {
+                        catalogs: &catalogs,
+                        config: &config,
+                    };
+                    if let Err(e) = feeder.feed(
+                        &catalog,
+                        &table,
+                        &layout,
+                        &predicate,
+                        &queues,
+                        bucketed,
+                        &state,
+                        &|w| node_of[w],
+                    ) {
+                        state.fail(e);
+                        // Unblock scan drivers waiting for splits.
+                        for (_, q) in &queues {
+                            q.no_more_splits();
+                        }
+                    }
+                })
+                .map_err(|e| PrestoError::internal(format!("spawn split feeder: {e}")))?;
+        }
+        Ok(())
+    }
+}
+
+/// Topological order of fragments, children first.
+fn phased_order(plan: &PhysicalPlan) -> Vec<u32> {
+    let mut order = Vec::new();
+    let mut visited = vec![false; plan.fragments.len()];
+    fn visit(plan: &PhysicalPlan, id: u32, visited: &mut [bool], out: &mut Vec<u32>) {
+        if visited[id as usize] {
+            return;
+        }
+        visited[id as usize] = true;
+        for child in plan.fragment(id).source_fragments() {
+            visit(plan, child, visited, out);
+        }
+        out.push(id);
+    }
+    visit(plan, plan.root, &mut visited, &mut order);
+    // Any unreachable fragments (none expected) appended for safety.
+    for f in 0..plan.fragments.len() as u32 {
+        if !visited[f as usize] {
+            order.push(f);
+        }
+    }
+    order
+}

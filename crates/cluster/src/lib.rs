@@ -1,0 +1,36 @@
+//! The simulated distributed cluster: coordinator + workers (§III).
+//!
+//! "A Presto cluster consists of a single coordinator node and one or more
+//! worker nodes. The coordinator is responsible for admitting, parsing,
+//! planning and optimizing queries as well as query orchestration. Worker
+//! nodes are responsible for query processing."
+//!
+//! Per DESIGN.md, workers here are thread groups inside one process rather
+//! than separate machines — every scheduling, memory-arbitration, and
+//! backpressure code path is the real one; only the transport is shared
+//! memory. The pieces:
+//!
+//! * [`config::ClusterConfig`] — cluster shape and limits;
+//! * [`mlfq::MultilevelQueue`] — the five-level feedback queue of §IV-F1;
+//! * [`worker::Worker`] — cooperative multitasking executor threads;
+//! * [`memory::NodeMemoryPool`] — user/system accounting with
+//!   general/reserved pools and the single-query reserved-pool promotion
+//!   of §IV-F2;
+//! * [`scheduler`] — stage/task/split scheduling (§IV-D);
+//! * [`coordinator::Coordinator`] — admission queueing, planning, task
+//!   orchestration, adaptive writer scaling, telemetry;
+//! * [`cluster::Cluster`] — the embedding facade.
+
+pub mod cluster;
+pub mod config;
+pub mod coordinator;
+pub mod memory;
+pub mod mlfq;
+pub mod scheduler;
+pub mod telemetry;
+pub mod worker;
+
+pub use cluster::{Cluster, QueryResult};
+pub use config::ClusterConfig;
+pub use coordinator::QueryError;
+pub use telemetry::ClusterTelemetry;

@@ -1,0 +1,423 @@
+//! Node memory pools with general/reserved arbitration (§IV-F2).
+//!
+//! Every node has a *general* pool and a *reserved* pool. Queries reserve
+//! user and system memory against the general pool, subject to per-query
+//! per-node and global limits. When a node's general pool is exhausted,
+//! the query using the most memory on that node is *promoted* to the
+//! reserved pool — on every node, and at most one query cluster-wide —
+//! which lets it finish and unblock everyone else. Alternatively the
+//! cluster can be configured to kill that query instead.
+
+use parking_lot::Mutex;
+use presto_common::{PrestoError, QueryId, Result};
+use presto_exec::memory::{MemoryPool, ReservationResult};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+
+/// Per-query, cluster-wide memory counters and limits, shared by all node
+/// pools. Registered by the coordinator at admission.
+#[derive(Debug)]
+pub struct QueryMemoryLimits {
+    pub query: QueryId,
+    /// Global (cluster-aggregated) user-memory limit.
+    pub max_user_global: u64,
+    /// Per-node user-memory limit.
+    pub max_user_per_node: u64,
+    /// Per-node total (user+system) limit.
+    pub max_total_per_node: u64,
+    /// Cluster-wide user memory currently reserved.
+    pub global_user: AtomicI64,
+    /// Set when the query was killed for memory; carries the message.
+    pub killed: Mutex<Option<String>>,
+}
+
+impl QueryMemoryLimits {
+    pub fn new(
+        query: QueryId,
+        max_user_global: u64,
+        max_user_per_node: u64,
+        max_total_per_node: u64,
+    ) -> Arc<QueryMemoryLimits> {
+        Arc::new(QueryMemoryLimits {
+            query,
+            max_user_global,
+            max_user_per_node,
+            max_total_per_node,
+            global_user: AtomicI64::new(0),
+            killed: Mutex::new(None),
+        })
+    }
+}
+
+/// Cluster-wide reserved-pool ownership: "To prevent deadlock (where
+/// different workers stall different queries) only a single query can
+/// enter the reserved pool across the entire cluster."
+#[derive(Debug, Default)]
+pub struct ReservedPoolLock {
+    owner: Mutex<Option<QueryId>>,
+}
+
+impl ReservedPoolLock {
+    pub fn new() -> Arc<ReservedPoolLock> {
+        Arc::new(ReservedPoolLock::default())
+    }
+
+    /// Try to promote `query`; returns true if it now owns (or already
+    /// owned) the reserved pool.
+    fn try_acquire(&self, query: QueryId) -> bool {
+        let mut owner = self.owner.lock();
+        match *owner {
+            None => {
+                *owner = Some(query);
+                true
+            }
+            Some(q) => q == query,
+        }
+    }
+
+    pub fn owner(&self) -> Option<QueryId> {
+        *self.owner.lock()
+    }
+
+    /// Release if `query` owns the pool (query completion).
+    pub fn release(&self, query: QueryId) {
+        let mut owner = self.owner.lock();
+        if *owner == Some(query) {
+            *owner = None;
+        }
+    }
+}
+
+#[derive(Debug, Default, Clone)]
+struct QueryUsage {
+    user: i64,
+    system: i64,
+}
+
+struct PoolState {
+    general_used: i64,
+    reserved_used: i64,
+    per_query: HashMap<QueryId, QueryUsage>,
+}
+
+/// One worker node's memory pool.
+pub struct NodeMemoryPool {
+    node: presto_common::NodeId,
+    general_limit: i64,
+    reserved_limit: i64,
+    kill_on_exhausted: bool,
+    state: Mutex<PoolState>,
+    reserved: Arc<ReservedPoolLock>,
+    limits: Mutex<HashMap<QueryId, Arc<QueryMemoryLimits>>>,
+    /// Count of reservation attempts that blocked (telemetry).
+    blocked_reservations: AtomicI64,
+}
+
+impl NodeMemoryPool {
+    pub fn new(
+        node: presto_common::NodeId,
+        general_limit: u64,
+        reserved_limit: u64,
+        kill_on_exhausted: bool,
+        reserved: Arc<ReservedPoolLock>,
+    ) -> Arc<NodeMemoryPool> {
+        Arc::new(NodeMemoryPool {
+            node,
+            general_limit: general_limit as i64,
+            reserved_limit: reserved_limit as i64,
+            kill_on_exhausted,
+            state: Mutex::new(PoolState {
+                general_used: 0,
+                reserved_used: 0,
+                per_query: HashMap::new(),
+            }),
+            reserved,
+            limits: Mutex::new(HashMap::new()),
+            blocked_reservations: AtomicI64::new(0),
+        })
+    }
+
+    /// Register a query's limits before its tasks run on this node.
+    pub fn register_query(&self, limits: Arc<QueryMemoryLimits>) {
+        self.limits.lock().insert(limits.query, limits);
+    }
+
+    /// Drop a finished query's accounting.
+    pub fn unregister_query(&self, query: QueryId) {
+        let mut state = self.state.lock();
+        if let Some(usage) = state.per_query.remove(&query) {
+            if self.reserved.owner() == Some(query) {
+                state.reserved_used -= usage.user + usage.system;
+            } else {
+                state.general_used -= usage.user + usage.system;
+            }
+        }
+        drop(state);
+        if let Some(limits) = self.limits.lock().remove(&query) {
+            // Roll back this node's contribution to the global counter.
+            // (Usage was already removed above; global counter adjusts as
+            // tasks released, so nothing further here.)
+            let _ = limits;
+        }
+        self.reserved.release(query);
+    }
+
+    /// Current general-pool utilization in [0, 1+].
+    pub fn general_utilization(&self) -> f64 {
+        let state = self.state.lock();
+        state.general_used as f64 / self.general_limit.max(1) as f64
+    }
+
+    pub fn blocked_reservations(&self) -> i64 {
+        self.blocked_reservations.load(Ordering::Relaxed)
+    }
+
+    /// Memory used by `query` on this node.
+    pub fn query_usage(&self, query: QueryId) -> (i64, i64) {
+        let state = self.state.lock();
+        state
+            .per_query
+            .get(&query)
+            .map(|u| (u.user, u.system))
+            .unwrap_or((0, 0))
+    }
+}
+
+impl MemoryPool for NodeMemoryPool {
+    fn reserve(
+        &self,
+        query: QueryId,
+        user_delta: i64,
+        system_delta: i64,
+    ) -> Result<ReservationResult> {
+        let limits = self.limits.lock().get(&query).cloned();
+        let Some(limits) = limits else {
+            return Err(PrestoError::internal(format!(
+                "query {query} not registered on {}",
+                self.node
+            )));
+        };
+        if let Some(msg) = limits.killed.lock().clone() {
+            return Err(PrestoError::resources(msg));
+        }
+        let total_delta = user_delta + system_delta;
+        let mut state = self.state.lock();
+        let usage = state.per_query.entry(query).or_default();
+        let new_user = usage.user + user_delta;
+        let new_total = usage.user + usage.system + total_delta;
+        // Hard per-query limits: exceeding kills the query (§IV-F2
+        // "queries that exceed a global limit … or per-node limit are
+        // killed").
+        if new_user > limits.max_user_per_node as i64 {
+            let msg = format!(
+                "query exceeded per-node user memory limit of {} bytes on {}",
+                limits.max_user_per_node, self.node
+            );
+            *limits.killed.lock() = Some(msg.clone());
+            return Err(PrestoError::resources(msg));
+        }
+        if new_total > limits.max_total_per_node as i64 {
+            let msg = format!(
+                "query exceeded per-node total memory limit of {} bytes on {}",
+                limits.max_total_per_node, self.node
+            );
+            *limits.killed.lock() = Some(msg.clone());
+            return Err(PrestoError::resources(msg));
+        }
+        let new_global = limits.global_user.load(Ordering::Relaxed) + user_delta;
+        if new_global > limits.max_user_global as i64 {
+            let msg = format!(
+                "query exceeded global user memory limit of {} bytes",
+                limits.max_user_global
+            );
+            *limits.killed.lock() = Some(msg.clone());
+            return Err(PrestoError::resources(msg));
+        }
+        // Which pool does this query charge?
+        let in_reserved = self.reserved.owner() == Some(query);
+        let (used, limit) = if in_reserved {
+            (state.reserved_used, self.reserved_limit)
+        } else {
+            (state.general_used, self.general_limit)
+        };
+        if total_delta > 0 && used + total_delta > limit {
+            if !in_reserved {
+                // General pool exhausted: promote the biggest query on this
+                // node to the reserved pool — but only when the reserved
+                // pool is free (one owner cluster-wide), and never move a
+                // query's usage twice.
+                let biggest = if self.reserved.owner().is_none() {
+                    state
+                        .per_query
+                        .iter()
+                        .max_by_key(|(_, u)| u.user + u.system)
+                        .map(|(q, _)| *q)
+                } else {
+                    None
+                };
+                if let Some(big) = biggest {
+                    if self.reserved.try_acquire(big) {
+                        // Move the promoted query's usage across pools.
+                        if let Some(u) = state.per_query.get(&big) {
+                            let moved = u.user + u.system;
+                            state.general_used -= moved;
+                            state.reserved_used += moved;
+                        }
+                        // Re-check after promotion (the caller may itself be
+                        // the promoted query).
+                        let in_reserved_now = big == query;
+                        let (used2, limit2) = if in_reserved_now {
+                            (state.reserved_used, self.reserved_limit)
+                        } else {
+                            (state.general_used, self.general_limit)
+                        };
+                        if used2 + total_delta <= limit2 {
+                            let usage = state.per_query.entry(query).or_default();
+                            usage.user += user_delta;
+                            usage.system += system_delta;
+                            if in_reserved_now {
+                                state.reserved_used += total_delta;
+                            } else {
+                                state.general_used += total_delta;
+                            }
+                            limits.global_user.fetch_add(user_delta, Ordering::Relaxed);
+                            return Ok(ReservationResult::Granted);
+                        }
+                    }
+                }
+                if self.kill_on_exhausted {
+                    let msg = format!(
+                        "node {} out of memory; killing query using most memory",
+                        self.node
+                    );
+                    *limits.killed.lock() = Some(msg.clone());
+                    return Err(PrestoError::resources(msg));
+                }
+            }
+            self.blocked_reservations.fetch_add(1, Ordering::Relaxed);
+            return Ok(ReservationResult::Blocked);
+        }
+        // Granted.
+        let usage = state.per_query.entry(query).or_default();
+        usage.user += user_delta;
+        usage.system += system_delta;
+        if in_reserved {
+            state.reserved_used += total_delta;
+        } else {
+            state.general_used += total_delta;
+        }
+        limits.global_user.fetch_add(user_delta, Ordering::Relaxed);
+        Ok(ReservationResult::Granted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use presto_common::NodeId;
+
+    fn setup(
+        general: u64,
+        reserved: u64,
+        kill: bool,
+    ) -> (Arc<NodeMemoryPool>, Arc<ReservedPoolLock>) {
+        let lock = ReservedPoolLock::new();
+        let pool = NodeMemoryPool::new(NodeId(0), general, reserved, kill, Arc::clone(&lock));
+        (pool, lock)
+    }
+
+    fn limits(q: u64) -> Arc<QueryMemoryLimits> {
+        QueryMemoryLimits::new(QueryId(q), 1 << 40, 1 << 40, 1 << 40)
+    }
+
+    #[test]
+    fn per_node_limit_kills() {
+        let (pool, _) = setup(1 << 30, 1 << 20, false);
+        let l = QueryMemoryLimits::new(QueryId(1), 1 << 40, 100, 1 << 40);
+        pool.register_query(l);
+        assert!(matches!(
+            pool.reserve(QueryId(1), 50, 0),
+            Ok(ReservationResult::Granted)
+        ));
+        let err = pool.reserve(QueryId(1), 60, 0).unwrap_err();
+        assert_eq!(err.code, presto_common::ErrorCode::InsufficientResources);
+        // Once killed, every further reservation fails.
+        assert!(pool.reserve(QueryId(1), 1, 0).is_err());
+    }
+
+    #[test]
+    fn global_limit_kills() {
+        let (pool, _) = setup(1 << 30, 1 << 20, false);
+        let l = QueryMemoryLimits::new(QueryId(2), 100, 1 << 40, 1 << 40);
+        pool.register_query(l);
+        assert!(pool.reserve(QueryId(2), 200, 0).is_err());
+    }
+
+    #[test]
+    fn reserved_pool_promotion_unblocks_biggest() {
+        let (pool, lock) = setup(100, 1000, false);
+        pool.register_query(limits(1));
+        pool.register_query(limits(2));
+        // q1 takes most of the general pool.
+        assert!(matches!(
+            pool.reserve(QueryId(1), 80, 0),
+            Ok(ReservationResult::Granted)
+        ));
+        // q2 wants more than remains → q1 (biggest) promotes to reserved,
+        // freeing the general pool for q2.
+        assert!(matches!(
+            pool.reserve(QueryId(2), 50, 0),
+            Ok(ReservationResult::Granted)
+        ));
+        assert_eq!(lock.owner(), Some(QueryId(1)));
+        // q1 now charges the reserved pool and can keep growing.
+        assert!(matches!(
+            pool.reserve(QueryId(1), 500, 0),
+            Ok(ReservationResult::Granted)
+        ));
+        // A third query that still does not fit blocks (single reserved
+        // owner cluster-wide).
+        pool.register_query(limits(3));
+        assert!(matches!(
+            pool.reserve(QueryId(3), 80, 0),
+            Ok(ReservationResult::Blocked)
+        ));
+        assert!(pool.blocked_reservations() > 0);
+        // When q1 finishes, the reserved pool frees.
+        pool.unregister_query(QueryId(1));
+        assert_eq!(lock.owner(), None);
+    }
+
+    #[test]
+    fn kill_policy_instead_of_stall() {
+        let (pool, lock) = setup(100, 50, true);
+        pool.register_query(limits(1));
+        pool.register_query(limits(2));
+        assert!(matches!(
+            pool.reserve(QueryId(1), 90, 0),
+            Ok(ReservationResult::Granted)
+        ));
+        // Promotion fails to make room (reserved limit 50 < q1's 90 usage
+        // stays; general freed though) — first promotion moves q1 out, so
+        // q2 fits. Exhaust again with q2 then q3 must kill.
+        assert!(matches!(
+            pool.reserve(QueryId(2), 95, 0),
+            Ok(ReservationResult::Granted)
+        ));
+        assert_eq!(lock.owner(), Some(QueryId(1)));
+        pool.register_query(limits(3));
+        let err = pool.reserve(QueryId(3), 50, 0).unwrap_err();
+        assert_eq!(err.code, presto_common::ErrorCode::InsufficientResources);
+    }
+
+    #[test]
+    fn frees_restore_capacity() {
+        let (pool, _) = setup(100, 50, false);
+        pool.register_query(limits(1));
+        pool.reserve(QueryId(1), 80, 10).unwrap();
+        pool.reserve(QueryId(1), -80, -10).unwrap();
+        assert_eq!(pool.query_usage(QueryId(1)), (0, 0));
+        assert!((pool.general_utilization()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,209 @@
+//! Cluster telemetry (§VII "Effortless instrumentation").
+//!
+//! "The median Presto worker node exports ~10,000 real-time performance
+//! counters" — here a compact set of the counters the benchmarks need:
+//! per-worker busy time (CPU utilization), running/queued query gauges,
+//! per-query lifecycle timestamps, and error counters by code.
+
+use parking_lot::Mutex;
+use presto_common::QueryId;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Shared counters, cheap to clone.
+#[derive(Clone)]
+pub struct ClusterTelemetry {
+    inner: Arc<Inner>,
+}
+
+struct Inner {
+    started_at: Instant,
+    /// Busy nanoseconds per worker.
+    worker_busy_nanos: Vec<AtomicU64>,
+    /// Currently running queries.
+    running_queries: AtomicU64,
+    /// Currently queued queries.
+    queued_queries: AtomicU64,
+    /// Completed queries.
+    finished_queries: AtomicU64,
+    failed_queries: AtomicU64,
+    /// Per-query records.
+    queries: Mutex<HashMap<QueryId, QueryRecord>>,
+    /// Errors by code tag.
+    errors: Mutex<HashMap<&'static str, u64>>,
+}
+
+/// Lifecycle record for one query.
+#[derive(Debug, Clone)]
+pub struct QueryRecord {
+    pub queued_at: Instant,
+    pub started_at: Option<Instant>,
+    pub finished_at: Option<Instant>,
+    pub cpu: Duration,
+    pub failed: bool,
+}
+
+impl QueryRecord {
+    pub fn queue_time(&self) -> Option<Duration> {
+        self.started_at.map(|s| s - self.queued_at)
+    }
+
+    pub fn execution_time(&self) -> Option<Duration> {
+        match (self.started_at, self.finished_at) {
+            (Some(s), Some(f)) => Some(f - s),
+            _ => None,
+        }
+    }
+}
+
+impl ClusterTelemetry {
+    pub fn new(workers: usize) -> ClusterTelemetry {
+        ClusterTelemetry {
+            inner: Arc::new(Inner {
+                started_at: Instant::now(),
+                worker_busy_nanos: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+                running_queries: AtomicU64::new(0),
+                queued_queries: AtomicU64::new(0),
+                finished_queries: AtomicU64::new(0),
+                failed_queries: AtomicU64::new(0),
+                queries: Mutex::new(HashMap::new()),
+                errors: Mutex::new(HashMap::new()),
+            }),
+        }
+    }
+
+    pub fn record_worker_busy(&self, worker: usize, elapsed: Duration) {
+        self.inner.worker_busy_nanos[worker]
+            .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Total busy time per worker since startup.
+    pub fn worker_busy(&self) -> Vec<Duration> {
+        self.inner
+            .worker_busy_nanos
+            .iter()
+            .map(|n| Duration::from_nanos(n.load(Ordering::Relaxed)))
+            .collect()
+    }
+
+    pub fn uptime(&self) -> Duration {
+        self.inner.started_at.elapsed()
+    }
+
+    pub fn query_queued(&self, query: QueryId) {
+        self.inner.queued_queries.fetch_add(1, Ordering::SeqCst);
+        self.inner.queries.lock().insert(
+            query,
+            QueryRecord {
+                queued_at: Instant::now(),
+                started_at: None,
+                finished_at: None,
+                cpu: Duration::ZERO,
+                failed: false,
+            },
+        );
+    }
+
+    pub fn query_started(&self, query: QueryId) {
+        self.inner.queued_queries.fetch_sub(1, Ordering::SeqCst);
+        self.inner.running_queries.fetch_add(1, Ordering::SeqCst);
+        if let Some(r) = self.inner.queries.lock().get_mut(&query) {
+            r.started_at = Some(Instant::now());
+        }
+    }
+
+    pub fn query_finished(&self, query: QueryId, cpu: Duration, failed: bool) {
+        self.inner.running_queries.fetch_sub(1, Ordering::SeqCst);
+        if failed {
+            self.inner.failed_queries.fetch_add(1, Ordering::SeqCst);
+        } else {
+            self.inner.finished_queries.fetch_add(1, Ordering::SeqCst);
+        }
+        if let Some(r) = self.inner.queries.lock().get_mut(&query) {
+            r.finished_at = Some(Instant::now());
+            r.cpu = cpu;
+            r.failed = failed;
+        }
+    }
+
+    pub fn record_error(&self, tag: &'static str) {
+        *self.inner.errors.lock().entry(tag).or_insert(0) += 1;
+    }
+
+    pub fn running_queries(&self) -> u64 {
+        self.inner.running_queries.load(Ordering::SeqCst)
+    }
+
+    pub fn queued_queries(&self) -> u64 {
+        self.inner.queued_queries.load(Ordering::SeqCst)
+    }
+
+    pub fn finished_queries(&self) -> u64 {
+        self.inner.finished_queries.load(Ordering::SeqCst)
+    }
+
+    pub fn failed_queries(&self) -> u64 {
+        self.inner.failed_queries.load(Ordering::SeqCst)
+    }
+
+    pub fn query_record(&self, query: QueryId) -> Option<QueryRecord> {
+        self.inner.queries.lock().get(&query).cloned()
+    }
+
+    pub fn all_query_records(&self) -> Vec<(QueryId, QueryRecord)> {
+        let mut v: Vec<_> = self
+            .inner
+            .queries
+            .lock()
+            .iter()
+            .map(|(q, r)| (*q, r.clone()))
+            .collect();
+        v.sort_by_key(|(q, _)| *q);
+        v
+    }
+
+    pub fn errors(&self) -> HashMap<&'static str, u64> {
+        self.inner.errors.lock().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_lifecycle() {
+        let t = ClusterTelemetry::new(2);
+        let q = QueryId(1);
+        t.query_queued(q);
+        assert_eq!(t.queued_queries(), 1);
+        t.query_started(q);
+        assert_eq!((t.queued_queries(), t.running_queries()), (0, 1));
+        t.query_finished(q, Duration::from_millis(5), false);
+        assert_eq!((t.running_queries(), t.finished_queries()), (0, 1));
+        let r = t.query_record(q).unwrap();
+        assert!(r.execution_time().is_some());
+        assert!(!r.failed);
+    }
+
+    #[test]
+    fn busy_time_accumulates_per_worker() {
+        let t = ClusterTelemetry::new(2);
+        t.record_worker_busy(0, Duration::from_millis(10));
+        t.record_worker_busy(0, Duration::from_millis(5));
+        t.record_worker_busy(1, Duration::from_millis(1));
+        let busy = t.worker_busy();
+        assert_eq!(busy[0], Duration::from_millis(15));
+        assert_eq!(busy[1], Duration::from_millis(1));
+    }
+
+    #[test]
+    fn errors_tallied_by_tag() {
+        let t = ClusterTelemetry::new(1);
+        t.record_error("EXTERNAL_TRANSIENT");
+        t.record_error("EXTERNAL_TRANSIENT");
+        assert_eq!(t.errors()["EXTERNAL_TRANSIENT"], 2);
+    }
+}

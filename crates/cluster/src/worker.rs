@@ -1,0 +1,360 @@
+//! Worker nodes: cooperative multitasking executor threads (§IV-F1).
+//!
+//! "Presto schedules many concurrent tasks on every worker node to achieve
+//! multi-tenancy and uses a cooperative multi-tasking model. Any given
+//! split is only allowed to run on a thread for a maximum quanta of one
+//! second, after which it must relinquish the thread and return to the
+//! queue. When output buffers are full … input buffers are empty … or the
+//! system is out of memory, the local scheduler simply switches to
+//! processing another task."
+
+use parking_lot::Mutex;
+use presto_common::{NodeId, PrestoError, QueryId, TaskId};
+use presto_exec::{Driver, DriverState, Task};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::memory::NodeMemoryPool;
+use crate::mlfq::MultilevelQueue;
+use crate::telemetry::ClusterTelemetry;
+
+/// Shared, cluster-wide state of one query (error slot + cancellation).
+pub struct QueryState {
+    pub query: QueryId,
+    error: Mutex<Option<PrestoError>>,
+    cancelled: AtomicBool,
+    cpu_nanos: AtomicU64,
+    tasks: Mutex<Vec<Arc<TaskHandle>>>,
+}
+
+impl QueryState {
+    pub fn new(query: QueryId) -> Arc<QueryState> {
+        Arc::new(QueryState {
+            query,
+            error: Mutex::new(None),
+            cancelled: AtomicBool::new(false),
+            cpu_nanos: AtomicU64::new(0),
+            tasks: Mutex::new(Vec::new()),
+        })
+    }
+
+    pub fn register_task(&self, task: Arc<TaskHandle>) {
+        self.tasks.lock().push(task);
+    }
+
+    /// Record a failure and cancel every task of the query. First error
+    /// wins.
+    pub fn fail(&self, error: PrestoError) {
+        {
+            let mut slot = self.error.lock();
+            if slot.is_none() {
+                *slot = Some(error);
+            }
+        }
+        self.cancel();
+    }
+
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::SeqCst);
+        for task in self.tasks.lock().iter() {
+            task.cancel();
+        }
+    }
+
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::SeqCst)
+    }
+
+    pub fn error(&self) -> Option<PrestoError> {
+        self.error.lock().clone()
+    }
+
+    pub fn add_cpu(&self, d: Duration) {
+        self.cpu_nanos
+            .fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    pub fn cpu(&self) -> Duration {
+        Duration::from_nanos(self.cpu_nanos.load(Ordering::Relaxed))
+    }
+
+    /// All registered tasks have completed (successfully or not).
+    pub fn all_tasks_done(&self) -> bool {
+        self.tasks.lock().iter().all(|t| t.is_done())
+    }
+}
+
+/// One task as the worker sees it.
+pub struct TaskHandle {
+    pub id: TaskId,
+    pub query_state: Arc<QueryState>,
+    /// The compiled task (output buffer, scan queues, exchange inputs) —
+    /// the coordinator wires exchanges and feeds splits through this.
+    pub task: Arc<Task>,
+    cpu_nanos: AtomicU64,
+    remaining_drivers: AtomicUsize,
+    cancelled: AtomicBool,
+    done: AtomicBool,
+    quanta: Duration,
+    spill_enabled: bool,
+}
+
+impl TaskHandle {
+    pub fn cpu(&self) -> Duration {
+        Duration::from_nanos(self.cpu_nanos.load(Ordering::Relaxed))
+    }
+
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::SeqCst);
+        // Unblock any consumer polling this task's output.
+        self.task.output.set_no_more_pages();
+    }
+
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::SeqCst)
+    }
+
+    pub fn is_done(&self) -> bool {
+        self.done.load(Ordering::SeqCst)
+    }
+
+    fn driver_done(&self) {
+        if self.remaining_drivers.fetch_sub(1, Ordering::SeqCst) == 1 {
+            self.done.store(true, Ordering::SeqCst);
+            self.task.memory.release_all();
+        }
+    }
+}
+
+/// One queued unit of work: a driver plus its task.
+struct DriverRun {
+    driver: Driver,
+    task: Arc<TaskHandle>,
+}
+
+/// A worker node: N executor threads over a multilevel feedback queue.
+pub struct Worker {
+    pub node: NodeId,
+    pub pool: Arc<NodeMemoryPool>,
+    queue: Arc<MultilevelQueue<DriverRun>>,
+    blocked: Arc<Mutex<VecDeque<(Instant, DriverRun)>>>,
+    shutdown: Arc<AtomicBool>,
+    dead: Arc<AtomicBool>,
+    threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    telemetry: ClusterTelemetry,
+    worker_index: usize,
+    /// Tasks currently known to this worker (for kill()).
+    tasks: Mutex<Vec<Arc<TaskHandle>>>,
+    running_drivers: Arc<AtomicUsize>,
+}
+
+impl Worker {
+    pub fn start(
+        node: NodeId,
+        worker_index: usize,
+        threads: usize,
+        pool: Arc<NodeMemoryPool>,
+        telemetry: ClusterTelemetry,
+    ) -> Arc<Worker> {
+        let worker = Arc::new(Worker {
+            node,
+            pool,
+            queue: Arc::new(MultilevelQueue::new()),
+            blocked: Arc::new(Mutex::new(VecDeque::new())),
+            shutdown: Arc::new(AtomicBool::new(false)),
+            dead: Arc::new(AtomicBool::new(false)),
+            threads: Mutex::new(Vec::new()),
+            telemetry,
+            worker_index,
+            tasks: Mutex::new(Vec::new()),
+            running_drivers: Arc::new(AtomicUsize::new(0)),
+        });
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let w = Arc::clone(&worker);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("worker-{}-{t}", node.0))
+                    .spawn(move || w.run_executor())
+                    .expect("spawn worker thread"),
+            );
+        }
+        *worker.threads.lock() = handles;
+        worker
+    }
+
+    /// Accept a compiled task: its drivers enter the scheduling queue.
+    pub fn submit_task(
+        &self,
+        task: Task,
+        query_state: Arc<QueryState>,
+        quanta: Duration,
+        spill_enabled: bool,
+    ) -> Arc<TaskHandle> {
+        let drivers = std::mem::take(&mut *task.drivers.lock());
+        let handle = Arc::new(TaskHandle {
+            id: task.id,
+            query_state: Arc::clone(&query_state),
+            task: Arc::new(task),
+            cpu_nanos: AtomicU64::new(0),
+            remaining_drivers: AtomicUsize::new(drivers.len().max(1)),
+            cancelled: AtomicBool::new(false),
+            done: AtomicBool::new(drivers.is_empty()),
+            quanta,
+            spill_enabled,
+        });
+        query_state.register_task(Arc::clone(&handle));
+        {
+            // Prune completed tasks so a long-lived worker does not retain
+            // every task (and its buffers) it ever ran.
+            let mut tasks = self.tasks.lock();
+            tasks.retain(|t| !t.is_done());
+            tasks.push(Arc::clone(&handle));
+        }
+        for driver in drivers {
+            self.queue.push(
+                DriverRun {
+                    driver,
+                    task: Arc::clone(&handle),
+                },
+                Duration::ZERO,
+            );
+        }
+        handle
+    }
+
+    /// Pending work (runnable + parked drivers).
+    pub fn backlog(&self) -> usize {
+        self.queue.len() + self.blocked.lock().len()
+    }
+
+    /// Simulated crash (§IV-G): every task on this worker fails; the node
+    /// stops processing.
+    pub fn kill(&self) {
+        self.dead.store(true, Ordering::SeqCst);
+        for task in self.tasks.lock().iter() {
+            if !task.is_done() {
+                task.query_state.fail(PrestoError::external(format!(
+                    "worker {} crashed",
+                    self.node
+                )));
+            }
+        }
+        self.queue.drain();
+        self.blocked.lock().clear();
+    }
+
+    pub fn is_dead(&self) -> bool {
+        self.dead.load(Ordering::SeqCst)
+    }
+
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        let handles = std::mem::take(&mut *self.threads.lock());
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+
+    fn run_executor(&self) {
+        while !self.shutdown.load(Ordering::SeqCst) {
+            if self.dead.load(Ordering::SeqCst) {
+                std::thread::sleep(Duration::from_millis(1));
+                continue;
+            }
+            // Re-admit blocked drivers whose backoff elapsed.
+            {
+                let mut blocked = self.blocked.lock();
+                let now = Instant::now();
+                let mut rest = VecDeque::new();
+                while let Some((at, run)) = blocked.pop_front() {
+                    if at <= now {
+                        self.queue.push(run, Duration::ZERO);
+                    } else {
+                        rest.push_back((at, run));
+                    }
+                }
+                *blocked = rest;
+            }
+            let Some(mut run) = self.queue.pop() else {
+                std::thread::sleep(Duration::from_micros(200));
+                continue;
+            };
+            if run.task.is_cancelled() || run.task.query_state.is_cancelled() {
+                run.task.driver_done();
+                continue;
+            }
+            self.running_drivers.fetch_add(1, Ordering::Relaxed);
+            let cpu_before = run.task.cpu();
+            let started = Instant::now();
+            // Operator panics (engine bugs, storage I/O panics in lazy
+            // loaders) must fail the query, never kill the executor thread.
+            let quanta = run.task.quanta;
+            let result = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                run.driver.process(quanta)
+            })) {
+                Ok(r) => r,
+                Err(payload) => {
+                    let msg = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "worker task panicked".to_string());
+                    Err(PrestoError::internal(format!("task panicked: {msg}")))
+                }
+            };
+            let elapsed = started.elapsed();
+            self.running_drivers.fetch_sub(1, Ordering::Relaxed);
+            // Charge actual thread time to the task (§IV-F1).
+            run.task
+                .cpu_nanos
+                .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+            run.task.query_state.add_cpu(elapsed);
+            self.queue.charge(cpu_before, elapsed);
+            self.telemetry
+                .record_worker_busy(self.worker_index, elapsed);
+            match result {
+                Ok(DriverState::Ready) => {
+                    self.queue.push(run, cpu_before + elapsed);
+                }
+                Ok(DriverState::Blocked(reason)) => {
+                    use presto_exec::BlockedReason;
+                    if reason == BlockedReason::Memory && run.task.spill_enabled {
+                        // Revoke (spill) and retry immediately (§IV-F2).
+                        match run.driver.revoke_memory() {
+                            Ok(freed) if freed > 0 => {
+                                self.queue.push(run, cpu_before + elapsed);
+                                continue;
+                            }
+                            Ok(_) => {}
+                            Err(e) => {
+                                run.task.query_state.fail(e);
+                                run.task.driver_done();
+                                continue;
+                            }
+                        }
+                    }
+                    let backoff = Duration::from_micros(200);
+                    self.blocked
+                        .lock()
+                        .push_back((Instant::now() + backoff, run));
+                }
+                Ok(DriverState::Finished) => {
+                    run.task.driver_done();
+                }
+                Err(e) => {
+                    run.task.query_state.fail(e);
+                    run.task.driver_done();
+                }
+            }
+        }
+    }
+}
+
+impl Drop for Worker {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+}

@@ -1,0 +1,159 @@
+//! Error model for the engine.
+//!
+//! Every failure in presto-rs is a [`PrestoError`] carrying an [`ErrorCode`].
+//! The classification mirrors Presto's: *user* errors (bad SQL, type
+//! mismatches, limit violations the user can reason about), *internal* errors
+//! (engine bugs), *insufficient resource* errors (memory limits), and
+//! *external* errors raised by connectors or the (simulated) network.
+//! External errors carry a `retryable` flag; the cluster runtime performs the
+//! low-level retries described in §IV-G of the paper for retryable external
+//! failures only.
+
+use std::fmt;
+
+/// Broad classification of a failure, used by the coordinator to decide
+/// whether to retry, to kill a query, or to surface the error to the user.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorCode {
+    /// Problems in the query text: syntax errors, unknown tables/columns,
+    /// type mismatches, unsupported features.
+    User,
+    /// Violations of engine invariants; always a bug.
+    Internal,
+    /// Query exceeded a per-node or global memory limit, or the cluster is
+    /// out of capacity.
+    InsufficientResources,
+    /// A connector or transport failure. `retryable` distinguishes transient
+    /// faults (which the engine retries transparently) from permanent ones.
+    External { retryable: bool },
+    /// The query was killed by an administrator, a queue policy, or the
+    /// reserved-pool arbitration ("kill the query unblocking most nodes").
+    Killed,
+}
+
+impl ErrorCode {
+    /// Whether the engine may transparently retry the failed operation.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, ErrorCode::External { retryable: true })
+    }
+
+    /// Short machine-readable tag, as exported by telemetry counters.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            ErrorCode::User => "USER_ERROR",
+            ErrorCode::Internal => "INTERNAL_ERROR",
+            ErrorCode::InsufficientResources => "INSUFFICIENT_RESOURCES",
+            ErrorCode::External { retryable: true } => "EXTERNAL_TRANSIENT",
+            ErrorCode::External { retryable: false } => "EXTERNAL_PERMANENT",
+            ErrorCode::Killed => "KILLED",
+        }
+    }
+}
+
+/// The error type used across the whole workspace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrestoError {
+    /// Classification used for retry and reporting decisions.
+    pub code: ErrorCode,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl PrestoError {
+    /// Create an error with an explicit code.
+    pub fn new(code: ErrorCode, message: impl Into<String>) -> Self {
+        PrestoError {
+            code,
+            message: message.into(),
+        }
+    }
+
+    /// A user-facing error (bad query, unknown object, type mismatch).
+    pub fn user(message: impl Into<String>) -> Self {
+        Self::new(ErrorCode::User, message)
+    }
+
+    /// An engine invariant violation.
+    pub fn internal(message: impl Into<String>) -> Self {
+        Self::new(ErrorCode::Internal, message)
+    }
+
+    /// A memory / capacity failure.
+    pub fn resources(message: impl Into<String>) -> Self {
+        Self::new(ErrorCode::InsufficientResources, message)
+    }
+
+    /// A transient external failure that the engine will retry.
+    pub fn transient(message: impl Into<String>) -> Self {
+        Self::new(ErrorCode::External { retryable: true }, message)
+    }
+
+    /// A permanent external failure.
+    pub fn external(message: impl Into<String>) -> Self {
+        Self::new(ErrorCode::External { retryable: false }, message)
+    }
+
+    /// The query was killed by policy.
+    pub fn killed(message: impl Into<String>) -> Self {
+        Self::new(ErrorCode::Killed, message)
+    }
+
+    /// Whether the engine may transparently retry the failed operation.
+    pub fn is_retryable(&self) -> bool {
+        self.code.is_retryable()
+    }
+}
+
+impl fmt::Display for PrestoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.code.tag(), self.message)
+    }
+}
+
+impl std::error::Error for PrestoError {}
+
+impl From<std::io::Error> for PrestoError {
+    fn from(e: std::io::Error) -> Self {
+        // I/O failures come from connectors / spill files; treat interrupted
+        // and timed-out operations as transient, the rest as permanent.
+        let retryable = matches!(
+            e.kind(),
+            std::io::ErrorKind::Interrupted
+                | std::io::ErrorKind::TimedOut
+                | std::io::ErrorKind::WouldBlock
+        );
+        PrestoError::new(ErrorCode::External { retryable }, e.to_string())
+    }
+}
+
+/// Workspace-wide result alias.
+pub type Result<T, E = PrestoError> = std::result::Result<T, E>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retryability_follows_code() {
+        assert!(PrestoError::transient("net blip").is_retryable());
+        assert!(!PrestoError::external("corrupt file").is_retryable());
+        assert!(!PrestoError::user("bad sql").is_retryable());
+        assert!(!PrestoError::internal("oops").is_retryable());
+        assert!(!PrestoError::resources("oom").is_retryable());
+        assert!(!PrestoError::killed("admin").is_retryable());
+    }
+
+    #[test]
+    fn display_includes_tag_and_message() {
+        let e = PrestoError::user("line 1:5: no such table t");
+        assert_eq!(e.to_string(), "USER_ERROR: line 1:5: no such table t");
+    }
+
+    #[test]
+    fn io_error_classification() {
+        let t: PrestoError = std::io::Error::new(std::io::ErrorKind::TimedOut, "slow").into();
+        assert!(t.is_retryable());
+        let p: PrestoError = std::io::Error::new(std::io::ErrorKind::NotFound, "missing").into();
+        assert!(!p.is_retryable());
+    }
+}

@@ -1,0 +1,153 @@
+//! Relational schemas: named, typed column lists.
+
+use crate::error::{PrestoError, Result};
+use crate::types::DataType;
+use std::fmt;
+
+/// One column of a schema.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Field {
+    pub name: String,
+    pub data_type: DataType,
+}
+
+impl Field {
+    pub fn new(name: impl Into<String>, data_type: DataType) -> Field {
+        Field {
+            name: name.into(),
+            data_type,
+        }
+    }
+}
+
+/// An ordered list of fields. Column name lookup is case-insensitive, like
+/// the SQL dialect; positional access is used on the execution hot path.
+#[derive(Debug, Clone, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+impl Schema {
+    pub fn new(fields: Vec<Field>) -> Schema {
+        Schema { fields }
+    }
+
+    /// Convenience constructor from `(name, type)` pairs.
+    pub fn of(cols: &[(&str, DataType)]) -> Schema {
+        Schema {
+            fields: cols.iter().map(|(n, t)| Field::new(*n, *t)).collect(),
+        }
+    }
+
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    pub fn field(&self, index: usize) -> &Field {
+        &self.fields[index]
+    }
+
+    /// Case-insensitive lookup of a column's ordinal position.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.fields
+            .iter()
+            .position(|f| f.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Like [`Schema::index_of`] but producing the user error the analyzer
+    /// reports for unknown columns.
+    pub fn resolve(&self, name: &str) -> Result<usize> {
+        self.index_of(name)
+            .ok_or_else(|| PrestoError::user(format!("column '{name}' does not exist")))
+    }
+
+    pub fn data_type(&self, index: usize) -> DataType {
+        self.fields[index].data_type
+    }
+
+    /// A schema with only the selected columns, in the given order.
+    pub fn project(&self, indices: &[usize]) -> Schema {
+        Schema {
+            fields: indices.iter().map(|&i| self.fields[i].clone()).collect(),
+        }
+    }
+
+    /// Concatenate two schemas (join output).
+    pub fn join(&self, right: &Schema) -> Schema {
+        let mut fields = self.fields.clone();
+        fields.extend(right.fields.iter().cloned());
+        Schema { fields }
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, field) in self.fields.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{} {}", field.name, field.data_type)?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl FromIterator<Field> for Schema {
+    fn from_iter<T: IntoIterator<Item = Field>>(iter: T) -> Self {
+        Schema {
+            fields: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::of(&[
+            ("orderkey", DataType::Bigint),
+            ("tax", DataType::Double),
+            ("comment", DataType::Varchar),
+        ])
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        let s = schema();
+        assert_eq!(s.index_of("OrderKey"), Some(0));
+        assert_eq!(s.index_of("TAX"), Some(1));
+        assert_eq!(s.index_of("missing"), None);
+        assert!(s.resolve("missing").is_err());
+    }
+
+    #[test]
+    fn project_reorders() {
+        let s = schema().project(&[2, 0]);
+        assert_eq!(s.field(0).name, "comment");
+        assert_eq!(s.field(1).name, "orderkey");
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn join_concatenates() {
+        let s = schema().join(&Schema::of(&[("x", DataType::Boolean)]));
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.field(3).name, "x");
+    }
+
+    #[test]
+    fn display_format() {
+        let s = Schema::of(&[("a", DataType::Bigint)]);
+        assert_eq!(s.to_string(), "(a bigint)");
+    }
+}

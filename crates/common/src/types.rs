@@ -1,0 +1,157 @@
+//! The SQL type system.
+//!
+//! presto-rs implements the core scalar types of the ANSI dialect described
+//! in §IV-A: `BOOLEAN`, `BIGINT`, `DOUBLE`, `VARCHAR`, `DATE` and
+//! `TIMESTAMP`. Dates are days since the Unix epoch and timestamps are
+//! milliseconds since the epoch, both carried in 64-bit lanes so that the
+//! columnar layer only needs a small set of physical representations.
+
+use std::fmt;
+
+/// A scalar SQL data type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum DataType {
+    Boolean,
+    Bigint,
+    Double,
+    Varchar,
+    /// Days since 1970-01-01, stored in an i64 lane.
+    Date,
+    /// Milliseconds since the Unix epoch, stored in an i64 lane.
+    Timestamp,
+}
+
+impl DataType {
+    /// SQL name, as printed by `EXPLAIN` and type-error messages.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DataType::Boolean => "boolean",
+            DataType::Bigint => "bigint",
+            DataType::Double => "double",
+            DataType::Varchar => "varchar",
+            DataType::Date => "date",
+            DataType::Timestamp => "timestamp",
+        }
+    }
+
+    /// Parse a SQL type name (case-insensitive). Accepts the common aliases
+    /// that the TPC tooling and tests use.
+    pub fn parse(name: &str) -> Option<DataType> {
+        match name.to_ascii_lowercase().as_str() {
+            "boolean" | "bool" => Some(DataType::Boolean),
+            "bigint" | "integer" | "int" | "long" => Some(DataType::Bigint),
+            "double" | "real" | "float" | "decimal" => Some(DataType::Double),
+            "varchar" | "string" | "text" | "char" => Some(DataType::Varchar),
+            "date" => Some(DataType::Date),
+            "timestamp" => Some(DataType::Timestamp),
+            _ => None,
+        }
+    }
+
+    /// Whether values of this type are physically stored in an `i64` lane.
+    pub fn is_integer_backed(&self) -> bool {
+        matches!(
+            self,
+            DataType::Bigint | DataType::Date | DataType::Timestamp
+        )
+    }
+
+    /// Whether the type supports ordering comparisons (`<`, `>`, `BETWEEN`,
+    /// `ORDER BY`). All our scalar types do, but the hook exists so complex
+    /// types can opt out later.
+    pub fn is_orderable(&self) -> bool {
+        true
+    }
+
+    /// Whether this type is numeric (participates in arithmetic).
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, DataType::Bigint | DataType::Double)
+    }
+
+    /// Implicit coercion: can a value of `self` be used where `target` is
+    /// expected without an explicit CAST? Mirrors the ANSI numeric ladder
+    /// (bigint widens to double) plus date→timestamp.
+    pub fn coerces_to(&self, target: DataType) -> bool {
+        if *self == target {
+            return true;
+        }
+        matches!(
+            (self, target),
+            (DataType::Bigint, DataType::Double) | (DataType::Date, DataType::Timestamp)
+        )
+    }
+
+    /// The common super type of two types under implicit coercion, if any.
+    /// Used for comparison operands, `CASE` branches and set operations.
+    pub fn common_super_type(a: DataType, b: DataType) -> Option<DataType> {
+        if a == b {
+            Some(a)
+        } else if a.coerces_to(b) {
+            Some(b)
+        } else if b.coerces_to(a) {
+            Some(a)
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips_names() {
+        for t in [
+            DataType::Boolean,
+            DataType::Bigint,
+            DataType::Double,
+            DataType::Varchar,
+            DataType::Date,
+            DataType::Timestamp,
+        ] {
+            assert_eq!(DataType::parse(t.name()), Some(t));
+        }
+        assert_eq!(DataType::parse("INT"), Some(DataType::Bigint));
+        assert_eq!(DataType::parse("blob"), None);
+    }
+
+    #[test]
+    fn coercion_ladder() {
+        assert!(DataType::Bigint.coerces_to(DataType::Double));
+        assert!(!DataType::Double.coerces_to(DataType::Bigint));
+        assert!(DataType::Date.coerces_to(DataType::Timestamp));
+        assert!(!DataType::Varchar.coerces_to(DataType::Bigint));
+    }
+
+    #[test]
+    fn common_super_type_is_symmetric() {
+        assert_eq!(
+            DataType::common_super_type(DataType::Bigint, DataType::Double),
+            Some(DataType::Double)
+        );
+        assert_eq!(
+            DataType::common_super_type(DataType::Double, DataType::Bigint),
+            Some(DataType::Double)
+        );
+        assert_eq!(
+            DataType::common_super_type(DataType::Varchar, DataType::Bigint),
+            None
+        );
+    }
+
+    #[test]
+    fn physical_lane_classification() {
+        assert!(DataType::Date.is_integer_backed());
+        assert!(DataType::Timestamp.is_integer_backed());
+        assert!(!DataType::Double.is_integer_backed());
+        assert!(DataType::Bigint.is_numeric());
+        assert!(!DataType::Date.is_numeric());
+    }
+}

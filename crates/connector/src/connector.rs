@@ -1,0 +1,89 @@
+//! The top-level [`Connector`] trait and the catalog registry.
+
+use presto_common::{PrestoError, Result};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::index::IndexSource;
+use crate::metadata::ConnectorMetadata;
+use crate::sink::PageSinkFactory;
+use crate::source::PageSourceFactory;
+use crate::split::SplitSource;
+use crate::TupleDomain;
+
+/// One pluggable data source, addressed by catalog name.
+pub trait Connector: Send + Sync {
+    /// Connector type name ("memory", "hive", "raptor", "sharded-sql", …).
+    fn name(&self) -> &str;
+
+    /// The Metadata API.
+    fn metadata(&self) -> &dyn ConnectorMetadata;
+
+    /// The Data Location API: enumerate splits of `table` under `layout`,
+    /// pruned by `predicate` where the connector is able to.
+    fn split_source(
+        &self,
+        table: &str,
+        layout: &str,
+        predicate: &TupleDomain,
+    ) -> Result<Box<dyn SplitSource>>;
+
+    /// The Data Source API.
+    fn page_source_factory(&self) -> &dyn PageSourceFactory;
+
+    /// The Data Sink API; `None` for read-only connectors.
+    fn page_sink_factory(&self) -> Option<&dyn PageSinkFactory> {
+        None
+    }
+
+    /// Open an index over `table` keyed on `key_columns` (table-schema
+    /// indices) producing `output_columns`. `None` when no suitable index
+    /// exists; the optimizer checks layouts first.
+    fn index_source(
+        &self,
+        _table: &str,
+        _key_columns: &[usize],
+        _output_columns: &[usize],
+    ) -> Result<Option<Box<dyn IndexSource>>> {
+        Ok(None)
+    }
+}
+
+/// The set of catalogs mounted on a cluster.
+#[derive(Clone, Default)]
+pub struct CatalogManager {
+    catalogs: HashMap<String, Arc<dyn Connector>>,
+}
+
+impl CatalogManager {
+    pub fn new() -> CatalogManager {
+        CatalogManager::default()
+    }
+
+    /// Mount `connector` under `catalog`; replaces any previous mount.
+    pub fn register(&mut self, catalog: impl Into<String>, connector: Arc<dyn Connector>) {
+        self.catalogs.insert(catalog.into(), connector);
+    }
+
+    /// Resolve a catalog; user error when absent.
+    pub fn catalog(&self, name: &str) -> Result<Arc<dyn Connector>> {
+        self.catalogs
+            .get(name)
+            .cloned()
+            .ok_or_else(|| PrestoError::user(format!("catalog '{name}' does not exist")))
+    }
+
+    pub fn catalog_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.catalogs.keys().cloned().collect();
+        names.sort();
+        names
+    }
+}
+
+impl std::fmt::Debug for CatalogManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CatalogManager")
+            .field("catalogs", &self.catalog_names())
+            .finish()
+    }
+}

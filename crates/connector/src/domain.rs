@@ -1,0 +1,379 @@
+//! Predicate pushdown vocabulary.
+//!
+//! A [`TupleDomain`] is the engine↔connector contract for filters: a
+//! conjunction of per-column [`Domain`]s, each either a finite set of
+//! allowed values (from `=` / `IN`) or a range (from `<`, `BETWEEN`, …).
+//! The optimizer extracts domains from WHERE conjuncts (§IV-B3-2) and hands
+//! them to connectors, which use them for shard pruning, stripe skipping
+//! via min/max statistics, and index selection.
+
+use presto_common::Value;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The allowed values of one column.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Domain {
+    /// A finite set of allowed (non-null) values, e.g. from `x IN (1,2)`.
+    Set(Vec<Value>),
+    /// An interval with optional inclusive bounds.
+    Range {
+        min: Option<Value>,
+        max: Option<Value>,
+    },
+}
+
+impl Domain {
+    /// Domain for `col = v`.
+    pub fn point(v: Value) -> Domain {
+        Domain::Set(vec![v])
+    }
+
+    /// Domain for `col >= v` (or `> v` tightened by the caller).
+    pub fn at_least(v: Value) -> Domain {
+        Domain::Range {
+            min: Some(v),
+            max: None,
+        }
+    }
+
+    /// Domain for `col <= v`.
+    pub fn at_most(v: Value) -> Domain {
+        Domain::Range {
+            min: None,
+            max: Some(v),
+        }
+    }
+
+    /// Whether `v` (non-null) satisfies this domain. NULL never matches —
+    /// pushdown domains come from predicates that reject NULL.
+    pub fn contains(&self, v: &Value) -> bool {
+        if v.is_null() {
+            return false;
+        }
+        match self {
+            Domain::Set(values) => values
+                .iter()
+                .any(|allowed| v.sql_cmp(allowed) == Some(std::cmp::Ordering::Equal)),
+            Domain::Range { min, max } => {
+                if let Some(min) = min {
+                    match v.sql_cmp(min) {
+                        Some(std::cmp::Ordering::Less) | None => return false,
+                        _ => {}
+                    }
+                }
+                if let Some(max) = max {
+                    match v.sql_cmp(max) {
+                        Some(std::cmp::Ordering::Greater) | None => return false,
+                        _ => {}
+                    }
+                }
+                true
+            }
+        }
+    }
+
+    /// Whether a value interval `[lo, hi]` could contain a matching value.
+    /// Used for stripe/shard pruning from min-max statistics; `None` bounds
+    /// mean unknown and conservatively overlap.
+    pub fn overlaps(&self, lo: Option<&Value>, hi: Option<&Value>) -> bool {
+        match self {
+            Domain::Set(values) => values.iter().any(|v| {
+                let above_lo = match lo {
+                    Some(lo) => !matches!(v.sql_cmp(lo), Some(std::cmp::Ordering::Less)),
+                    None => true,
+                };
+                let below_hi = match hi {
+                    Some(hi) => !matches!(v.sql_cmp(hi), Some(std::cmp::Ordering::Greater)),
+                    None => true,
+                };
+                above_lo && below_hi
+            }),
+            Domain::Range { min, max } => {
+                let min_ok = match (max, lo) {
+                    // domain entirely below the interval?
+                    (Some(dmax), Some(lo)) => {
+                        !matches!(dmax.sql_cmp(lo), Some(std::cmp::Ordering::Less))
+                    }
+                    _ => true,
+                };
+                let max_ok = match (min, hi) {
+                    (Some(dmin), Some(hi)) => {
+                        !matches!(dmin.sql_cmp(hi), Some(std::cmp::Ordering::Greater))
+                    }
+                    _ => true,
+                };
+                min_ok && max_ok
+            }
+        }
+    }
+
+    /// Intersect with another domain over the same column (conjunction).
+    /// Returns `None` when the intersection is provably empty.
+    pub fn intersect(&self, other: &Domain) -> Option<Domain> {
+        match (self, other) {
+            (Domain::Set(a), Domain::Set(_)) => {
+                let values: Vec<Value> = a.iter().filter(|v| other.contains(v)).cloned().collect();
+                if values.is_empty() {
+                    None
+                } else {
+                    Some(Domain::Set(values))
+                }
+            }
+            (Domain::Set(a), r @ Domain::Range { .. }) => {
+                let values: Vec<Value> = a.iter().filter(|v| r.contains(v)).cloned().collect();
+                if values.is_empty() {
+                    None
+                } else {
+                    Some(Domain::Set(values))
+                }
+            }
+            (r @ Domain::Range { .. }, s @ Domain::Set(_)) => s.intersect(r),
+            (
+                Domain::Range {
+                    min: min1,
+                    max: max1,
+                },
+                Domain::Range {
+                    min: min2,
+                    max: max2,
+                },
+            ) => {
+                let min = match (min1, min2) {
+                    (Some(a), Some(b)) => {
+                        Some(if a.sql_cmp(b) == Some(std::cmp::Ordering::Greater) {
+                            a.clone()
+                        } else {
+                            b.clone()
+                        })
+                    }
+                    (Some(a), None) => Some(a.clone()),
+                    (None, b) => b.clone(),
+                };
+                let max = match (max1, max2) {
+                    (Some(a), Some(b)) => Some(if a.sql_cmp(b) == Some(std::cmp::Ordering::Less) {
+                        a.clone()
+                    } else {
+                        b.clone()
+                    }),
+                    (Some(a), None) => Some(a.clone()),
+                    (None, b) => b.clone(),
+                };
+                if let (Some(lo), Some(hi)) = (&min, &max) {
+                    if lo.sql_cmp(hi) == Some(std::cmp::Ordering::Greater) {
+                        return None;
+                    }
+                }
+                Some(Domain::Range { min, max })
+            }
+        }
+    }
+}
+
+impl fmt::Display for Domain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Domain::Set(vs) => {
+                write!(f, "{{")?;
+                for (i, v) in vs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "}}")
+            }
+            Domain::Range { min, max } => {
+                match min {
+                    Some(v) => write!(f, "[{v}")?,
+                    None => write!(f, "(-inf")?,
+                }
+                match max {
+                    Some(v) => write!(f, ", {v}]"),
+                    None => write!(f, ", +inf)"),
+                }
+            }
+        }
+    }
+}
+
+/// Per-column constraint map (column index → domain). `TupleDomain::all()`
+/// (no entries) means "no constraint".
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TupleDomain {
+    domains: BTreeMap<usize, Domain>,
+    /// Provably no rows match (e.g. `x = 1 AND x = 2`).
+    none: bool,
+}
+
+impl TupleDomain {
+    /// No constraint.
+    pub fn all() -> TupleDomain {
+        TupleDomain::default()
+    }
+
+    /// Provably empty result.
+    pub fn none() -> TupleDomain {
+        TupleDomain {
+            domains: BTreeMap::new(),
+            none: true,
+        }
+    }
+
+    pub fn is_all(&self) -> bool {
+        !self.none && self.domains.is_empty()
+    }
+
+    pub fn is_none(&self) -> bool {
+        self.none
+    }
+
+    pub fn domain(&self, column: usize) -> Option<&Domain> {
+        self.domains.get(&column)
+    }
+
+    pub fn columns(&self) -> impl Iterator<Item = usize> + '_ {
+        self.domains.keys().copied()
+    }
+
+    /// Add (intersect) a constraint on `column`.
+    pub fn constrain(&mut self, column: usize, domain: Domain) {
+        if self.none {
+            return;
+        }
+        match self.domains.remove(&column) {
+            None => {
+                self.domains.insert(column, domain);
+            }
+            Some(existing) => match existing.intersect(&domain) {
+                Some(merged) => {
+                    self.domains.insert(column, merged);
+                }
+                None => self.none = true,
+            },
+        }
+    }
+
+    /// Whether a row (given a value accessor) can satisfy all constraints.
+    pub fn matches(&self, value_of: impl Fn(usize) -> Value) -> bool {
+        if self.none {
+            return false;
+        }
+        self.domains
+            .iter()
+            .all(|(&col, domain)| domain.contains(&value_of(col)))
+    }
+
+    /// Remap column indices (e.g. table schema → projected channels),
+    /// dropping constraints on unmapped columns (they stay engine-side).
+    pub fn remap(&self, mapping: impl Fn(usize) -> Option<usize>) -> TupleDomain {
+        if self.none {
+            return TupleDomain::none();
+        }
+        let mut out = TupleDomain::all();
+        for (&col, domain) in &self.domains {
+            if let Some(new) = mapping(col) {
+                out.constrain(new, domain.clone());
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_and_range_membership() {
+        let d = Domain::point(Value::Bigint(5));
+        assert!(d.contains(&Value::Bigint(5)));
+        assert!(!d.contains(&Value::Bigint(6)));
+        assert!(!d.contains(&Value::Null));
+        let r = Domain::Range {
+            min: Some(Value::Bigint(1)),
+            max: Some(Value::Bigint(10)),
+        };
+        assert!(r.contains(&Value::Bigint(1)));
+        assert!(r.contains(&Value::Bigint(10)));
+        assert!(!r.contains(&Value::Bigint(0)));
+    }
+
+    #[test]
+    fn intersection() {
+        let a = Domain::Range {
+            min: Some(Value::Bigint(0)),
+            max: Some(Value::Bigint(10)),
+        };
+        let b = Domain::Range {
+            min: Some(Value::Bigint(5)),
+            max: None,
+        };
+        assert_eq!(
+            a.intersect(&b),
+            Some(Domain::Range {
+                min: Some(Value::Bigint(5)),
+                max: Some(Value::Bigint(10))
+            })
+        );
+        let c = Domain::Set(vec![Value::Bigint(3), Value::Bigint(7)]);
+        assert_eq!(c.intersect(&b), Some(Domain::Set(vec![Value::Bigint(7)])));
+        let disjoint = Domain::Range {
+            min: Some(Value::Bigint(20)),
+            max: None,
+        };
+        assert_eq!(a.intersect(&disjoint), None);
+    }
+
+    #[test]
+    fn tuple_domain_conjunction_to_none() {
+        let mut td = TupleDomain::all();
+        td.constrain(0, Domain::point(Value::Bigint(1)));
+        td.constrain(0, Domain::point(Value::Bigint(2)));
+        assert!(td.is_none());
+        assert!(!td.matches(|_| Value::Bigint(1)));
+    }
+
+    #[test]
+    fn row_matching() {
+        let mut td = TupleDomain::all();
+        td.constrain(0, Domain::point(Value::Bigint(1)));
+        td.constrain(2, Domain::at_least(Value::Double(0.5)));
+        assert!(td.matches(|c| match c {
+            0 => Value::Bigint(1),
+            2 => Value::Double(0.9),
+            _ => Value::Null,
+        }));
+        assert!(!td.matches(|c| match c {
+            0 => Value::Bigint(1),
+            2 => Value::Double(0.1),
+            _ => Value::Null,
+        }));
+    }
+
+    #[test]
+    fn overlap_pruning() {
+        let d = Domain::Range {
+            min: Some(Value::Bigint(100)),
+            max: None,
+        };
+        // Stripe with max 50 cannot match.
+        assert!(!d.overlaps(Some(&Value::Bigint(0)), Some(&Value::Bigint(50))));
+        assert!(d.overlaps(Some(&Value::Bigint(0)), Some(&Value::Bigint(150))));
+        // Unknown stats conservatively overlap.
+        assert!(d.overlaps(None, None));
+        let s = Domain::Set(vec![Value::Bigint(7)]);
+        assert!(s.overlaps(Some(&Value::Bigint(0)), Some(&Value::Bigint(10))));
+        assert!(!s.overlaps(Some(&Value::Bigint(8)), Some(&Value::Bigint(10))));
+    }
+
+    #[test]
+    fn remapping() {
+        let mut td = TupleDomain::all();
+        td.constrain(3, Domain::point(Value::Bigint(1)));
+        td.constrain(5, Domain::point(Value::Bigint(2)));
+        let remapped = td.remap(|c| if c == 3 { Some(0) } else { None });
+        assert!(remapped.domain(0).is_some());
+        assert_eq!(remapped.columns().count(), 1);
+    }
+}

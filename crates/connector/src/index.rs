@@ -1,0 +1,21 @@
+//! Index lookups for index-nested-loop joins.
+//!
+//! §IV-B3: "If connectors expose a data layout in which join columns are
+//! marked as indices, the optimizer is able to determine if using an index
+//! nested loop join would be an appropriate strategy. This can make it
+//! extremely efficient to operate on normalized data stored in a data
+//! warehouse by joining against production data stores."
+
+use presto_common::Result;
+use presto_page::Page;
+
+/// A point-lookup interface over an indexed table.
+pub trait IndexSource: Send {
+    /// Probe the index with a page of key rows.
+    ///
+    /// Returns the matching table rows (projected to the output columns the
+    /// source was created with) and, parallel to those rows, the index of
+    /// the input key row each output row matched. Keys with no match simply
+    /// produce no output rows (the join operator handles outer semantics).
+    fn lookup(&mut self, keys: &Page) -> Result<(Page, Vec<u32>)>;
+}

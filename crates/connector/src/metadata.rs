@@ -1,0 +1,105 @@
+//! The Metadata API: tables, schemas, statistics, and data layouts.
+
+use presto_common::{Result, Schema, TableStatistics};
+
+/// How a layout's data is partitioned across storage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partitioning {
+    /// Column indices (into the table schema) data is partitioned on.
+    pub columns: Vec<usize>,
+    /// Number of buckets/shards.
+    pub bucket_count: usize,
+}
+
+/// Physical properties of one layout of a table (§IV-B3-1): "Connectors
+/// report locations and other data properties such as partitioning,
+/// sorting, grouping, and indices. Connectors can return multiple layouts
+/// for a single table."
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DataLayout {
+    /// Layout identifier, unique within the table (e.g. "primary",
+    /// "by_region"). Passed back through split enumeration.
+    pub name: String,
+    /// Bucketed partitioning, if any. Tables bucketed the same way on the
+    /// same columns can be joined co-located, eliding the shuffle.
+    pub partitioning: Option<Partitioning>,
+    /// Columns each partition is sorted on (prefix order).
+    pub sorted_by: Vec<usize>,
+    /// Column sets with index support: point lookups on these columns are
+    /// efficient, enabling index-nested-loop joins and shard pruning.
+    pub indexes: Vec<Vec<usize>>,
+    /// Whether partitions are pinned to specific nodes (shared-nothing
+    /// storage like Raptor); constrains leaf task placement (§IV-D2).
+    pub node_local: bool,
+}
+
+impl DataLayout {
+    /// An unconstrained layout (randomly distributed, no indexes).
+    pub fn unpartitioned() -> DataLayout {
+        DataLayout {
+            name: "default".to_string(),
+            ..DataLayout::default()
+        }
+    }
+
+    /// Whether this layout has an index covering exactly the given columns
+    /// (order-insensitive).
+    pub fn has_index_on(&self, columns: &[usize]) -> bool {
+        let mut want = columns.to_vec();
+        want.sort_unstable();
+        self.indexes.iter().any(|idx| {
+            let mut have = idx.clone();
+            have.sort_unstable();
+            have == want
+        })
+    }
+}
+
+/// Table-level metadata operations of one connector.
+pub trait ConnectorMetadata: Send + Sync {
+    /// All table names in this catalog.
+    fn list_tables(&self) -> Vec<String>;
+
+    /// Schema of `table`; user error if it does not exist.
+    fn table_schema(&self, table: &str) -> Result<Schema>;
+
+    /// Statistics, when the connector maintains them. The default — no
+    /// statistics — is the Fig. 6 "no stats" configuration: the CBO falls
+    /// back to heuristics.
+    fn table_statistics(&self, _table: &str) -> TableStatistics {
+        TableStatistics::unknown()
+    }
+
+    /// Available physical layouts. The optimizer picks the most useful one
+    /// for the query (§IV-B3-1); connectors must return at least one.
+    fn table_layouts(&self, _table: &str) -> Vec<DataLayout> {
+        vec![DataLayout::unpartitioned()]
+    }
+
+    /// Create a table (used by INSERT into fresh tables and by loaders).
+    fn create_table(&self, table: &str, schema: &Schema) -> Result<()>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_lookup_is_order_insensitive() {
+        let layout = DataLayout {
+            indexes: vec![vec![2, 0]],
+            ..DataLayout::unpartitioned()
+        };
+        assert!(layout.has_index_on(&[0, 2]));
+        assert!(layout.has_index_on(&[2, 0]));
+        assert!(!layout.has_index_on(&[0]));
+    }
+
+    #[test]
+    fn default_layout_is_unconstrained() {
+        let l = DataLayout::unpartitioned();
+        assert!(l.partitioning.is_none());
+        assert!(!l.node_local);
+        assert!(l.sorted_by.is_empty());
+    }
+}

@@ -1,0 +1,32 @@
+//! The Data Sink API: streaming page writes.
+//!
+//! §IV-E3: write performance is driven by write concurrency; the engine
+//! scales the number of writer tasks adaptively. Each writer task holds one
+//! [`PageSink`]; the connector decides how sink output maps to storage
+//! units (files, shards). `finish` returns the rows written so the
+//! coordinator can report `INSERT` row counts and commit metadata.
+
+use presto_common::Result;
+use presto_page::Page;
+
+/// A streaming writer owned by one table-writer operator instance.
+pub trait PageSink: Send {
+    /// Append a page. May block on storage backpressure.
+    fn append(&mut self, page: &Page) -> Result<()>;
+
+    /// Flush and commit this sink's output; returns rows written.
+    fn finish(&mut self) -> Result<u64>;
+
+    /// Bytes buffered but not yet flushed, for writer-scaling decisions.
+    fn buffered_bytes(&self) -> u64 {
+        0
+    }
+}
+
+/// Creates per-writer-task sinks.
+pub trait PageSinkFactory: Send + Sync {
+    /// Open a sink writing into `table`. Each concurrent writer gets its
+    /// own sink (its own output file/shard, like concurrent S3 writers in
+    /// the paper's example).
+    fn create_sink(&self, table: &str) -> Result<Box<dyn PageSink>>;
+}

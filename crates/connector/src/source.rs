@@ -1,0 +1,113 @@
+//! The Data Source API: streaming page reads.
+
+use presto_common::Result;
+use presto_page::Page;
+
+use crate::domain::TupleDomain;
+use crate::split::Split;
+
+/// Options the engine passes when opening a split for reading.
+#[derive(Debug, Clone)]
+pub struct ScanOptions {
+    /// Columns to read, as indices into the table schema, in output order.
+    pub columns: Vec<usize>,
+    /// Predicate (over table-schema column indices) the connector may use
+    /// to skip data. Connectors apply it best-effort; the engine always
+    /// re-applies the full filter.
+    pub predicate: TupleDomain,
+    /// Produce lazy blocks that decode on first access (§V-D). Connectors
+    /// that cannot are free to ignore this.
+    pub lazy: bool,
+    /// Target rows per page.
+    pub target_page_rows: usize,
+}
+
+impl Default for ScanOptions {
+    fn default() -> Self {
+        ScanOptions {
+            columns: Vec::new(),
+            predicate: TupleDomain::all(),
+            lazy: true,
+            target_page_rows: 1024,
+        }
+    }
+}
+
+/// A streaming reader over one split.
+pub trait PageSource: Send {
+    /// The next page, or `None` when the split is exhausted.
+    fn next_page(&mut self) -> Result<Option<Page>>;
+
+    /// Bytes fetched from storage so far (post-pruning, pre-decode). Feeds
+    /// the §V-D "data fetched" metric.
+    fn bytes_read(&self) -> u64 {
+        0
+    }
+
+    /// Rows the source has produced so far.
+    fn rows_read(&self) -> u64 {
+        0
+    }
+}
+
+/// Creates [`PageSource`]s for splits of this connector.
+pub trait PageSourceFactory: Send + Sync {
+    fn create_source(&self, split: &Split, options: &ScanOptions) -> Result<Box<dyn PageSource>>;
+}
+
+/// A [`PageSource`] over in-memory pages (used by the memory connector and
+/// tests).
+pub struct FixedPageSource {
+    pages: std::vec::IntoIter<Page>,
+    rows: u64,
+}
+
+impl FixedPageSource {
+    pub fn new(pages: Vec<Page>) -> FixedPageSource {
+        FixedPageSource {
+            pages: pages.into_iter(),
+            rows: 0,
+        }
+    }
+}
+
+impl PageSource for FixedPageSource {
+    fn next_page(&mut self) -> Result<Option<Page>> {
+        match self.pages.next() {
+            Some(p) => {
+                self.rows += p.row_count() as u64;
+                Ok(Some(p))
+            }
+            None => Ok(None),
+        }
+    }
+
+    fn rows_read(&self) -> u64 {
+        self.rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use presto_page::blocks::LongBlock;
+    use presto_page::Block;
+
+    #[test]
+    fn fixed_source_streams_pages() {
+        let p1 = Page::new(vec![Block::from(LongBlock::from_values(vec![1, 2]))]);
+        let p2 = Page::new(vec![Block::from(LongBlock::from_values(vec![3]))]);
+        let mut src = FixedPageSource::new(vec![p1, p2]);
+        assert_eq!(src.next_page().unwrap().unwrap().row_count(), 2);
+        assert_eq!(src.next_page().unwrap().unwrap().row_count(), 1);
+        assert!(src.next_page().unwrap().is_none());
+        assert_eq!(src.rows_read(), 3);
+    }
+
+    #[test]
+    fn scan_options_default_is_lazy_unconstrained() {
+        let o = ScanOptions::default();
+        assert!(o.lazy);
+        assert!(o.predicate.is_all());
+    }
+}

@@ -1,0 +1,86 @@
+//! Property tests for the predicate-pushdown domain algebra.
+
+use presto_common::Value;
+use presto_connector::{Domain, TupleDomain};
+use proptest::prelude::*;
+
+fn arb_domain() -> impl Strategy<Value = Domain> {
+    prop_oneof![
+        proptest::collection::vec(-20i64..20, 1..5)
+            .prop_map(|vs| Domain::Set(vs.into_iter().map(Value::Bigint).collect())),
+        (-20i64..20, 0i64..40).prop_map(|(lo, width)| Domain::Range {
+            min: Some(Value::Bigint(lo)),
+            max: Some(Value::Bigint(lo + width)),
+        }),
+        (-20i64..20).prop_map(|lo| Domain::Range {
+            min: Some(Value::Bigint(lo)),
+            max: None
+        }),
+        (-20i64..20).prop_map(|hi| Domain::Range {
+            min: None,
+            max: Some(Value::Bigint(hi))
+        }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn intersection_is_conjunction(a in arb_domain(), b in arb_domain(), v in -30i64..30) {
+        let value = Value::Bigint(v);
+        let both = a.contains(&value) && b.contains(&value);
+        match a.intersect(&b) {
+            Some(i) => prop_assert_eq!(i.contains(&value), both),
+            None => prop_assert!(!both, "empty intersection must reject everything"),
+        }
+    }
+
+    #[test]
+    fn intersection_is_commutative_on_membership(
+        a in arb_domain(),
+        b in arb_domain(),
+        v in -30i64..30,
+    ) {
+        let value = Value::Bigint(v);
+        let ab = a.intersect(&b).map(|d| d.contains(&value)).unwrap_or(false);
+        let ba = b.intersect(&a).map(|d| d.contains(&value)).unwrap_or(false);
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn overlap_never_false_negative(d in arb_domain(), lo in -30i64..30, width in 0i64..30) {
+        // If any value in [lo, hi] is contained, overlaps() must be true.
+        let hi = lo + width;
+        let any_contained = (lo..=hi).any(|v| d.contains(&Value::Bigint(v)));
+        let overlaps = d.overlaps(Some(&Value::Bigint(lo)), Some(&Value::Bigint(hi)));
+        if any_contained {
+            prop_assert!(overlaps, "pruning would drop matching rows: {d}");
+        }
+    }
+
+    #[test]
+    fn tuple_domain_matches_conjunction(
+        a in arb_domain(),
+        b in arb_domain(),
+        v0 in -30i64..30,
+        v1 in -30i64..30,
+    ) {
+        let mut td = TupleDomain::all();
+        td.constrain(0, a.clone());
+        td.constrain(1, b.clone());
+        let matches = td.matches(|c| Value::Bigint(if c == 0 { v0 } else { v1 }));
+        prop_assert_eq!(
+            matches,
+            a.contains(&Value::Bigint(v0)) && b.contains(&Value::Bigint(v1))
+        );
+    }
+
+    #[test]
+    fn constrain_twice_tightens(a in arb_domain(), b in arb_domain(), v in -30i64..30) {
+        let mut td = TupleDomain::all();
+        td.constrain(0, a.clone());
+        td.constrain(0, b.clone());
+        let value = Value::Bigint(v);
+        let expect = a.contains(&value) && b.contains(&value);
+        prop_assert_eq!(td.matches(|_| value.clone()), expect);
+    }
+}

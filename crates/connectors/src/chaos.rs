@@ -1,0 +1,205 @@
+//! Fault-injection wrapper connector.
+//!
+//! §IV-G: "Presto is able to recover from many transient errors using
+//! low-level retries." This wrapper makes any connector unreliable on
+//! demand so those retries can be exercised deterministically: every Nth
+//! page-source creation (and optionally every Nth page read) fails with a
+//! retryable external error.
+
+use presto_common::{PrestoError, Result, Schema, TableStatistics};
+use presto_connector::{
+    Connector, ConnectorMetadata, DataLayout, IndexSource, PageSinkFactory, PageSource,
+    PageSourceFactory, ScanOptions, Split, SplitSource, TupleDomain,
+};
+use presto_page::Page;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Wraps a connector, injecting transient failures.
+pub struct ChaosConnector {
+    inner: Arc<dyn Connector>,
+    /// Fail every Nth `create_source` (0 = never).
+    fail_every_nth_source: u64,
+    /// Fail every Nth `next_page` call across all sources (0 = never).
+    fail_every_nth_page: u64,
+    source_calls: AtomicU64,
+    page_calls: Arc<AtomicU64>,
+    injected: Arc<AtomicU64>,
+}
+
+impl ChaosConnector {
+    pub fn new(
+        inner: Arc<dyn Connector>,
+        fail_every_nth_source: u64,
+        fail_every_nth_page: u64,
+    ) -> Arc<ChaosConnector> {
+        Arc::new(ChaosConnector {
+            inner,
+            fail_every_nth_source,
+            fail_every_nth_page,
+            source_calls: AtomicU64::new(0),
+            page_calls: Arc::new(AtomicU64::new(0)),
+            injected: Arc::new(AtomicU64::new(0)),
+        })
+    }
+
+    /// Number of failures injected so far.
+    pub fn injected_failures(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+}
+
+impl ConnectorMetadata for ChaosConnector {
+    fn list_tables(&self) -> Vec<String> {
+        self.inner.metadata().list_tables()
+    }
+
+    fn table_schema(&self, table: &str) -> Result<Schema> {
+        self.inner.metadata().table_schema(table)
+    }
+
+    fn table_statistics(&self, table: &str) -> TableStatistics {
+        self.inner.metadata().table_statistics(table)
+    }
+
+    fn table_layouts(&self, table: &str) -> Vec<DataLayout> {
+        self.inner.metadata().table_layouts(table)
+    }
+
+    fn create_table(&self, table: &str, schema: &Schema) -> Result<()> {
+        self.inner.metadata().create_table(table, schema)
+    }
+}
+
+impl Connector for ChaosConnector {
+    fn name(&self) -> &str {
+        "chaos"
+    }
+
+    fn metadata(&self) -> &dyn ConnectorMetadata {
+        self
+    }
+
+    fn split_source(
+        &self,
+        table: &str,
+        layout: &str,
+        predicate: &TupleDomain,
+    ) -> Result<Box<dyn SplitSource>> {
+        self.inner.split_source(table, layout, predicate)
+    }
+
+    fn page_source_factory(&self) -> &dyn PageSourceFactory {
+        self
+    }
+
+    fn page_sink_factory(&self) -> Option<&dyn PageSinkFactory> {
+        self.inner.page_sink_factory()
+    }
+
+    fn index_source(
+        &self,
+        table: &str,
+        key_columns: &[usize],
+        output_columns: &[usize],
+    ) -> Result<Option<Box<dyn IndexSource>>> {
+        self.inner.index_source(table, key_columns, output_columns)
+    }
+}
+
+impl PageSourceFactory for ChaosConnector {
+    fn create_source(&self, split: &Split, options: &ScanOptions) -> Result<Box<dyn PageSource>> {
+        let call = self.source_calls.fetch_add(1, Ordering::SeqCst) + 1;
+        if self.fail_every_nth_source > 0 && call % self.fail_every_nth_source == 0 {
+            self.injected.fetch_add(1, Ordering::SeqCst);
+            return Err(PrestoError::transient(format!(
+                "chaos: injected source failure for {}",
+                split.info
+            )));
+        }
+        let inner = self
+            .inner
+            .page_source_factory()
+            .create_source(split, options)?;
+        Ok(Box::new(ChaosPageSource {
+            inner,
+            fail_every_nth_page: self.fail_every_nth_page,
+            page_calls: Arc::clone(&self.page_calls),
+            injected: Arc::clone(&self.injected),
+        }))
+    }
+}
+
+struct ChaosPageSource {
+    inner: Box<dyn PageSource>,
+    fail_every_nth_page: u64,
+    page_calls: Arc<AtomicU64>,
+    injected: Arc<AtomicU64>,
+}
+
+impl PageSource for ChaosPageSource {
+    fn next_page(&mut self) -> Result<Option<Page>> {
+        let call = self.page_calls.fetch_add(1, Ordering::SeqCst) + 1;
+        if self.fail_every_nth_page > 0 && call % self.fail_every_nth_page == 0 {
+            self.injected.fetch_add(1, Ordering::SeqCst);
+            return Err(PrestoError::transient("chaos: injected read failure"));
+        }
+        self.inner.next_page()
+    }
+
+    fn bytes_read(&self) -> u64 {
+        self.inner.bytes_read()
+    }
+
+    fn rows_read(&self) -> u64 {
+        self.inner.rows_read()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::MemoryConnector;
+    use presto_common::{DataType, Value};
+
+    fn chaotic() -> (Arc<ChaosConnector>, Vec<Split>) {
+        let mem = MemoryConnector::new();
+        let schema = Schema::of(&[("x", DataType::Bigint)]);
+        mem.load_rows(
+            "t",
+            schema,
+            &[vec![Value::Bigint(1)], vec![Value::Bigint(2)]],
+        );
+        let chaos = ChaosConnector::new(mem, 2, 0);
+        let splits = chaos
+            .split_source("t", "default", &TupleDomain::all())
+            .unwrap()
+            .next_batch(10)
+            .unwrap();
+        (chaos, splits)
+    }
+
+    #[test]
+    fn injects_every_second_source_creation() {
+        let (chaos, splits) = chaotic();
+        let opts = ScanOptions {
+            columns: vec![0],
+            ..Default::default()
+        };
+        assert!(chaos.create_source(&splits[0], &opts).is_ok());
+        let err = match chaos.create_source(&splits[0], &opts) {
+            Err(e) => e,
+            Ok(_) => panic!("expected injected failure"),
+        };
+        assert!(err.is_retryable(), "injected failures must be retryable");
+        assert!(chaos.create_source(&splits[0], &opts).is_ok());
+        assert_eq!(chaos.injected_failures(), 1);
+    }
+
+    #[test]
+    fn metadata_passes_through() {
+        let (chaos, _) = chaotic();
+        assert_eq!(chaos.metadata().list_tables(), vec!["t"]);
+        assert!(chaos.metadata().table_schema("t").is_ok());
+    }
+}

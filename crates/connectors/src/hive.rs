@@ -1,0 +1,557 @@
+//! Hive/HDFS-style shared-storage warehouse connector.
+//!
+//! Models the "Facebook data warehouse" configuration of §II-A / §VI-A:
+//! data lives in PORC files under a directory per table ("HDFS"), metadata
+//! in an embedded metastore ("Hive metastore service"). Key behaviours
+//! reproduced:
+//!
+//! * **Lazy, batched split enumeration** (§IV-D3): one split per file
+//!   stripe-range; the split source walks the file list incrementally so
+//!   queries start before enumeration finishes.
+//! * **Stripe skipping** (§V-C): pushed-down predicates prune stripes via
+//!   footer min/max and Bloom statistics before any data is read.
+//! * **Lazy column loads** (§V-D): scans materialize only accessed cells.
+//! * **Optional statistics**: `set_statistics_enabled(false)` models the
+//!   Fig. 6 "Hive/HDFS (no stats)" configuration.
+//! * **Simulated remote-storage latency**: a configurable per-read delay
+//!   models shared-storage reads being slower than local flash (Raptor).
+
+use parking_lot::RwLock;
+use presto_common::{PrestoError, Result, Schema, TableStatistics};
+use presto_connector::{
+    Connector, ConnectorMetadata, PageSink, PageSinkFactory, PageSource, PageSourceFactory,
+    ScanOptions, Split, SplitSource, TupleDomain,
+};
+use presto_page::Page;
+use presto_porc::{IoStats, PorcReader, PorcWriter, WriterOptions};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Embedded metastore entry.
+#[derive(Debug, Clone)]
+struct HiveTable {
+    schema: Schema,
+    directory: PathBuf,
+}
+
+#[derive(Default)]
+struct Metastore {
+    tables: HashMap<String, HiveTable>,
+}
+
+/// The connector. Cheap to clone via `Arc`.
+pub struct HiveConnector {
+    root: PathBuf,
+    metastore: RwLock<Metastore>,
+    io: Arc<IoStats>,
+    /// Report footer statistics to the optimizer?
+    statistics_enabled: std::sync::atomic::AtomicBool,
+    /// Simulated per-read latency of the remote filesystem.
+    read_latency: RwLock<Duration>,
+    /// Per-file write counter for unique file names.
+    file_seq: AtomicU64,
+    /// Metastore statistics cache (the real Hive metastore persists stats;
+    /// re-reading every footer per query would tax the planner).
+    stats_cache: RwLock<HashMap<String, TableStatistics>>,
+    /// How many stripes one split covers.
+    stripes_per_split: usize,
+}
+
+impl HiveConnector {
+    /// Create a connector rooted at `root` (created if missing).
+    pub fn new(root: impl AsRef<Path>) -> Result<Arc<HiveConnector>> {
+        std::fs::create_dir_all(root.as_ref())?;
+        Ok(Arc::new(HiveConnector {
+            root: root.as_ref().to_path_buf(),
+            metastore: RwLock::new(Metastore::default()),
+            io: Arc::new(IoStats::new()),
+            statistics_enabled: std::sync::atomic::AtomicBool::new(true),
+            read_latency: RwLock::new(Duration::ZERO),
+            file_seq: AtomicU64::new(0),
+            stats_cache: RwLock::new(HashMap::new()),
+            stripes_per_split: 4,
+        }))
+    }
+
+    /// Toggle optimizer-visible statistics (Fig. 6's two Hive variants).
+    pub fn set_statistics_enabled(&self, enabled: bool) {
+        self.statistics_enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Simulated remote-read latency applied per storage read.
+    pub fn set_read_latency(&self, latency: Duration) {
+        *self.read_latency.write() = latency;
+    }
+
+    /// Shared I/O counters (drives the §V-D experiment).
+    pub fn io_stats(&self) -> Arc<IoStats> {
+        Arc::clone(&self.io)
+    }
+
+    fn table(&self, name: &str) -> Result<HiveTable> {
+        self.metastore
+            .read()
+            .tables
+            .get(name)
+            .cloned()
+            .ok_or_else(|| PrestoError::user(format!("table '{name}' does not exist")))
+    }
+
+    fn data_files(&self, table: &HiveTable) -> Result<Vec<PathBuf>> {
+        let mut files: Vec<PathBuf> = std::fs::read_dir(&table.directory)?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "porc"))
+            .collect();
+        files.sort();
+        Ok(files)
+    }
+
+    /// Bulk-load pages into a table via the sink (test/loader convenience).
+    pub fn load_table(&self, name: &str, schema: Schema, pages: &[Page]) -> Result<()> {
+        self.create_table(name, &schema)?;
+        let mut sink = self.create_sink(name)?;
+        for p in pages {
+            sink.append(p)?;
+        }
+        sink.finish()?;
+        Ok(())
+    }
+}
+
+/// Split payload: a file plus a stripe range.
+#[derive(Debug)]
+struct HiveSplit {
+    file: PathBuf,
+    first_stripe: usize,
+    stripe_count: usize,
+}
+
+/// Lazy split source: walks files one at a time, opening footers only as
+/// batches are requested — queries can start (and finish) before the full
+/// file list is enumerated.
+struct HiveSplitSource {
+    connector: Arc<IoStats>,
+    read_latency: Duration,
+    table: String,
+    files: std::vec::IntoIter<PathBuf>,
+    predicate: TupleDomain,
+    pending: Vec<Split>,
+    finished: bool,
+    stripes_per_split: usize,
+}
+
+impl SplitSource for HiveSplitSource {
+    fn next_batch(&mut self, max: usize) -> Result<Vec<Split>> {
+        while self.pending.len() < max {
+            let Some(file) = self.files.next() else {
+                self.finished = true;
+                break;
+            };
+            if !self.read_latency.is_zero() {
+                std::thread::sleep(self.read_latency);
+            }
+            let reader = PorcReader::open(&file, Arc::clone(&self.connector))?;
+            // Predicate-driven stripe pruning at enumeration time.
+            let stripes = reader.select_stripes(&self.predicate);
+            let mut i = 0usize;
+            while i < stripes.len() {
+                // Consecutive surviving stripes coalesce into one split.
+                let mut end = i + 1;
+                while end < stripes.len()
+                    && end - i < self.stripes_per_split
+                    && stripes[end] == stripes[end - 1] + 1
+                {
+                    end += 1;
+                }
+                let rows: u64 = stripes[i..end]
+                    .iter()
+                    .map(|&s| reader.meta().stripes[s].row_count as u64)
+                    .sum();
+                self.pending.push(Split {
+                    catalog: "hive".into(),
+                    table: self.table.clone(),
+                    payload: Arc::new(HiveSplit {
+                        file: file.clone(),
+                        first_stripe: stripes[i],
+                        stripe_count: end - i,
+                    }),
+                    addresses: vec![],
+                    estimated_rows: rows,
+                    bucket: None,
+                    info: format!(
+                        "{}[{}..{}]",
+                        file.file_name().unwrap_or_default().to_string_lossy(),
+                        stripes[i],
+                        stripes[i] + (end - i)
+                    ),
+                });
+                i = end;
+            }
+        }
+        let take = self.pending.len().min(max);
+        Ok(self.pending.drain(..take).collect())
+    }
+
+    fn is_finished(&self) -> bool {
+        self.finished && self.pending.is_empty()
+    }
+}
+
+impl ConnectorMetadata for HiveConnector {
+    fn list_tables(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.metastore.read().tables.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    fn table_schema(&self, table: &str) -> Result<Schema> {
+        Ok(self.table(table)?.schema)
+    }
+
+    fn table_statistics(&self, table: &str) -> TableStatistics {
+        if !self.statistics_enabled.load(Ordering::Relaxed) {
+            return TableStatistics::unknown();
+        }
+        if let Some(cached) = self.stats_cache.read().get(table) {
+            return cached.clone();
+        }
+        let Ok(t) = self.table(table) else {
+            return TableStatistics::unknown();
+        };
+        let Ok(files) = self.data_files(&t) else {
+            return TableStatistics::unknown();
+        };
+        // Merge per-file footer stats.
+        let mut merged = TableStatistics::unknown();
+        let mut rows = 0.0f64;
+        let mut columns: Vec<presto_common::ColumnStatistics> =
+            vec![presto_common::ColumnStatistics::unknown(); t.schema.len()];
+        let mut nulls = vec![0.0f64; t.schema.len()];
+        let mut ndv = vec![0.0f64; t.schema.len()];
+        for file in files {
+            let Ok(reader) = PorcReader::open(&file, Arc::clone(&self.io)) else {
+                return TableStatistics::unknown();
+            };
+            let stats = reader.table_statistics();
+            rows += stats.row_count.or(0.0);
+            for (c, cs) in stats.columns.iter().enumerate().take(columns.len()) {
+                nulls[c] += cs.null_fraction.or(0.0) * stats.row_count.or(0.0);
+                // NDV merged as max across files: a lower bound.
+                ndv[c] = ndv[c].max(cs.distinct_count.or(0.0));
+                let col = &mut columns[c];
+                if let Some(min) = &cs.min {
+                    if col
+                        .min
+                        .as_ref()
+                        .is_none_or(|m| min.sql_cmp(m) == Some(std::cmp::Ordering::Less))
+                    {
+                        col.min = Some(min.clone());
+                    }
+                }
+                if let Some(max) = &cs.max {
+                    if col
+                        .max
+                        .as_ref()
+                        .is_none_or(|m| max.sql_cmp(m) == Some(std::cmp::Ordering::Greater))
+                    {
+                        col.max = Some(max.clone());
+                    }
+                }
+            }
+        }
+        for (c, col) in columns.iter_mut().enumerate() {
+            col.distinct_count = presto_common::Estimate::exact(ndv[c]);
+            col.null_fraction =
+                presto_common::Estimate::exact(if rows > 0.0 { nulls[c] / rows } else { 0.0 });
+        }
+        merged.row_count = presto_common::Estimate::exact(rows);
+        merged.columns = columns;
+        self.stats_cache
+            .write()
+            .insert(table.to_string(), merged.clone());
+        merged
+    }
+
+    fn create_table(&self, table: &str, schema: &Schema) -> Result<()> {
+        let mut store = self.metastore.write();
+        if store.tables.contains_key(table) {
+            return Err(PrestoError::user(format!("table '{table}' already exists")));
+        }
+        let directory = self.root.join(table);
+        std::fs::create_dir_all(&directory)?;
+        store.tables.insert(
+            table.to_string(),
+            HiveTable {
+                schema: schema.clone(),
+                directory,
+            },
+        );
+        Ok(())
+    }
+}
+
+impl Connector for HiveConnector {
+    fn name(&self) -> &str {
+        "hive"
+    }
+
+    fn metadata(&self) -> &dyn ConnectorMetadata {
+        self
+    }
+
+    fn split_source(
+        &self,
+        table: &str,
+        _layout: &str,
+        predicate: &TupleDomain,
+    ) -> Result<Box<dyn SplitSource>> {
+        let t = self.table(table)?;
+        let files = self.data_files(&t)?;
+        Ok(Box::new(HiveSplitSource {
+            connector: Arc::clone(&self.io),
+            read_latency: *self.read_latency.read(),
+            table: table.to_string(),
+            files: files.into_iter(),
+            predicate: predicate.clone(),
+            pending: Vec::new(),
+            finished: false,
+            stripes_per_split: self.stripes_per_split,
+        }))
+    }
+
+    fn page_source_factory(&self) -> &dyn PageSourceFactory {
+        self
+    }
+
+    fn page_sink_factory(&self) -> Option<&dyn PageSinkFactory> {
+        Some(self)
+    }
+}
+
+impl PageSourceFactory for HiveConnector {
+    fn create_source(&self, split: &Split, options: &ScanOptions) -> Result<Box<dyn PageSource>> {
+        let payload = split
+            .payload
+            .downcast_ref::<HiveSplit>()
+            .ok_or_else(|| PrestoError::internal("hive: foreign split"))?;
+        let reader = PorcReader::open(&payload.file, Arc::clone(&self.io))?;
+        Ok(Box::new(HivePageSource {
+            reader,
+            stripes: (payload.first_stripe..payload.first_stripe + payload.stripe_count)
+                .collect::<Vec<_>>()
+                .into_iter(),
+            options: options.clone(),
+            read_latency: *self.read_latency.read(),
+            rows: 0,
+        }))
+    }
+}
+
+struct HivePageSource {
+    reader: PorcReader,
+    stripes: std::vec::IntoIter<usize>,
+    options: ScanOptions,
+    read_latency: Duration,
+    rows: u64,
+}
+
+impl PageSource for HivePageSource {
+    fn next_page(&mut self) -> Result<Option<Page>> {
+        for stripe in self.stripes.by_ref() {
+            // Re-check pruning: the predicate may be tighter than at
+            // enumeration (dynamic filters would land here too).
+            if !self.reader.stripe_matches(stripe, &self.options.predicate) {
+                continue;
+            }
+            if !self.read_latency.is_zero() {
+                std::thread::sleep(self.read_latency);
+            }
+            let page = self
+                .reader
+                .read_stripe(stripe, &self.options.columns, self.options.lazy)?;
+            self.rows += page.row_count() as u64;
+            return Ok(Some(page));
+        }
+        Ok(None)
+    }
+
+    fn bytes_read(&self) -> u64 {
+        self.reader.io_stats().snapshot().0
+    }
+
+    fn rows_read(&self) -> u64 {
+        self.rows
+    }
+}
+
+impl PageSinkFactory for HiveConnector {
+    fn create_sink(&self, table: &str) -> Result<Box<dyn PageSink>> {
+        let t = self.table(table)?;
+        // Writes invalidate cached statistics.
+        self.stats_cache.write().remove(table);
+        let seq = self.file_seq.fetch_add(1, Ordering::Relaxed);
+        // Like concurrent S3 writers (§IV-E3), each sink writes its own file.
+        let path = t.directory.join(format!("part-{seq:06}.porc"));
+        let writer = PorcWriter::create(&path, t.schema, WriterOptions::default())?;
+        Ok(Box::new(HiveSink {
+            writer: Some(writer),
+            rows: 0,
+        }))
+    }
+}
+
+struct HiveSink {
+    writer: Option<PorcWriter>,
+    rows: u64,
+}
+
+impl PageSink for HiveSink {
+    fn append(&mut self, page: &Page) -> Result<()> {
+        self.rows += page.row_count() as u64;
+        self.writer
+            .as_mut()
+            .ok_or_else(|| PrestoError::internal("hive: sink already finished"))?
+            .append(page)
+    }
+
+    fn finish(&mut self) -> Result<u64> {
+        if let Some(w) = self.writer.take() {
+            w.finish()?;
+        }
+        Ok(self.rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use presto_common::{DataType, Value};
+    use presto_connector::Domain;
+
+    fn temp_root(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("hive-test-{}-{name}", std::process::id()));
+        std::fs::remove_dir_all(&p).ok();
+        p
+    }
+
+    fn loaded_connector(root: &Path) -> Arc<HiveConnector> {
+        let c = HiveConnector::new(root).unwrap();
+        let schema = Schema::of(&[("k", DataType::Bigint), ("s", DataType::Varchar)]);
+        let rows: Vec<Vec<Value>> = (0..10_000)
+            .map(|i| {
+                vec![
+                    Value::Bigint(i),
+                    Value::varchar(if i % 2 == 0 { "E" } else { "O" }),
+                ]
+            })
+            .collect();
+        c.load_table("t", schema.clone(), &[Page::from_rows(&schema, &rows)])
+            .unwrap();
+        c
+    }
+
+    #[test]
+    fn write_then_scan() {
+        let root = temp_root("scan");
+        let c = loaded_connector(&root);
+        let mut src = c.split_source("t", "default", &TupleDomain::all()).unwrap();
+        let mut rows = 0usize;
+        loop {
+            let batch = src.next_batch(2).unwrap();
+            if batch.is_empty() && src.is_finished() {
+                break;
+            }
+            for split in batch {
+                let mut source = c
+                    .create_source(
+                        &split,
+                        &ScanOptions {
+                            columns: vec![0, 1],
+                            ..Default::default()
+                        },
+                    )
+                    .unwrap();
+                while let Some(page) = source.next_page().unwrap() {
+                    rows += page.row_count();
+                }
+            }
+        }
+        assert_eq!(rows, 10_000);
+        std::fs::remove_dir_all(root).ok();
+    }
+
+    #[test]
+    fn predicate_prunes_splits() {
+        let root = temp_root("prune");
+        let c = loaded_connector(&root);
+        let mut predicate = TupleDomain::all();
+        predicate.constrain(0, Domain::at_least(Value::Bigint(9_900)));
+        let mut src = c.split_source("t", "default", &predicate).unwrap();
+        let mut all = Vec::new();
+        while !src.is_finished() {
+            all.extend(src.next_batch(16).unwrap());
+        }
+        // 10k rows in 8192-row stripes → 2 stripes; only the last survives.
+        assert_eq!(all.len(), 1);
+        std::fs::remove_dir_all(root).ok();
+    }
+
+    #[test]
+    fn statistics_toggle() {
+        let root = temp_root("stats");
+        let c = loaded_connector(&root);
+        let stats = c.table_statistics("t");
+        assert_eq!(stats.row_count.value(), Some(10_000.0));
+        assert_eq!(stats.columns[1].distinct_count.value(), Some(2.0));
+        c.set_statistics_enabled(false);
+        assert!(!c.table_statistics("t").row_count.is_known());
+        std::fs::remove_dir_all(root).ok();
+    }
+
+    #[test]
+    fn each_sink_writes_its_own_file() {
+        let root = temp_root("sinks");
+        let c = HiveConnector::new(&root).unwrap();
+        let schema = Schema::of(&[("x", DataType::Bigint)]);
+        c.create_table("w", &schema).unwrap();
+        let page = Page::from_rows(&schema, &[vec![Value::Bigint(1)]]);
+        let mut s1 = c.create_sink("w").unwrap();
+        let mut s2 = c.create_sink("w").unwrap();
+        s1.append(&page).unwrap();
+        s2.append(&page).unwrap();
+        s1.finish().unwrap();
+        s2.finish().unwrap();
+        let t = c.table("w").unwrap();
+        assert_eq!(c.data_files(&t).unwrap().len(), 2);
+        std::fs::remove_dir_all(root).ok();
+    }
+
+    #[test]
+    fn lazy_scan_counts_io() {
+        let root = temp_root("lazy");
+        let c = loaded_connector(&root);
+        let mut src = c.split_source("t", "default", &TupleDomain::all()).unwrap();
+        let splits = src.next_batch(16).unwrap();
+        let before = c.io_stats().snapshot().1;
+        // Read with lazy=true but never touch the data: no cells load.
+        for split in &splits {
+            let mut source = c
+                .create_source(
+                    split,
+                    &ScanOptions {
+                        columns: vec![1],
+                        ..Default::default()
+                    },
+                )
+                .unwrap();
+            while let Some(_page) = source.next_page().unwrap() {}
+        }
+        assert_eq!(c.io_stats().snapshot().1, before);
+        std::fs::remove_dir_all(root).ok();
+    }
+}

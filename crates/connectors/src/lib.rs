@@ -1,0 +1,34 @@
+//! Built-in connectors.
+//!
+//! Table I of the paper maps each production use case to a connector; this
+//! crate provides working equivalents of each:
+//!
+//! * [`memory::MemoryConnector`] — in-memory tables; the default catalog
+//!   for quickstarts and tests.
+//! * [`hive::HiveConnector`] — the "Hive/HDFS" shared-storage warehouse:
+//!   PORC files under a directory tree, an embedded metastore, lazy batched
+//!   split enumeration, stripe pruning, lazy column loads, optional table
+//!   statistics (the Fig. 6 stats/no-stats toggle), and a configurable
+//!   per-read latency to model remote storage.
+//! * [`raptor::RaptorConnector`] — the shared-nothing storage engine built
+//!   for Presto (§IV-D2): shards pinned to nodes (`node_local` layouts,
+//!   splits with addresses), optional bucketing for co-located joins,
+//!   metadata in an embedded store standing in for MySQL.
+//! * [`sharded::ShardedSqlConnector`] — the "sharded MySQL" analogue from
+//!   the Developer/Advertiser Analytics use case (§IV-B3-2): point/range
+//!   predicates are pushed into shards so only matching data is read, and
+//!   key columns expose an index for index-nested-loop joins.
+//! * [`chaos::ChaosConnector`] — wraps any connector and injects transient
+//!   failures, for exercising the §IV-G low-level retry path.
+
+pub mod chaos;
+pub mod hive;
+pub mod memory;
+pub mod raptor;
+pub mod sharded;
+
+pub use chaos::ChaosConnector;
+pub use hive::HiveConnector;
+pub use memory::MemoryConnector;
+pub use raptor::RaptorConnector;
+pub use sharded::ShardedSqlConnector;

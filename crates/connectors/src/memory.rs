@@ -1,0 +1,378 @@
+//! In-memory connector: tables are vectors of pages.
+
+use parking_lot::RwLock;
+use presto_common::{
+    ColumnStatistics, Estimate, PrestoError, Result, Schema, TableStatistics, Value,
+};
+use presto_connector::{
+    Connector, ConnectorMetadata, FixedSplitSource, PageSink, PageSinkFactory, PageSource,
+    PageSourceFactory, ScanOptions, Split, SplitSource, TupleDomain,
+};
+use presto_page::Page;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One table's data plus cached statistics.
+#[derive(Debug, Default)]
+struct MemoryTable {
+    schema: Schema,
+    pages: Vec<Page>,
+    stats: Option<TableStatistics>,
+}
+
+#[derive(Default)]
+struct Inner {
+    tables: HashMap<String, MemoryTable>,
+}
+
+/// An embeddable in-memory catalog.
+pub struct MemoryConnector {
+    inner: Arc<RwLock<Inner>>,
+    /// How many pages each split covers (several splits per table lets the
+    /// scheduler parallelize scans).
+    pages_per_split: usize,
+}
+
+impl MemoryConnector {
+    pub fn new() -> Arc<MemoryConnector> {
+        Arc::new(MemoryConnector {
+            inner: Arc::new(RwLock::new(Inner::default())),
+            pages_per_split: 4,
+        })
+    }
+
+    /// Create a table and load `pages` into it in one call.
+    pub fn load_table(&self, name: &str, schema: Schema, pages: Vec<Page>) {
+        let mut inner = self.inner.write();
+        inner.tables.insert(
+            name.to_string(),
+            MemoryTable {
+                schema,
+                pages: pages.into_iter().map(|p| p.load_all()).collect(),
+                stats: None,
+            },
+        );
+    }
+
+    /// Convenience: load from row values.
+    pub fn load_rows(&self, name: &str, schema: Schema, rows: &[Vec<Value>]) {
+        let page = Page::from_rows(&schema, rows);
+        self.load_table(name, schema, vec![page]);
+    }
+
+    /// Compute and cache table/column statistics (an `ANALYZE` pass).
+    /// Without this, the connector reports unknown statistics.
+    pub fn analyze(&self, name: &str) -> Result<()> {
+        let mut inner = self.inner.write();
+        let table = inner
+            .tables
+            .get_mut(name)
+            .ok_or_else(|| PrestoError::user(format!("table '{name}' does not exist")))?;
+        let rows: u64 = table.pages.iter().map(|p| p.row_count() as u64).sum();
+        let mut columns = Vec::with_capacity(table.schema.len());
+        for c in 0..table.schema.len() {
+            let dt = table.schema.data_type(c);
+            let mut distinct = std::collections::HashSet::new();
+            let mut nulls = 0u64;
+            let mut min: Option<Value> = None;
+            let mut max: Option<Value> = None;
+            for page in &table.pages {
+                let block = page.block(c);
+                for i in 0..block.len() {
+                    if block.is_null(i) {
+                        nulls += 1;
+                        continue;
+                    }
+                    let v = block.value_at(dt, i);
+                    if min
+                        .as_ref()
+                        .is_none_or(|m| v.sql_cmp(m) == Some(std::cmp::Ordering::Less))
+                    {
+                        min = Some(v.clone());
+                    }
+                    if max
+                        .as_ref()
+                        .is_none_or(|m| v.sql_cmp(m) == Some(std::cmp::Ordering::Greater))
+                    {
+                        max = Some(v.clone());
+                    }
+                    distinct.insert(v);
+                }
+            }
+            columns.push(ColumnStatistics {
+                distinct_count: Estimate::exact(distinct.len() as f64),
+                null_fraction: Estimate::exact(if rows > 0 {
+                    nulls as f64 / rows as f64
+                } else {
+                    0.0
+                }),
+                min,
+                max,
+                avg_size: Estimate::unknown(),
+            });
+        }
+        table.stats = Some(TableStatistics {
+            row_count: Estimate::exact(rows as f64),
+            columns,
+        });
+        Ok(())
+    }
+
+    /// Total rows currently stored in `name` (test helper).
+    pub fn row_count(&self, name: &str) -> u64 {
+        self.inner
+            .read()
+            .tables
+            .get(name)
+            .map(|t| t.pages.iter().map(|p| p.row_count() as u64).sum())
+            .unwrap_or(0)
+    }
+}
+
+impl ConnectorMetadata for MemoryConnector {
+    fn list_tables(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.inner.read().tables.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    fn table_schema(&self, table: &str) -> Result<Schema> {
+        self.inner
+            .read()
+            .tables
+            .get(table)
+            .map(|t| t.schema.clone())
+            .ok_or_else(|| PrestoError::user(format!("table '{table}' does not exist")))
+    }
+
+    fn table_statistics(&self, table: &str) -> TableStatistics {
+        self.inner
+            .read()
+            .tables
+            .get(table)
+            .and_then(|t| t.stats.clone())
+            .unwrap_or_else(TableStatistics::unknown)
+    }
+
+    fn create_table(&self, table: &str, schema: &Schema) -> Result<()> {
+        let mut inner = self.inner.write();
+        if inner.tables.contains_key(table) {
+            return Err(PrestoError::user(format!("table '{table}' already exists")));
+        }
+        inner.tables.insert(
+            table.to_string(),
+            MemoryTable {
+                schema: schema.clone(),
+                pages: Vec::new(),
+                stats: None,
+            },
+        );
+        Ok(())
+    }
+}
+
+/// Split payload: range of page indices.
+#[derive(Debug)]
+struct MemorySplit {
+    first_page: usize,
+    page_count: usize,
+}
+
+impl Connector for MemoryConnector {
+    fn name(&self) -> &str {
+        "memory"
+    }
+
+    fn metadata(&self) -> &dyn ConnectorMetadata {
+        self
+    }
+
+    fn split_source(
+        &self,
+        table: &str,
+        _layout: &str,
+        _predicate: &TupleDomain,
+    ) -> Result<Box<dyn SplitSource>> {
+        let inner = self.inner.read();
+        let t = inner
+            .tables
+            .get(table)
+            .ok_or_else(|| PrestoError::user(format!("table '{table}' does not exist")))?;
+        let mut splits = Vec::new();
+        let mut first = 0usize;
+        while first < t.pages.len() {
+            let count = self.pages_per_split.min(t.pages.len() - first);
+            let rows: u64 = t.pages[first..first + count]
+                .iter()
+                .map(|p| p.row_count() as u64)
+                .sum();
+            splits.push(Split {
+                catalog: "memory".into(),
+                table: table.to_string(),
+                payload: Arc::new(MemorySplit {
+                    first_page: first,
+                    page_count: count,
+                }),
+                addresses: vec![],
+                estimated_rows: rows,
+                bucket: None,
+                info: format!("{table}[{first}..{}]", first + count),
+            });
+            first += count;
+        }
+        Ok(Box::new(FixedSplitSource::new(splits)))
+    }
+
+    fn page_source_factory(&self) -> &dyn PageSourceFactory {
+        self
+    }
+
+    fn page_sink_factory(&self) -> Option<&dyn PageSinkFactory> {
+        Some(self)
+    }
+}
+
+impl PageSourceFactory for MemoryConnector {
+    fn create_source(&self, split: &Split, options: &ScanOptions) -> Result<Box<dyn PageSource>> {
+        let payload = split
+            .payload
+            .downcast_ref::<MemorySplit>()
+            .ok_or_else(|| PrestoError::internal("memory: foreign split"))?;
+        let inner = self.inner.read();
+        let t = inner
+            .tables
+            .get(&split.table)
+            .ok_or_else(|| PrestoError::user(format!("table '{}' does not exist", split.table)))?;
+        let pages: Vec<Page> = t.pages[payload.first_page..payload.first_page + payload.page_count]
+            .iter()
+            .map(|p| p.project(&options.columns))
+            .collect();
+        Ok(Box::new(presto_connector::source::FixedPageSource::new(
+            pages,
+        )))
+    }
+}
+
+impl PageSinkFactory for MemoryConnector {
+    fn create_sink(&self, table: &str) -> Result<Box<dyn PageSink>> {
+        Ok(Box::new(MemorySink {
+            inner: Arc::clone(&self.inner),
+            table: table.to_string(),
+            buffered: Vec::new(),
+            rows: 0,
+        }))
+    }
+}
+
+struct MemorySink {
+    inner: Arc<RwLock<Inner>>,
+    table: String,
+    buffered: Vec<Page>,
+    rows: u64,
+}
+
+impl PageSink for MemorySink {
+    fn append(&mut self, page: &Page) -> Result<()> {
+        self.rows += page.row_count() as u64;
+        self.buffered.push(page.load_all());
+        Ok(())
+    }
+
+    fn finish(&mut self) -> Result<u64> {
+        let mut inner = self.inner.write();
+        let t = inner
+            .tables
+            .get_mut(&self.table)
+            .ok_or_else(|| PrestoError::user(format!("table '{}' does not exist", self.table)))?;
+        t.pages.append(&mut self.buffered);
+        t.stats = None; // stats invalidated by the write
+        Ok(self.rows)
+    }
+
+    fn buffered_bytes(&self) -> u64 {
+        self.buffered.iter().map(|p| p.size_in_bytes() as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use presto_common::DataType;
+
+    fn connector_with_data() -> Arc<MemoryConnector> {
+        let c = MemoryConnector::new();
+        let schema = Schema::of(&[("k", DataType::Bigint), ("v", DataType::Varchar)]);
+        let rows: Vec<Vec<Value>> = (0..100)
+            .map(|i| vec![Value::Bigint(i), Value::varchar(format!("v{i}"))])
+            .collect();
+        c.load_rows("t", schema, &rows);
+        c
+    }
+
+    #[test]
+    fn scan_round_trip() {
+        let c = connector_with_data();
+        let mut src = c.split_source("t", "default", &TupleDomain::all()).unwrap();
+        let splits = src.next_batch(100).unwrap();
+        assert!(!splits.is_empty());
+        let mut rows = 0;
+        for split in &splits {
+            let mut source = c
+                .create_source(
+                    split,
+                    &ScanOptions {
+                        columns: vec![1, 0],
+                        ..Default::default()
+                    },
+                )
+                .unwrap();
+            while let Some(page) = source.next_page().unwrap() {
+                assert_eq!(page.column_count(), 2);
+                assert!(page.block(0).str_at(0).starts_with('v'));
+                rows += page.row_count();
+            }
+        }
+        assert_eq!(rows, 100);
+    }
+
+    #[test]
+    fn analyze_produces_statistics() {
+        let c = connector_with_data();
+        assert!(!c.table_statistics("t").row_count.is_known());
+        c.analyze("t").unwrap();
+        let stats = c.table_statistics("t");
+        assert_eq!(stats.row_count.value(), Some(100.0));
+        assert_eq!(stats.columns[0].distinct_count.value(), Some(100.0));
+        assert_eq!(stats.columns[0].min, Some(Value::Bigint(0)));
+    }
+
+    #[test]
+    fn insert_via_sink() {
+        let c = connector_with_data();
+        let schema = c.table_schema("t").unwrap();
+        let mut sink = c.create_sink("t").unwrap();
+        let page = Page::from_rows(&schema, &[vec![Value::Bigint(999), Value::varchar("new")]]);
+        sink.append(&page).unwrap();
+        assert_eq!(c.row_count("t"), 100, "no visibility before finish");
+        assert_eq!(sink.finish().unwrap(), 1);
+        assert_eq!(c.row_count("t"), 101);
+    }
+
+    #[test]
+    fn unknown_table_errors() {
+        let c = MemoryConnector::new();
+        assert!(c.table_schema("nope").is_err());
+        assert!(c
+            .split_source("nope", "default", &TupleDomain::all())
+            .is_err());
+    }
+
+    #[test]
+    fn create_table_conflicts() {
+        let c = MemoryConnector::new();
+        let s = Schema::of(&[("x", DataType::Bigint)]);
+        c.create_table("t", &s).unwrap();
+        assert!(c.create_table("t", &s).is_err());
+        assert_eq!(c.list_tables(), vec!["t"]);
+    }
+}

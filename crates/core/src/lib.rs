@@ -1,0 +1,127 @@
+//! presto-core: the public API facade.
+//!
+//! [`PrestoEngine`] embeds a full simulated Presto cluster — coordinator,
+//! workers, memory pools, schedulers — behind a two-method API: mount
+//! catalogs, run SQL. It is the entry point a downstream user adopts; the
+//! underlying crates remain available for surgical use (custom connectors
+//! implement [`presto_connector::Connector`]; benchmarks drive
+//! [`presto_cluster::Cluster`] directly).
+//!
+//! ```
+//! use presto_core::PrestoEngine;
+//! use presto_common::{DataType, Schema, Value};
+//!
+//! let engine = PrestoEngine::builder().build().unwrap();
+//! engine.memory_connector().load_rows(
+//!     "people",
+//!     Schema::of(&[("name", DataType::Varchar), ("age", DataType::Bigint)]),
+//!     &[
+//!         vec![Value::varchar("ada"), Value::Bigint(36)],
+//!         vec![Value::varchar("grace"), Value::Bigint(45)],
+//!     ],
+//! );
+//! let result = engine.execute("SELECT name FROM people WHERE age > 40").unwrap();
+//! assert_eq!(result.rows()[0][0], Value::varchar("grace"));
+//! ```
+
+use presto_cluster::{Cluster, ClusterConfig, QueryResult};
+use presto_common::{Result, Session};
+use presto_connector::{CatalogManager, Connector};
+use presto_connectors::MemoryConnector;
+use std::sync::Arc;
+
+pub use presto_cluster::QueryError;
+pub use presto_common as common;
+pub use presto_connector as connector;
+
+/// Builder for [`PrestoEngine`].
+pub struct EngineBuilder {
+    config: ClusterConfig,
+    catalogs: CatalogManager,
+    memory: Arc<MemoryConnector>,
+}
+
+impl EngineBuilder {
+    /// Override the cluster shape (workers, threads, memory, queueing).
+    pub fn config(mut self, config: ClusterConfig) -> EngineBuilder {
+        self.config = config;
+        self
+    }
+
+    /// Mount a connector under a catalog name.
+    pub fn catalog(
+        mut self,
+        name: impl Into<String>,
+        connector: Arc<dyn Connector>,
+    ) -> EngineBuilder {
+        self.catalogs.register(name, connector);
+        self
+    }
+
+    /// Start the cluster.
+    pub fn build(self) -> Result<PrestoEngine> {
+        let cluster = Cluster::start(self.config, self.catalogs)?;
+        Ok(PrestoEngine {
+            cluster,
+            memory: self.memory,
+        })
+    }
+}
+
+/// An embedded Presto: a running cluster plus a default in-memory catalog.
+pub struct PrestoEngine {
+    cluster: Cluster,
+    memory: Arc<MemoryConnector>,
+}
+
+impl PrestoEngine {
+    /// Builder with the default config and a `memory` catalog pre-mounted.
+    pub fn builder() -> EngineBuilder {
+        let memory = MemoryConnector::new();
+        let mut catalogs = CatalogManager::new();
+        catalogs.register("memory", Arc::clone(&memory) as Arc<dyn Connector>);
+        EngineBuilder {
+            config: ClusterConfig::default(),
+            catalogs,
+            memory,
+        }
+    }
+
+    /// An engine with default settings.
+    pub fn new() -> Result<PrestoEngine> {
+        Self::builder().build()
+    }
+
+    /// The built-in `memory` catalog, for loading test/demo data.
+    pub fn memory_connector(&self) -> &Arc<MemoryConnector> {
+        &self.memory
+    }
+
+    /// Run SQL with default session settings; blocks until complete.
+    pub fn execute(&self, sql: &str) -> std::result::Result<QueryResult, QueryError> {
+        self.cluster.execute(sql)
+    }
+
+    /// Run SQL under an explicit [`Session`].
+    pub fn execute_with_session(
+        &self,
+        sql: &str,
+        session: &Session,
+    ) -> std::result::Result<QueryResult, QueryError> {
+        self.cluster.execute_with_session(sql, session)
+    }
+
+    /// Submit a query concurrently.
+    pub fn submit(
+        &self,
+        sql: impl Into<String>,
+        session: Session,
+    ) -> std::thread::JoinHandle<std::result::Result<QueryResult, QueryError>> {
+        self.cluster.submit(sql, session)
+    }
+
+    /// The underlying cluster, for telemetry and fault injection.
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+}

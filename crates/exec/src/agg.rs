@@ -1,0 +1,698 @@
+//! Hash aggregation: grouping hash table + the aggregation operator with
+//! partial/final phases and spill support (§IV-F2).
+
+use presto_common::{DataType, PrestoError, Result};
+use presto_expr::GroupedAccumulator;
+use presto_page::{deserialize_page, serialize_page, Block, BlockBuilder, Page};
+use std::collections::{HashMap, VecDeque};
+use std::io::{Read, Write};
+use std::path::PathBuf;
+
+use crate::operator::Operator;
+
+/// Aggregation phase (mirrors the planner's `AggregateStep`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggPhase {
+    Single,
+    Partial,
+    Final,
+}
+
+/// One aggregate's runtime wiring.
+#[derive(Debug, Clone)]
+pub struct AggSpec {
+    pub function: presto_expr::AggregateFunction,
+    /// For Single/Partial: the argument channel. For Final: the first
+    /// intermediate channel (the function's intermediate columns are
+    /// consecutive from here).
+    pub input: Option<usize>,
+}
+
+/// Hash table assigning group ids to distinct key combinations.
+///
+/// Keys are canonicalized to a byte encoding for hashing/equality; the key
+/// *values* are appended once to flat per-column builders (§V-A: flat
+/// memory arrays, no per-group objects) for output reconstruction.
+pub struct GroupByHash {
+    key_channels: Vec<usize>,
+    key_types: Vec<DataType>,
+    map: HashMap<Vec<u8>, u32>,
+    key_builders: Vec<BlockBuilder>,
+    key_bytes: usize,
+    /// §V-E: "As the indices are processed, the operator records hash
+    /// table locations for every dictionary entry in an array … When
+    /// successive blocks share the same dictionary, the page processor
+    /// retains the array." Cached (dictionary id, entry → group id).
+    dict_cache: Option<(u64, Vec<i64>)>,
+    /// Rows resolved through the dictionary cache (observability).
+    dict_cache_hits: u64,
+}
+
+impl GroupByHash {
+    pub fn new(key_channels: Vec<usize>, key_types: Vec<DataType>) -> GroupByHash {
+        let key_builders = key_types.iter().map(|&t| BlockBuilder::new(t)).collect();
+        GroupByHash {
+            key_channels,
+            key_types,
+            map: HashMap::new(),
+            key_builders,
+            key_bytes: 0,
+            dict_cache: None,
+            dict_cache_hits: 0,
+        }
+    }
+
+    pub fn group_count(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn dict_cache_hits(&self) -> u64 {
+        self.dict_cache_hits
+    }
+
+    /// Assign a group id to every row of `page`.
+    pub fn group_ids(&mut self, page: &Page) -> Vec<u32> {
+        // Dictionary fast path for single-key grouping (§V-E).
+        if let [channel] = self.key_channels[..] {
+            if let presto_page::Block::Dictionary(d) = page.block(channel).loaded() {
+                let dictionary = std::sync::Arc::clone(&d.dictionary);
+                let dict_id = d.dictionary_id;
+                let dict_ids = d.ids.clone();
+                return self.group_ids_via_dictionary(dict_id, &dictionary, &dict_ids);
+            }
+        }
+        let mut ids = Vec::with_capacity(page.row_count());
+        let mut key = Vec::with_capacity(16);
+        for row in 0..page.row_count() {
+            key.clear();
+            for (&c, &t) in self.key_channels.iter().zip(&self.key_types) {
+                encode_cell(page.block(c), t, row, &mut key);
+            }
+            ids.push(self.group_of(&key, page, row));
+        }
+        ids
+    }
+
+    fn group_of(&mut self, key: &[u8], page: &Page, row: usize) -> u32 {
+        match self.map.get(key) {
+            Some(&id) => id,
+            None => {
+                let id = self.map.len() as u32;
+                self.map.insert(key.to_vec(), id);
+                self.key_bytes += key.len() + 24;
+                for (builder, &c) in self.key_builders.iter_mut().zip(&self.key_channels) {
+                    builder.append_from(page.block(c), row);
+                }
+                id
+            }
+        }
+    }
+
+    /// Resolve group ids entry-wise through the dictionary, reusing the
+    /// entry → group array across blocks that share a dictionary.
+    fn group_ids_via_dictionary(
+        &mut self,
+        dict_id: u64,
+        dictionary: &presto_page::Block,
+        ids: &[u32],
+    ) -> Vec<u32> {
+        let t = self.key_types[0];
+        let valid = matches!(&self.dict_cache, Some((cached, _)) if *cached == dict_id);
+        if !valid {
+            self.dict_cache = Some((dict_id, vec![-1; dictionary.len()]));
+        }
+        let mut out = Vec::with_capacity(ids.len());
+        let mut key = Vec::with_capacity(16);
+        for &entry in ids {
+            let cached = self.dict_cache.as_ref().unwrap().1[entry as usize];
+            if cached >= 0 {
+                self.dict_cache_hits += 1;
+                out.push(cached as u32);
+                continue;
+            }
+            key.clear();
+            encode_cell(dictionary, t, entry as usize, &mut key);
+            // The key-builder append needs a page view of the dictionary.
+            let group = match self.map.get(key.as_slice()) {
+                Some(&id) => id,
+                None => {
+                    let id = self.map.len() as u32;
+                    self.map.insert(key.clone(), id);
+                    self.key_bytes += key.len() + 24;
+                    for builder in self.key_builders.iter_mut() {
+                        builder.append_from(dictionary, entry as usize);
+                    }
+                    id
+                }
+            };
+            self.dict_cache.as_mut().unwrap().1[entry as usize] = group as i64;
+            out.push(group);
+        }
+        out
+    }
+
+    /// Consume the hash, producing key columns in group-id order.
+    pub fn take_key_blocks(self) -> Vec<Block> {
+        self.key_builders
+            .into_iter()
+            .map(BlockBuilder::finish)
+            .collect()
+    }
+
+    pub fn memory_bytes(&self) -> usize {
+        self.key_bytes
+            + self
+                .key_builders
+                .iter()
+                .map(|b| b.size_in_bytes())
+                .sum::<usize>()
+    }
+}
+
+/// Canonical byte encoding of one cell for grouping equality.
+fn encode_cell(block: &Block, t: DataType, row: usize, out: &mut Vec<u8>) {
+    if block.is_null(row) {
+        out.push(0);
+        return;
+    }
+    out.push(1);
+    match presto_page::PhysicalType::of(t) {
+        presto_page::PhysicalType::Long => out.extend_from_slice(&block.i64_at(row).to_le_bytes()),
+        presto_page::PhysicalType::Double => {
+            // Normalize -0.0 so it groups with 0.0 (SQL equality).
+            let v = block.f64_at(row);
+            let v = if v == 0.0 { 0.0 } else { v };
+            out.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        presto_page::PhysicalType::Bool => out.push(block.bool_at(row) as u8),
+        presto_page::PhysicalType::Varchar => {
+            let s = block.str_at(row);
+            out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+            out.extend_from_slice(s.as_bytes());
+        }
+    }
+}
+
+/// The hash-aggregation operator.
+pub struct HashAggregationOperator {
+    phase: AggPhase,
+    group_channels: Vec<usize>,
+    group_types: Vec<DataType>,
+    aggs: Vec<AggSpec>,
+    hash: GroupByHash,
+    accumulators: Vec<GroupedAccumulator>,
+    input_done: bool,
+    outputs: VecDeque<Page>,
+    produced: bool,
+    /// Partial aggregations flush early when they grow past this, keeping
+    /// memory bounded without spilling (adaptive flush).
+    partial_flush_bytes: usize,
+    spill_enabled: bool,
+    spill_files: Vec<PathBuf>,
+    spill_seq: u64,
+    rows_in: u64,
+}
+
+impl HashAggregationOperator {
+    pub fn new(
+        phase: AggPhase,
+        group_channels: Vec<usize>,
+        group_types: Vec<DataType>,
+        aggs: Vec<AggSpec>,
+        spill_enabled: bool,
+    ) -> HashAggregationOperator {
+        let hash = GroupByHash::new(group_channels.clone(), group_types.clone());
+        let accumulators = aggs
+            .iter()
+            .map(|a| a.function.create_accumulator())
+            .collect();
+        HashAggregationOperator {
+            phase,
+            group_channels,
+            group_types,
+            aggs,
+            hash,
+            accumulators,
+            input_done: false,
+            outputs: VecDeque::new(),
+            produced: false,
+            partial_flush_bytes: 16 << 20,
+            spill_enabled,
+            spill_files: Vec::new(),
+            spill_seq: 0,
+            rows_in: 0,
+        }
+    }
+
+    fn accumulate(&mut self, page: &Page) -> Result<()> {
+        self.rows_in += page.row_count() as u64;
+        let ids = self.hash.group_ids(page);
+        let max_group = self.hash.group_count().saturating_sub(1) as u32;
+        for (acc, spec) in self.accumulators.iter_mut().zip(&self.aggs) {
+            match self.phase {
+                AggPhase::Single | AggPhase::Partial => {
+                    let block = spec.input.map(|c| page.block(c));
+                    acc.add_input(block, &ids, max_group);
+                }
+                AggPhase::Final => {
+                    let start = spec.input.expect("final aggregation input channel");
+                    let arity = spec.function.intermediate_types().len();
+                    let blocks: Vec<Block> = (start..start + arity)
+                        .map(|c| page.block(c).clone())
+                        .collect();
+                    acc.add_intermediate(&blocks, &ids, max_group);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Build output pages from the current state and reset it.
+    fn flush(&mut self, as_intermediate: bool) -> Result<Vec<Page>> {
+        let groups = self.hash.group_count();
+        if groups == 0 && !self.group_channels.is_empty() {
+            return Ok(vec![]);
+        }
+        let hash = std::mem::replace(
+            &mut self.hash,
+            GroupByHash::new(self.group_channels.clone(), self.group_types.clone()),
+        );
+        let accumulators: Vec<GroupedAccumulator> = std::mem::replace(
+            &mut self.accumulators,
+            self.aggs
+                .iter()
+                .map(|a| a.function.create_accumulator())
+                .collect(),
+        );
+        let mut blocks = hash.take_key_blocks();
+        for mut acc in accumulators {
+            // Global aggregations have one implicit group even with no
+            // input (COUNT(*) over nothing = 0, SUM = NULL).
+            if self.group_channels.is_empty() && acc.group_count() == 0 {
+                acc.ensure_group_count(1);
+            }
+            if as_intermediate {
+                blocks.extend(acc.write_intermediate());
+            } else {
+                blocks.push(acc.write_final());
+            }
+        }
+        // All blocks must agree on length; global aggregates produce one row.
+        let rows = blocks.first().map(Block::len).unwrap_or(0);
+        debug_assert!(blocks.iter().all(|b| b.len() == rows));
+        // Chunk large outputs into page-sized pieces.
+        let page = Page::new(blocks);
+        let mut out = Vec::new();
+        let chunk = 8192usize;
+        if page.row_count() <= chunk {
+            out.push(page);
+        } else {
+            let mut start = 0;
+            while start < page.row_count() {
+                let end = (start + chunk).min(page.row_count());
+                let positions: Vec<u32> = (start as u32..end as u32).collect();
+                out.push(page.filter(&positions));
+                start = end;
+            }
+        }
+        Ok(out)
+    }
+
+    fn spill_path(&mut self) -> PathBuf {
+        self.spill_seq += 1;
+        std::env::temp_dir().join(format!(
+            "presto-agg-spill-{}-{:p}-{}.bin",
+            std::process::id(),
+            self as *const _,
+            self.spill_seq
+        ))
+    }
+
+    pub fn spilled_bytes(&self) -> u64 {
+        self.spill_files
+            .iter()
+            .filter_map(|p| std::fs::metadata(p).ok())
+            .map(|m| m.len())
+            .sum()
+    }
+}
+
+impl Operator for HashAggregationOperator {
+    fn name(&self) -> &'static str {
+        match self.phase {
+            AggPhase::Single => "Aggregate",
+            AggPhase::Partial => "AggregatePartial",
+            AggPhase::Final => "AggregateFinal",
+        }
+    }
+
+    fn needs_input(&self) -> bool {
+        !self.input_done
+    }
+
+    fn add_input(&mut self, page: Page) -> Result<()> {
+        self.accumulate(&page)?;
+        // Adaptive partial flush keeps partial aggregations bounded.
+        if self.phase == AggPhase::Partial && self.user_memory_bytes() > self.partial_flush_bytes {
+            let pages = self.flush(true)?;
+            self.outputs.extend(pages);
+        }
+        Ok(())
+    }
+
+    fn finish(&mut self) {
+        self.input_done = true;
+    }
+
+    fn output(&mut self) -> Result<Option<Page>> {
+        if let Some(p) = self.outputs.pop_front() {
+            return Ok(Some(p));
+        }
+        if !self.input_done || self.produced {
+            return Ok(None);
+        }
+        self.produced = true;
+        // Re-ingest any spilled runs before producing results.
+        let spill_files = std::mem::take(&mut self.spill_files);
+        for path in spill_files {
+            let mut file = std::fs::File::open(&path)?;
+            let mut len_buf = [0u8; 4];
+            loop {
+                match file.read_exact(&mut len_buf) {
+                    Ok(()) => {}
+                    Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => break,
+                    Err(e) => return Err(e.into()),
+                }
+                let len = u32::from_le_bytes(len_buf) as usize;
+                let mut buf = vec![0u8; len];
+                file.read_exact(&mut buf)?;
+                let page = deserialize_page(&buf)?;
+                // Spilled pages are in intermediate form: merge them.
+                let ids = self.hash.group_ids(&page);
+                let max_group = self.hash.group_count().saturating_sub(1) as u32;
+                let group_count = self.group_channels.len();
+                let mut channel = group_count;
+                for (acc, spec) in self.accumulators.iter_mut().zip(&self.aggs) {
+                    let arity = spec.function.intermediate_types().len();
+                    let blocks: Vec<Block> = (channel..channel + arity)
+                        .map(|c| page.block(c).clone())
+                        .collect();
+                    acc.add_intermediate(&blocks, &ids, max_group);
+                    channel += arity;
+                }
+            }
+            std::fs::remove_file(&path).ok();
+        }
+        let pages = self.flush(self.phase == AggPhase::Partial)?;
+        self.outputs.extend(pages);
+        Ok(self.outputs.pop_front())
+    }
+
+    fn is_finished(&self) -> bool {
+        self.input_done && self.produced && self.outputs.is_empty()
+    }
+
+    fn user_memory_bytes(&self) -> usize {
+        self.hash.memory_bytes()
+            + self
+                .accumulators
+                .iter()
+                .map(|a| a.size_in_bytes())
+                .sum::<usize>()
+    }
+
+    fn can_revoke_memory(&self) -> bool {
+        self.spill_enabled
+            && self.phase != AggPhase::Partial
+            && self.hash.group_count() > 0
+            // Spilled runs are re-merged in intermediate form, so every
+            // function must support it.
+            && self.aggs.iter().all(|a| a.function.kind.supports_partial())
+    }
+
+    fn revoke_memory(&mut self) -> Result<u64> {
+        if !self.can_revoke_memory() {
+            return Ok(0);
+        }
+        let before = self.user_memory_bytes() as u64;
+        // Spill current state in intermediate form, grouped-keys first.
+        // NOTE: spilled rows are keyed, so re-ingesting them groups
+        // correctly; group ids are not stable across the spill.
+        let pages = self.flush(true)?;
+        let path = self.spill_path();
+        let mut file = std::fs::File::create(&path)?;
+        for page in &pages {
+            let bytes = serialize_page(page);
+            file.write_all(&(bytes.len() as u32).to_le_bytes())?;
+            file.write_all(&bytes)?;
+        }
+        file.flush()?;
+        self.spill_files.push(path);
+        Ok(before)
+    }
+}
+
+/// Helper: map a planner aggregate channel layout into [`AggSpec`]s.
+pub fn specs_from_planner(
+    aggregates: &[presto_planner::plan::AggregateSpec],
+) -> Result<Vec<AggSpec>> {
+    aggregates
+        .iter()
+        .map(|a| {
+            if a.input.is_none() && !matches!(a.function.kind, presto_expr::AggregateKind::Count) {
+                return Err(PrestoError::internal("aggregate missing input channel"));
+            }
+            Ok(AggSpec {
+                function: a.function,
+                input: a.input,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use presto_common::{Schema, Value};
+    use presto_expr::{AggregateFunction, AggregateKind};
+
+    fn page(rows: &[(i64, i64)]) -> Page {
+        let schema = Schema::of(&[("k", DataType::Bigint), ("v", DataType::Bigint)]);
+        Page::from_rows(
+            &schema,
+            &rows
+                .iter()
+                .map(|&(k, v)| vec![Value::Bigint(k), Value::Bigint(v)])
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    fn sum_agg() -> AggSpec {
+        AggSpec {
+            function: AggregateFunction::new(AggregateKind::Sum, Some(DataType::Bigint)).unwrap(),
+            input: Some(1),
+        }
+    }
+
+    fn drain(op: &mut HashAggregationOperator) -> Vec<(i64, i64)> {
+        let mut out = Vec::new();
+        while let Some(p) = op.output().unwrap() {
+            for i in 0..p.row_count() {
+                out.push((p.block(0).i64_at(i), p.block(1).i64_at(i)));
+            }
+        }
+        out.sort();
+        out
+    }
+
+    #[test]
+    fn grouped_sum() {
+        let mut op = HashAggregationOperator::new(
+            AggPhase::Single,
+            vec![0],
+            vec![DataType::Bigint],
+            vec![sum_agg()],
+            false,
+        );
+        op.add_input(page(&[(1, 10), (2, 20), (1, 5)])).unwrap();
+        op.add_input(page(&[(2, 2), (3, 7)])).unwrap();
+        op.finish();
+        assert_eq!(drain(&mut op), vec![(1, 15), (2, 22), (3, 7)]);
+        assert!(op.is_finished());
+    }
+
+    #[test]
+    fn global_aggregate_with_no_rows() {
+        let count = AggSpec {
+            function: AggregateFunction::new(AggregateKind::Count, None).unwrap(),
+            input: None,
+        };
+        let mut op =
+            HashAggregationOperator::new(AggPhase::Single, vec![], vec![], vec![count], false);
+        op.finish();
+        let p = op.output().unwrap().expect("one row");
+        assert_eq!(p.row_count(), 1);
+        assert_eq!(p.block(0).i64_at(0), 0, "COUNT(*) of empty input is 0");
+    }
+
+    #[test]
+    fn partial_then_final_round_trip() {
+        let mut partial = HashAggregationOperator::new(
+            AggPhase::Partial,
+            vec![0],
+            vec![DataType::Bigint],
+            vec![AggSpec {
+                function: AggregateFunction::new(AggregateKind::Avg, Some(DataType::Bigint))
+                    .unwrap(),
+                input: Some(1),
+            }],
+            false,
+        );
+        partial
+            .add_input(page(&[(1, 10), (1, 20), (2, 5)]))
+            .unwrap();
+        partial.finish();
+        let mut intermediate_pages = Vec::new();
+        while let Some(p) = partial.output().unwrap() {
+            intermediate_pages.push(p);
+        }
+        // avg intermediate = (sum double, count bigint): 1 group col + 2.
+        assert_eq!(intermediate_pages[0].column_count(), 3);
+        let mut fin = HashAggregationOperator::new(
+            AggPhase::Final,
+            vec![0],
+            vec![DataType::Bigint],
+            vec![AggSpec {
+                function: AggregateFunction::new(AggregateKind::Avg, Some(DataType::Bigint))
+                    .unwrap(),
+                input: Some(1),
+            }],
+            false,
+        );
+        for p in intermediate_pages {
+            fin.add_input(p).unwrap();
+        }
+        fin.finish();
+        let p = fin.output().unwrap().unwrap();
+        let mut rows: Vec<(i64, f64)> = (0..p.row_count())
+            .map(|i| (p.block(0).i64_at(i), p.block(1).f64_at(i)))
+            .collect();
+        rows.sort_by(|a, b| a.0.cmp(&b.0));
+        assert_eq!(rows, vec![(1, 15.0), (2, 5.0)]);
+    }
+
+    #[test]
+    fn spill_and_restore_matches_in_memory() {
+        let run = |spill: bool| -> Vec<(i64, i64)> {
+            let mut op = HashAggregationOperator::new(
+                AggPhase::Single,
+                vec![0],
+                vec![DataType::Bigint],
+                vec![sum_agg()],
+                spill,
+            );
+            let rows: Vec<(i64, i64)> = (0..500).map(|i| (i % 50, i)).collect();
+            op.add_input(page(&rows[..250])).unwrap();
+            if spill {
+                assert!(op.can_revoke_memory());
+                let freed = op.revoke_memory().unwrap();
+                assert!(freed > 0);
+                assert!(op.spilled_bytes() > 0);
+                assert_eq!(op.hash.group_count(), 0, "state cleared after spill");
+            }
+            op.add_input(page(&rows[250..])).unwrap();
+            op.finish();
+            drain(&mut op)
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn null_keys_group_together() {
+        let schema = Schema::of(&[("k", DataType::Bigint), ("v", DataType::Bigint)]);
+        let p = Page::from_rows(
+            &schema,
+            &[
+                vec![Value::Null, Value::Bigint(1)],
+                vec![Value::Null, Value::Bigint(2)],
+                vec![Value::Bigint(0), Value::Bigint(4)],
+            ],
+        );
+        let mut op = HashAggregationOperator::new(
+            AggPhase::Single,
+            vec![0],
+            vec![DataType::Bigint],
+            vec![sum_agg()],
+            false,
+        );
+        op.add_input(p).unwrap();
+        op.finish();
+        let out = op.output().unwrap().unwrap();
+        assert_eq!(out.row_count(), 2, "NULL is one group, 0 is another");
+    }
+
+    #[test]
+    fn distinct_via_empty_aggregates() {
+        let mut op = HashAggregationOperator::new(
+            AggPhase::Single,
+            vec![0],
+            vec![DataType::Bigint],
+            vec![],
+            false,
+        );
+        op.add_input(page(&[(1, 0), (1, 0), (2, 0)])).unwrap();
+        op.finish();
+        let p = op.output().unwrap().unwrap();
+        assert_eq!(p.row_count(), 2);
+    }
+}
+
+#[cfg(test)]
+mod dict_cache_tests {
+    use super::*;
+    use presto_page::blocks::{DictionaryBlock, VarcharBlock};
+    use presto_page::Block;
+    use std::sync::Arc;
+
+    #[test]
+    fn dictionary_grouping_uses_entry_cache() {
+        let dict = Arc::new(Block::from(VarcharBlock::from_strs(&["a", "b", "c"])));
+        let mut hash = GroupByHash::new(vec![0], vec![DataType::Varchar]);
+        // First block: 6 rows over 3 entries — at most 3 slow lookups.
+        let p1 = Page::new(vec![Block::Dictionary(DictionaryBlock::new(
+            Arc::clone(&dict),
+            vec![0, 1, 2, 0, 1, 2],
+        ))]);
+        let ids1 = hash.group_ids(&p1);
+        assert_eq!(ids1, vec![0, 1, 2, 0, 1, 2]);
+        assert_eq!(
+            hash.dict_cache_hits(),
+            3,
+            "repeat entries served by the cache"
+        );
+        // Second block shares the dictionary: every row is a cache hit.
+        let p2 = Page::new(vec![Block::Dictionary(DictionaryBlock::new(
+            Arc::clone(&dict),
+            vec![2, 2, 0],
+        ))]);
+        let ids2 = hash.group_ids(&p2);
+        assert_eq!(ids2, vec![2, 2, 0]);
+        assert_eq!(hash.dict_cache_hits(), 6);
+        assert_eq!(hash.group_count(), 3);
+    }
+
+    #[test]
+    fn dictionary_and_flat_blocks_agree_on_groups() {
+        let dict = Arc::new(Block::from(VarcharBlock::from_strs(&["x", "y"])));
+        let mut hash = GroupByHash::new(vec![0], vec![DataType::Varchar]);
+        let encoded = Page::new(vec![Block::Dictionary(DictionaryBlock::new(
+            dict,
+            vec![0, 1],
+        ))]);
+        let flat = Page::new(vec![Block::from(VarcharBlock::from_strs(&["y", "x"]))]);
+        assert_eq!(hash.group_ids(&encoded), vec![0, 1]);
+        // Flat rows for the same values must land in the same groups.
+        assert_eq!(hash.group_ids(&flat), vec![1, 0]);
+        assert_eq!(hash.group_count(), 2);
+    }
+}

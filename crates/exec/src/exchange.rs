@@ -1,0 +1,291 @@
+//! Exchange operators: the task-side ends of a shuffle.
+
+use parking_lot::Mutex;
+use presto_common::Result;
+use presto_page::hash::hash_columns;
+use presto_page::Page;
+use presto_shuffle::{ExchangeClient, OutputBuffer};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::operator::{BlockedReason, Operator};
+
+/// Source side: pulls pages from upstream task buffers via an
+/// [`ExchangeClient`]. The client is shared so the coordinator can attach
+/// new upstream tasks as they are scheduled.
+pub struct ExchangeSourceOperator {
+    client: Arc<Mutex<ExchangeClient>>,
+    /// Set once the coordinator has registered every upstream task.
+    no_more_sources: Arc<std::sync::atomic::AtomicBool>,
+}
+
+impl ExchangeSourceOperator {
+    pub fn new(
+        client: Arc<Mutex<ExchangeClient>>,
+        no_more_sources: Arc<std::sync::atomic::AtomicBool>,
+    ) -> ExchangeSourceOperator {
+        ExchangeSourceOperator {
+            client,
+            no_more_sources,
+        }
+    }
+}
+
+impl Operator for ExchangeSourceOperator {
+    fn name(&self) -> &'static str {
+        "ExchangeSource"
+    }
+
+    fn needs_input(&self) -> bool {
+        false
+    }
+
+    fn add_input(&mut self, _page: Page) -> Result<()> {
+        unreachable!("exchange sources take no local input")
+    }
+
+    fn finish(&mut self) {}
+
+    fn output(&mut self) -> Result<Option<Page>> {
+        let mut client = self.client.lock();
+        if let Some(p) = client.next_page() {
+            return Ok(Some(p));
+        }
+        client.poll_progress()?;
+        Ok(client.next_page())
+    }
+
+    fn is_finished(&self) -> bool {
+        self.no_more_sources.load(Ordering::SeqCst) && self.client.lock().is_finished()
+    }
+
+    fn blocked(&self) -> Option<BlockedReason> {
+        if self.is_finished() {
+            None
+        } else {
+            Some(BlockedReason::WaitingForInput)
+        }
+    }
+
+    fn system_memory_bytes(&self) -> usize {
+        // The client's input buffer is system memory (shuffle buffers).
+        64 * 1024
+    }
+}
+
+/// How the sink routes pages to consumer partitions.
+#[derive(Debug, Clone)]
+pub enum OutputRouting {
+    /// Everything to partition 0.
+    Gather,
+    /// Hash-partition rows on these channels.
+    Hash { channels: Vec<usize> },
+    /// Replicate every page to all partitions.
+    Broadcast,
+    /// Rotate whole pages across partitions.
+    RoundRobin,
+}
+
+/// Sink side: writes pages into this task's [`OutputBuffer`].
+pub struct PartitionedOutputOperator {
+    buffer: Arc<OutputBuffer>,
+    routing: OutputRouting,
+    round_robin_next: u64,
+    input_done: bool,
+    rows_out: Arc<AtomicU64>,
+    /// When several drivers share the buffer, only the last one to finish
+    /// closes it.
+    close_group: Option<Arc<std::sync::atomic::AtomicUsize>>,
+}
+
+impl PartitionedOutputOperator {
+    pub fn new(buffer: Arc<OutputBuffer>, routing: OutputRouting) -> PartitionedOutputOperator {
+        PartitionedOutputOperator {
+            buffer,
+            routing,
+            round_robin_next: 0,
+            input_done: false,
+            rows_out: Arc::new(AtomicU64::new(0)),
+            close_group: None,
+        }
+    }
+
+    /// Share the buffer across a group of sink instances (one per driver);
+    /// the buffer closes when the whole group has finished.
+    pub fn with_close_group(
+        mut self,
+        group: Arc<std::sync::atomic::AtomicUsize>,
+    ) -> PartitionedOutputOperator {
+        self.close_group = Some(group);
+        self
+    }
+
+    pub fn rows_counter(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.rows_out)
+    }
+}
+
+impl Operator for PartitionedOutputOperator {
+    fn name(&self) -> &'static str {
+        "PartitionedOutput"
+    }
+
+    fn needs_input(&self) -> bool {
+        !self.input_done && self.buffer.can_add()
+    }
+
+    fn add_input(&mut self, page: Page) -> Result<()> {
+        self.rows_out
+            .fetch_add(page.row_count() as u64, Ordering::Relaxed);
+        let consumers = self.buffer.consumer_count();
+        match &self.routing {
+            OutputRouting::Gather => self.buffer.enqueue(0, &page),
+            OutputRouting::Broadcast => self.buffer.broadcast(&page),
+            OutputRouting::RoundRobin => {
+                // Route only to currently-active partitions so writer tasks
+                // can be added dynamically (§IV-E3).
+                let active = self.buffer.active_partitions() as u64;
+                let p = (self.round_robin_next % active) as usize;
+                self.round_robin_next += 1;
+                self.buffer.enqueue(p, &page);
+            }
+            OutputRouting::Hash { channels } => {
+                if consumers == 1 {
+                    self.buffer.enqueue(0, &page);
+                    return Ok(());
+                }
+                let hashes = hash_columns(&page, channels);
+                let mut positions: Vec<Vec<u32>> = vec![Vec::new(); consumers];
+                for (i, h) in hashes.iter().enumerate() {
+                    positions[(h % consumers as u64) as usize].push(i as u32);
+                }
+                for (p, pos) in positions.iter().enumerate() {
+                    if !pos.is_empty() {
+                        self.buffer.enqueue(p, &page.filter(pos));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(&mut self) {
+        if !self.input_done {
+            self.input_done = true;
+            match &self.close_group {
+                None => self.buffer.set_no_more_pages(),
+                Some(group) => {
+                    if group.fetch_sub(1, Ordering::SeqCst) == 1 {
+                        self.buffer.set_no_more_pages();
+                    }
+                }
+            }
+        }
+    }
+
+    fn output(&mut self) -> Result<Option<Page>> {
+        Ok(None) // sink
+    }
+
+    fn is_finished(&self) -> bool {
+        self.input_done
+    }
+
+    fn blocked(&self) -> Option<BlockedReason> {
+        if !self.input_done && !self.buffer.can_add() {
+            Some(BlockedReason::OutputFull)
+        } else {
+            None
+        }
+    }
+
+    fn system_memory_bytes(&self) -> usize {
+        // Retained shuffle output is system memory (§IV-F2's example).
+        (self.buffer.utilization() * 1024.0) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use presto_common::{DataType, Schema, Value};
+    use std::time::Duration;
+
+    fn page(vals: &[i64]) -> Page {
+        let schema = Schema::of(&[("x", DataType::Bigint)]);
+        Page::from_rows(
+            &schema,
+            &vals
+                .iter()
+                .map(|&v| vec![Value::Bigint(v)])
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    #[test]
+    fn hash_routing_is_deterministic_and_complete() {
+        let buffer = OutputBuffer::new(4, 1 << 20);
+        let mut sink = PartitionedOutputOperator::new(
+            Arc::clone(&buffer),
+            OutputRouting::Hash { channels: vec![0] },
+        );
+        sink.add_input(page(&(0..100).collect::<Vec<_>>())).unwrap();
+        sink.finish();
+        // All 100 rows arrive across the 4 partitions; same key → same part.
+        let mut total = 0;
+        for p in 0..4 {
+            let r = buffer.poll(p, 0, usize::MAX);
+            for bytes in &r.pages {
+                total += presto_page::deserialize_page(bytes).unwrap().row_count();
+            }
+        }
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn sink_blocks_on_full_buffer() {
+        let buffer = OutputBuffer::new(1, 32);
+        let mut sink = PartitionedOutputOperator::new(Arc::clone(&buffer), OutputRouting::Gather);
+        while sink.needs_input() {
+            sink.add_input(page(&[1, 2, 3])).unwrap();
+        }
+        assert_eq!(sink.blocked(), Some(BlockedReason::OutputFull));
+        // Draining unblocks.
+        let r = buffer.poll(0, 0, usize::MAX);
+        buffer.poll(0, r.next_token, usize::MAX);
+        assert!(sink.needs_input());
+    }
+
+    #[test]
+    fn exchange_source_streams_until_finished() {
+        let upstream = OutputBuffer::new(1, 1 << 20);
+        upstream.enqueue(0, &page(&[1]));
+        upstream.enqueue(0, &page(&[2]));
+        upstream.set_no_more_pages();
+        let mut client = ExchangeClient::new(1 << 20, Duration::ZERO);
+        client.add_source(upstream, 0);
+        let no_more = Arc::new(std::sync::atomic::AtomicBool::new(true));
+        let mut src = ExchangeSourceOperator::new(Arc::new(Mutex::new(client)), no_more);
+        let mut rows = 0;
+        while !src.is_finished() {
+            if let Some(p) = src.output().unwrap() {
+                rows += p.row_count();
+            }
+        }
+        assert_eq!(rows, 2);
+    }
+
+    #[test]
+    fn round_robin_spreads_pages() {
+        let buffer = OutputBuffer::new(3, 1 << 20);
+        let mut sink =
+            PartitionedOutputOperator::new(Arc::clone(&buffer), OutputRouting::RoundRobin);
+        for _ in 0..6 {
+            sink.add_input(page(&[1])).unwrap();
+        }
+        sink.finish();
+        for p in 0..3 {
+            assert_eq!(buffer.poll(p, 0, usize::MAX).pages.len(), 2);
+        }
+    }
+}

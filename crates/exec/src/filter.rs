@@ -1,0 +1,251 @@
+//! FilterProject and Values operators.
+
+use presto_common::{Result, Session};
+use presto_expr::{Expr, PageProcessor};
+use presto_page::Page;
+
+use crate::operator::Operator;
+
+/// Filter + projection over streaming pages (the mid-pipeline variant of
+/// the fused scan processor).
+pub struct FilterProjectOperator {
+    processor: PageProcessor,
+    pending: Option<Page>,
+    input_done: bool,
+}
+
+impl FilterProjectOperator {
+    pub fn new(
+        filter: Option<&Expr>,
+        projections: &[Expr],
+        session: &Session,
+    ) -> FilterProjectOperator {
+        FilterProjectOperator {
+            processor: PageProcessor::new(filter, projections, session),
+            pending: None,
+            input_done: false,
+        }
+    }
+}
+
+impl Operator for FilterProjectOperator {
+    fn name(&self) -> &'static str {
+        "FilterProject"
+    }
+
+    fn needs_input(&self) -> bool {
+        self.pending.is_none() && !self.input_done
+    }
+
+    fn add_input(&mut self, page: Page) -> Result<()> {
+        debug_assert!(self.pending.is_none());
+        let out = self.processor.process(&page)?;
+        if out.row_count() > 0 {
+            self.pending = Some(out);
+        }
+        Ok(())
+    }
+
+    fn finish(&mut self) {
+        self.input_done = true;
+    }
+
+    fn output(&mut self) -> Result<Option<Page>> {
+        Ok(self.pending.take())
+    }
+
+    fn is_finished(&self) -> bool {
+        self.input_done && self.pending.is_none()
+    }
+}
+
+/// Emits a fixed set of pages (literal VALUES).
+pub struct ValuesOperator {
+    pages: std::vec::IntoIter<Page>,
+}
+
+impl ValuesOperator {
+    pub fn new(pages: Vec<Page>) -> ValuesOperator {
+        ValuesOperator {
+            pages: pages.into_iter(),
+        }
+    }
+}
+
+impl Operator for ValuesOperator {
+    fn name(&self) -> &'static str {
+        "Values"
+    }
+
+    fn needs_input(&self) -> bool {
+        false
+    }
+
+    fn add_input(&mut self, _page: Page) -> Result<()> {
+        unreachable!("values operators take no input")
+    }
+
+    fn finish(&mut self) {}
+
+    fn output(&mut self) -> Result<Option<Page>> {
+        Ok(self.pages.next())
+    }
+
+    fn is_finished(&self) -> bool {
+        self.pages.len() == 0
+    }
+}
+
+/// Truncates the stream after N rows (final Limit).
+pub struct LimitOperator {
+    remaining: u64,
+    pending: Option<Page>,
+    input_done: bool,
+}
+
+impl LimitOperator {
+    pub fn new(count: u64) -> LimitOperator {
+        LimitOperator {
+            remaining: count,
+            pending: None,
+            input_done: false,
+        }
+    }
+}
+
+impl Operator for LimitOperator {
+    fn name(&self) -> &'static str {
+        "Limit"
+    }
+
+    fn needs_input(&self) -> bool {
+        self.remaining > 0 && self.pending.is_none() && !self.input_done
+    }
+
+    fn add_input(&mut self, page: Page) -> Result<()> {
+        if self.remaining == 0 {
+            return Ok(());
+        }
+        let take = (self.remaining as usize).min(page.row_count());
+        self.remaining -= take as u64;
+        self.pending = Some(page.truncate(take));
+        Ok(())
+    }
+
+    fn finish(&mut self) {
+        self.input_done = true;
+    }
+
+    fn output(&mut self) -> Result<Option<Page>> {
+        Ok(self.pending.take())
+    }
+
+    fn is_finished(&self) -> bool {
+        self.pending.is_none() && (self.input_done || self.remaining == 0)
+    }
+}
+
+/// Concatenates several upstream operators' output (UNION ALL); inputs are
+/// handled by the driver wiring multiple children sequentially, so at the
+/// operator level this is a pass-through.
+pub struct PassThroughOperator {
+    pending: Option<Page>,
+    input_done: bool,
+    name: &'static str,
+}
+
+impl PassThroughOperator {
+    pub fn new(name: &'static str) -> PassThroughOperator {
+        PassThroughOperator {
+            pending: None,
+            input_done: false,
+            name,
+        }
+    }
+}
+
+impl Operator for PassThroughOperator {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn needs_input(&self) -> bool {
+        self.pending.is_none() && !self.input_done
+    }
+
+    fn add_input(&mut self, page: Page) -> Result<()> {
+        self.pending = Some(page);
+        Ok(())
+    }
+
+    fn finish(&mut self) {
+        self.input_done = true;
+    }
+
+    fn output(&mut self) -> Result<Option<Page>> {
+        Ok(self.pending.take())
+    }
+
+    fn is_finished(&self) -> bool {
+        self.input_done && self.pending.is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use presto_common::{DataType, Schema, Value};
+    use presto_expr::CmpOp;
+
+    fn page(n: i64) -> Page {
+        let schema = Schema::of(&[("x", DataType::Bigint)]);
+        let rows: Vec<Vec<Value>> = (0..n).map(|i| vec![Value::Bigint(i)]).collect();
+        Page::from_rows(&schema, &rows)
+    }
+
+    #[test]
+    fn filter_project_streams() {
+        let session = Session::default();
+        let filter = Expr::cmp(
+            CmpOp::Lt,
+            Expr::column(0, DataType::Bigint),
+            Expr::literal(3i64),
+        );
+        let proj = vec![Expr::arith(
+            presto_expr::ArithOp::Mul,
+            Expr::column(0, DataType::Bigint),
+            Expr::literal(2i64),
+        )];
+        let mut op = FilterProjectOperator::new(Some(&filter), &proj, &session);
+        assert!(op.needs_input());
+        op.add_input(page(10)).unwrap();
+        let out = op.output().unwrap().unwrap();
+        assert_eq!(out.row_count(), 3);
+        assert_eq!(out.block(0).i64_at(2), 4);
+        op.finish();
+        assert!(op.is_finished());
+    }
+
+    #[test]
+    fn limit_truncates_and_finishes_early() {
+        let mut op = LimitOperator::new(5);
+        op.add_input(page(3)).unwrap();
+        assert_eq!(op.output().unwrap().unwrap().row_count(), 3);
+        op.add_input(page(10)).unwrap();
+        assert_eq!(op.output().unwrap().unwrap().row_count(), 2);
+        // Limit satisfied: finished without finish() — upstream can cancel.
+        assert!(op.is_finished());
+        assert!(!op.needs_input());
+    }
+
+    #[test]
+    fn values_emits_all() {
+        let mut op = ValuesOperator::new(vec![page(2), page(3)]);
+        let mut rows = 0;
+        while let Some(p) = op.output().unwrap() {
+            rows += p.row_count();
+        }
+        assert_eq!(rows, 5);
+        assert!(op.is_finished());
+    }
+}

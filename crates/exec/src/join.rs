@@ -1,0 +1,638 @@
+//! Hash joins (build + probe pipelines, Fig. 4) and index joins.
+
+use parking_lot::Mutex;
+use presto_common::{DataType, Schema};
+use presto_common::{PrestoError, Result};
+use presto_expr::{CompiledExpr, Expr};
+use presto_page::hash::hash_columns;
+use presto_page::{BlockBuilder, Page};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::operator::{BlockedReason, Operator};
+
+/// The completed build side of a hash join.
+pub struct JoinHashTable {
+    /// Build pages, fully loaded.
+    pages: Vec<Page>,
+    /// Row addresses: (page, row).
+    rows: Vec<(u32, u32)>,
+    /// key hash → indices into `rows`.
+    map: HashMap<u64, Vec<u32>>,
+    key_channels: Vec<usize>,
+    memory_bytes: usize,
+}
+
+impl JoinHashTable {
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn memory_bytes(&self) -> usize {
+        self.memory_bytes
+    }
+
+    /// All build rows (for cross joins).
+    pub fn all_rows(&self) -> &[(u32, u32)] {
+        &self.rows
+    }
+
+    pub fn page(&self, i: u32) -> &Page {
+        &self.pages[i as usize]
+    }
+
+    /// Candidate build rows for a probe row with the given key hash; the
+    /// caller must verify key equality (hash collisions).
+    fn candidates(&self, hash: u64) -> &[u32] {
+        self.map.get(&hash).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    fn keys_match(&self, addr: (u32, u32), probe: &Page, probe_keys: &[usize], row: usize) -> bool {
+        let build_page = &self.pages[addr.0 as usize];
+        self.key_channels.iter().zip(probe_keys).all(|(&bc, &pc)| {
+            build_page
+                .block(bc)
+                .eq_at(addr.1 as usize, probe.block(pc), row)
+        })
+    }
+}
+
+/// Shared hand-off between the build pipeline and probe drivers.
+pub struct JoinBridge {
+    state: Mutex<BuildState>,
+}
+
+struct BuildState {
+    pages: Vec<Page>,
+    bytes: usize,
+    /// Build drivers still running.
+    pending_builders: usize,
+    table: Option<Arc<JoinHashTable>>,
+    key_channels: Vec<usize>,
+}
+
+impl JoinBridge {
+    pub fn new(key_channels: Vec<usize>, builder_count: usize) -> Arc<JoinBridge> {
+        Arc::new(JoinBridge {
+            state: Mutex::new(BuildState {
+                pages: Vec::new(),
+                bytes: 0,
+                pending_builders: builder_count.max(1),
+                table: None,
+                key_channels,
+            }),
+        })
+    }
+
+    /// The finished hash table, once all builders are done.
+    pub fn table(&self) -> Option<Arc<JoinHashTable>> {
+        self.state.lock().table.clone()
+    }
+
+    pub fn build_bytes(&self) -> usize {
+        let s = self.state.lock();
+        s.bytes + s.table.as_ref().map_or(0, |t| t.memory_bytes())
+    }
+
+    fn add_page(&self, page: Page) {
+        let mut s = self.state.lock();
+        s.bytes += page.size_in_bytes();
+        s.pages.push(page.load_all());
+    }
+
+    fn builder_finished(&self) {
+        let mut s = self.state.lock();
+        s.pending_builders -= 1;
+        if s.pending_builders == 0 && s.table.is_none() {
+            // Finalize: hash every build row.
+            let pages = std::mem::take(&mut s.pages);
+            let key_channels = s.key_channels.clone();
+            let mut rows = Vec::new();
+            let mut map: HashMap<u64, Vec<u32>> = HashMap::new();
+            let mut bytes = 0usize;
+            for (pi, page) in pages.iter().enumerate() {
+                bytes += page.size_in_bytes();
+                if key_channels.is_empty() {
+                    for ri in 0..page.row_count() {
+                        rows.push((pi as u32, ri as u32));
+                    }
+                    continue;
+                }
+                let hashes = hash_columns(page, &key_channels);
+                for (ri, &h) in hashes.iter().enumerate() {
+                    // NULL keys never join (SQL equality).
+                    if key_channels.iter().any(|&c| page.block(c).is_null(ri)) {
+                        continue;
+                    }
+                    let idx = rows.len() as u32;
+                    rows.push((pi as u32, ri as u32));
+                    map.entry(h).or_default().push(idx);
+                }
+            }
+            bytes += rows.len() * 8 + map.len() * 24;
+            s.table = Some(Arc::new(JoinHashTable {
+                pages,
+                rows,
+                map,
+                key_channels,
+                memory_bytes: bytes,
+            }));
+        }
+    }
+}
+
+/// Build-side sink operator: accumulates pages into the bridge.
+pub struct HashBuilderOperator {
+    bridge: Arc<JoinBridge>,
+    finished: bool,
+}
+
+impl HashBuilderOperator {
+    pub fn new(bridge: Arc<JoinBridge>) -> HashBuilderOperator {
+        HashBuilderOperator {
+            bridge,
+            finished: false,
+        }
+    }
+}
+
+impl Operator for HashBuilderOperator {
+    fn name(&self) -> &'static str {
+        "HashBuilder"
+    }
+
+    fn needs_input(&self) -> bool {
+        !self.finished
+    }
+
+    fn add_input(&mut self, page: Page) -> Result<()> {
+        self.bridge.add_page(page);
+        Ok(())
+    }
+
+    fn finish(&mut self) {
+        if !self.finished {
+            self.finished = true;
+            self.bridge.builder_finished();
+        }
+    }
+
+    fn output(&mut self) -> Result<Option<Page>> {
+        Ok(None)
+    }
+
+    fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    fn user_memory_bytes(&self) -> usize {
+        // Charged once by the (single) build pipeline driver.
+        self.bridge.build_bytes()
+    }
+}
+
+/// Join semantics the probe operator implements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeJoinType {
+    Inner,
+    Left,
+    Cross,
+}
+
+/// Probe-side operator: streams probe pages against the hash table.
+pub struct LookupJoinOperator {
+    bridge: Arc<JoinBridge>,
+    join_type: ProbeJoinType,
+    probe_keys: Vec<usize>,
+    probe_schema: Schema,
+    build_schema: Schema,
+    /// Residual non-equi condition over the concatenated output schema.
+    filter: Option<CompiledExpr>,
+    pending: Option<Page>,
+    input_done: bool,
+    rows_out: u64,
+}
+
+impl LookupJoinOperator {
+    pub fn new(
+        bridge: Arc<JoinBridge>,
+        join_type: ProbeJoinType,
+        probe_keys: Vec<usize>,
+        probe_schema: Schema,
+        build_schema: Schema,
+        filter: Option<&Expr>,
+    ) -> LookupJoinOperator {
+        LookupJoinOperator {
+            bridge,
+            join_type,
+            probe_keys,
+            probe_schema,
+            build_schema,
+            filter: filter.map(CompiledExpr::compile),
+            pending: None,
+            input_done: false,
+            rows_out: 0,
+        }
+    }
+
+    fn join_page(&self, table: &JoinHashTable, probe: &Page) -> Result<Page> {
+        let probe_width = self.probe_schema.len();
+        let build_width = self.build_schema.len();
+        // Pair candidates: (probe row, build addr).
+        let mut pairs: Vec<(u32, (u32, u32))> = Vec::new();
+        // For LEFT joins: which probe rows found any key match.
+        let mut candidate_of_probe = vec![0u32; probe.row_count()];
+        match self.join_type {
+            ProbeJoinType::Cross => {
+                for row in 0..probe.row_count() as u32 {
+                    for &addr in table.all_rows() {
+                        pairs.push((row, addr));
+                    }
+                }
+            }
+            _ => {
+                let hashes = hash_columns(probe, &self.probe_keys);
+                for row in 0..probe.row_count() {
+                    if self.probe_keys.iter().any(|&c| probe.block(c).is_null(row)) {
+                        continue;
+                    }
+                    for &idx in table.candidates(hashes[row]) {
+                        let addr = table.all_rows()[idx as usize];
+                        if table.keys_match(addr, probe, &self.probe_keys, row) {
+                            pairs.push((row as u32, addr));
+                            candidate_of_probe[row] += 1;
+                        }
+                    }
+                }
+            }
+        }
+        // Materialize candidate pairs into a combined page.
+        let mut builders: Vec<BlockBuilder> = self
+            .probe_schema
+            .fields()
+            .iter()
+            .chain(self.build_schema.fields())
+            .map(|f| BlockBuilder::with_capacity(f.data_type, pairs.len()))
+            .collect();
+        for &(prow, (bpage, brow)) in &pairs {
+            for (c, b) in builders.iter_mut().enumerate().take(probe_width) {
+                b.append_from(probe.block(c), prow as usize);
+            }
+            let build_page = table.page(bpage);
+            for c in 0..build_width {
+                builders[probe_width + c].append_from(build_page.block(c), brow as usize);
+            }
+        }
+        let mut combined = if builders.is_empty() {
+            Page::zero_column(pairs.len())
+        } else {
+            Page::new(builders.into_iter().map(BlockBuilder::finish).collect())
+        };
+        // Residual filter.
+        let mut surviving_probe_matches = candidate_of_probe;
+        if let Some(filter) = &self.filter {
+            let selection = filter.eval_selection(&combined)?;
+            if selection.len() != combined.row_count() {
+                // Recompute per-probe match counts for LEFT semantics.
+                if self.join_type == ProbeJoinType::Left {
+                    surviving_probe_matches = vec![0; probe.row_count()];
+                    for &s in &selection {
+                        surviving_probe_matches[pairs[s as usize].0 as usize] += 1;
+                    }
+                }
+                combined = combined.filter(&selection);
+            }
+        }
+        // LEFT join: append null-padded rows for unmatched probe rows.
+        if self.join_type == ProbeJoinType::Left {
+            let unmatched: Vec<u32> = (0..probe.row_count() as u32)
+                .filter(|&r| surviving_probe_matches[r as usize] == 0)
+                .collect();
+            if !unmatched.is_empty() {
+                let mut builders: Vec<BlockBuilder> = self
+                    .probe_schema
+                    .fields()
+                    .iter()
+                    .chain(self.build_schema.fields())
+                    .map(|f| BlockBuilder::with_capacity(f.data_type, unmatched.len()))
+                    .collect();
+                for &r in &unmatched {
+                    for (c, b) in builders.iter_mut().enumerate().take(probe_width) {
+                        b.append_from(probe.block(c), r as usize);
+                    }
+                    for b in builders.iter_mut().skip(probe_width) {
+                        b.push_null();
+                    }
+                }
+                let nulls = Page::new(builders.into_iter().map(BlockBuilder::finish).collect());
+                combined = Page::concat(&[combined, nulls]);
+            }
+        }
+        Ok(combined)
+    }
+}
+
+impl Operator for LookupJoinOperator {
+    fn name(&self) -> &'static str {
+        "LookupJoin"
+    }
+
+    fn needs_input(&self) -> bool {
+        !self.input_done && self.pending.is_none() && self.bridge.table().is_some()
+    }
+
+    fn add_input(&mut self, page: Page) -> Result<()> {
+        let table = self
+            .bridge
+            .table()
+            .ok_or_else(|| PrestoError::internal("probe before build finished"))?;
+        let out = self.join_page(&table, &page)?;
+        if out.row_count() > 0 {
+            self.rows_out += out.row_count() as u64;
+            self.pending = Some(out);
+        }
+        Ok(())
+    }
+
+    fn finish(&mut self) {
+        self.input_done = true;
+    }
+
+    fn output(&mut self) -> Result<Option<Page>> {
+        Ok(self.pending.take())
+    }
+
+    fn is_finished(&self) -> bool {
+        self.input_done && self.pending.is_none()
+    }
+
+    fn blocked(&self) -> Option<BlockedReason> {
+        if self.bridge.table().is_none() {
+            Some(BlockedReason::WaitingForBuild)
+        } else {
+            None
+        }
+    }
+}
+
+/// Index-nested-loop join (§IV-B3-3): probe rows look up a connector index.
+pub struct IndexJoinOperator {
+    index: Box<dyn presto_connector::IndexSource>,
+    probe_keys: Vec<usize>,
+    key_types: Vec<DataType>,
+    probe_schema: Schema,
+    pending: Option<Page>,
+    input_done: bool,
+}
+
+impl IndexJoinOperator {
+    pub fn new(
+        index: Box<dyn presto_connector::IndexSource>,
+        probe_keys: Vec<usize>,
+        key_types: Vec<DataType>,
+        probe_schema: Schema,
+    ) -> IndexJoinOperator {
+        IndexJoinOperator {
+            index,
+            probe_keys,
+            key_types,
+            probe_schema,
+            pending: None,
+            input_done: false,
+        }
+    }
+}
+
+impl Operator for IndexJoinOperator {
+    fn name(&self) -> &'static str {
+        "IndexJoin"
+    }
+
+    fn needs_input(&self) -> bool {
+        !self.input_done && self.pending.is_none()
+    }
+
+    fn add_input(&mut self, page: Page) -> Result<()> {
+        // Project the probe keys into the lookup page.
+        let keys = page.project(&self.probe_keys);
+        let _ = &self.key_types;
+        let (matches, key_indices) = self.index.lookup(&keys)?;
+        if matches.row_count() == 0 {
+            return Ok(());
+        }
+        // Gather probe columns for each matched output row.
+        let probe_side = page.filter(&key_indices);
+        let combined = probe_side.append_columns(&matches);
+        debug_assert_eq!(
+            combined.column_count(),
+            self.probe_schema.len() + matches.column_count()
+        );
+        self.pending = Some(combined);
+        Ok(())
+    }
+
+    fn finish(&mut self) {
+        self.input_done = true;
+    }
+
+    fn output(&mut self) -> Result<Option<Page>> {
+        Ok(self.pending.take())
+    }
+
+    fn is_finished(&self) -> bool {
+        self.input_done && self.pending.is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use presto_common::Value;
+
+    fn kv_page(rows: &[(i64, &str)]) -> Page {
+        let schema = Schema::of(&[("k", DataType::Bigint), ("s", DataType::Varchar)]);
+        Page::from_rows(
+            &schema,
+            &rows
+                .iter()
+                .map(|&(k, s)| vec![Value::Bigint(k), Value::varchar(s)])
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    fn build_table(rows: &[(i64, &str)]) -> Arc<JoinBridge> {
+        let bridge = JoinBridge::new(vec![0], 1);
+        let mut b = HashBuilderOperator::new(Arc::clone(&bridge));
+        b.add_input(kv_page(rows)).unwrap();
+        b.finish();
+        bridge
+    }
+
+    fn schema() -> Schema {
+        Schema::of(&[("k", DataType::Bigint), ("s", DataType::Varchar)])
+    }
+
+    fn drain_rows(op: &mut LookupJoinOperator) -> Vec<(i64, String, i64, String)> {
+        let mut out = Vec::new();
+        while let Some(p) = op.output().unwrap() {
+            for i in 0..p.row_count() {
+                out.push((
+                    p.block(0).i64_at(i),
+                    p.block(1).str_at(i).to_string(),
+                    if p.block(2).is_null(i) {
+                        -1
+                    } else {
+                        p.block(2).i64_at(i)
+                    },
+                    if p.block(3).is_null(i) {
+                        "-".into()
+                    } else {
+                        p.block(3).str_at(i).to_string()
+                    },
+                ));
+            }
+        }
+        out.sort();
+        out
+    }
+
+    #[test]
+    fn inner_join_matches_keys() {
+        let bridge = build_table(&[(1, "a"), (2, "b"), (2, "b2")]);
+        let mut probe = LookupJoinOperator::new(
+            bridge,
+            ProbeJoinType::Inner,
+            vec![0],
+            schema(),
+            schema(),
+            None,
+        );
+        probe.add_input(kv_page(&[(2, "x"), (3, "y")])).unwrap();
+        let rows = drain_rows(&mut probe);
+        // key 2 matches both build rows; key 3 matches none.
+        assert_eq!(rows.len(), 2);
+        assert!(rows.iter().all(|r| r.0 == 2 && r.2 == 2));
+        probe.finish();
+        assert!(probe.is_finished());
+    }
+
+    #[test]
+    fn left_join_pads_unmatched() {
+        let bridge = build_table(&[(1, "a")]);
+        let mut probe = LookupJoinOperator::new(
+            bridge,
+            ProbeJoinType::Left,
+            vec![0],
+            schema(),
+            schema(),
+            None,
+        );
+        probe.add_input(kv_page(&[(1, "x"), (9, "z")])).unwrap();
+        let rows = drain_rows(&mut probe);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0], (1, "x".into(), 1, "a".into()));
+        assert_eq!(rows[1], (9, "z".into(), -1, "-".into()));
+    }
+
+    #[test]
+    fn null_keys_never_match_but_survive_left_join() {
+        let bridge = build_table(&[(1, "a")]);
+        let mut probe = LookupJoinOperator::new(
+            bridge,
+            ProbeJoinType::Left,
+            vec![0],
+            schema(),
+            schema(),
+            None,
+        );
+        let schema2 = schema();
+        let p = Page::from_rows(
+            &schema2,
+            &[
+                vec![Value::Null, Value::varchar("n")],
+                vec![Value::Bigint(1), Value::varchar("m")],
+            ],
+        );
+        probe.add_input(p).unwrap();
+        let rows = drain_rows(&mut probe);
+        assert_eq!(rows.len(), 2);
+        // NULL key row survives null-padded.
+        assert!(rows.iter().any(|r| r.1 == "n" && r.2 == -1));
+    }
+
+    #[test]
+    fn residual_filter_applies_to_pairs() {
+        let bridge = build_table(&[(1, "keep"), (1, "drop")]);
+        // filter: build.s = 'keep' (channel 3 of the combined schema)
+        let filter = Expr::cmp(
+            presto_expr::CmpOp::Eq,
+            Expr::column(3, DataType::Varchar),
+            Expr::literal("keep"),
+        );
+        let mut probe = LookupJoinOperator::new(
+            bridge,
+            ProbeJoinType::Inner,
+            vec![0],
+            schema(),
+            schema(),
+            Some(&filter),
+        );
+        probe.add_input(kv_page(&[(1, "x")])).unwrap();
+        let rows = drain_rows(&mut probe);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].3, "keep");
+    }
+
+    #[test]
+    fn probe_blocks_until_build_done() {
+        let bridge = JoinBridge::new(vec![0], 1);
+        let probe = LookupJoinOperator::new(
+            Arc::clone(&bridge),
+            ProbeJoinType::Inner,
+            vec![0],
+            schema(),
+            schema(),
+            None,
+        );
+        assert_eq!(probe.blocked(), Some(BlockedReason::WaitingForBuild));
+        assert!(!probe.needs_input());
+        let mut b = HashBuilderOperator::new(bridge);
+        b.finish();
+        assert!(probe.blocked().is_none());
+        assert!(probe.needs_input());
+    }
+
+    #[test]
+    fn cross_join_produces_product() {
+        let bridge = JoinBridge::new(vec![], 1);
+        let mut b = HashBuilderOperator::new(Arc::clone(&bridge));
+        b.add_input(kv_page(&[(10, "a"), (20, "b")])).unwrap();
+        b.finish();
+        let mut probe = LookupJoinOperator::new(
+            bridge,
+            ProbeJoinType::Cross,
+            vec![],
+            schema(),
+            schema(),
+            None,
+        );
+        probe
+            .add_input(kv_page(&[(1, "x"), (2, "y"), (3, "z")]))
+            .unwrap();
+        let rows = drain_rows(&mut probe);
+        assert_eq!(rows.len(), 6);
+    }
+
+    #[test]
+    fn multiple_builders_merge() {
+        let bridge = JoinBridge::new(vec![0], 2);
+        let mut b1 = HashBuilderOperator::new(Arc::clone(&bridge));
+        let mut b2 = HashBuilderOperator::new(Arc::clone(&bridge));
+        b1.add_input(kv_page(&[(1, "a")])).unwrap();
+        b2.add_input(kv_page(&[(2, "b")])).unwrap();
+        b1.finish();
+        assert!(bridge.table().is_none(), "waits for all builders");
+        b2.finish();
+        assert_eq!(bridge.table().unwrap().row_count(), 2);
+    }
+}

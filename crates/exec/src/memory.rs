@@ -1,0 +1,168 @@
+//! Memory accounting plumbing between operators and the node memory pool.
+//!
+//! §IV-F2: "All non-trivial memory allocations in Presto must be classified
+//! as user or system memory, and reserve memory in the corresponding memory
+//! pool." Operators report retained sizes after every driver quanta; the
+//! driver reconciles the deltas against the task's [`TaskMemoryContext`],
+//! which forwards to whatever [`MemoryPool`] the worker installed (the real
+//! general/reserved pool arbitration lives in `presto-cluster`).
+
+use presto_common::{QueryId, Result};
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+
+/// Outcome of a reservation attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReservationResult {
+    /// Reservation granted.
+    Granted,
+    /// Pool exhausted: the task must stall (and possibly spill) until
+    /// memory frees up — "query memory reservations are blocked by halting
+    /// processing for tasks".
+    Blocked,
+}
+
+/// A node-level memory pool the task reserves against.
+pub trait MemoryPool: Send + Sync {
+    /// Try to adjust the query's reservation by `user_delta`/`system_delta`
+    /// bytes (negative frees). Errors kill the query (limit exceeded).
+    fn reserve(
+        &self,
+        query: QueryId,
+        user_delta: i64,
+        system_delta: i64,
+    ) -> Result<ReservationResult>;
+}
+
+/// A pool that always grants — for tests and single-process embedding.
+#[derive(Debug, Default)]
+pub struct UnlimitedPool;
+
+impl MemoryPool for UnlimitedPool {
+    fn reserve(&self, _query: QueryId, _u: i64, _s: i64) -> Result<ReservationResult> {
+        Ok(ReservationResult::Granted)
+    }
+}
+
+/// Per-task ledger of reserved memory, shared by the task's drivers.
+pub struct TaskMemoryContext {
+    query: QueryId,
+    pool: Arc<dyn MemoryPool>,
+    user: AtomicI64,
+    system: AtomicI64,
+}
+
+impl TaskMemoryContext {
+    pub fn new(query: QueryId, pool: Arc<dyn MemoryPool>) -> Arc<TaskMemoryContext> {
+        Arc::new(TaskMemoryContext {
+            query,
+            pool,
+            user: AtomicI64::new(0),
+            system: AtomicI64::new(0),
+        })
+    }
+
+    /// Reconcile current retained sizes against the pool. Returns `Blocked`
+    /// when the pool cannot grant the growth.
+    pub fn update(&self, user_now: usize, system_now: usize) -> Result<ReservationResult> {
+        let user_delta = user_now as i64 - self.user.load(Ordering::Relaxed);
+        let system_delta = system_now as i64 - self.system.load(Ordering::Relaxed);
+        if user_delta == 0 && system_delta == 0 {
+            return Ok(ReservationResult::Granted);
+        }
+        match self.pool.reserve(self.query, user_delta, system_delta)? {
+            ReservationResult::Granted => {
+                self.user.store(user_now as i64, Ordering::Relaxed);
+                self.system.store(system_now as i64, Ordering::Relaxed);
+                Ok(ReservationResult::Granted)
+            }
+            ReservationResult::Blocked if user_delta <= 0 && system_delta <= 0 => {
+                // Frees always apply even when the pool is blocked.
+                self.user.store(user_now as i64, Ordering::Relaxed);
+                self.system.store(system_now as i64, Ordering::Relaxed);
+                Ok(ReservationResult::Granted)
+            }
+            ReservationResult::Blocked => Ok(ReservationResult::Blocked),
+        }
+    }
+
+    /// Release everything (task end).
+    pub fn release_all(&self) {
+        let user = self.user.swap(0, Ordering::Relaxed);
+        let system = self.system.swap(0, Ordering::Relaxed);
+        if user != 0 || system != 0 {
+            let _ = self.pool.reserve(self.query, -user, -system);
+        }
+    }
+
+    pub fn reserved_user(&self) -> i64 {
+        self.user.load(Ordering::Relaxed)
+    }
+
+    pub fn reserved_system(&self) -> i64 {
+        self.system.load(Ordering::Relaxed)
+    }
+
+    pub fn query(&self) -> QueryId {
+        self.query
+    }
+}
+
+impl Drop for TaskMemoryContext {
+    fn drop(&mut self) {
+        self.release_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex;
+
+    /// Pool with a hard cap, granting FIFO.
+    struct CappedPool {
+        cap: i64,
+        used: Mutex<i64>,
+    }
+
+    impl MemoryPool for CappedPool {
+        fn reserve(&self, _q: QueryId, u: i64, s: i64) -> Result<ReservationResult> {
+            let mut used = self.used.lock();
+            let next = *used + u + s;
+            if next > self.cap && (u + s) > 0 {
+                return Ok(ReservationResult::Blocked);
+            }
+            *used = next;
+            Ok(ReservationResult::Granted)
+        }
+    }
+
+    #[test]
+    fn update_reports_deltas_and_blocks() {
+        let pool = Arc::new(CappedPool {
+            cap: 100,
+            used: Mutex::new(0),
+        });
+        let ctx = TaskMemoryContext::new(QueryId(1), Arc::clone(&pool) as Arc<dyn MemoryPool>);
+        assert_eq!(ctx.update(60, 0).unwrap(), ReservationResult::Granted);
+        assert_eq!(ctx.update(90, 20).unwrap(), ReservationResult::Blocked);
+        // Shrinking succeeds even while blocked.
+        assert_eq!(ctx.update(10, 0).unwrap(), ReservationResult::Granted);
+        assert_eq!(*pool.used.lock(), 10);
+        ctx.release_all();
+        assert_eq!(*pool.used.lock(), 0);
+    }
+
+    #[test]
+    fn drop_releases() {
+        let pool = Arc::new(CappedPool {
+            cap: 100,
+            used: Mutex::new(0),
+        });
+        {
+            let ctx = TaskMemoryContext::new(QueryId(2), Arc::clone(&pool) as Arc<dyn MemoryPool>);
+            ctx.update(50, 10).unwrap();
+        }
+        assert_eq!(*pool.used.lock(), 0);
+    }
+}

@@ -1,0 +1,105 @@
+//! The operator interface.
+//!
+//! "A pipeline consists of a chain of operators, each of which performs a
+//! single, well-defined computation on the data" (§IV-D). Operators are
+//! page-in/page-out state machines; the driver moves pages between them and
+//! reacts to blocked states without parking threads.
+
+use presto_common::Result;
+use presto_page::Page;
+
+/// Why an operator cannot currently make progress. The driver propagates
+/// the reason so the worker scheduler can account for it (§IV-F1: "When
+/// output buffers are full … input buffers are empty … or the system is out
+/// of memory, the local scheduler simply switches to processing another
+/// task").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockedReason {
+    /// Downstream cannot absorb output (full output buffer).
+    OutputFull,
+    /// Upstream has produced nothing yet (empty exchange, no splits).
+    WaitingForInput,
+    /// Waiting on a sibling pipeline (e.g. hash-join build).
+    WaitingForBuild,
+    /// Memory pool exhausted.
+    Memory,
+}
+
+/// One computation in a pipeline.
+pub trait Operator: Send {
+    /// Short name for telemetry ("ScanFilterProject", "LookupJoin", …).
+    fn name(&self) -> &'static str;
+
+    /// Whether the operator can accept a page right now.
+    fn needs_input(&self) -> bool;
+
+    /// Feed one page. Only valid when [`Operator::needs_input`] is true.
+    fn add_input(&mut self, page: Page) -> Result<()>;
+
+    /// Signal that no more input will arrive.
+    fn finish(&mut self);
+
+    /// Produce an output page if one is ready.
+    fn output(&mut self) -> Result<Option<Page>>;
+
+    /// Fully done: no more output will ever be produced.
+    fn is_finished(&self) -> bool;
+
+    /// If the operator cannot progress, why.
+    fn blocked(&self) -> Option<BlockedReason> {
+        None
+    }
+
+    /// *User* memory retained (proportional to data, §IV-F2): hash tables,
+    /// sort buffers, group state.
+    fn user_memory_bytes(&self) -> usize {
+        0
+    }
+
+    /// *System* memory retained (implementation byproduct): shuffle and
+    /// I/O buffers.
+    fn system_memory_bytes(&self) -> usize {
+        0
+    }
+
+    /// Whether this operator can free memory by spilling.
+    fn can_revoke_memory(&self) -> bool {
+        false
+    }
+
+    /// Spill revocable state to disk; returns bytes freed (§IV-F2
+    /// "Revocation is processed by spilling state to disk").
+    fn revoke_memory(&mut self) -> Result<u64> {
+        Ok(0)
+    }
+}
+
+/// Rows-and-bytes counters every driver keeps per operator, merged upward
+/// to task and stage level (§VII "we collect and store operator level
+/// statistics … for every query").
+#[derive(Debug, Default, Clone, Copy)]
+pub struct OperatorStats {
+    pub input_rows: u64,
+    pub input_bytes: u64,
+    pub output_rows: u64,
+    pub output_bytes: u64,
+}
+
+impl OperatorStats {
+    pub fn record_input(&mut self, page: &Page) {
+        self.input_rows += page.row_count() as u64;
+        self.input_bytes += page.size_in_bytes() as u64;
+    }
+
+    pub fn record_output(&mut self, page: &Page) {
+        self.output_rows += page.row_count() as u64;
+        self.output_bytes += page.size_in_bytes() as u64;
+    }
+
+    pub fn merge(&mut self, other: &OperatorStats) {
+        self.input_rows += other.input_rows;
+        self.input_bytes += other.input_bytes;
+        self.output_rows += other.output_rows;
+        self.output_bytes += other.output_bytes;
+    }
+}

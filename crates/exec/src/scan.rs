@@ -1,0 +1,381 @@
+//! The table-scan operator: split-driven, fused with filter + projection.
+//!
+//! Profiling in the paper (§IV-D2) shows most CPU goes to "decompressing,
+//! decoding, filtering and applying transformations to data read from
+//! connectors" — so the scan operator fuses the connector read with the
+//! page processor (the `ScanFilterHash`/`ScanFilterProject` fusion of
+//! Fig. 4), and leaf pipelines run many drivers sharing one
+//! [`SplitQueue`].
+
+use crossbeam::queue::SegQueue;
+use parking_lot::Mutex;
+use presto_common::{Result, Session};
+use presto_connector::{Connector, ScanOptions, Split};
+use presto_expr::{Expr, PageProcessor};
+use presto_page::Page;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crate::operator::{BlockedReason, Operator};
+
+/// Shared queue of splits assigned to a task. The coordinator appends
+/// batches as the connector enumerates them (§IV-D3); scan drivers pull.
+#[derive(Debug, Default)]
+pub struct SplitQueue {
+    splits: SegQueue<Split>,
+    no_more: AtomicBool,
+    queued: AtomicUsize,
+    /// Completed split count + CPU, reported to the coordinator for the
+    /// shortest-queue assignment heuristic.
+    completed: AtomicU64,
+}
+
+impl SplitQueue {
+    pub fn new() -> Arc<SplitQueue> {
+        Arc::new(SplitQueue::default())
+    }
+
+    pub fn add(&self, split: Split) {
+        // Note: retried splits may be re-added after no_more_splits; the
+        // re-add happens before the exhaustion check, so no split is lost.
+        self.splits.push(split);
+        self.queued.fetch_add(1, Ordering::SeqCst);
+    }
+
+    pub fn no_more_splits(&self) {
+        self.no_more.store(true, Ordering::SeqCst);
+    }
+
+    pub fn pop(&self) -> Option<Split> {
+        let s = self.splits.pop();
+        if s.is_some() {
+            self.queued.fetch_sub(1, Ordering::SeqCst);
+        }
+        s
+    }
+
+    /// Splits waiting to run — the coordinator assigns new splits to the
+    /// task with the shortest queue (§IV-D3).
+    pub fn queued_len(&self) -> usize {
+        self.queued.load(Ordering::SeqCst)
+    }
+
+    pub fn is_exhausted(&self) -> bool {
+        self.no_more.load(Ordering::SeqCst) && self.splits.is_empty()
+    }
+
+    pub fn mark_completed(&self) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn completed(&self) -> u64 {
+        self.completed.load(Ordering::Relaxed)
+    }
+}
+
+/// Fused scan → filter → project operator.
+pub struct ScanOperator {
+    connector: Arc<dyn Connector>,
+    queue: Arc<SplitQueue>,
+    options: ScanOptions,
+    processor: PageProcessor,
+    current: Option<Box<dyn presto_connector::PageSource>>,
+    current_split: Option<Split>,
+    retries_remaining: u32,
+    max_retries: u32,
+    finished: bool,
+    rows_produced: u64,
+    splits_processed: u64,
+}
+
+impl ScanOperator {
+    /// `filter`/`projections` operate over the scanned columns (the scan
+    /// output channel space).
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        connector: Arc<dyn Connector>,
+        queue: Arc<SplitQueue>,
+        columns: Vec<usize>,
+        predicate: presto_connector::TupleDomain,
+        filter: Option<&Expr>,
+        projections: &[Expr],
+        session: &Session,
+    ) -> ScanOperator {
+        let options = ScanOptions {
+            columns,
+            predicate,
+            lazy: session.lazy_loading,
+            target_page_rows: session.target_page_rows,
+        };
+        ScanOperator {
+            connector,
+            queue,
+            options,
+            processor: PageProcessor::new(filter, projections, session),
+            current: None,
+            current_split: None,
+            retries_remaining: session.max_transient_retries,
+            max_retries: session.max_transient_retries,
+            finished: false,
+            rows_produced: 0,
+            splits_processed: 0,
+        }
+    }
+
+    pub fn rows_produced(&self) -> u64 {
+        self.rows_produced
+    }
+
+    fn open_next_split(&mut self) -> Result<bool> {
+        let Some(split) = self.queue.pop() else {
+            return Ok(false);
+        };
+        match self
+            .connector
+            .page_source_factory()
+            .create_source(&split, &self.options)
+        {
+            Ok(source) => {
+                self.current = Some(source);
+                self.current_split = Some(split);
+                self.retries_remaining = self.max_retries;
+                Ok(true)
+            }
+            Err(e) if e.is_retryable() && self.retries_remaining > 0 => {
+                // Low-level retry (§IV-G): requeue the split and try again.
+                self.retries_remaining -= 1;
+                self.queue.add(split);
+                Ok(false)
+            }
+            Err(e) => Err(e),
+        }
+    }
+}
+
+impl Operator for ScanOperator {
+    fn name(&self) -> &'static str {
+        "ScanFilterProject"
+    }
+
+    fn needs_input(&self) -> bool {
+        false // source operator: driven by splits, not pages
+    }
+
+    fn add_input(&mut self, _page: Page) -> Result<()> {
+        unreachable!("scan operators take no input")
+    }
+
+    fn finish(&mut self) {
+        // Sources finish when the split queue is exhausted.
+    }
+
+    fn output(&mut self) -> Result<Option<Page>> {
+        loop {
+            if self.finished {
+                return Ok(None);
+            }
+            if self.current.is_none() {
+                if !self.open_next_split()? {
+                    if self.queue.is_exhausted() {
+                        self.finished = true;
+                    }
+                    return Ok(None);
+                }
+            }
+            let source = self.current.as_mut().expect("split open");
+            match source.next_page() {
+                Ok(Some(page)) => {
+                    let processed = self.processor.process(&page)?;
+                    if processed.is_empty() && processed.column_count() > 0 {
+                        continue; // fully filtered; pull the next page
+                    }
+                    if processed.row_count() == 0 {
+                        continue;
+                    }
+                    self.rows_produced += processed.row_count() as u64;
+                    return Ok(Some(processed));
+                }
+                Ok(None) => {
+                    self.current = None;
+                    self.current_split = None;
+                    self.queue.mark_completed();
+                    self.splits_processed += 1;
+                    continue;
+                }
+                Err(e) if e.is_retryable() && self.retries_remaining > 0 => {
+                    // Retry the whole split from scratch.
+                    self.retries_remaining -= 1;
+                    let split = self.current_split.take().expect("split open");
+                    self.current = None;
+                    self.queue.add(split);
+                    continue;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    fn blocked(&self) -> Option<BlockedReason> {
+        if !self.finished && self.current.is_none() && self.queue.queued_len() == 0 {
+            Some(BlockedReason::WaitingForInput)
+        } else {
+            None
+        }
+    }
+
+    fn system_memory_bytes(&self) -> usize {
+        // Connector read buffers: charge a token per open source.
+        if self.current.is_some() {
+            64 * 1024
+        } else {
+            0
+        }
+    }
+}
+
+/// Wraps a scan with per-operator observability shared across drivers.
+#[derive(Debug, Default)]
+pub struct ScanStats {
+    pub rows: AtomicU64,
+    pub splits: AtomicU64,
+}
+
+/// Shared scan stats handle (one per scan node per task).
+pub type SharedScanStats = Arc<Mutex<ScanStats>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use presto_common::{DataType, Schema, Value};
+    use presto_connectors::{ChaosConnector, MemoryConnector};
+    use presto_expr::CmpOp;
+
+    fn data_connector(rows: i64) -> Arc<MemoryConnector> {
+        let c = MemoryConnector::new();
+        let schema = Schema::of(&[("k", DataType::Bigint), ("v", DataType::Bigint)]);
+        let data: Vec<Vec<Value>> = (0..rows)
+            .map(|i| vec![Value::Bigint(i), Value::Bigint(i * 10)])
+            .collect();
+        // several pages so the split queue has multiple entries
+        let pages: Vec<Page> = data
+            .chunks(100)
+            .map(|chunk| Page::from_rows(&schema, chunk))
+            .collect();
+        c.load_table("t", schema, pages);
+        c
+    }
+
+    fn feed_splits(c: &dyn Connector, queue: &SplitQueue) {
+        let mut src = c
+            .split_source("t", "default", &presto_connector::TupleDomain::all())
+            .unwrap();
+        while !src.is_finished() {
+            for s in src.next_batch(16).unwrap() {
+                queue.add(s);
+            }
+        }
+        queue.no_more_splits();
+    }
+
+    #[test]
+    fn scans_and_filters() {
+        let c = data_connector(1000);
+        let queue = SplitQueue::new();
+        feed_splits(c.as_ref(), &queue);
+        let session = Session::default();
+        let filter = Expr::cmp(
+            CmpOp::Ge,
+            Expr::column(0, DataType::Bigint),
+            Expr::literal(990i64),
+        );
+        let proj = vec![Expr::column(1, DataType::Bigint)];
+        let mut scan = ScanOperator::new(
+            c as Arc<dyn Connector>,
+            queue,
+            vec![0, 1],
+            presto_connector::TupleDomain::all(),
+            Some(&filter),
+            &proj,
+            &session,
+        );
+        let mut rows = 0;
+        while !scan.is_finished() {
+            if let Some(page) = scan.output().unwrap() {
+                rows += page.row_count();
+                assert!(page.block(0).i64_at(0) >= 9900);
+            }
+        }
+        assert_eq!(rows, 10);
+    }
+
+    #[test]
+    fn transient_failures_are_retried() {
+        let c = data_connector(2000); // several pages → several splits
+        let chaos = ChaosConnector::new(c as Arc<dyn Connector>, 2, 0);
+        let queue = SplitQueue::new();
+        feed_splits(chaos.as_ref(), &queue);
+        let session = Session::default();
+        let proj = vec![Expr::column(0, DataType::Bigint)];
+        let mut scan = ScanOperator::new(
+            Arc::clone(&chaos) as Arc<dyn Connector>,
+            queue,
+            vec![0],
+            presto_connector::TupleDomain::all(),
+            None,
+            &proj,
+            &session,
+        );
+        let mut rows = 0;
+        let mut guard = 0;
+        while !scan.is_finished() {
+            guard += 1;
+            assert!(guard < 10_000, "scan did not converge");
+            if let Some(page) = scan.output().unwrap() {
+                rows += page.row_count();
+            }
+        }
+        assert_eq!(rows, 2000, "all rows survive injected transient failures");
+        assert!(chaos.injected_failures() > 0);
+    }
+
+    #[test]
+    fn blocked_until_splits_arrive() {
+        let c = data_connector(10);
+        let queue = SplitQueue::new();
+        let session = Session::default();
+        let proj = vec![Expr::column(0, DataType::Bigint)];
+        let mut scan = ScanOperator::new(
+            Arc::clone(&c) as Arc<dyn Connector>,
+            Arc::clone(&queue),
+            vec![0],
+            presto_connector::TupleDomain::all(),
+            None,
+            &proj,
+            &session,
+        );
+        assert!(scan.output().unwrap().is_none());
+        assert_eq!(scan.blocked(), Some(BlockedReason::WaitingForInput));
+        assert!(!scan.is_finished());
+        feed_splits(c.as_ref(), &queue);
+        let mut rows = 0;
+        while !scan.is_finished() {
+            if let Some(p) = scan.output().unwrap() {
+                rows += p.row_count();
+            }
+        }
+        assert_eq!(rows, 10);
+    }
+
+    #[test]
+    fn shortest_queue_metric() {
+        let queue = SplitQueue::new();
+        assert_eq!(queue.queued_len(), 0);
+        let c = data_connector(300);
+        feed_splits(c.as_ref(), &queue);
+        assert!(queue.queued_len() > 0);
+    }
+}

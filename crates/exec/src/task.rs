@@ -1,0 +1,580 @@
+//! Task construction: compiling one plan fragment into executable
+//! pipelines wired to splits, exchanges, and the output buffer.
+
+use parking_lot::Mutex;
+use presto_common::{DataType, PlanNodeId, PrestoError, Result, Schema, Session, TaskId};
+use presto_connector::{CatalogManager, TupleDomain};
+use presto_expr::Expr;
+use presto_page::Page;
+use presto_planner::plan::{AggregateStep, JoinType, PlanNode};
+use presto_planner::{OutputPartitioning, PlanFragment};
+use presto_shuffle::{ExchangeClient, OutputBuffer};
+use std::sync::atomic::{AtomicBool, AtomicUsize};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::agg::{specs_from_planner, AggPhase, HashAggregationOperator};
+use crate::driver::Driver;
+use crate::exchange::{ExchangeSourceOperator, OutputRouting, PartitionedOutputOperator};
+use crate::filter::{FilterProjectOperator, LimitOperator, ValuesOperator};
+use crate::join::{HashBuilderOperator, JoinBridge, LookupJoinOperator, ProbeJoinType};
+use crate::memory::{MemoryPool, TaskMemoryContext};
+use crate::pipeline::{LocalQueue, LocalQueueSink, LocalQueueSource, OpFactory, Pipeline};
+use crate::scan::{ScanOperator, SplitQueue};
+use crate::sort::{SortOperator, TopNOperator};
+use crate::window::WindowOperator;
+use crate::writer::TableWriterOperator;
+
+/// Everything a task needs from its environment.
+#[derive(Clone)]
+pub struct TaskContext {
+    pub task_id: TaskId,
+    pub session: Session,
+    pub catalogs: CatalogManager,
+    pub memory_pool: Arc<dyn MemoryPool>,
+    /// Number of tasks in the consumer stage (output buffer partitions).
+    pub consumer_count: usize,
+    /// Parallel drivers for split-driven leaf pipelines (§IV-C4).
+    pub leaf_parallelism: usize,
+    pub output_buffer_bytes: usize,
+    pub exchange_buffer_bytes: usize,
+    /// Simulated network latency per exchange poll.
+    pub exchange_poll_latency: Duration,
+}
+
+/// A scan inside a task: the coordinator feeds its split queue.
+pub struct ScanSource {
+    pub node_id: PlanNodeId,
+    pub catalog: String,
+    pub table: String,
+    pub layout: String,
+    pub predicate: TupleDomain,
+    pub queue: Arc<SplitQueue>,
+}
+
+/// An exchange input of a task: the coordinator attaches upstream buffers.
+pub struct ExchangeInput {
+    pub source_fragment: u32,
+    pub client: Arc<Mutex<ExchangeClient>>,
+    pub no_more_sources: Arc<AtomicBool>,
+}
+
+/// One executable task. Drivers sit behind a mutex so the task itself can
+/// be shared (`Arc<Task>`) while the worker takes ownership of the drivers
+/// for scheduling.
+pub struct Task {
+    pub id: TaskId,
+    pub output: Arc<OutputBuffer>,
+    pub scans: Vec<ScanSource>,
+    pub exchanges: Vec<ExchangeInput>,
+    pub drivers: Mutex<Vec<Driver>>,
+    pub memory: Arc<TaskMemoryContext>,
+}
+
+/// Compile `fragment` into a [`Task`].
+pub fn create_task(fragment: &PlanFragment, ctx: &TaskContext) -> Result<Task> {
+    let output = OutputBuffer::new(ctx.consumer_count.max(1), ctx.output_buffer_bytes);
+    let memory = TaskMemoryContext::new(ctx.task_id.stage.query, Arc::clone(&ctx.memory_pool));
+    let mut compiler = Compiler {
+        ctx,
+        scans: Vec::new(),
+        exchanges: Vec::new(),
+        pipelines: Vec::new(),
+    };
+    let chain = compiler.compile(&fragment.root)?;
+    // Append the output sink.
+    let routing = match &fragment.output {
+        OutputPartitioning::Gather | OutputPartitioning::None => OutputRouting::Gather,
+        OutputPartitioning::Hash { channels, .. } => OutputRouting::Hash {
+            channels: channels.clone(),
+        },
+        OutputPartitioning::Broadcast => OutputRouting::Broadcast,
+        OutputPartitioning::RoundRobin => OutputRouting::RoundRobin,
+    };
+    let driver_count = chain.driver_count(ctx.leaf_parallelism);
+    let close_group = Arc::new(AtomicUsize::new(driver_count));
+    let buffer = Arc::clone(&output);
+    let mut factories = chain.factories;
+    let routing_for_factory = routing.clone();
+    factories.push(Arc::new(move || {
+        Ok(Box::new(
+            PartitionedOutputOperator::new(Arc::clone(&buffer), routing_for_factory.clone())
+                .with_close_group(Arc::clone(&close_group)),
+        ) as Box<dyn crate::operator::Operator>)
+    }));
+    compiler.pipelines.push(Pipeline {
+        factories,
+        driver_count,
+        description: format!("{} -> Output", chain.description),
+    });
+
+    // Instantiate drivers for every pipeline. Each driver gets its OWN
+    // memory context: contexts reconcile retained-size deltas, and a
+    // context shared across concurrently-running drivers would interleave
+    // reads and writes of the stored totals, drifting the pool accounting.
+    // All contexts charge the same query on the same pool.
+    let mut drivers = Vec::new();
+    for pipeline in &compiler.pipelines {
+        for _ in 0..pipeline.driver_count {
+            let operators = pipeline.instantiate()?;
+            let ctx = TaskMemoryContext::new(ctx.task_id.stage.query, Arc::clone(&ctx.memory_pool));
+            drivers.push(Driver::new(operators, ctx));
+        }
+    }
+    Ok(Task {
+        id: ctx.task_id,
+        output,
+        scans: compiler.scans,
+        exchanges: compiler.exchanges,
+        drivers: Mutex::new(drivers),
+        memory,
+    })
+}
+
+/// A partially-built pipeline chain.
+struct Chain {
+    factories: Vec<OpFactory>,
+    /// Split-driven and safe to instantiate in parallel.
+    parallel: bool,
+    description: String,
+}
+
+impl Chain {
+    fn driver_count(&self, leaf_parallelism: usize) -> usize {
+        if self.parallel {
+            leaf_parallelism.max(1)
+        } else {
+            1
+        }
+    }
+
+    fn push(&mut self, name: &str, factory: OpFactory) {
+        self.factories.push(factory);
+        self.description.push_str(" -> ");
+        self.description.push_str(name);
+    }
+
+    /// Operators that must see the whole input serialize the pipeline.
+    fn force_single_driver(&mut self) {
+        self.parallel = false;
+    }
+}
+
+struct Compiler<'a> {
+    ctx: &'a TaskContext,
+    scans: Vec<ScanSource>,
+    exchanges: Vec<ExchangeInput>,
+    pipelines: Vec<Pipeline>,
+}
+
+impl<'a> Compiler<'a> {
+    fn compile(&mut self, node: &PlanNode) -> Result<Chain> {
+        match node {
+            PlanNode::Output { input, .. } => self.compile(input),
+            PlanNode::TableScan { .. } => self.compile_scan(node, None, None),
+            PlanNode::Filter {
+                input, predicate, ..
+            } => {
+                if matches!(input.as_ref(), PlanNode::TableScan { .. }) {
+                    // Fused ScanFilterProject (Fig. 4).
+                    return self.compile_scan(input, Some(predicate.clone()), None);
+                }
+                let mut chain = self.compile(input)?;
+                let input_schema = input.output_schema();
+                let projections = identity_projections(&input_schema);
+                let predicate = predicate.clone();
+                let session = self.ctx.session.clone();
+                chain.push(
+                    "FilterProject",
+                    Arc::new(move || {
+                        Ok(Box::new(FilterProjectOperator::new(
+                            Some(&predicate),
+                            &projections,
+                            &session,
+                        )))
+                    }),
+                );
+                Ok(chain)
+            }
+            PlanNode::Project {
+                input, expressions, ..
+            } => {
+                match input.as_ref() {
+                    PlanNode::TableScan { .. } => {
+                        return self.compile_scan(input, None, Some(expressions.clone()))
+                    }
+                    PlanNode::Filter {
+                        input: scan,
+                        predicate,
+                        ..
+                    } if matches!(scan.as_ref(), PlanNode::TableScan { .. }) => {
+                        return self.compile_scan(
+                            scan,
+                            Some(predicate.clone()),
+                            Some(expressions.clone()),
+                        )
+                    }
+                    _ => {}
+                }
+                let mut chain = self.compile(input)?;
+                let expressions = expressions.clone();
+                let session = self.ctx.session.clone();
+                chain.push(
+                    "Project",
+                    Arc::new(move || {
+                        Ok(Box::new(FilterProjectOperator::new(
+                            None,
+                            &expressions,
+                            &session,
+                        )))
+                    }),
+                );
+                Ok(chain)
+            }
+            PlanNode::Aggregate {
+                input,
+                group_by,
+                aggregates,
+                step,
+                ..
+            } => {
+                let mut chain = self.compile(input)?;
+                let input_schema = input.output_schema();
+                let phase = match step {
+                    AggregateStep::Single => AggPhase::Single,
+                    AggregateStep::Partial => AggPhase::Partial,
+                    AggregateStep::Final => AggPhase::Final,
+                };
+                // Partial aggregation is per-driver-safe; Single/Final must
+                // see all rows of their partition in one instance.
+                if phase != AggPhase::Partial {
+                    chain.force_single_driver();
+                }
+                let group_channels = group_by.clone();
+                let group_types: Vec<DataType> = group_by
+                    .iter()
+                    .map(|&c| input_schema.data_type(c))
+                    .collect();
+                let specs = specs_from_planner(aggregates)?;
+                let spill = self.ctx.session.spill_enabled;
+                chain.push(
+                    "Aggregate",
+                    Arc::new(move || {
+                        Ok(Box::new(HashAggregationOperator::new(
+                            phase,
+                            group_channels.clone(),
+                            group_types.clone(),
+                            specs.clone(),
+                            spill,
+                        )))
+                    }),
+                );
+                Ok(chain)
+            }
+            PlanNode::Join {
+                left,
+                right,
+                join_type,
+                left_keys,
+                right_keys,
+                filter,
+                distribution,
+                ..
+            } => {
+                let probe_chain = self.compile(left)?;
+                // Build side becomes its own pipeline.
+                let mut build_chain = self.compile(right)?;
+                let build_drivers = build_chain.driver_count(self.ctx.leaf_parallelism);
+                let bridge = JoinBridge::new(right_keys.clone(), build_drivers);
+                {
+                    let bridge = Arc::clone(&bridge);
+                    build_chain.push(
+                        "HashBuilder",
+                        Arc::new(move || {
+                            Ok(Box::new(HashBuilderOperator::new(Arc::clone(&bridge))))
+                        }),
+                    );
+                }
+                let desc = format!("{} (build)", build_chain.description);
+                self.pipelines.push(Pipeline {
+                    factories: build_chain.factories,
+                    driver_count: build_drivers,
+                    description: desc,
+                });
+                // Probe continues in the current pipeline.
+                let mut chain = probe_chain;
+                let probe_type = match join_type {
+                    JoinType::Inner => ProbeJoinType::Inner,
+                    JoinType::Left => ProbeJoinType::Left,
+                    JoinType::Cross => ProbeJoinType::Cross,
+                };
+                let probe_keys = left_keys.clone();
+                let probe_schema = left.output_schema();
+                let build_schema = right.output_schema();
+                let filter = filter.clone();
+                let _ = distribution;
+                chain.push(
+                    "LookupJoin",
+                    Arc::new(move || {
+                        Ok(Box::new(LookupJoinOperator::new(
+                            Arc::clone(&bridge),
+                            probe_type,
+                            probe_keys.clone(),
+                            probe_schema.clone(),
+                            build_schema.clone(),
+                            filter.as_ref(),
+                        )))
+                    }),
+                );
+                Ok(chain)
+            }
+            PlanNode::IndexJoin {
+                probe,
+                catalog,
+                table,
+                probe_keys,
+                index_keys,
+                output_columns,
+                table_schema,
+                ..
+            } => {
+                let mut chain = self.compile(probe)?;
+                let connector = self.ctx.catalogs.catalog(catalog)?;
+                let probe_keys = probe_keys.clone();
+                let index_keys = index_keys.clone();
+                let output_columns = output_columns.clone();
+                let table = table.clone();
+                let probe_schema = probe.output_schema();
+                let key_types: Vec<DataType> = probe_keys
+                    .iter()
+                    .map(|&c| probe_schema.data_type(c))
+                    .collect();
+                let _ = table_schema;
+                chain.push(
+                    "IndexJoin",
+                    Arc::new(move || {
+                        let index = connector
+                            .index_source(&table, &index_keys, &output_columns)?
+                            .ok_or_else(|| {
+                                PrestoError::internal(format!(
+                                    "planner chose an index join but '{table}' has no index"
+                                ))
+                            })?;
+                        Ok(Box::new(crate::join::IndexJoinOperator::new(
+                            index,
+                            probe_keys.clone(),
+                            key_types.clone(),
+                            probe_schema.clone(),
+                        )))
+                    }),
+                );
+                Ok(chain)
+            }
+            PlanNode::Sort { input, keys, .. } => {
+                let mut chain = self.compile(input)?;
+                chain.force_single_driver();
+                let keys = keys.clone();
+                let spill = self.ctx.session.spill_enabled;
+                chain.push(
+                    "Sort",
+                    Arc::new(move || Ok(Box::new(SortOperator::new(keys.clone(), spill)))),
+                );
+                Ok(chain)
+            }
+            PlanNode::TopN {
+                input, keys, count, ..
+            } => {
+                // Per-driver TopN is safe: the final fragment re-ranks.
+                let mut chain = self.compile(input)?;
+                let keys = keys.clone();
+                let count = *count;
+                chain.push(
+                    "TopN",
+                    Arc::new(move || Ok(Box::new(TopNOperator::new(keys.clone(), count)))),
+                );
+                Ok(chain)
+            }
+            PlanNode::Limit { input, count, .. } => {
+                let mut chain = self.compile(input)?;
+                let count = *count;
+                chain.push(
+                    "Limit",
+                    Arc::new(move || Ok(Box::new(LimitOperator::new(count)))),
+                );
+                Ok(chain)
+            }
+            PlanNode::Window {
+                input,
+                partition_by,
+                order_by,
+                functions,
+                ..
+            } => {
+                let mut chain = self.compile(input)?;
+                chain.force_single_driver();
+                let partition_by = partition_by.clone();
+                let order_by = order_by.clone();
+                let functions = functions.clone();
+                chain.push(
+                    "Window",
+                    Arc::new(move || {
+                        Ok(Box::new(WindowOperator::new(
+                            partition_by.clone(),
+                            order_by.clone(),
+                            functions.clone(),
+                        )))
+                    }),
+                );
+                Ok(chain)
+            }
+            PlanNode::Union { inputs, .. } => {
+                // Children run as independent pipelines into a local queue.
+                let queue = LocalQueue::new(inputs.len(), 4 << 20);
+                // Register producers up-front with exact count.
+                for input in inputs {
+                    let mut child = self.compile(input)?;
+                    let q = Arc::clone(&queue);
+                    child.push(
+                        "LocalQueueSink",
+                        Arc::new(move || Ok(Box::new(LocalQueueSink::new(Arc::clone(&q))))),
+                    );
+                    // A multi-driver union branch would register too many
+                    // producers; serialize branches.
+                    child.force_single_driver();
+                    let desc = format!("{} (union branch)", child.description);
+                    self.pipelines.push(Pipeline {
+                        factories: child.factories,
+                        driver_count: 1,
+                        description: desc,
+                    });
+                }
+                let q = Arc::clone(&queue);
+                Ok(Chain {
+                    factories: vec![Arc::new(move || {
+                        Ok(Box::new(LocalQueueSource::new(Arc::clone(&q))))
+                    })],
+                    parallel: false,
+                    description: "Union".to_string(),
+                })
+            }
+            PlanNode::TableWrite {
+                input,
+                catalog,
+                table,
+                ..
+            } => {
+                let mut chain = self.compile(input)?;
+                let connector = self.ctx.catalogs.catalog(catalog)?;
+                let table = table.clone();
+                chain.push(
+                    "TableWriter",
+                    Arc::new(move || {
+                        let sink = connector
+                            .page_sink_factory()
+                            .ok_or_else(|| PrestoError::user("target catalog is read-only"))?
+                            .create_sink(&table)?;
+                        Ok(Box::new(TableWriterOperator::new(sink)))
+                    }),
+                );
+                Ok(chain)
+            }
+            PlanNode::Values { schema, rows, .. } => {
+                let page = if schema.is_empty() {
+                    Page::zero_column(rows.len())
+                } else {
+                    Page::from_rows(schema, rows)
+                };
+                Ok(Chain {
+                    factories: vec![Arc::new(move || {
+                        Ok(Box::new(ValuesOperator::new(vec![page.clone()])))
+                    })],
+                    parallel: false,
+                    description: "Values".to_string(),
+                })
+            }
+            PlanNode::RemoteSource { fragment, .. } => {
+                let client = Arc::new(Mutex::new(ExchangeClient::new(
+                    self.ctx.exchange_buffer_bytes,
+                    self.ctx.exchange_poll_latency,
+                )));
+                let no_more = Arc::new(AtomicBool::new(false));
+                self.exchanges.push(ExchangeInput {
+                    source_fragment: *fragment,
+                    client: Arc::clone(&client),
+                    no_more_sources: Arc::clone(&no_more),
+                });
+                Ok(Chain {
+                    factories: vec![Arc::new(move || {
+                        Ok(Box::new(ExchangeSourceOperator::new(
+                            Arc::clone(&client),
+                            Arc::clone(&no_more),
+                        )))
+                    })],
+                    parallel: false,
+                    description: format!("Exchange({fragment})"),
+                })
+            }
+        }
+    }
+
+    /// A (possibly fused) scan pipeline start.
+    fn compile_scan(
+        &mut self,
+        scan: &PlanNode,
+        filter: Option<Expr>,
+        projections: Option<Vec<Expr>>,
+    ) -> Result<Chain> {
+        let PlanNode::TableScan {
+            id,
+            catalog,
+            table,
+            layout,
+            table_schema,
+            columns,
+            predicate,
+        } = scan
+        else {
+            return Err(PrestoError::internal("compile_scan on non-scan node"));
+        };
+        let connector = self.ctx.catalogs.catalog(catalog)?;
+        let queue = SplitQueue::new();
+        self.scans.push(ScanSource {
+            node_id: *id,
+            catalog: catalog.clone(),
+            table: table.clone(),
+            layout: layout.clone(),
+            predicate: predicate.clone(),
+            queue: Arc::clone(&queue),
+        });
+        let scan_schema = table_schema.project(columns);
+        let projections = projections.unwrap_or_else(|| identity_projections(&scan_schema));
+        let columns = columns.clone();
+        let predicate = predicate.clone();
+        let session = self.ctx.session.clone();
+        let factory: OpFactory = Arc::new(move || {
+            Ok(Box::new(ScanOperator::new(
+                Arc::clone(&connector),
+                Arc::clone(&queue),
+                columns.clone(),
+                predicate.clone(),
+                filter.as_ref(),
+                &projections,
+                &session,
+            )))
+        });
+        Ok(Chain {
+            factories: vec![factory],
+            parallel: true,
+            description: "ScanFilterProject".to_string(),
+        })
+    }
+}
+
+fn identity_projections(schema: &Schema) -> Vec<Expr> {
+    schema
+        .fields()
+        .iter()
+        .enumerate()
+        .map(|(i, f)| Expr::column(i, f.data_type))
+        .collect()
+}

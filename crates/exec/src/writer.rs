@@ -1,0 +1,102 @@
+//! The table-writer operator (Data Sink API, §IV-E3).
+
+use presto_common::{DataType, Result, Schema, Value};
+use presto_connector::PageSink;
+use presto_page::Page;
+
+use crate::operator::Operator;
+
+/// Streams its input into a connector [`PageSink`]; on finish, emits a
+/// single-row page with the rows written (summed across writers by the
+/// coordinator fragment).
+pub struct TableWriterOperator {
+    sink: Option<Box<dyn PageSink>>,
+    input_done: bool,
+    emitted: bool,
+    rows: u64,
+}
+
+impl TableWriterOperator {
+    pub fn new(sink: Box<dyn PageSink>) -> TableWriterOperator {
+        TableWriterOperator {
+            sink: Some(sink),
+            input_done: false,
+            emitted: false,
+            rows: 0,
+        }
+    }
+
+    pub fn output_schema() -> Schema {
+        Schema::of(&[("rows", DataType::Bigint)])
+    }
+}
+
+impl Operator for TableWriterOperator {
+    fn name(&self) -> &'static str {
+        "TableWriter"
+    }
+
+    fn needs_input(&self) -> bool {
+        !self.input_done
+    }
+
+    fn add_input(&mut self, page: Page) -> Result<()> {
+        let sink = self.sink.as_mut().expect("writer already finished");
+        sink.append(&page)?;
+        self.rows += page.row_count() as u64;
+        Ok(())
+    }
+
+    fn finish(&mut self) {
+        self.input_done = true;
+    }
+
+    fn output(&mut self) -> Result<Option<Page>> {
+        if !self.input_done || self.emitted {
+            return Ok(None);
+        }
+        // Commit exactly once, then emit the row count.
+        if let Some(mut sink) = self.sink.take() {
+            let written = sink.finish()?;
+            debug_assert_eq!(written, self.rows);
+        }
+        self.emitted = true;
+        Ok(Some(Page::from_rows(
+            &Self::output_schema(),
+            &[vec![Value::Bigint(self.rows as i64)]],
+        )))
+    }
+
+    fn is_finished(&self) -> bool {
+        self.emitted
+    }
+
+    fn system_memory_bytes(&self) -> usize {
+        self.sink
+            .as_ref()
+            .map_or(0, |s| s.buffered_bytes() as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use presto_connector::{ConnectorMetadata, PageSinkFactory};
+    use presto_connectors::MemoryConnector;
+
+    #[test]
+    fn writes_and_reports_count() {
+        let mem = MemoryConnector::new();
+        let schema = Schema::of(&[("x", DataType::Bigint)]);
+        mem.create_table("t", &schema).unwrap();
+        let sink = mem.create_sink("t").unwrap();
+        let mut w = TableWriterOperator::new(sink);
+        let page = Page::from_rows(&schema, &[vec![Value::Bigint(1)], vec![Value::Bigint(2)]]);
+        w.add_input(page).unwrap();
+        w.finish();
+        let out = w.output().unwrap().unwrap();
+        assert_eq!(out.block(0).i64_at(0), 2);
+        assert!(w.is_finished());
+        assert_eq!(mem.row_count("t"), 2);
+    }
+}

@@ -1,0 +1,242 @@
+//! Property tests for execution operators against simple references:
+//! sorting vs `slice::sort`, aggregation vs a HashMap fold, TopN vs
+//! sort+truncate, joins vs nested loops, and partial/final vs single-phase.
+
+use presto_common::{DataType, Schema, Value};
+use presto_exec::agg::{AggPhase, AggSpec, HashAggregationOperator};
+use presto_exec::join::{HashBuilderOperator, JoinBridge, LookupJoinOperator, ProbeJoinType};
+use presto_exec::sort::{SortOperator, TopNOperator};
+use presto_exec::Operator;
+use presto_expr::{AggregateFunction, AggregateKind};
+use presto_page::Page;
+use presto_planner::SortKey;
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+fn kv_schema() -> Schema {
+    Schema::of(&[("k", DataType::Bigint), ("v", DataType::Bigint)])
+}
+
+fn arb_rows(max: usize) -> impl Strategy<Value = Vec<(Option<i64>, i64)>> {
+    proptest::collection::vec(
+        (
+            prop_oneof![4 => (0i64..20).prop_map(Some), 1 => Just(None)],
+            -50i64..50,
+        ),
+        0..max,
+    )
+}
+
+fn page_of(rows: &[(Option<i64>, i64)]) -> Page {
+    Page::from_rows(
+        &kv_schema(),
+        &rows
+            .iter()
+            .map(|(k, v)| {
+                vec![
+                    k.map(Value::Bigint).unwrap_or(Value::Null),
+                    Value::Bigint(*v),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    )
+}
+
+fn drain(op: &mut dyn Operator) -> Vec<Vec<Value>> {
+    let mut out = Vec::new();
+    while let Some(p) = op.output().unwrap() {
+        out.extend(p.to_rows(&kv_schema()));
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn sort_matches_reference(rows in arb_rows(60), chunks in 1usize..4, spill in any::<bool>()) {
+        let keys = vec![SortKey { channel: 0, ascending: true, nulls_first: false },
+                        SortKey { channel: 1, ascending: false, nulls_first: false }];
+        let mut op = SortOperator::new(keys, spill);
+        let chunk = (rows.len() / chunks).max(1);
+        for (i, piece) in rows.chunks(chunk).enumerate() {
+            op.add_input(page_of(piece)).unwrap();
+            if spill && i % 2 == 0 {
+                op.revoke_memory().unwrap();
+            }
+        }
+        op.finish();
+        let got = drain(&mut op);
+        // Reference: stable total order — key asc (nulls last), value desc.
+        let mut expected = rows.clone();
+        expected.sort_by(|a, b| {
+            let ka = a.0.map(|v| (0, v)).unwrap_or((1, 0));
+            let kb = b.0.map(|v| (0, v)).unwrap_or((1, 0));
+            ka.cmp(&kb).then(b.1.cmp(&a.1))
+        });
+        let expected_rows: Vec<Vec<Value>> = expected
+            .iter()
+            .map(|(k, v)| vec![k.map(Value::Bigint).unwrap_or(Value::Null), Value::Bigint(*v)])
+            .collect();
+        prop_assert_eq!(got, expected_rows);
+    }
+
+    #[test]
+    fn topn_equals_sort_truncate(rows in arb_rows(60), n in 0u64..20) {
+        let keys = vec![SortKey { channel: 1, ascending: false, nulls_first: false }];
+        let mut top = TopNOperator::new(keys.clone(), n);
+        for piece in rows.chunks(7) {
+            top.add_input(page_of(piece)).unwrap();
+        }
+        top.finish();
+        let got: Vec<i64> = drain(&mut top)
+            .into_iter()
+            .map(|r| r[1].as_i64().unwrap())
+            .collect();
+        let mut values: Vec<i64> = rows.iter().map(|(_, v)| *v).collect();
+        values.sort_by(|a, b| b.cmp(a));
+        values.truncate(n as usize);
+        prop_assert_eq!(got, values);
+    }
+
+    #[test]
+    fn grouped_sum_matches_hashmap(rows in arb_rows(80)) {
+        let f = AggregateFunction::new(AggregateKind::Sum, Some(DataType::Bigint)).unwrap();
+        let mut op = HashAggregationOperator::new(
+            AggPhase::Single,
+            vec![0],
+            vec![DataType::Bigint],
+            vec![AggSpec { function: f, input: Some(1) }],
+            false,
+        );
+        for piece in rows.chunks(9) {
+            op.add_input(page_of(piece)).unwrap();
+        }
+        op.finish();
+        let mut got: Vec<(Option<i64>, i64)> = Vec::new();
+        while let Some(p) = op.output().unwrap() {
+            for i in 0..p.row_count() {
+                let key = if p.block(0).is_null(i) { None } else { Some(p.block(0).i64_at(i)) };
+                got.push((key, p.block(1).i64_at(i)));
+            }
+        }
+        got.sort();
+        let mut reference: HashMap<Option<i64>, i64> = HashMap::new();
+        for (k, v) in &rows {
+            *reference.entry(*k).or_insert(0) += v;
+        }
+        let mut expected: Vec<(Option<i64>, i64)> = reference.into_iter().collect();
+        expected.sort();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn partial_final_equals_single_phase(rows in arb_rows(80), split_at in 0usize..80) {
+        let f = AggregateFunction::new(AggregateKind::Avg, Some(DataType::Bigint)).unwrap();
+        let split = split_at.min(rows.len());
+        // Two partials over disjoint halves, merged by a final.
+        let mut finals = HashAggregationOperator::new(
+            AggPhase::Final,
+            vec![0],
+            vec![DataType::Bigint],
+            vec![AggSpec { function: f, input: Some(1) }],
+            false,
+        );
+        for half in [&rows[..split], &rows[split..]] {
+            let mut partial = HashAggregationOperator::new(
+                AggPhase::Partial,
+                vec![0],
+                vec![DataType::Bigint],
+                vec![AggSpec { function: f, input: Some(1) }],
+                false,
+            );
+            if !half.is_empty() {
+                partial.add_input(page_of(half)).unwrap();
+            }
+            partial.finish();
+            while let Some(p) = partial.output().unwrap() {
+                finals.add_input(p).unwrap();
+            }
+        }
+        finals.finish();
+        // Single phase.
+        let mut single = HashAggregationOperator::new(
+            AggPhase::Single,
+            vec![0],
+            vec![DataType::Bigint],
+            vec![AggSpec { function: f, input: Some(1) }],
+            false,
+        );
+        if !rows.is_empty() {
+            single.add_input(page_of(&rows)).unwrap();
+        }
+        single.finish();
+        let collect = |op: &mut HashAggregationOperator| {
+            let mut out: Vec<(Option<i64>, Option<String>)> = Vec::new();
+            while let Some(p) = op.output().unwrap() {
+                for i in 0..p.row_count() {
+                    let key =
+                        if p.block(0).is_null(i) { None } else { Some(p.block(0).i64_at(i)) };
+                    let avg = if p.block(1).is_null(i) {
+                        None
+                    } else {
+                        Some(format!("{:.9}", p.block(1).f64_at(i)))
+                    };
+                    out.push((key, avg));
+                }
+            }
+            out.sort();
+            out
+        };
+        prop_assert_eq!(collect(&mut finals), collect(&mut single));
+    }
+
+    #[test]
+    fn hash_join_matches_nested_loop(
+        build in arb_rows(30),
+        probe in arb_rows(30),
+    ) {
+        let bridge = JoinBridge::new(vec![0], 1);
+        let mut builder = HashBuilderOperator::new(Arc::clone(&bridge));
+        if !build.is_empty() {
+            builder.add_input(page_of(&build)).unwrap();
+        }
+        builder.finish();
+        let mut join = LookupJoinOperator::new(
+            bridge,
+            ProbeJoinType::Inner,
+            vec![0],
+            kv_schema(),
+            kv_schema(),
+            None,
+        );
+        let mut got: Vec<(i64, i64, i64, i64)> = Vec::new();
+        for piece in probe.chunks(11) {
+            join.add_input(page_of(piece)).unwrap();
+            while let Some(p) = join.output().unwrap() {
+                for i in 0..p.row_count() {
+                    got.push((
+                        p.block(0).i64_at(i),
+                        p.block(1).i64_at(i),
+                        p.block(2).i64_at(i),
+                        p.block(3).i64_at(i),
+                    ));
+                }
+            }
+        }
+        got.sort();
+        let mut expected: Vec<(i64, i64, i64, i64)> = Vec::new();
+        for (pk, pv) in &probe {
+            for (bk, bv) in &build {
+                if let (Some(pk), Some(bk)) = (pk, bk) {
+                    if pk == bk {
+                        expected.push((*pk, *pv, *bk, *bv));
+                    }
+                }
+            }
+        }
+        expected.sort();
+        prop_assert_eq!(got, expected);
+    }
+}

@@ -1,0 +1,357 @@
+//! The page processor: fused filter + projections with §V-E compressed-data
+//! processing.
+//!
+//! "When a page processor evaluating a transformation or filter encounters a
+//! dictionary block, it processes all of the values in the dictionary (or
+//! the single value in a run-length-encoded block) … The page processor
+//! keeps track of the number of real rows produced and the size of the
+//! dictionary, which helps measure the effectiveness of processing the
+//! dictionary as compared to processing all of the indices."
+
+use presto_common::{DataType, Result, Session};
+use presto_page::blocks::DictionaryBlock;
+use presto_page::{Block, Page};
+use std::sync::Arc;
+
+use crate::compiled::CompiledExpr;
+use crate::expr::Expr;
+use crate::interpreter::evaluate_row;
+
+/// Counters exposed for tests and the §V-E benchmark.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ProcessorStats {
+    /// Projections evaluated via the dictionary fast path.
+    pub dictionary_projections: usize,
+    /// Projections evaluated via the RLE fast path.
+    pub rle_projections: usize,
+    /// Projections evaluated position-by-position.
+    pub flat_projections: usize,
+    /// Rows produced so far.
+    pub rows_produced: u64,
+    /// Dictionary entries processed so far.
+    pub dict_entries_processed: u64,
+}
+
+/// A compiled filter + projection pipeline, page in / page out.
+pub struct PageProcessor {
+    filter: Option<CompiledExpr>,
+    projections: Vec<Projection>,
+    /// Whether dictionary/RLE-aware processing is enabled (§V-E;
+    /// the `compressed` bench disables it for the baseline).
+    process_compressed: bool,
+    /// Speculation state per the paper's heuristic.
+    speculate: bool,
+    /// When the session disables compiled expressions (§V-B ablation),
+    /// fall back to the row interpreter using these originals.
+    interpreted: Option<(Option<Expr>, Vec<Expr>)>,
+    stats: ProcessorStats,
+}
+
+struct Projection {
+    compiled: CompiledExpr,
+    /// When the projection reads exactly one input column it is eligible for
+    /// the dictionary/RLE fast path; this is that column's index.
+    single_input: Option<usize>,
+    /// The same expression remapped so its single input is channel 0 — the
+    /// form evaluated against a bare dictionary.
+    on_channel_zero: Option<CompiledExpr>,
+}
+
+impl PageProcessor {
+    /// Build from optional filter and projection expressions. Expressions
+    /// are compiled once per task, like the paper's per-task bytecode
+    /// classes (§V-B3).
+    pub fn new(filter: Option<&Expr>, projections: &[Expr], session: &Session) -> PageProcessor {
+        PageProcessor {
+            filter: filter.map(CompiledExpr::compile),
+            projections: projections
+                .iter()
+                .map(|e| {
+                    let cols = e.referenced_columns();
+                    let single_input = match cols.as_slice() {
+                        [only] => Some(*only),
+                        _ => None,
+                    };
+                    let on_channel_zero =
+                        single_input.map(|_| CompiledExpr::compile(&e.remap_columns(&|_| 0)));
+                    Projection {
+                        compiled: CompiledExpr::compile(e),
+                        single_input,
+                        on_channel_zero,
+                    }
+                })
+                .collect(),
+            process_compressed: session.process_compressed,
+            speculate: true,
+            interpreted: (!session.compiled_expressions)
+                .then(|| (filter.cloned(), projections.to_vec())),
+            stats: ProcessorStats::default(),
+        }
+    }
+
+    /// Output column types.
+    pub fn output_types(&self) -> Vec<DataType> {
+        self.projections
+            .iter()
+            .map(|p| p.compiled.data_type())
+            .collect()
+    }
+
+    pub fn stats(&self) -> ProcessorStats {
+        self.stats
+    }
+
+    /// Process one page: filter, then project.
+    pub fn process(&mut self, page: &Page) -> Result<Page> {
+        if let Some((filter, projections)) = &self.interpreted {
+            let out = process_interpreted(filter.as_ref(), projections, page)?;
+            self.stats.rows_produced += out.row_count() as u64;
+            self.stats.flat_projections += projections.len();
+            return Ok(out);
+        }
+        let filtered_storage;
+        let filtered = match &self.filter {
+            Some(f) => {
+                let selected = f.eval_selection(page)?;
+                if selected.len() == page.row_count() {
+                    page
+                } else {
+                    filtered_storage = page.filter(&selected);
+                    &filtered_storage
+                }
+            }
+            None => page,
+        };
+        let rows = filtered.row_count();
+        if rows == 0 {
+            return Ok(Page::empty());
+        }
+        if self.projections.is_empty() {
+            // Cardinality-only output (COUNT(*)-style plans).
+            self.stats.rows_produced += rows as u64;
+            return Ok(Page::zero_column(rows));
+        }
+        let mut out = Vec::with_capacity(self.projections.len());
+        // Split borrows: iterate indices so stats can update.
+        for idx in 0..self.projections.len() {
+            let block = self.project_one(idx, filtered)?;
+            out.push(block);
+        }
+        self.stats.rows_produced += rows as u64;
+        // Heuristic from the paper: speculation stays on while processing
+        // dictionaries has produced more rows than dictionary entries.
+        self.speculate = self.stats.dict_entries_processed <= self.stats.rows_produced;
+        Ok(Page::new(out))
+    }
+
+    fn project_one(&mut self, idx: usize, page: &Page) -> Result<Block> {
+        let rows = page.row_count();
+        let p = &self.projections[idx];
+        if self.process_compressed {
+            if let (Some(col), Some(zero_expr)) = (p.single_input, &p.on_channel_zero) {
+                match page.block(col).loaded() {
+                    Block::Rle(rle) => {
+                        // Evaluate once on the single value; re-wrap as RLE.
+                        let single = Page::new(vec![rle.value.as_ref().clone()]);
+                        let result = zero_expr.eval(&single)?;
+                        self.stats.rle_projections += 1;
+                        return Ok(Block::rle(result, rows));
+                    }
+                    Block::Dictionary(d) if self.speculate || d.dictionary.len() <= rows => {
+                        // Evaluate once per distinct entry; re-use the ids.
+                        let dict_page = Page::new(vec![d.dictionary.as_ref().clone()]);
+                        let result = zero_expr.eval(&dict_page)?;
+                        self.stats.dictionary_projections += 1;
+                        self.stats.dict_entries_processed += d.dictionary.len() as u64;
+                        return Ok(Block::Dictionary(DictionaryBlock::new(
+                            Arc::new(result),
+                            d.ids.clone(),
+                        )));
+                    }
+                    _ => {}
+                }
+            }
+        }
+        self.stats.flat_projections += 1;
+        self.projections[idx].compiled.eval(page)
+    }
+}
+
+/// Reference (interpreted) filter + project used by the §V-B benchmark and
+/// for differential testing: identical semantics, row-at-a-time execution.
+pub fn process_interpreted(
+    filter: Option<&Expr>,
+    projections: &[Expr],
+    page: &Page,
+) -> Result<Page> {
+    use presto_page::BlockBuilder;
+    let mut builders: Vec<BlockBuilder> = projections
+        .iter()
+        .map(|e| BlockBuilder::new(e.data_type()))
+        .collect();
+    let mut rows = 0usize;
+    for i in 0..page.row_count() {
+        if let Some(f) = filter {
+            match evaluate_row(f, page, i)? {
+                presto_common::Value::Boolean(true) => {}
+                _ => continue,
+            }
+        }
+        rows += 1;
+        for (e, b) in projections.iter().zip(&mut builders) {
+            b.push_value(&evaluate_row(e, page, i)?);
+        }
+    }
+    if builders.is_empty() {
+        return Ok(Page::zero_column(rows));
+    }
+    Ok(Page::new(
+        builders.into_iter().map(BlockBuilder::finish).collect(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::CmpOp;
+    use presto_common::{Schema, Value};
+    use presto_page::blocks::{LazyBlock, LongBlock, VarcharBlock};
+
+    fn session() -> Session {
+        Session::default()
+    }
+
+    #[test]
+    fn filter_and_project() {
+        let schema = Schema::of(&[("a", DataType::Bigint), ("b", DataType::Bigint)]);
+        let page = Page::from_rows(
+            &schema,
+            &[
+                vec![Value::Bigint(1), Value::Bigint(10)],
+                vec![Value::Bigint(2), Value::Bigint(20)],
+                vec![Value::Bigint(3), Value::Bigint(30)],
+            ],
+        );
+        let filter = Expr::cmp(
+            CmpOp::Gt,
+            Expr::column(0, DataType::Bigint),
+            Expr::literal(1i64),
+        );
+        let proj = vec![Expr::column(1, DataType::Bigint)];
+        let mut p = PageProcessor::new(Some(&filter), &proj, &session());
+        let out = p.process(&page).unwrap();
+        assert_eq!(out.row_count(), 2);
+        assert_eq!(out.block(0).i64_at(0), 20);
+        // Same result interpreted.
+        let ref_out = process_interpreted(Some(&filter), &proj, &page).unwrap();
+        assert_eq!(
+            ref_out.to_rows(&Schema::of(&[("b", DataType::Bigint)])),
+            out.to_rows(&Schema::of(&[("b", DataType::Bigint)]))
+        );
+    }
+
+    #[test]
+    fn dictionary_projection_fast_path() {
+        let dict = Arc::new(Block::from(VarcharBlock::from_strs(&["in person", "cod"])));
+        let ids: Vec<u32> = (0..100).map(|i| i % 2).collect();
+        let page = Page::new(vec![Block::Dictionary(DictionaryBlock::new(dict, ids))]);
+        let (f, t) = crate::functions::ScalarFn::resolve("upper", &[DataType::Varchar]).unwrap();
+        let proj = vec![Expr::Call {
+            function: f,
+            args: vec![Expr::column(0, DataType::Varchar)],
+            data_type: t,
+        }];
+        let mut p = PageProcessor::new(None, &proj, &session());
+        let out = p.process(&page).unwrap();
+        assert!(
+            matches!(out.block(0), Block::Dictionary(_)),
+            "output stays dictionary-encoded"
+        );
+        assert_eq!(out.block(0).str_at(0), "IN PERSON");
+        assert_eq!(out.block(0).str_at(1), "COD");
+        let stats = p.stats();
+        assert_eq!(stats.dictionary_projections, 1);
+        // Only 2 entries were processed for 100 rows.
+        assert_eq!(stats.dict_entries_processed, 2);
+    }
+
+    #[test]
+    fn rle_projection_fast_path() {
+        let page = Page::new(vec![Block::rle(
+            Block::from(LongBlock::from_values(vec![21])),
+            50,
+        )]);
+        let proj = vec![Expr::arith(
+            crate::expr::ArithOp::Mul,
+            Expr::column(0, DataType::Bigint),
+            Expr::literal(2i64),
+        )];
+        let mut p = PageProcessor::new(None, &proj, &session());
+        let out = p.process(&page).unwrap();
+        assert!(matches!(out.block(0), Block::Rle(_)));
+        assert_eq!(out.block(0).i64_at(49), 42);
+        assert_eq!(p.stats().rle_projections, 1);
+    }
+
+    #[test]
+    fn compressed_processing_can_be_disabled() {
+        let dict = Arc::new(Block::from(VarcharBlock::from_strs(&["x"])));
+        let page = Page::new(vec![Block::Dictionary(DictionaryBlock::new(
+            dict,
+            vec![0, 0, 0],
+        ))]);
+        let proj = vec![Expr::column(0, DataType::Varchar)];
+        let mut session = session();
+        session.process_compressed = false;
+        let mut p = PageProcessor::new(None, &proj, &session);
+        p.process(&page).unwrap();
+        assert_eq!(p.stats().dictionary_projections, 0);
+        assert_eq!(p.stats().flat_projections, 1);
+    }
+
+    #[test]
+    fn selective_filter_keeps_unreferenced_lazy_column_unloaded() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let loads = Arc::new(AtomicUsize::new(0));
+        let loads2 = Arc::clone(&loads);
+        let lazy = Block::Lazy(LazyBlock::new(3, move || {
+            loads2.fetch_add(1, Ordering::SeqCst);
+            Block::from(LongBlock::from_values(vec![7, 8, 9]))
+        }));
+        let page = Page::new(vec![
+            Block::from(LongBlock::from_values(vec![1, 2, 3])),
+            lazy,
+        ]);
+        // Filter on column 0 selects nothing; lazy column 1 never loads.
+        let filter = Expr::cmp(
+            CmpOp::Gt,
+            Expr::column(0, DataType::Bigint),
+            Expr::literal(100i64),
+        );
+        let proj = vec![Expr::column(1, DataType::Bigint)];
+        let mut p = PageProcessor::new(Some(&filter), &proj, &session());
+        let out = p.process(&page).unwrap();
+        assert_eq!(out.row_count(), 0);
+        assert_eq!(loads.load(Ordering::SeqCst), 0, "lazy column must not load");
+    }
+
+    #[test]
+    fn speculation_heuristic_tracks_effectiveness() {
+        // A dictionary larger than the data: after processing it once, the
+        // processor should stop speculating.
+        let entries: Vec<String> = (0..1000).map(|i| format!("v{i}")).collect();
+        let dict = Arc::new(Block::from(VarcharBlock::from_strs(&entries)));
+        let page = Page::new(vec![Block::Dictionary(DictionaryBlock::new(
+            dict,
+            vec![1, 2],
+        ))]);
+        let proj = vec![Expr::column(0, DataType::Varchar)];
+        let mut p = PageProcessor::new(None, &proj, &session());
+        p.process(&page).unwrap();
+        // 1000 entries processed for 2 rows → speculation off.
+        assert!(!p.speculate);
+        p.process(&page).unwrap();
+        // Second page is processed flat (dict len 1000 > rows 2).
+        assert_eq!(p.stats().flat_projections, 1);
+    }
+}

@@ -1,0 +1,150 @@
+//! Property test: the compiled (vectorized) evaluator and the row
+//! interpreter agree on every expression and input — the §V-B invariant
+//! ("Presto contains an expression interpreter … that we use for tests").
+
+use presto_common::{DataType, Schema, Value};
+use presto_expr::interpreter::evaluate_row;
+use presto_expr::{ArithOp, CmpOp, CompiledExpr, Expr};
+use presto_page::Page;
+use proptest::prelude::*;
+
+/// Input schema for generated expressions: two bigints, a double, a
+/// varchar, and a boolean.
+fn schema() -> Schema {
+    Schema::of(&[
+        ("a", DataType::Bigint),
+        ("b", DataType::Bigint),
+        ("x", DataType::Double),
+        ("s", DataType::Varchar),
+        ("f", DataType::Boolean),
+    ])
+}
+
+fn arb_row() -> impl Strategy<Value = Vec<Value>> {
+    (
+        prop_oneof![3 => (-100i64..100).prop_map(Value::Bigint), 1 => Just(Value::Null)],
+        prop_oneof![3 => (-100i64..100).prop_map(Value::Bigint), 1 => Just(Value::Null)],
+        prop_oneof![
+            3 => (-100.0f64..100.0).prop_map(Value::Double),
+            1 => Just(Value::Null)
+        ],
+        prop_oneof![3 => "[a-c]{0,4}".prop_map(Value::varchar), 1 => Just(Value::Null)],
+        prop_oneof![3 => any::<bool>().prop_map(Value::Boolean), 1 => Just(Value::Null)],
+    )
+        .prop_map(|(a, b, x, s, f)| vec![a, b, x, s, f])
+}
+
+/// Generated numeric (bigint) expressions. Division/modulo are excluded
+/// here (their short-circuit error behaviour is covered by unit tests) so
+/// every generated expression evaluates without error.
+fn arb_numeric(depth: u32) -> BoxedStrategy<Expr> {
+    let leaf = prop_oneof![
+        Just(Expr::column(0, DataType::Bigint)),
+        Just(Expr::column(1, DataType::Bigint)),
+        (-50i64..50).prop_map(Expr::literal),
+    ];
+    leaf.prop_recursive(depth, 24, 2, |inner| {
+        (
+            inner.clone(),
+            inner,
+            prop_oneof![Just(ArithOp::Add), Just(ArithOp::Sub), Just(ArithOp::Mul)],
+        )
+            .prop_map(|(l, r, op)| Expr::arith(op, l, r))
+    })
+    .boxed()
+}
+
+/// Generated boolean expressions over the schema.
+fn arb_boolean(depth: u32) -> BoxedStrategy<Expr> {
+    let cmp_op = prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge)
+    ];
+    let leaf = prop_oneof![
+        (arb_numeric(2), arb_numeric(2), cmp_op.clone()).prop_map(|(l, r, op)| Expr::cmp(op, l, r)),
+        cmp_op.prop_map(|op| Expr::cmp(op, Expr::column(3, DataType::Varchar), Expr::literal("b"))),
+        Just(Expr::column(4, DataType::Boolean)),
+        Just(Expr::IsNull(Box::new(Expr::column(2, DataType::Double)))),
+        proptest::collection::vec(-5i64..5, 1..4).prop_map(|vals| Expr::InList {
+            expr: Box::new(Expr::column(0, DataType::Bigint)),
+            list: vals.into_iter().map(Value::Bigint).collect(),
+        }),
+    ];
+    leaf.prop_recursive(depth, 32, 3, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 2..4).prop_map(Expr::and),
+            proptest::collection::vec(inner.clone(), 2..4).prop_map(Expr::or),
+            inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
+            (inner.clone(), arb_numeric(1), arb_numeric(1))
+                .prop_map(|(c, t, e)| Expr::Case {
+                    branches: vec![(c, t)],
+                    otherwise: Some(Box::new(e)),
+                    data_type: DataType::Bigint,
+                })
+                .prop_map(|case| Expr::cmp(CmpOp::Gt, case, Expr::literal(0i64))),
+        ]
+    })
+    .boxed()
+}
+
+fn check_agreement(expr: &Expr, rows: Vec<Vec<Value>>) -> Result<(), TestCaseError> {
+    if rows.is_empty() {
+        return Ok(());
+    }
+    let page = Page::from_rows(&schema(), &rows);
+    let compiled = CompiledExpr::compile(expr);
+    let block = compiled.eval(&page).expect("compiled eval");
+    for i in 0..page.row_count() {
+        let interpreted = evaluate_row(expr, &page, i).expect("interpreted eval");
+        let vectorized = block.value_at(expr.data_type(), i);
+        prop_assert_eq!(
+            &vectorized,
+            &interpreted,
+            "row {} disagreed for {}",
+            i,
+            expr
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn compiled_matches_interpreter_on_numeric(
+        expr in arb_numeric(3),
+        rows in proptest::collection::vec(arb_row(), 0..24),
+    ) {
+        check_agreement(&expr, rows)?;
+    }
+
+    #[test]
+    fn compiled_matches_interpreter_on_boolean(
+        expr in arb_boolean(3),
+        rows in proptest::collection::vec(arb_row(), 0..24),
+    ) {
+        check_agreement(&expr, rows)?;
+    }
+
+    #[test]
+    fn selection_equals_interpreted_filter(
+        expr in arb_boolean(3),
+        rows in proptest::collection::vec(arb_row(), 1..24),
+    ) {
+        let page = Page::from_rows(&schema(), &rows);
+        let compiled = CompiledExpr::compile(&expr);
+        let selection = compiled.eval_selection(&page).expect("selection");
+        let expected: Vec<u32> = (0..page.row_count())
+            .filter(|&i| {
+                matches!(evaluate_row(&expr, &page, i), Ok(Value::Boolean(true)))
+            })
+            .map(|i| i as u32)
+            .collect();
+        prop_assert_eq!(selection, expected, "filter disagreed for {}", expr);
+    }
+}

@@ -1,0 +1,127 @@
+//! Property tests for the columnar page layer: codec round-trips, encoding
+//! equivalence, and dictionary-aware hashing.
+
+use presto_common::{DataType, Field, Schema, Value};
+use presto_page::blocks::{DictionaryBlock, VarcharBlock};
+use presto_page::hash::hash_columns;
+use presto_page::{deserialize_page, serialize_page, Block, Page};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn arb_value(dt: DataType) -> BoxedStrategy<Value> {
+    match dt {
+        DataType::Bigint => prop_oneof![
+            3 => any::<i64>().prop_map(Value::Bigint),
+            1 => Just(Value::Null),
+        ]
+        .boxed(),
+        DataType::Double => prop_oneof![
+            3 => any::<f64>().prop_filter("finite", |v| v.is_finite()).prop_map(Value::Double),
+            1 => Just(Value::Null),
+        ]
+        .boxed(),
+        DataType::Boolean => prop_oneof![
+            3 => any::<bool>().prop_map(Value::Boolean),
+            1 => Just(Value::Null),
+        ]
+        .boxed(),
+        DataType::Varchar => prop_oneof![
+            3 => "[a-zA-Z0-9 ]{0,12}".prop_map(Value::varchar),
+            1 => Just(Value::Null),
+        ]
+        .boxed(),
+        DataType::Date => any::<i32>().prop_map(|d| Value::Date(d as i64)).boxed(),
+        DataType::Timestamp => any::<i64>().prop_map(Value::Timestamp).boxed(),
+    }
+}
+
+fn arb_schema() -> impl Strategy<Value = Schema> {
+    proptest::collection::vec(
+        prop_oneof![
+            Just(DataType::Bigint),
+            Just(DataType::Double),
+            Just(DataType::Boolean),
+            Just(DataType::Varchar),
+            Just(DataType::Date),
+        ],
+        1..5,
+    )
+    .prop_map(|types| {
+        Schema::new(
+            types
+                .into_iter()
+                .enumerate()
+                .map(|(i, t)| Field::new(format!("c{i}"), t))
+                .collect(),
+        )
+    })
+}
+
+fn arb_page() -> impl Strategy<Value = (Schema, Page)> {
+    arb_schema().prop_flat_map(|schema| {
+        let row_strategies: Vec<BoxedStrategy<Value>> = schema
+            .fields()
+            .iter()
+            .map(|f| arb_value(f.data_type))
+            .collect();
+        let schema2 = schema.clone();
+        proptest::collection::vec(row_strategies, 0..40)
+            .prop_map(move |rows| (schema2.clone(), Page::from_rows(&schema2, &rows)))
+    })
+}
+
+proptest! {
+    #[test]
+    fn codec_round_trips_any_page((schema, page) in arb_page()) {
+        let decoded = deserialize_page(&serialize_page(&page)).unwrap();
+        prop_assert_eq!(decoded.to_rows(&schema), page.to_rows(&schema));
+    }
+
+    #[test]
+    fn filter_then_decode_equals_decode_then_select(
+        (schema, page) in arb_page(),
+        selector in proptest::collection::vec(any::<bool>(), 0..40),
+    ) {
+        let positions: Vec<u32> = (0..page.row_count())
+            .filter(|&i| *selector.get(i).unwrap_or(&false))
+            .map(|i| i as u32)
+            .collect();
+        let filtered = page.filter(&positions);
+        let expected: Vec<Vec<Value>> = positions
+            .iter()
+            .map(|&p| page.row(&schema, p as usize))
+            .collect();
+        prop_assert_eq!(filtered.to_rows(&schema), expected);
+    }
+
+    #[test]
+    fn hashing_is_encoding_invariant(strings in proptest::collection::vec("[a-c]{1,3}", 1..50)) {
+        // Build the same logical column flat and dictionary-encoded.
+        let flat = Page::new(vec![Block::from(VarcharBlock::from_strs(&strings))]);
+        let mut distinct: Vec<String> = strings.clone();
+        distinct.sort();
+        distinct.dedup();
+        let ids: Vec<u32> = strings
+            .iter()
+            .map(|s| distinct.iter().position(|d| d == s).unwrap() as u32)
+            .collect();
+        let dict = Arc::new(Block::from(VarcharBlock::from_strs(&distinct)));
+        let encoded = Page::new(vec![Block::Dictionary(DictionaryBlock::new(dict, ids))]);
+        prop_assert_eq!(hash_columns(&flat, &[0]), hash_columns(&encoded, &[0]));
+    }
+
+    #[test]
+    fn concat_preserves_rows((schema, page) in arb_page()) {
+        let doubled = Page::concat(&[page.clone(), page.clone()]);
+        let mut expected = page.to_rows(&schema);
+        expected.extend(page.to_rows(&schema));
+        prop_assert_eq!(doubled.to_rows(&schema), expected);
+    }
+
+    #[test]
+    fn truncate_is_prefix((schema, page) in arb_page(), n in 0usize..50) {
+        let truncated = page.truncate(n);
+        let expected: Vec<_> = page.to_rows(&schema).into_iter().take(n).collect();
+        prop_assert_eq!(truncated.to_rows(&schema), expected);
+    }
+}

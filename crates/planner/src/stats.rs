@@ -1,0 +1,354 @@
+//! Cardinality estimation for cost-based decisions.
+//!
+//! §IV-C: "Presto already supports two cost-based optimizations that take
+//! table and column statistics into account — join strategy selection and
+//! join re-ordering." Estimates flow bottom-up from connector-reported
+//! [`TableStatistics`] using the classical uniformity/independence
+//! heuristics; anything unknown stays unknown ([`Estimate::UNKNOWN`]), and
+//! the optimizer degrades to syntactic defaults — exactly the Fig. 6
+//! "no stats" configuration.
+
+use presto_common::{ColumnStatistics, Estimate, TableStatistics, Value};
+use presto_connector::CatalogManager;
+use presto_expr::{CmpOp, Expr};
+
+use crate::plan::{AggregateStep, JoinType, PlanNode};
+
+/// Statistics for one plan node's output.
+#[derive(Debug, Clone, Default)]
+pub struct PlanStats {
+    pub rows: Estimate,
+    /// Parallel to the node's output schema; may be empty when unknown.
+    pub columns: Vec<ColumnStatistics>,
+}
+
+impl PlanStats {
+    pub fn unknown() -> PlanStats {
+        PlanStats::default()
+    }
+
+    fn column(&self, i: usize) -> ColumnStatistics {
+        self.columns.get(i).cloned().unwrap_or_default()
+    }
+}
+
+/// Estimate output statistics of `node`.
+pub fn estimate(node: &PlanNode, catalogs: &CatalogManager) -> PlanStats {
+    match node {
+        PlanNode::TableScan {
+            catalog,
+            table,
+            columns,
+            predicate,
+            ..
+        } => {
+            let Ok(connector) = catalogs.catalog(catalog) else {
+                return PlanStats::unknown();
+            };
+            let stats: TableStatistics = connector.metadata().table_statistics(table);
+            let mut rows = stats.row_count;
+            // Scale by pushed-down predicate selectivity.
+            for col in predicate.columns() {
+                let domain = predicate.domain(col).unwrap();
+                let cs = stats.column(col);
+                let sel = match domain {
+                    presto_connector::Domain::Set(values) => {
+                        cs.equality_selectivity().map(|s| s * values.len() as f64)
+                    }
+                    presto_connector::Domain::Range { min, max } => {
+                        cs.range_selectivity(min.as_ref(), max.as_ref())
+                    }
+                };
+                rows = rows.zip(sel, |r, s| r * s.min(1.0));
+            }
+            PlanStats {
+                rows,
+                columns: columns.iter().map(|&c| stats.column(c)).collect(),
+            }
+        }
+        PlanNode::Values { rows, .. } => PlanStats {
+            rows: Estimate::exact(rows.len() as f64),
+            columns: vec![],
+        },
+        PlanNode::Filter {
+            input, predicate, ..
+        } => {
+            let input_stats = estimate(input, catalogs);
+            let sel = selectivity(predicate, &input_stats);
+            PlanStats {
+                rows: input_stats.rows.zip(sel, |r, s| r * s),
+                columns: input_stats.columns.clone(),
+            }
+        }
+        PlanNode::Project {
+            input, expressions, ..
+        } => {
+            let input_stats = estimate(input, catalogs);
+            let columns = expressions
+                .iter()
+                .map(|e| match e {
+                    Expr::Column { index, .. } => input_stats.column(*index),
+                    _ => ColumnStatistics::unknown(),
+                })
+                .collect();
+            PlanStats {
+                rows: input_stats.rows,
+                columns,
+            }
+        }
+        PlanNode::Aggregate {
+            input,
+            group_by,
+            aggregates,
+            step,
+            ..
+        } => {
+            let input_stats = estimate(input, catalogs);
+            if group_by.is_empty() {
+                return PlanStats {
+                    rows: Estimate::exact(1.0),
+                    columns: vec![],
+                };
+            }
+            // Output rows = product of group-key NDVs, capped by input rows.
+            let mut groups = Estimate::exact(1.0);
+            for &g in group_by {
+                groups = groups.zip(input_stats.column(g).distinct_count, |a, b| a * b.max(1.0));
+            }
+            let rows = match (groups.value(), input_stats.rows.value()) {
+                (Some(g), Some(r)) => Estimate::exact(g.min(r)),
+                _ => match step {
+                    // Partial aggregation never expands.
+                    AggregateStep::Partial => input_stats.rows,
+                    _ => Estimate::unknown(),
+                },
+            };
+            let mut columns: Vec<ColumnStatistics> =
+                group_by.iter().map(|&g| input_stats.column(g)).collect();
+            columns.extend(aggregates.iter().map(|_| ColumnStatistics::unknown()));
+            PlanStats { rows, columns }
+        }
+        PlanNode::Join {
+            left,
+            right,
+            join_type,
+            left_keys,
+            right_keys,
+            ..
+        } => {
+            let l = estimate(left, catalogs);
+            let r = estimate(right, catalogs);
+            let rows = match join_type {
+                JoinType::Cross => l.rows.zip(r.rows, |a, b| a * b),
+                _ if left_keys.is_empty() => l.rows.zip(r.rows, |a, b| a * b),
+                _ => {
+                    // |L ⋈ R| ≈ |L|·|R| / max(ndv(keys)); fall back to the
+                    // FK assumption (larger side) when NDVs are unknown.
+                    let ndv = left_keys.iter().zip(right_keys).fold(
+                        Estimate::exact(1.0),
+                        |acc, (&lk, &rk)| {
+                            let n = match (
+                                l.column(lk).distinct_count.value(),
+                                r.column(rk).distinct_count.value(),
+                            ) {
+                                (Some(a), Some(b)) => Estimate::exact(a.max(b)),
+                                (Some(a), None) => Estimate::exact(a),
+                                (None, Some(b)) => Estimate::exact(b),
+                                _ => Estimate::unknown(),
+                            };
+                            acc.zip(n, |a, b| a * b.max(1.0))
+                        },
+                    );
+                    match (l.rows.value(), r.rows.value(), ndv.value()) {
+                        (Some(a), Some(b), Some(n)) => Estimate::exact(a * b / n.max(1.0)),
+                        (Some(a), Some(b), None) => Estimate::exact(a.max(b)),
+                        _ => Estimate::unknown(),
+                    }
+                }
+            };
+            let mut columns = l.columns.clone();
+            // Pad to the left schema width before appending right stats.
+            let lwidth = left.output_schema().len();
+            columns.resize(lwidth, ColumnStatistics::unknown());
+            columns.extend(r.columns);
+            PlanStats { rows, columns }
+        }
+        PlanNode::IndexJoin { probe, .. } => {
+            // Index joins look up a bounded number of rows per probe row.
+            let p = estimate(probe, catalogs);
+            PlanStats {
+                rows: p.rows,
+                columns: p.columns,
+            }
+        }
+        PlanNode::Sort { input, .. } | PlanNode::Window { input, .. } => estimate(input, catalogs),
+        PlanNode::TopN { input, count, .. } | PlanNode::Limit { input, count, .. } => {
+            let s = estimate(input, catalogs);
+            let rows = match s.rows.value() {
+                Some(r) => Estimate::exact(r.min(*count as f64)),
+                None => Estimate::exact(*count as f64),
+            };
+            PlanStats {
+                rows,
+                columns: s.columns,
+            }
+        }
+        PlanNode::Union { inputs, .. } => {
+            let mut rows = Estimate::exact(0.0);
+            for i in inputs {
+                rows = rows.zip(estimate(i, catalogs).rows, |a, b| a + b);
+            }
+            PlanStats {
+                rows,
+                columns: vec![],
+            }
+        }
+        PlanNode::TableWrite { .. } => PlanStats {
+            rows: Estimate::exact(1.0),
+            columns: vec![],
+        },
+        PlanNode::Output { input, .. } => estimate(input, catalogs),
+        PlanNode::RemoteSource { .. } => PlanStats::unknown(),
+    }
+}
+
+/// Predicate selectivity against input column statistics. Unknown inputs
+/// yield unknown output (never a made-up constant) — the CBO rules check
+/// `is_known` before acting, mirroring the paper's stats-dependent
+/// optimizations.
+pub fn selectivity(predicate: &Expr, input: &PlanStats) -> Estimate {
+    match predicate {
+        Expr::And(parts) => parts.iter().fold(Estimate::exact(1.0), |acc, p| {
+            acc.zip(selectivity(p, input), |a, b| a * b)
+        }),
+        Expr::Or(parts) => {
+            // P(a ∨ b) = 1 - Π(1 - P)
+            let mut none_prob = Estimate::exact(1.0);
+            for p in parts {
+                none_prob = none_prob.zip(selectivity(p, input), |acc, s| acc * (1.0 - s));
+            }
+            none_prob.map(|p| 1.0 - p)
+        }
+        Expr::Not(inner) => selectivity(inner, input).map(|s| 1.0 - s),
+        Expr::Cmp { op, left, right } => match (left.as_ref(), right.as_ref()) {
+            (Expr::Column { index, .. }, Expr::Literal { value, .. }) => {
+                column_cmp_selectivity(*op, input.column(*index), value)
+            }
+            (Expr::Literal { value, .. }, Expr::Column { index, .. }) => {
+                column_cmp_selectivity(op.flip(), input.column(*index), value)
+            }
+            _ => Estimate::unknown(),
+        },
+        Expr::InList { expr, list } => match expr.as_ref() {
+            Expr::Column { index, .. } => input
+                .column(*index)
+                .equality_selectivity()
+                .map(|s| (s * list.len() as f64).min(1.0)),
+            _ => Estimate::unknown(),
+        },
+        Expr::IsNull(inner) => match inner.as_ref() {
+            Expr::Column { index, .. } => input.column(*index).null_fraction,
+            _ => Estimate::unknown(),
+        },
+        Expr::Literal {
+            value: Value::Boolean(true),
+            ..
+        } => Estimate::exact(1.0),
+        Expr::Literal {
+            value: Value::Boolean(false),
+            ..
+        } => Estimate::exact(0.0),
+        _ => Estimate::unknown(),
+    }
+}
+
+fn column_cmp_selectivity(op: CmpOp, stats: ColumnStatistics, value: &Value) -> Estimate {
+    match op {
+        CmpOp::Eq => stats.equality_selectivity(),
+        CmpOp::Ne => stats.equality_selectivity().map(|s| 1.0 - s),
+        CmpOp::Lt | CmpOp::Le => stats.range_selectivity(None, Some(value)),
+        CmpOp::Gt | CmpOp::Ge => stats.range_selectivity(Some(value), None),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use presto_common::DataType;
+
+    fn stats_with(ndv: f64, min: i64, max: i64, rows: f64) -> PlanStats {
+        PlanStats {
+            rows: Estimate::exact(rows),
+            columns: vec![ColumnStatistics {
+                distinct_count: Estimate::exact(ndv),
+                null_fraction: Estimate::exact(0.0),
+                min: Some(Value::Bigint(min)),
+                max: Some(Value::Bigint(max)),
+                avg_size: Estimate::unknown(),
+            }],
+        }
+    }
+
+    #[test]
+    fn equality_and_range_selectivity() {
+        let s = stats_with(100.0, 0, 1000, 10_000.0);
+        let eq = Expr::cmp(
+            CmpOp::Eq,
+            Expr::column(0, DataType::Bigint),
+            Expr::literal(5i64),
+        );
+        assert!((selectivity(&eq, &s).value().unwrap() - 0.01).abs() < 1e-9);
+        let range = Expr::cmp(
+            CmpOp::Ge,
+            Expr::column(0, DataType::Bigint),
+            Expr::literal(750i64),
+        );
+        assert!((selectivity(&range, &s).value().unwrap() - 0.25).abs() < 1e-9);
+        // literal on the left flips the operator
+        let flipped = Expr::cmp(
+            CmpOp::Le,
+            Expr::literal(750i64),
+            Expr::column(0, DataType::Bigint),
+        );
+        assert!((selectivity(&flipped, &s).value().unwrap() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn conjunction_multiplies() {
+        let s = stats_with(10.0, 0, 100, 1000.0);
+        let e = Expr::and(vec![
+            Expr::cmp(
+                CmpOp::Eq,
+                Expr::column(0, DataType::Bigint),
+                Expr::literal(1i64),
+            ),
+            Expr::cmp(
+                CmpOp::Eq,
+                Expr::column(0, DataType::Bigint),
+                Expr::literal(2i64),
+            ),
+        ]);
+        assert!((selectivity(&e, &s).value().unwrap() - 0.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unknown_stays_unknown() {
+        let s = PlanStats::unknown();
+        let e = Expr::cmp(
+            CmpOp::Eq,
+            Expr::column(0, DataType::Bigint),
+            Expr::literal(1i64),
+        );
+        assert!(!selectivity(&e, &s).is_known());
+    }
+
+    #[test]
+    fn in_list_scales_by_size() {
+        let s = stats_with(100.0, 0, 1000, 10_000.0);
+        let e = Expr::InList {
+            expr: Box::new(Expr::column(0, DataType::Bigint)),
+            list: vec![Value::Bigint(1), Value::Bigint(2), Value::Bigint(3)],
+        };
+        assert!((selectivity(&e, &s).value().unwrap() - 0.03).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,120 @@
+//! A small fixed-size Bloom filter for stripe skipping.
+
+use bytes::{Buf, BufMut};
+
+/// Bits in the filter. 2048 bits ≈ 1% false positives at ~200 entries with
+/// three probes — plenty for per-stripe distinct-value counts.
+const BITS: usize = 2048;
+const WORDS: usize = BITS / 64;
+const PROBES: usize = 3;
+
+/// A 2048-bit, 3-probe Bloom filter over 64-bit element hashes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BloomFilter {
+    words: [u64; WORDS],
+}
+
+impl Default for BloomFilter {
+    fn default() -> Self {
+        BloomFilter { words: [0; WORDS] }
+    }
+}
+
+impl BloomFilter {
+    pub fn new() -> BloomFilter {
+        BloomFilter::default()
+    }
+
+    fn probe_positions(hash: u64) -> [usize; PROBES] {
+        // Kirsch–Mitzenmacher double hashing: position_i = h1 + i * h2.
+        let h1 = hash;
+        let h2 = (hash >> 32) | 1;
+        let mut out = [0usize; PROBES];
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = (h1.wrapping_add(h2.wrapping_mul(i as u64)) % BITS as u64) as usize;
+        }
+        out
+    }
+
+    /// Insert an element by its 64-bit hash.
+    pub fn insert(&mut self, hash: u64) {
+        for pos in Self::probe_positions(hash) {
+            self.words[pos / 64] |= 1 << (pos % 64);
+        }
+    }
+
+    /// Whether the element *might* be present (no false negatives).
+    pub fn might_contain(&self, hash: u64) -> bool {
+        Self::probe_positions(hash)
+            .iter()
+            .all(|&pos| self.words[pos / 64] & (1 << (pos % 64)) != 0)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    pub fn encode(&self, buf: &mut impl BufMut) {
+        for &w in &self.words {
+            buf.put_u64_le(w);
+        }
+    }
+
+    pub fn decode(buf: &mut impl Buf) -> BloomFilter {
+        let mut words = [0u64; WORDS];
+        for w in &mut words {
+            *w = buf.get_u64_le();
+        }
+        BloomFilter { words }
+    }
+
+    pub const ENCODED_LEN: usize = WORDS * 8;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use presto_page::hash::hash_i64;
+
+    #[test]
+    fn no_false_negatives() {
+        let mut f = BloomFilter::new();
+        for i in 0..500 {
+            f.insert(hash_i64(i));
+        }
+        for i in 0..500 {
+            assert!(f.might_contain(hash_i64(i)));
+        }
+    }
+
+    #[test]
+    fn mostly_rejects_absent_values() {
+        let mut f = BloomFilter::new();
+        for i in 0..100 {
+            f.insert(hash_i64(i));
+        }
+        let false_positives = (1000..11_000)
+            .filter(|&i| f.might_contain(hash_i64(i)))
+            .count();
+        // With 100 entries in 2048 bits the FP rate is far below 5%.
+        assert!(false_positives < 500, "false positives: {false_positives}");
+    }
+
+    #[test]
+    fn round_trips() {
+        let mut f = BloomFilter::new();
+        f.insert(hash_i64(42));
+        let mut buf = bytes::BytesMut::new();
+        f.encode(&mut buf);
+        assert_eq!(buf.len(), BloomFilter::ENCODED_LEN);
+        let decoded = BloomFilter::decode(&mut buf.freeze());
+        assert_eq!(decoded, f);
+    }
+
+    #[test]
+    fn empty_filter_contains_nothing() {
+        let f = BloomFilter::new();
+        assert!(f.is_empty());
+        assert!(!f.might_contain(hash_i64(1)));
+    }
+}

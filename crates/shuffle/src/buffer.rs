@@ -1,0 +1,296 @@
+//! The producer-side output buffer.
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+use presto_page::{serialize_page, Page};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Result of one long-poll request.
+#[derive(Debug, Clone)]
+pub struct PollResponse {
+    /// Serialized pages, in order.
+    pub pages: Vec<Bytes>,
+    /// Token to send with the next request (acknowledges these pages).
+    pub next_token: u64,
+    /// True when no further data will ever arrive for this partition.
+    pub finished: bool,
+}
+
+/// Buffer lifecycle, for telemetry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BufferState {
+    Open,
+    NoMorePages,
+    Finished,
+}
+
+#[derive(Debug, Default)]
+struct Partition {
+    /// (sequence, page) pairs retained until acknowledged.
+    pages: VecDeque<(u64, Bytes)>,
+    /// Sequence number of the next page appended.
+    next_seq: u64,
+}
+
+/// A partitioned, bounded, token-acknowledged page buffer owned by one
+/// producing task.
+pub struct OutputBuffer {
+    partitions: Vec<Mutex<Partition>>,
+    /// Bytes currently retained (pending + unacknowledged).
+    buffered_bytes: AtomicUsize,
+    /// Soft capacity; producers stall above it.
+    capacity_bytes: usize,
+    no_more_pages: std::sync::atomic::AtomicBool,
+    /// Partitions currently accepting round-robin traffic (§IV-E3 adaptive
+    /// writer scaling: consumers activate as the engine adds writer tasks).
+    active_partitions: AtomicUsize,
+    /// Total pages/bytes ever enqueued, for telemetry.
+    total_pages: AtomicU64,
+    total_bytes: AtomicU64,
+}
+
+impl OutputBuffer {
+    pub fn new(consumer_count: usize, capacity_bytes: usize) -> Arc<OutputBuffer> {
+        assert!(
+            consumer_count > 0,
+            "output buffer needs at least one consumer"
+        );
+        Arc::new(OutputBuffer {
+            partitions: (0..consumer_count)
+                .map(|_| Mutex::new(Partition::default()))
+                .collect(),
+            buffered_bytes: AtomicUsize::new(0),
+            capacity_bytes,
+            no_more_pages: std::sync::atomic::AtomicBool::new(false),
+            active_partitions: AtomicUsize::new(consumer_count),
+            total_pages: AtomicU64::new(0),
+            total_bytes: AtomicU64::new(0),
+        })
+    }
+
+    pub fn consumer_count(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Partitions that round-robin routing may target. Starts at
+    /// `consumer_count`; the writer-scaling monitor lowers it at creation
+    /// and raises it as writer tasks are added (§IV-E3).
+    pub fn active_partitions(&self) -> usize {
+        self.active_partitions
+            .load(Ordering::SeqCst)
+            .clamp(1, self.partitions.len())
+    }
+
+    pub fn set_active_partitions(&self, n: usize) {
+        self.active_partitions
+            .store(n.clamp(1, self.partitions.len()), Ordering::SeqCst);
+    }
+
+    /// Current fill fraction; ≥ 1.0 means producers must stall. This is the
+    /// signal the engine monitors to lower split concurrency (§IV-E2).
+    pub fn utilization(&self) -> f64 {
+        self.buffered_bytes.load(Ordering::Relaxed) as f64 / self.capacity_bytes.max(1) as f64
+    }
+
+    /// Whether a producer may append more data.
+    pub fn can_add(&self) -> bool {
+        self.buffered_bytes.load(Ordering::Relaxed) < self.capacity_bytes
+    }
+
+    /// Append a page to one partition. The caller should check
+    /// [`OutputBuffer::can_add`] first and yield when full; `enqueue` itself
+    /// never blocks (buffers are soft-bounded so a page in flight always
+    /// lands).
+    pub fn enqueue(&self, partition: usize, page: &Page) {
+        let bytes = serialize_page(page);
+        self.enqueue_serialized(partition, bytes);
+    }
+
+    /// Append an already-serialized page (used by broadcast to serialize
+    /// once and share the buffer across partitions).
+    pub fn enqueue_serialized(&self, partition: usize, bytes: Bytes) {
+        // A cancelled task closes the buffer while producers may still be
+        // mid-quanta; their trailing pages are dropped, not an error.
+        if self.no_more_pages.load(Ordering::SeqCst) {
+            return;
+        }
+        let len = bytes.len();
+        let mut p = self.partitions[partition].lock();
+        let seq = p.next_seq;
+        p.next_seq += 1;
+        p.pages.push_back((seq, bytes));
+        drop(p);
+        self.buffered_bytes.fetch_add(len, Ordering::Relaxed);
+        self.total_pages.fetch_add(1, Ordering::Relaxed);
+        self.total_bytes.fetch_add(len as u64, Ordering::Relaxed);
+    }
+
+    /// Broadcast a page to every partition (replicated joins). The page is
+    /// serialized once; `Bytes` clones share the allocation.
+    pub fn broadcast(&self, page: &Page) {
+        let bytes = serialize_page(page);
+        for partition in 0..self.partitions.len() {
+            self.enqueue_serialized(partition, bytes.clone());
+        }
+    }
+
+    /// Declare that no further pages will be enqueued.
+    pub fn set_no_more_pages(&self) {
+        self.no_more_pages.store(true, Ordering::SeqCst);
+    }
+
+    pub fn state(&self) -> BufferState {
+        if !self.no_more_pages.load(Ordering::SeqCst) {
+            return BufferState::Open;
+        }
+        let drained = self.partitions.iter().all(|p| p.lock().pages.is_empty());
+        if drained {
+            BufferState::Finished
+        } else {
+            BufferState::NoMorePages
+        }
+    }
+
+    /// Long-poll one partition. `token` acknowledges everything before it
+    /// (the implicit-ack protocol); up to `max_bytes` of pages are returned.
+    pub fn poll(&self, partition: usize, token: u64, max_bytes: usize) -> PollResponse {
+        let mut p = self.partitions[partition].lock();
+        // Drop acknowledged pages.
+        let mut freed = 0usize;
+        while let Some((seq, bytes)) = p.pages.front() {
+            if *seq < token {
+                freed += bytes.len();
+                p.pages.pop_front();
+            } else {
+                break;
+            }
+        }
+        if freed > 0 {
+            self.buffered_bytes.fetch_sub(freed, Ordering::Relaxed);
+        }
+        // Collect the next batch (without removing: retained until acked).
+        let mut pages = Vec::new();
+        let mut size = 0usize;
+        let mut next_token = token;
+        for (seq, bytes) in p.pages.iter() {
+            if *seq < token {
+                continue;
+            }
+            if !pages.is_empty() && size + bytes.len() > max_bytes {
+                break;
+            }
+            pages.push(bytes.clone());
+            size += bytes.len();
+            next_token = seq + 1;
+        }
+        let finished = self.no_more_pages.load(Ordering::SeqCst)
+            && p.pages.iter().all(|(seq, _)| *seq < next_token);
+        PollResponse {
+            pages,
+            next_token,
+            finished,
+        }
+    }
+
+    /// (pages, bytes) ever enqueued.
+    pub fn totals(&self) -> (u64, u64) {
+        (
+            self.total_pages.load(Ordering::Relaxed),
+            self.total_bytes.load(Ordering::Relaxed),
+        )
+    }
+}
+
+impl std::fmt::Debug for OutputBuffer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OutputBuffer")
+            .field("consumers", &self.partitions.len())
+            .field("utilization", &self.utilization())
+            .field("state", &self.state())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use presto_common::{DataType, Schema, Value};
+
+    fn page(v: i64) -> Page {
+        Page::from_rows(
+            &Schema::of(&[("x", DataType::Bigint)]),
+            &[vec![Value::Bigint(v)]],
+        )
+    }
+
+    #[test]
+    fn poll_with_token_acknowledges() {
+        let buf = OutputBuffer::new(1, 1 << 20);
+        buf.enqueue(0, &page(1));
+        buf.enqueue(0, &page(2));
+        let r1 = buf.poll(0, 0, usize::MAX);
+        assert_eq!(r1.pages.len(), 2);
+        assert!(!r1.finished);
+        // Same token: data retained, same response (at-least-once).
+        let r1b = buf.poll(0, 0, usize::MAX);
+        assert_eq!(r1b.pages.len(), 2);
+        // Advancing the token releases buffer space.
+        let used_before = buf.utilization();
+        let r2 = buf.poll(0, r1.next_token, usize::MAX);
+        assert!(r2.pages.is_empty());
+        assert!(buf.utilization() < used_before);
+        buf.set_no_more_pages();
+        assert!(buf.poll(0, r1.next_token, usize::MAX).finished);
+        assert_eq!(buf.state(), BufferState::Finished);
+    }
+
+    #[test]
+    fn max_bytes_paginates_but_returns_at_least_one() {
+        let buf = OutputBuffer::new(1, 1 << 20);
+        for i in 0..10 {
+            buf.enqueue(0, &page(i));
+        }
+        let r = buf.poll(0, 0, 1); // tiny budget: still one page
+        assert_eq!(r.pages.len(), 1);
+        assert_eq!(r.next_token, 1);
+    }
+
+    #[test]
+    fn utilization_and_backpressure() {
+        let buf = OutputBuffer::new(1, 64);
+        assert!(buf.can_add());
+        for i in 0..10 {
+            buf.enqueue(0, &page(i));
+        }
+        assert!(!buf.can_add(), "past capacity the producer must stall");
+        assert!(buf.utilization() >= 1.0);
+        // Consumer drains; producer unblocks.
+        let r = buf.poll(0, 0, usize::MAX);
+        buf.poll(0, r.next_token, usize::MAX);
+        assert!(buf.can_add());
+    }
+
+    #[test]
+    fn broadcast_replicates_to_all_partitions() {
+        let buf = OutputBuffer::new(3, 1 << 20);
+        buf.broadcast(&page(42));
+        buf.set_no_more_pages();
+        for partition in 0..3 {
+            let r = buf.poll(partition, 0, usize::MAX);
+            assert_eq!(r.pages.len(), 1);
+            assert!(r.finished);
+        }
+        let (pages, _) = buf.totals();
+        assert_eq!(pages, 3);
+    }
+
+    #[test]
+    fn partitions_are_independent() {
+        let buf = OutputBuffer::new(2, 1 << 20);
+        buf.enqueue(0, &page(1));
+        assert_eq!(buf.poll(0, 0, usize::MAX).pages.len(), 1);
+        assert_eq!(buf.poll(1, 0, usize::MAX).pages.len(), 0);
+    }
+}

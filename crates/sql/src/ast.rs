@@ -1,0 +1,256 @@
+//! The untyped abstract syntax tree produced by the parser.
+
+use presto_common::Value;
+use std::fmt;
+
+/// A parsed SQL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// A SELECT query.
+    Query(Query),
+    /// `INSERT INTO table SELECT ...`
+    Insert { table: QualifiedName, query: Query },
+    /// `EXPLAIN <query>` — plan text instead of results.
+    Explain(Box<Statement>),
+}
+
+/// A (possibly catalog-qualified) object name: `[catalog.]table`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct QualifiedName {
+    pub parts: Vec<String>,
+}
+
+impl QualifiedName {
+    pub fn new(parts: Vec<String>) -> Self {
+        QualifiedName { parts }
+    }
+
+    pub fn single(name: impl Into<String>) -> Self {
+        QualifiedName {
+            parts: vec![name.into()],
+        }
+    }
+}
+
+impl fmt::Display for QualifiedName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.parts.join("."))
+    }
+}
+
+/// A query expression: one or more SELECT terms combined with UNION ALL,
+/// with an optional trailing ORDER BY / LIMIT.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// The UNION ALL terms; almost always exactly one.
+    pub terms: Vec<Select>,
+    pub order_by: Vec<OrderItem>,
+    pub limit: Option<u64>,
+}
+
+/// One SELECT term.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Select {
+    pub distinct: bool,
+    pub items: Vec<SelectItem>,
+    pub from: Option<TableRef>,
+    pub where_: Option<AstExpr>,
+    pub group_by: Vec<AstExpr>,
+    pub having: Option<AstExpr>,
+}
+
+/// One item of the SELECT list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Wildcard,
+    /// `alias.*`
+    QualifiedWildcard(String),
+    /// `expr [AS alias]`
+    Expr {
+        expr: AstExpr,
+        alias: Option<String>,
+    },
+}
+
+/// A FROM-clause relation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TableRef {
+    /// A base table, optionally aliased.
+    Table {
+        name: QualifiedName,
+        alias: Option<String>,
+    },
+    /// A derived table: `(query) alias`.
+    Derived { query: Box<Query>, alias: String },
+    /// A join of two relations.
+    Join {
+        left: Box<TableRef>,
+        right: Box<TableRef>,
+        kind: JoinKind,
+        /// `ON` condition; `None` only for CROSS joins.
+        on: Option<AstExpr>,
+    },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinKind {
+    Inner,
+    Left,
+    Right,
+    Cross,
+}
+
+impl fmt::Display for JoinKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            JoinKind::Inner => "INNER",
+            JoinKind::Left => "LEFT",
+            JoinKind::Right => "RIGHT",
+            JoinKind::Cross => "CROSS",
+        })
+    }
+}
+
+/// `ORDER BY` item.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderItem {
+    pub expr: AstExpr,
+    pub ascending: bool,
+    /// NULLS FIRST/LAST; default per direction (last for ASC).
+    pub nulls_first: bool,
+}
+
+/// Binary operators at the AST level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinaryOp {
+    And,
+    Or,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+}
+
+/// An untyped scalar expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AstExpr {
+    /// Possibly-qualified column reference (`x`, `t.x`).
+    Identifier(QualifiedName),
+    Literal(Value),
+    Binary {
+        op: BinaryOp,
+        left: Box<AstExpr>,
+        right: Box<AstExpr>,
+    },
+    Unary {
+        minus: bool,
+        expr: Box<AstExpr>,
+    },
+    Not(Box<AstExpr>),
+    IsNull {
+        expr: Box<AstExpr>,
+        negated: bool,
+    },
+    Between {
+        expr: Box<AstExpr>,
+        low: Box<AstExpr>,
+        high: Box<AstExpr>,
+        negated: bool,
+    },
+    InList {
+        expr: Box<AstExpr>,
+        list: Vec<AstExpr>,
+        negated: bool,
+    },
+    Like {
+        expr: Box<AstExpr>,
+        pattern: Box<AstExpr>,
+        negated: bool,
+    },
+    Case {
+        /// `CASE operand WHEN v THEN r` sugar; `None` for searched CASE.
+        operand: Option<Box<AstExpr>>,
+        branches: Vec<(AstExpr, AstExpr)>,
+        otherwise: Option<Box<AstExpr>>,
+    },
+    Cast {
+        expr: Box<AstExpr>,
+        type_name: String,
+    },
+    /// Function call — scalar, aggregate, or window (when `over` is set).
+    Call {
+        name: String,
+        args: Vec<AstExpr>,
+        distinct: bool,
+        /// `COUNT(*)`.
+        wildcard: bool,
+        over: Option<WindowSpec>,
+    },
+}
+
+/// `OVER (PARTITION BY ... ORDER BY ...)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowSpec {
+    pub partition_by: Vec<AstExpr>,
+    pub order_by: Vec<OrderItem>,
+}
+
+impl AstExpr {
+    pub fn binary(op: BinaryOp, left: AstExpr, right: AstExpr) -> AstExpr {
+        AstExpr::Binary {
+            op,
+            left: Box::new(left),
+            right: Box::new(right),
+        }
+    }
+
+    pub fn ident(name: impl Into<String>) -> AstExpr {
+        AstExpr::Identifier(QualifiedName::single(name))
+    }
+
+    pub fn qualified(qualifier: impl Into<String>, name: impl Into<String>) -> AstExpr {
+        AstExpr::Identifier(QualifiedName::new(vec![qualifier.into(), name.into()]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qualified_name_display() {
+        assert_eq!(
+            QualifiedName::new(vec!["hive".into(), "orders".into()]).to_string(),
+            "hive.orders"
+        );
+        assert_eq!(QualifiedName::single("t").to_string(), "t");
+    }
+
+    #[test]
+    fn builders() {
+        let e = AstExpr::binary(
+            BinaryOp::Eq,
+            AstExpr::ident("a"),
+            AstExpr::qualified("t", "b"),
+        );
+        match e {
+            AstExpr::Binary {
+                op: BinaryOp::Eq,
+                left,
+                right,
+            } => {
+                assert_eq!(*left, AstExpr::ident("a"));
+                assert_eq!(*right, AstExpr::qualified("t", "b"));
+            }
+            _ => panic!(),
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! SQL front end: lexer, AST, and recursive-descent parser.
+//!
+//! Presto uses an ANTLR-generated parser (§IV-B2); we hand-write the
+//! equivalent. The dialect covers the ANSI core exercised by the paper's
+//! workloads: `SELECT` with joins (`INNER`/`LEFT`/`RIGHT`/`CROSS`),
+//! `WHERE`, `GROUP BY`, `HAVING`, `ORDER BY`, `LIMIT`, `DISTINCT`,
+//! `UNION ALL`, derived tables (subqueries in `FROM`), scalar expressions
+//! with `CASE`/`CAST`/`BETWEEN`/`IN`/`LIKE`/`IS NULL`, aggregate calls
+//! (including `COUNT(DISTINCT x)`), window functions
+//! (`f(...) OVER (PARTITION BY … ORDER BY …)`), `INSERT INTO … SELECT`,
+//! and `EXPLAIN`.
+//!
+//! The parser produces an *untyped* [`ast`]; name resolution, coercion and
+//! type checking happen in the analyzer (`presto-planner`).
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{AstExpr, Query, SelectItem, Statement, TableRef};
+pub use parser::parse_statement;

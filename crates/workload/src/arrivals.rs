@@ -1,0 +1,76 @@
+//! Arrival processes for the multi-tenant experiments.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+/// Poisson arrivals at a fixed rate (queries/second).
+pub struct PoissonArrivals {
+    rng: StdRng,
+    rate_per_sec: f64,
+}
+
+impl PoissonArrivals {
+    pub fn new(rate_per_sec: f64, seed: u64) -> PoissonArrivals {
+        assert!(rate_per_sec > 0.0);
+        PoissonArrivals {
+            rng: StdRng::seed_from_u64(seed),
+            rate_per_sec,
+        }
+    }
+
+    /// Next inter-arrival gap (exponential).
+    pub fn next_gap(&mut self) -> Duration {
+        let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        Duration::from_secs_f64(-u.ln() / self.rate_per_sec)
+    }
+}
+
+/// A demand curve for the Fig. 8 trace: concurrency swings between a peak
+/// and a trough over the window (the paper's 4-hour trace shows demand
+/// dropping from 44 concurrent queries to 8 and back).
+#[derive(Debug, Clone)]
+pub struct DemandCurve {
+    pub peak: usize,
+    pub trough: usize,
+    pub period: Duration,
+}
+
+impl DemandCurve {
+    /// Target concurrency at time `t` into the window: a raised cosine
+    /// starting at the peak, dipping to the trough mid-period.
+    pub fn target_at(&self, t: Duration) -> usize {
+        let phase = (t.as_secs_f64() / self.period.as_secs_f64()).clamp(0.0, 1.0);
+        let cos = (phase * std::f64::consts::TAU).cos(); // 1 → -1 → 1
+        let mid = (self.peak + self.trough) as f64 / 2.0;
+        let amp = (self.peak - self.trough) as f64 / 2.0;
+        (mid + amp * cos).round() as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_mean_gap_matches_rate() {
+        let mut p = PoissonArrivals::new(100.0, 1);
+        let total: f64 = (0..10_000).map(|_| p.next_gap().as_secs_f64()).sum();
+        let mean = total / 10_000.0;
+        assert!((mean - 0.01).abs() < 0.001, "mean={mean}");
+    }
+
+    #[test]
+    fn demand_curve_swings_peak_trough_peak() {
+        let c = DemandCurve {
+            peak: 44,
+            trough: 8,
+            period: Duration::from_secs(100),
+        };
+        assert_eq!(c.target_at(Duration::ZERO), 44);
+        assert_eq!(c.target_at(Duration::from_secs(50)), 8);
+        assert_eq!(c.target_at(Duration::from_secs(100)), 44);
+        let quarter = c.target_at(Duration::from_secs(25));
+        assert!(quarter > 8 && quarter < 44);
+    }
+}

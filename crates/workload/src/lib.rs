@@ -1,0 +1,21 @@
+//! Workloads: data generators, query sets, and arrival processes for the
+//! paper's evaluation (§II, §VI).
+//!
+//! * [`tpch`] — a TPC-H-style data generator (the DESIGN.md stand-in for
+//!   the paper's 30 TB TPC-DS corpus) that loads into any connector;
+//! * [`queries`] — the 19 star-schema queries labelled q09…q82 mirroring
+//!   the join/aggregation/window shapes of the paper's Fig. 6 TPC-DS
+//!   subset;
+//! * [`usecases`] — the four Table I workload generators (Interactive
+//!   Analytics, Batch ETL, A/B Testing, Developer/Advertiser Analytics);
+//! * [`arrivals`] — Poisson and time-varying arrival processes for the
+//!   Fig. 7 distribution and Fig. 8 utilization experiments.
+
+pub mod arrivals;
+pub mod queries;
+pub mod tpch;
+pub mod usecases;
+
+pub use queries::FIG6_QUERIES;
+pub use tpch::TpchGenerator;
+pub use usecases::UseCase;

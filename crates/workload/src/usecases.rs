@@ -1,0 +1,206 @@
+//! The four Table I use-case workload generators.
+//!
+//! | Use case | Duration | Shape | Connector |
+//! |---|---|---|---|
+//! | Developer/Advertiser Analytics | 50 ms – 5 s | selective joins/aggs/windows | sharded SQL |
+//! | A/B Testing | 1 s – 25 s | large co-located joins | Raptor |
+//! | Interactive Analytics | 10 s – 30 min | ad-hoc exploration | Hive/HDFS |
+//! | Batch ETL | 20 min – 5 h | transform + write | Hive/HDFS |
+//!
+//! Each generator samples SQL from the shape family of its use case; the
+//! absolute durations scale with the simulated data rather than matching
+//! the production numbers (DESIGN.md substitution), but the orderings in
+//! Fig. 7 are preserved.
+
+use presto_common::Session;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One of the paper's four production workloads (§II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UseCase {
+    DeveloperAdvertiser,
+    AbTesting,
+    Interactive,
+    BatchEtl,
+}
+
+impl UseCase {
+    pub fn label(&self) -> &'static str {
+        match self {
+            UseCase::DeveloperAdvertiser => "Dev/Advertiser Analytics",
+            UseCase::AbTesting => "A/B Testing",
+            UseCase::Interactive => "Interactive Analytics",
+            UseCase::BatchEtl => "Batch ETL",
+        }
+    }
+
+    /// The catalog each use case runs against (Table I's Connector column).
+    pub fn catalog(&self) -> &'static str {
+        match self {
+            UseCase::DeveloperAdvertiser => "sharded",
+            UseCase::AbTesting => "raptor",
+            UseCase::Interactive | UseCase::BatchEtl => "hive",
+        }
+    }
+
+    /// Session tuned per use case.
+    pub fn session(&self) -> Session {
+        let mut s = Session::for_catalog(self.catalog());
+        if *self == UseCase::BatchEtl {
+            // ETL favors phased scheduling for memory efficiency (§IV-D1).
+            s.scheduling_policy = presto_common::session::SchedulingPolicy::Phased;
+        }
+        s
+    }
+
+    pub fn all() -> [UseCase; 4] {
+        [
+            UseCase::DeveloperAdvertiser,
+            UseCase::AbTesting,
+            UseCase::Interactive,
+            UseCase::BatchEtl,
+        ]
+    }
+}
+
+/// Samples queries for one use case.
+pub struct WorkloadGenerator {
+    rng: StdRng,
+    pub use_case: UseCase,
+}
+
+impl WorkloadGenerator {
+    pub fn new(use_case: UseCase, seed: u64) -> WorkloadGenerator {
+        WorkloadGenerator {
+            rng: StdRng::seed_from_u64(seed),
+            use_case,
+        }
+    }
+
+    /// Next query text. Schemas referenced:
+    /// * sharded: `ads(ad_id, advertiser_id, clicks, spend, day)`
+    /// * raptor: `exposure(uid, test_id, v)`, `conversion(uid, test_id, v)`
+    /// * hive: the TPC-H tables.
+    pub fn next_query(&mut self) -> String {
+        let rng = &mut self.rng;
+        match self.use_case {
+            UseCase::DeveloperAdvertiser => {
+                // "queries are highly selective… joins, aggregations or
+                // window functions" (§II-D); restricted, programmatically
+                // generated shapes.
+                let advertiser = rng.gen_range(0..50);
+                match rng.gen_range(0..3) {
+                    0 => format!(
+                        "SELECT day, SUM(clicks), SUM(spend) FROM ads \
+                         WHERE advertiser_id = {advertiser} GROUP BY day ORDER BY day"
+                    ),
+                    1 => format!(
+                        "SELECT ad_id, c, rank() OVER (ORDER BY c DESC) AS r \
+                         FROM (SELECT ad_id, SUM(clicks) AS c FROM ads \
+                               WHERE advertiser_id = {advertiser} GROUP BY ad_id) t \
+                         ORDER BY c DESC LIMIT 20"
+                    ),
+                    _ => format!(
+                        "SELECT COUNT(*), AVG(spend) FROM ads WHERE advertiser_id = {advertiser} \
+                         AND clicks > {}",
+                        rng.gen_range(0..5)
+                    ),
+                }
+            }
+            UseCase::AbTesting => {
+                // "joining multiple large data sets … arbitrary slice and
+                // dice at interactive latency" (§II-C); co-located joins.
+                let test = rng.gen_range(0..20);
+                match rng.gen_range(0..2) {
+                    // Full-population join, sliced per test: "producing
+                    // results requires joining multiple large data sets".
+                    0 => "SELECT e.test_id, COUNT(*) AS exposures, SUM(c.v) AS conversions \
+                          FROM exposure e JOIN conversion c ON e.uid = c.uid \
+                          GROUP BY e.test_id"
+                        .to_string(),
+                    _ => format!(
+                        "SELECT e.uid, SUM(e.v) AS exposure_v, SUM(c.v) AS conv_v \
+                         FROM exposure e JOIN conversion c ON e.uid = c.uid \
+                         WHERE e.test_id = {test} \
+                         GROUP BY e.uid ORDER BY conv_v DESC LIMIT 100"
+                    ),
+                }
+            }
+            UseCase::Interactive => {
+                // Ad-hoc exploration over the warehouse (§II-A).
+                match rng.gen_range(0..4) {
+                    0 => "SELECT returnflag, linestatus, SUM(quantity), AVG(extendedprice) \
+                          FROM lineitem GROUP BY returnflag, linestatus"
+                        .to_string(),
+                    1 => format!(
+                        "SELECT o.orderpriority, COUNT(*), AVG(l.quantity) \
+                         FROM orders o JOIN lineitem l ON o.orderkey = l.orderkey \
+                         WHERE o.totalprice > {} GROUP BY o.orderpriority",
+                        rng.gen_range(100_000..300_000)
+                    ),
+                    2 => "SELECT c.mktsegment, SUM(o.totalprice) \
+                          FROM customer c JOIN orders o ON c.custkey = o.custkey \
+                          GROUP BY c.mktsegment ORDER BY 2 DESC"
+                        .to_string(),
+                    _ => format!(
+                        "SELECT shipmode, COUNT(*) FROM lineitem \
+                         WHERE discount >= 0.0{} GROUP BY shipmode",
+                        rng.gen_range(1..9)
+                    ),
+                }
+            }
+            UseCase::BatchEtl => {
+                // Large transform + aggregate jobs (§II-B); heaviest shapes.
+                match rng.gen_range(0..2) {
+                    0 => "SELECT l.suppkey, l.returnflag, SUM(l.extendedprice * (1.0 - l.discount)), \
+                          SUM(l.quantity), COUNT(*) \
+                          FROM lineitem l JOIN orders o ON l.orderkey = o.orderkey \
+                          GROUP BY l.suppkey, l.returnflag"
+                        .to_string(),
+                    _ => "SELECT o.custkey, COUNT(*), SUM(o.totalprice), MIN(o.orderdate), \
+                          MAX(o.orderdate) \
+                          FROM orders o JOIN lineitem l ON o.orderkey = l.orderkey \
+                          GROUP BY o.custkey"
+                        .to_string(),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        let mut a = WorkloadGenerator::new(UseCase::Interactive, 42);
+        let mut b = WorkloadGenerator::new(UseCase::Interactive, 42);
+        for _ in 0..10 {
+            assert_eq!(a.next_query(), b.next_query());
+        }
+    }
+
+    #[test]
+    fn sessions_point_at_the_right_catalog() {
+        assert_eq!(UseCase::AbTesting.session().catalog, "raptor");
+        assert_eq!(UseCase::BatchEtl.session().catalog, "hive");
+        assert_eq!(
+            UseCase::BatchEtl.session().scheduling_policy,
+            presto_common::session::SchedulingPolicy::Phased
+        );
+    }
+
+    #[test]
+    fn queries_parse() {
+        for use_case in UseCase::all() {
+            let mut g = WorkloadGenerator::new(use_case, 7);
+            for _ in 0..20 {
+                let sql = g.next_query();
+                presto_sql::parse_statement(&sql)
+                    .unwrap_or_else(|e| panic!("{}: {sql}: {e}", use_case.label()));
+            }
+        }
+    }
+}

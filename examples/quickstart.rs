@@ -1,0 +1,71 @@
+//! Quickstart: embed a cluster, load a table, run SQL.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use presto::common::{DataType, Schema, Value};
+use presto::PrestoEngine;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Start an embedded cluster (coordinator + 4 simulated workers) with a
+    // `memory` catalog pre-mounted.
+    let engine = PrestoEngine::builder().build()?;
+
+    // Load a little data.
+    let schema = Schema::of(&[
+        ("city", DataType::Varchar),
+        ("country", DataType::Varchar),
+        ("population", DataType::Bigint),
+    ]);
+    let rows: Vec<Vec<Value>> = vec![
+        vec![
+            Value::varchar("Tokyo"),
+            Value::varchar("JP"),
+            Value::Bigint(37_400_068),
+        ],
+        vec![
+            Value::varchar("Delhi"),
+            Value::varchar("IN"),
+            Value::Bigint(28_514_000),
+        ],
+        vec![
+            Value::varchar("Shanghai"),
+            Value::varchar("CN"),
+            Value::Bigint(25_582_000),
+        ],
+        vec![
+            Value::varchar("Osaka"),
+            Value::varchar("JP"),
+            Value::Bigint(19_281_000),
+        ],
+        vec![
+            Value::varchar("Mumbai"),
+            Value::varchar("IN"),
+            Value::Bigint(19_980_000),
+        ],
+    ];
+    engine.memory_connector().load_rows("cities", schema, &rows);
+    engine.memory_connector().analyze("cities")?;
+
+    // Run queries.
+    let result = engine.execute(
+        "SELECT country, COUNT(*) AS cities, SUM(population) AS people \
+         FROM cities GROUP BY country ORDER BY people DESC",
+    )?;
+    println!("country | cities | people");
+    println!("--------+--------+-----------");
+    for row in result.rows() {
+        println!("{:7} | {:6} | {}", row[0], row[1], row[2]);
+    }
+
+    // EXPLAIN shows the distributed plan (fragments + exchanges).
+    let plan = engine.execute("EXPLAIN SELECT country, COUNT(*) FROM cities GROUP BY country")?;
+    println!("\n{}", plan.rows()[0][0]);
+
+    println!(
+        "query took {:?} wall, {:?} cpu",
+        result.wall_time, result.cpu_time
+    );
+    Ok(())
+}

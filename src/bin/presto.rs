@@ -1,0 +1,123 @@
+//! presto-rs command line interface.
+//!
+//! An interactive SQL shell over an embedded cluster — the "first-class
+//! command line interface" of §IV-B1.
+//!
+//! ```sh
+//! cargo run --release --bin presto -- --tpch 0.01
+//! presto> SELECT returnflag, COUNT(*) FROM lineitem GROUP BY returnflag;
+//! presto> EXPLAIN SELECT custkey, SUM(totalprice) FROM orders GROUP BY custkey;
+//! presto> \q
+//! ```
+
+use presto::common::Value;
+use presto::workload::TpchGenerator;
+use presto::PrestoEngine;
+use std::io::{BufRead, Write};
+
+fn print_table(result: &presto::cluster::QueryResult) {
+    let columns = result.schema.len();
+    let headers: Vec<String> = result
+        .schema
+        .fields()
+        .iter()
+        .map(|f| f.name.clone())
+        .collect();
+    let rows = result.rows();
+    // Column widths.
+    let mut widths: Vec<usize> = headers.iter().map(String::len).collect();
+    let rendered: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            r.iter()
+                .enumerate()
+                .map(|(c, v)| {
+                    let s = match v {
+                        Value::Null => "NULL".to_string(),
+                        Value::Double(d) => format!("{d:.4}"),
+                        other => other.to_string(),
+                    };
+                    widths[c] = widths[c].max(s.len());
+                    s
+                })
+                .collect()
+        })
+        .collect();
+    let line = |widths: &[usize]| {
+        let mut s = String::from("+");
+        for w in widths {
+            s.push_str(&"-".repeat(w + 2));
+            s.push('+');
+        }
+        s
+    };
+    println!("{}", line(&widths));
+    print!("|");
+    for (c, h) in headers.iter().enumerate() {
+        print!(" {h:<width$} |", width = widths[c]);
+    }
+    println!("\n{}", line(&widths));
+    for row in &rendered {
+        print!("|");
+        for (c, v) in row.iter().enumerate() {
+            print!(" {v:<width$} |", width = widths[c]);
+        }
+        println!();
+    }
+    println!("{}", line(&widths));
+    println!(
+        "({} row{}, {:.1?} wall, {:.1?} cpu)",
+        rows.len(),
+        if rows.len() == 1 { "" } else { "s" },
+        result.wall_time,
+        result.cpu_time
+    );
+    let _ = columns;
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().collect();
+    let engine = PrestoEngine::builder().build()?;
+    if let Some(pos) = args.iter().position(|a| a == "--tpch") {
+        let scale: f64 = args
+            .get(pos + 1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0.01);
+        eprintln!("loading TPC-H tables at scale factor {scale} into catalog 'memory'…");
+        TpchGenerator::new(scale).load_memory(engine.memory_connector());
+        eprintln!("tables: region nation customer orders lineitem part supplier partsupp");
+    }
+    eprintln!("presto-rs shell — terminate statements with ';', '\\q' to quit");
+    let stdin = std::io::stdin();
+    let mut buffer = String::new();
+    loop {
+        if buffer.is_empty() {
+            eprint!("presto> ");
+        } else {
+            eprint!("     -> ");
+        }
+        std::io::stderr().flush().ok();
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line)? == 0 {
+            break; // EOF
+        }
+        let trimmed = line.trim();
+        if buffer.is_empty() && (trimmed == "\\q" || trimmed == "exit" || trimmed == "quit") {
+            break;
+        }
+        if trimmed.is_empty() {
+            continue;
+        }
+        buffer.push_str(&line);
+        if !buffer.trim_end().ends_with(';') {
+            continue;
+        }
+        let sql = buffer.trim().trim_end_matches(';').to_string();
+        buffer.clear();
+        match engine.execute(&sql) {
+            Ok(result) => print_table(&result),
+            Err(e) => eprintln!("{e}"),
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,35 @@
+//! presto-rs: a Rust reproduction of *Presto: SQL on Everything*
+//! (ICDE 2019).
+//!
+//! This umbrella crate re-exports the public API ([`PrestoEngine`]) and
+//! the underlying layers for direct use:
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`common`] | types, values, schemas, errors, sessions, statistics |
+//! | [`page`] | columnar pages and blocks (flat, RLE, dictionary, lazy) |
+//! | [`expr`] | expression IR, interpreter, compiled evaluator, aggregates |
+//! | [`sql`] | lexer, parser, AST |
+//! | [`connector`] | the Connector SPI (metadata/splits/source/sink/index) |
+//! | [`porc`] | the PORC columnar file format |
+//! | [`connectors`] | memory, Hive-like, Raptor-like, sharded-SQL, chaos |
+//! | [`planner`] | analyzer, optimizer, CBO, fragmenter |
+//! | [`exec`] | operators, pipelines, the driver loop |
+//! | [`shuffle`] | buffered in-memory exchanges |
+//! | [`cluster`] | coordinator, workers, MLFQ, memory pools, telemetry |
+//! | [`workload`] | TPC-H-style generator, Fig. 6 queries, Table I workloads |
+
+pub use presto_core::{PrestoEngine, QueryError};
+
+pub use presto_cluster as cluster;
+pub use presto_common as common;
+pub use presto_connector as connector;
+pub use presto_connectors as connectors;
+pub use presto_exec as exec;
+pub use presto_expr as expr;
+pub use presto_page as page;
+pub use presto_planner as planner;
+pub use presto_porc as porc;
+pub use presto_shuffle as shuffle;
+pub use presto_sql as sql;
+pub use presto_workload as workload;

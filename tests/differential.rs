@@ -1,0 +1,119 @@
+//! Differential correctness: the same query must produce identical results
+//! under every engine configuration — compiled vs interpreted expressions,
+//! lazy vs eager loading, compressed vs decoded processing, 1 vs 4 workers,
+//! broadcast vs partitioned joins, all-at-once vs phased scheduling, spill
+//! on vs off. This pins the semantics all the §V/§VI ablations rely on.
+
+use presto::cluster::{Cluster, ClusterConfig};
+use presto::common::{Session, Value};
+use presto::connector::{CatalogManager, Connector};
+use presto::connectors::MemoryConnector;
+use presto::workload::TpchGenerator;
+use std::sync::Arc;
+
+fn make_cluster(workers: usize) -> Cluster {
+    let mem = MemoryConnector::new();
+    TpchGenerator::new(0.002).load_memory(&mem);
+    let mut catalogs = CatalogManager::new();
+    catalogs.register("memory", mem as Arc<dyn Connector>);
+    Cluster::start(
+        ClusterConfig {
+            workers,
+            threads_per_worker: 2,
+            ..ClusterConfig::test()
+        },
+        catalogs,
+    )
+    .unwrap()
+}
+
+const QUERIES: &[&str] = &[
+    "SELECT returnflag, linestatus, COUNT(*), SUM(quantity), AVG(extendedprice) \
+     FROM lineitem GROUP BY returnflag, linestatus",
+    "SELECT o.orderpriority, COUNT(*) FROM orders o \
+     JOIN lineitem l ON o.orderkey = l.orderkey \
+     WHERE l.discount < 0.03 GROUP BY o.orderpriority",
+    "SELECT c.mktsegment, SUM(o.totalprice) FROM customer c \
+     JOIN orders o ON c.custkey = o.custkey GROUP BY c.mktsegment",
+    "SELECT suppkey, COUNT(*) AS n FROM lineitem GROUP BY suppkey \
+     HAVING COUNT(*) > 5 ORDER BY n DESC, suppkey LIMIT 20",
+    "SELECT shipmode, \
+     SUM(CASE WHEN quantity > 25 THEN 1 ELSE 0 END) AS big, \
+     SUM(CASE WHEN quantity <= 25 THEN 1 ELSE 0 END) AS small \
+     FROM lineitem GROUP BY shipmode",
+    "SELECT COUNT(DISTINCT partkey) FROM lineitem WHERE discount = 0.05",
+];
+
+fn run_sorted(cluster: &Cluster, sql: &str, session: &Session) -> Vec<Vec<Value>> {
+    let mut rows = cluster.execute_with_session(sql, session).unwrap().rows();
+    rows.sort();
+    rows
+}
+
+/// Equality modulo floating-point summation order: distributed plans sum
+/// doubles in different orders, so compare with a relative tolerance.
+fn rows_equal(a: &[Vec<Value>], b: &[Vec<Value>]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(ra, rb)| {
+            ra.len() == rb.len()
+                && ra.iter().zip(rb).all(|(x, y)| match (x, y) {
+                    (Value::Double(p), Value::Double(q)) => {
+                        let scale = p.abs().max(q.abs()).max(1.0);
+                        (p - q).abs() <= scale * 1e-9
+                    }
+                    _ => x == y,
+                })
+        })
+}
+
+#[test]
+fn results_invariant_across_configurations() {
+    let reference_cluster = make_cluster(1);
+    let wide_cluster = make_cluster(4);
+    let base = Session::for_catalog("memory");
+
+    // Configuration axes.
+    let mut sessions: Vec<(String, Session)> = Vec::new();
+    sessions.push(("baseline".into(), base.clone()));
+    let mut s = base.clone();
+    s.compiled_expressions = false;
+    sessions.push(("interpreted".into(), s));
+    let mut s = base.clone();
+    s.lazy_loading = false;
+    sessions.push(("eager".into(), s));
+    let mut s = base.clone();
+    s.process_compressed = false;
+    sessions.push(("decoded".into(), s));
+    let mut s = base.clone();
+    s.join_distribution = presto::common::session::JoinDistribution::Broadcast;
+    sessions.push(("broadcast".into(), s));
+    let mut s = base.clone();
+    s.join_distribution = presto::common::session::JoinDistribution::Partitioned;
+    sessions.push(("partitioned".into(), s));
+    let mut s = base.clone();
+    s.scheduling_policy = presto::common::session::SchedulingPolicy::Phased;
+    sessions.push(("phased".into(), s));
+    let mut s = base.clone();
+    s.spill_enabled = true;
+    sessions.push(("spill".into(), s));
+    let mut s = base.clone();
+    s.join_reordering = false;
+    sessions.push(("no-cbo".into(), s));
+
+    for sql in QUERIES {
+        let expected = run_sorted(&reference_cluster, sql, &base);
+        assert!(!expected.is_empty(), "reference produced no rows for {sql}");
+        for (name, session) in &sessions {
+            let narrow = run_sorted(&reference_cluster, sql, session);
+            assert!(
+                rows_equal(&narrow, &expected),
+                "config '{name}' on 1 worker diverged for: {sql}\n{narrow:?}\nvs\n{expected:?}"
+            );
+            let wide = run_sorted(&wide_cluster, sql, session);
+            assert!(
+                rows_equal(&wide, &expected),
+                "config '{name}' on 4 workers diverged for: {sql}\n{wide:?}\nvs\n{expected:?}"
+            );
+        }
+    }
+}
