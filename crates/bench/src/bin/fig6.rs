@@ -13,7 +13,10 @@
 //! cargo run --release -p presto-bench --bin fig6
 //! ```
 
-use presto_bench::{bench_config, geomean, ms, scale_factor, scratch_dir, worker_count};
+use presto_bench::{
+    bench_config, geomean, ms, print_cache_summary, scale_factor, scratch_dir, worker_count,
+};
+use presto_cache::MetadataCache;
 use presto_cluster::Cluster;
 use presto_common::{NodeId, Session};
 use presto_connector::{CatalogManager, Connector};
@@ -33,24 +36,26 @@ fn main() {
     println!("paper: Fig. 6 — Raptor < Hive+stats < Hive(no stats)\n");
 
     let generator = TpchGenerator::new(scale);
+    let cache = MetadataCache::new(config.cache.clone());
     // Raptor: shared-nothing local storage, bucketed on join keys.
-    let raptor = RaptorConnector::new(
+    let raptor = RaptorConnector::with_cache(
         dir.join("raptor"),
         (0..config.workers as u32).map(NodeId).collect::<Vec<_>>(),
+        Arc::clone(&cache),
     )
     .expect("raptor");
     generator
         .load_raptor(&raptor, config.workers * 2)
         .expect("load raptor");
     // Hive: shared storage with simulated remote-read latency.
-    let hive = HiveConnector::new(dir.join("hive")).expect("hive");
+    let hive = HiveConnector::with_cache(dir.join("hive"), Arc::clone(&cache)).expect("hive");
     generator.load_hive(&hive).expect("load hive");
     hive.set_read_latency(Duration::from_micros(300));
 
     let mut catalogs = CatalogManager::new();
     catalogs.register("raptor", Arc::clone(&raptor) as Arc<dyn Connector>);
     catalogs.register("hive", Arc::clone(&hive) as Arc<dyn Connector>);
-    let cluster = Cluster::start(config, catalogs).expect("cluster");
+    let cluster = Cluster::start_with_cache(config, catalogs, cache).expect("cluster");
 
     let run = |label: &str, sql: &str, session: &Session| -> Duration {
         match cluster.execute_with_session(sql, session) {
@@ -101,5 +106,7 @@ fn main() {
         geomean(&ratios_stats)
     );
     println!("\nexpected shape (paper): Raptor fastest; statistics close much of the gap.");
+    println!();
+    print_cache_summary(&cluster);
     std::fs::remove_dir_all(&dir).ok();
 }

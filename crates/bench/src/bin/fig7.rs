@@ -10,7 +10,7 @@
 //! cargo run --release -p presto-bench --bin fig7
 //! ```
 
-use presto_bench::{percentile, scale_factor, BenchCluster};
+use presto_bench::{percentile, print_cache_summary, scale_factor, BenchCluster};
 use presto_workload::usecases::{UseCase, WorkloadGenerator};
 use std::time::Duration;
 
@@ -95,4 +95,6 @@ fn main() {
     }
     println!("\nexpected shape (paper): Dev/Advertiser fastest, then A/B Testing,");
     println!("then Interactive Analytics, with Batch ETL slowest by a wide margin.");
+    println!();
+    print_cache_summary(&fixture.cluster);
 }

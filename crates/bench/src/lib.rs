@@ -6,6 +6,7 @@
 //! fixtures (one per connector configuration in Table I) and small stats
 //! helpers.
 
+use presto_cache::MetadataCache;
 use presto_cluster::{Cluster, ClusterConfig};
 use presto_common::NodeId;
 use presto_connector::{CatalogManager, Connector};
@@ -69,17 +70,22 @@ impl BenchCluster {
         let memory = MemoryConnector::new();
         generator.load_memory(&memory);
 
-        let hive = HiveConnector::new(dir.join("hive")).expect("hive");
+        // One engine-wide metadata cache, shared by every connector and
+        // charged against the cluster's worker pools at start.
+        let cache = MetadataCache::new(config.cache.clone());
+
+        let hive = HiveConnector::with_cache(dir.join("hive"), Arc::clone(&cache)).expect("hive");
         generator.load_hive(&hive).expect("load hive");
 
         let nodes: Vec<NodeId> = (0..config.workers as u32).map(NodeId).collect();
-        let raptor = RaptorConnector::new(dir.join("raptor"), nodes).expect("raptor");
+        let raptor = RaptorConnector::with_cache(dir.join("raptor"), nodes, Arc::clone(&cache))
+            .expect("raptor");
         generator
             .load_raptor(&raptor, config.workers * 2)
             .expect("load raptor");
         load_abtest_tables(&raptor, scale);
 
-        let sharded = ShardedSqlConnector::new(8);
+        let sharded = ShardedSqlConnector::with_cache(8, Arc::clone(&cache));
         load_ads_table(&sharded, scale);
 
         let mut catalogs = CatalogManager::new();
@@ -87,7 +93,7 @@ impl BenchCluster {
         catalogs.register("hive", Arc::clone(&hive) as Arc<dyn Connector>);
         catalogs.register("raptor", Arc::clone(&raptor) as Arc<dyn Connector>);
         catalogs.register("sharded", Arc::clone(&sharded) as Arc<dyn Connector>);
-        let cluster = Cluster::start(config, catalogs).expect("cluster");
+        let cluster = Cluster::start_with_cache(config, catalogs, cache).expect("cluster");
         BenchCluster {
             cluster,
             hive,
@@ -190,6 +196,30 @@ pub fn geomean(values: &[f64]) -> f64 {
 /// Fixed-width milliseconds for tables.
 pub fn ms(d: Duration) -> String {
     format!("{:.1}", d.as_secs_f64() * 1000.0)
+}
+
+/// One summary line per metadata-cache layer, from cluster telemetry.
+pub fn print_cache_summary(cluster: &Cluster) {
+    for (name, c) in cluster.telemetry().cache_counters_by_layer() {
+        println!(
+            "cache {name:<16} hits {:>6}  misses {:>6}  hit_rate {:>5.1}%  evictions {:>4}  bytes {:>9}",
+            c.hits,
+            c.misses,
+            c.hit_rate() * 100.0,
+            c.evictions,
+            c.bytes,
+        );
+    }
+    let total = cluster.telemetry().cache_counters();
+    println!(
+        "cache {:<16} hits {:>6}  misses {:>6}  hit_rate {:>5.1}%  evictions {:>4}  bytes {:>9}",
+        "TOTAL",
+        total.hits,
+        total.misses,
+        total.hit_rate() * 100.0,
+        total.evictions,
+        total.bytes,
+    );
 }
 
 #[cfg(test)]

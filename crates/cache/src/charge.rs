@@ -1,0 +1,49 @@
+//! Memory-accounting hook: caches report retained-byte deltas to whoever
+//! owns the memory pools.
+//!
+//! §IV-F2: "All non-trivial memory allocations in Presto must be
+//! classified as user or system memory, and reserve memory in the
+//! corresponding memory pool." Cache memory is *system* memory — it
+//! belongs to no query — so the cluster installs a charger that forwards
+//! deltas into the node pools' general pool, shrinking query headroom and
+//! letting cache growth participate in reserved-pool arbitration.
+
+/// Receives retained-byte deltas (positive on insert, negative on
+/// eviction/invalidation). Implementations must be cheap and must never
+/// call back into the cache (charge runs under a shard lock).
+pub trait MemoryCharger: Send + Sync {
+    fn charge(&self, delta: i64);
+}
+
+/// Default charger: cache memory is unaccounted (standalone embedding).
+#[derive(Debug, Default)]
+pub struct NoopCharger;
+
+impl MemoryCharger for NoopCharger {
+    fn charge(&self, _delta: i64) {}
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicI64, Ordering};
+    use std::sync::Arc;
+
+    pub(crate) struct Ledger(pub AtomicI64);
+
+    impl MemoryCharger for Ledger {
+        fn charge(&self, delta: i64) {
+            self.0.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn charger_accumulates_deltas() {
+        let ledger = Arc::new(Ledger(AtomicI64::new(0)));
+        let c: Arc<dyn MemoryCharger> = ledger.clone();
+        c.charge(128);
+        c.charge(-28);
+        assert_eq!(ledger.0.load(Ordering::Relaxed), 100);
+    }
+}

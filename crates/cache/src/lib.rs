@@ -1,0 +1,40 @@
+//! presto-cache: the unified metadata caching subsystem.
+//!
+//! Presto's warm-query latency at production scale is dominated by
+//! repeated metadata work: the coordinator re-reads metastore statistics
+//! on every planning cycle (§IV-B) and workers re-parse file footers
+//! (stripe min/max + Bloom statistics, §V-C) on every split. "Metadata
+//! Caching in Presto" (Wang et al.) shows multi-layer caching of metastore
+//! and file metadata is the single biggest lever for warm-query latency.
+//!
+//! This crate provides one generic building block and three production
+//! layers mounted on it:
+//!
+//! * [`ShardedCache`] — an N-way sharded concurrent cache. Each shard is a
+//!   `parking_lot::Mutex` over an LRU map with per-entry byte weights,
+//!   capacity + TTL eviction, explicit invalidation, and
+//!   hit/miss/eviction/insert counters ([`CacheStats`]).
+//! * [`MetadataCache`] — the facade bundling:
+//!   1. a **metastore cache** for table schemas and
+//!      [`presto_common::TableStatistics`] (write-through invalidated by
+//!      sinks),
+//!   2. a **PORC footer cache** keyed by `(path, file_len)` so stripe
+//!      statistics are parsed once per file instead of once per split,
+//!   3. a **split-listing cache** for completed split enumerations of
+//!      tables that have not been written since.
+//!
+//! Cache memory participates in the paper's §IV-F2 memory arbitration: a
+//! [`MemoryCharger`] installed by the cluster charges every byte the cache
+//! retains as *system* memory against the node pools, so cache growth
+//! shrinks query headroom exactly like any other system allocation, and
+//! all counters surface through cluster telemetry.
+
+pub mod charge;
+pub mod metadata;
+pub mod sharded;
+pub mod stats;
+
+pub use charge::{MemoryCharger, NoopCharger};
+pub use metadata::{FooterKey, MetadataCache, MetadataCacheConfig, SplitListKey};
+pub use sharded::{CacheConfig, ShardedCache};
+pub use stats::{CacheCounters, CacheStats};

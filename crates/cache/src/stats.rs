@@ -1,0 +1,127 @@
+//! Hit/miss/eviction/insert counters, shared by every cache layer.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// Live counters for one cache. Cheap to share (`Arc`), lock-free to
+/// update; telemetry snapshots them via [`CacheStats::counters`].
+#[derive(Debug, Default)]
+pub struct CacheStats {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    expirations: AtomicU64,
+    inserts: AtomicU64,
+    invalidations: AtomicU64,
+    /// Weighted bytes currently retained.
+    bytes: AtomicI64,
+}
+
+/// A point-in-time copy of a cache's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheCounters {
+    pub hits: u64,
+    pub misses: u64,
+    /// Capacity evictions (LRU) plus TTL expirations.
+    pub evictions: u64,
+    pub inserts: u64,
+    pub invalidations: u64,
+    pub bytes: u64,
+}
+
+impl CacheCounters {
+    /// Merge counters from another cache layer (for combined telemetry).
+    pub fn merge(&self, other: &CacheCounters) -> CacheCounters {
+        CacheCounters {
+            hits: self.hits + other.hits,
+            misses: self.misses + other.misses,
+            evictions: self.evictions + other.evictions,
+            inserts: self.inserts + other.inserts,
+            invalidations: self.invalidations + other.invalidations,
+            bytes: self.bytes + other.bytes,
+        }
+    }
+
+    /// Hit fraction in [0, 1]; 0 when the cache was never consulted.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+impl CacheStats {
+    pub fn record_hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_eviction(&self) {
+        self.evictions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_expiration(&self) {
+        self.expirations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_insert(&self) {
+        self.inserts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_invalidation(&self) {
+        self.invalidations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn add_bytes(&self, delta: i64) {
+        self.bytes.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    pub fn bytes(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed).max(0) as u64
+    }
+
+    pub fn counters(&self) -> CacheCounters {
+        CacheCounters {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed)
+                + self.expirations.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+            bytes: self.bytes(),
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_snapshot_and_merge() {
+        let s = CacheStats::default();
+        s.record_hit();
+        s.record_hit();
+        s.record_miss();
+        s.record_insert();
+        s.record_eviction();
+        s.record_expiration();
+        s.add_bytes(100);
+        s.add_bytes(-40);
+        let c = s.counters();
+        assert_eq!(c.hits, 2);
+        assert_eq!(c.misses, 1);
+        assert_eq!(c.evictions, 2, "evictions fold in TTL expirations");
+        assert_eq!(c.bytes, 60);
+        assert!((c.hit_rate() - 2.0 / 3.0).abs() < 1e-9);
+        let merged = c.merge(&c);
+        assert_eq!(merged.hits, 4);
+        assert_eq!(merged.bytes, 120);
+    }
+}

@@ -1,0 +1,88 @@
+//! Property tests: a single-shard cache against a reference LRU model.
+#![allow(clippy::unwrap_used)]
+
+use presto_cache::{CacheConfig, ShardedCache};
+use proptest::prelude::*;
+
+const CAPACITY: u64 = 100;
+
+/// Reference model: entries most-recent-last, evicting from the front
+/// while over capacity, skipping inserts heavier than the whole cache.
+#[derive(Default)]
+struct ModelLru {
+    entries: Vec<(u64, u64)>,
+}
+
+impl ModelLru {
+    fn bytes(&self) -> u64 {
+        self.entries.iter().map(|&(_, w)| w).sum()
+    }
+
+    fn insert(&mut self, key: u64, weight: u64) {
+        if weight > CAPACITY {
+            return;
+        }
+        self.entries.retain(|&(k, _)| k != key);
+        while self.bytes() + weight > CAPACITY {
+            self.entries.remove(0);
+        }
+        self.entries.push((key, weight));
+    }
+
+    fn get(&mut self, key: u64) -> bool {
+        let Some(pos) = self.entries.iter().position(|&(k, _)| k == key) else {
+            return false;
+        };
+        let entry = self.entries.remove(pos);
+        self.entries.push(entry);
+        true
+    }
+
+    fn invalidate(&mut self, key: u64) {
+        self.entries.retain(|&(k, _)| k != key);
+    }
+}
+
+proptest! {
+    /// Every op sequence leaves the cache agreeing with the model on
+    /// membership, entry count, and weighted bytes — and the weighted
+    /// size never exceeds capacity at any point.
+    #[test]
+    fn matches_reference_lru_model(
+        ops in proptest::collection::vec((0u8..3, 0u64..8, 1u64..120), 0..100),
+    ) {
+        let cache: ShardedCache<u64, u64> = ShardedCache::new(CacheConfig {
+            shards: 1,
+            capacity_bytes: CAPACITY,
+            ttl: None,
+        });
+        let mut model = ModelLru::default();
+        for (kind, key, weight) in ops {
+            match kind {
+                0 => {
+                    cache.insert(key, key * 1000 + weight, weight);
+                    model.insert(key, weight);
+                }
+                1 => {
+                    let hit = cache.get(&key).is_some();
+                    prop_assert_eq!(hit, model.get(key), "get({}) membership", key);
+                }
+                _ => {
+                    cache.invalidate(&key);
+                    model.invalidate(key);
+                }
+            }
+            prop_assert!(
+                cache.total_bytes() <= CAPACITY,
+                "weighted size {} exceeds capacity",
+                cache.total_bytes()
+            );
+            prop_assert_eq!(cache.total_bytes(), model.bytes());
+            prop_assert_eq!(cache.len(), model.entries.len());
+        }
+        // Final membership matches exactly (strict LRU eviction order).
+        for &(key, weight) in &model.entries {
+            prop_assert_eq!(cache.get(&key), Some(key * 1000 + weight));
+        }
+    }
+}

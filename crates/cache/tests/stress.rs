@@ -1,0 +1,87 @@
+//! Multi-threaded stress: readers race writers, invalidation, and
+//! eviction; a reader must never observe an entry that was invalidated
+//! before its floor was raised.
+#![allow(clippy::unwrap_used)]
+
+use presto_cache::{CacheConfig, ShardedCache};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+const KEYS: usize = 16;
+
+/// Per key: one mutator inserts monotonically increasing generations and
+/// occasionally invalidates, raising that key's *floor* (the lowest
+/// generation a reader may still observe) strictly after the invalidate.
+/// Readers assert every observed value is at or above the floor read
+/// *before* the lookup — so a stale (pre-invalidation) entry that
+/// resurfaces is caught deterministically.
+#[test]
+fn readers_never_observe_invalidated_entries() {
+    // Small capacity → constant LRU churn alongside the invalidations.
+    let cache: Arc<ShardedCache<usize, u64>> = Arc::new(ShardedCache::new(CacheConfig {
+        shards: 4,
+        capacity_bytes: 2048,
+        ttl: None,
+    }));
+    let global_gen = Arc::new(AtomicU64::new(1));
+    let floors: Arc<Vec<AtomicU64>> = Arc::new((0..KEYS).map(|_| AtomicU64::new(0)).collect());
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let mut handles = Vec::new();
+    for key in 0..KEYS {
+        let cache = Arc::clone(&cache);
+        let global_gen = Arc::clone(&global_gen);
+        let floors = Arc::clone(&floors);
+        let stop = Arc::clone(&stop);
+        handles.push(std::thread::spawn(move || {
+            let mut iter = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let g = global_gen.fetch_add(1, Ordering::Relaxed);
+                cache.insert(key, g, 64 + (iter % 5) * 16);
+                if iter.is_multiple_of(7) {
+                    cache.invalidate(&key);
+                    // Raise the floor only after the invalidate completed:
+                    // any later insert carries a generation > g.
+                    floors[key].store(g + 1, Ordering::Release);
+                }
+                iter += 1;
+            }
+        }));
+    }
+    for t in 0..4 {
+        let cache = Arc::clone(&cache);
+        let floors = Arc::clone(&floors);
+        let stop = Arc::clone(&stop);
+        handles.push(std::thread::spawn(move || {
+            let mut key = t;
+            while !stop.load(Ordering::Relaxed) {
+                key = (key * 31 + 7) % KEYS;
+                let floor = floors[key].load(Ordering::Acquire);
+                if let Some(v) = cache.get(&key) {
+                    assert!(
+                        v >= floor,
+                        "stale entry after invalidation: key {key} gen {v} < floor {floor}"
+                    );
+                }
+            }
+        }));
+    }
+    std::thread::sleep(Duration::from_millis(300));
+    stop.store(true, Ordering::Relaxed);
+    for h in handles {
+        h.join().unwrap();
+    }
+    // Weighted size stayed within bounds through all the churn.
+    assert!(cache.total_bytes() <= cache.capacity_bytes());
+
+    // Quiesced: invalidate everything, nothing must remain.
+    for key in 0..KEYS {
+        cache.invalidate(&key);
+    }
+    for key in 0..KEYS {
+        assert_eq!(cache.get(&key), None);
+    }
+    assert_eq!(cache.total_bytes(), 0);
+    assert!(cache.is_empty());
+}

@@ -1,12 +1,13 @@
 //! The embedding facade: start a cluster, run SQL.
 
+use presto_cache::MetadataCache;
 use presto_common::{NodeId, Result, Session};
 use presto_connector::CatalogManager;
 use std::sync::Arc;
 
 use crate::config::ClusterConfig;
 use crate::coordinator::{Coordinator, QueryError, QueryOutput};
-use crate::memory::{NodeMemoryPool, ReservedPoolLock};
+use crate::memory::{NodeMemoryPool, PoolSystemCharger, ReservedPoolLock};
 use crate::telemetry::ClusterTelemetry;
 use crate::worker::Worker;
 
@@ -17,11 +18,28 @@ pub type QueryResult = QueryOutput;
 pub struct Cluster {
     coordinator: Arc<Coordinator>,
     workers: Vec<Arc<Worker>>,
+    cache: Arc<MetadataCache>,
 }
 
 impl Cluster {
-    /// Start a cluster with the given catalogs mounted.
+    /// Start a cluster with the given catalogs mounted. The metadata cache
+    /// is built from `config.cache`; connectors that should share it must
+    /// be constructed with the same cache — use
+    /// [`start_with_cache`](Self::start_with_cache) for that.
     pub fn start(config: ClusterConfig, catalogs: CatalogManager) -> Result<Cluster> {
+        let cache = MetadataCache::new(config.cache.clone());
+        Self::start_with_cache(config, catalogs, cache)
+    }
+
+    /// Start a cluster around an existing [`MetadataCache`] (typically the
+    /// one the connectors were built with). The cache's retained bytes are
+    /// charged as system memory against every worker's general pool, and
+    /// its per-layer counters are registered with cluster telemetry.
+    pub fn start_with_cache(
+        config: ClusterConfig,
+        catalogs: CatalogManager,
+        cache: Arc<MetadataCache>,
+    ) -> Result<Cluster> {
         config.validate()?;
         let telemetry = ClusterTelemetry::new(config.workers);
         let reserved = ReservedPoolLock::new();
@@ -43,6 +61,14 @@ impl Cluster {
                 )
             })
             .collect();
+        // Wire cache memory into the worker pools and its counters into
+        // telemetry. `set_charger` transfers the balance already retained.
+        cache.set_charger(Arc::new(PoolSystemCharger::new(
+            workers.iter().map(|w| Arc::clone(&w.pool)).collect(),
+        )));
+        for (name, stats) in cache.stats_handles() {
+            telemetry.register_cache(name, stats);
+        }
         let coordinator = Arc::new(Coordinator::new(
             config,
             catalogs,
@@ -53,7 +79,19 @@ impl Cluster {
         Ok(Cluster {
             coordinator,
             workers,
+            cache,
         })
+    }
+
+    /// The metadata cache shared by this cluster (and any connectors built
+    /// around the same instance).
+    pub fn metadata_cache(&self) -> &Arc<MetadataCache> {
+        &self.cache
+    }
+
+    /// Per-worker node-level system memory (cache retention), in bytes.
+    pub fn worker_system_memory(&self) -> Vec<i64> {
+        self.workers.iter().map(|w| w.pool.system_bytes()).collect()
     }
 
     /// Execute SQL with the default session, blocking until completion.

@@ -3,6 +3,7 @@
 //! §VII "Static configuration": configuration is fixed at startup and
 //! validated loudly; per-query knobs live in [`presto_common::Session`].
 
+use presto_cache::MetadataCacheConfig;
 use std::time::Duration;
 
 /// Shape and limits of a simulated cluster.
@@ -50,6 +51,10 @@ pub struct ClusterConfig {
     pub max_writer_tasks: usize,
     /// Output-buffer utilization above which a writer task is added.
     pub writer_scale_up_threshold: f64,
+    /// Metadata-cache sizing: metastore (schemas + statistics), PORC
+    /// footers, and split listings (§IV-B, §V-C). Retained bytes are
+    /// charged as system memory against every worker's general pool.
+    pub cache: MetadataCacheConfig,
 }
 
 impl Default for ClusterConfig {
@@ -71,6 +76,7 @@ impl Default for ClusterConfig {
             max_queued_splits_per_task: 32,
             max_writer_tasks: 4,
             writer_scale_up_threshold: 0.5,
+            cache: MetadataCacheConfig::default(),
         }
     }
 }

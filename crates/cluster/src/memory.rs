@@ -112,6 +112,11 @@ pub struct NodeMemoryPool {
     limits: Mutex<HashMap<QueryId, Arc<QueryMemoryLimits>>>,
     /// Count of reservation attempts that blocked (telemetry).
     blocked_reservations: AtomicI64,
+    /// Node-level *system* memory not owned by any query — metadata and
+    /// footer caches. It consumes general-pool headroom so that cached
+    /// bytes participate in §IV-F2 arbitration, but never blocks or kills:
+    /// caches bound themselves by eviction.
+    system_used: AtomicI64,
 }
 
 impl NodeMemoryPool {
@@ -135,7 +140,22 @@ impl NodeMemoryPool {
             reserved,
             limits: Mutex::new(HashMap::new()),
             blocked_reservations: AtomicI64::new(0),
+            system_used: AtomicI64::new(0),
         })
+    }
+
+    /// Charge (or release, negative `delta`) node-level system memory that
+    /// belongs to no query, e.g. cache retention. Never blocks: the caller
+    /// is expected to bound itself (caches evict at capacity), this call
+    /// only makes the bytes visible to general-pool arbitration.
+    pub fn reserve_system(&self, delta: i64) {
+        self.system_used.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Node-level system memory currently charged via
+    /// [`reserve_system`](Self::reserve_system).
+    pub fn system_bytes(&self) -> i64 {
+        self.system_used.load(Ordering::Relaxed)
     }
 
     /// Register a query's limits before its tasks run on this node.
@@ -163,10 +183,12 @@ impl NodeMemoryPool {
         self.reserved.release(query);
     }
 
-    /// Current general-pool utilization in [0, 1+].
+    /// Current general-pool utilization in [0, 1+], including node-level
+    /// system memory (cache retention), which shares general headroom.
     pub fn general_utilization(&self) -> f64 {
         let state = self.state.lock();
-        state.general_used as f64 / self.general_limit.max(1) as f64
+        let used = state.general_used + self.system_used.load(Ordering::Relaxed);
+        used as f64 / self.general_limit.max(1) as f64
     }
 
     pub fn blocked_reservations(&self) -> i64 {
@@ -234,12 +256,14 @@ impl MemoryPool for NodeMemoryPool {
             *limits.killed.lock() = Some(msg.clone());
             return Err(PrestoError::resources(msg));
         }
-        // Which pool does this query charge?
+        // Which pool does this query charge? Node-level system memory
+        // (cache retention) shares the general pool's headroom.
+        let cache_system = self.system_used.load(Ordering::Relaxed);
         let in_reserved = self.reserved.owner() == Some(query);
         let (used, limit) = if in_reserved {
             (state.reserved_used, self.reserved_limit)
         } else {
-            (state.general_used, self.general_limit)
+            (state.general_used + cache_system, self.general_limit)
         };
         if total_delta > 0 && used + total_delta > limit {
             if !in_reserved {
@@ -270,7 +294,7 @@ impl MemoryPool for NodeMemoryPool {
                         let (used2, limit2) = if in_reserved_now {
                             (state.reserved_used, self.reserved_limit)
                         } else {
-                            (state.general_used, self.general_limit)
+                            (state.general_used + cache_system, self.general_limit)
                         };
                         if used2 + total_delta <= limit2 {
                             let usage = state.per_query.entry(query).or_default();
@@ -309,6 +333,29 @@ impl MemoryPool for NodeMemoryPool {
         }
         limits.global_user.fetch_add(user_delta, Ordering::Relaxed);
         Ok(ReservationResult::Granted)
+    }
+}
+
+/// Bridges the metadata cache's retained-byte accounting into the worker
+/// pools: every byte the cache retains is charged as *system* memory on
+/// every node. (The production deployment caches footers independently on
+/// each worker; our single-process cache is conceptually replicated, so
+/// the full balance lands on each pool.)
+pub struct PoolSystemCharger {
+    pools: Vec<Arc<NodeMemoryPool>>,
+}
+
+impl PoolSystemCharger {
+    pub fn new(pools: Vec<Arc<NodeMemoryPool>>) -> PoolSystemCharger {
+        PoolSystemCharger { pools }
+    }
+}
+
+impl presto_cache::MemoryCharger for PoolSystemCharger {
+    fn charge(&self, delta: i64) {
+        for pool in &self.pools {
+            pool.reserve_system(delta);
+        }
     }
 }
 
@@ -409,6 +456,31 @@ mod tests {
         pool.register_query(limits(3));
         let err = pool.reserve(QueryId(3), 50, 0).unwrap_err();
         assert_eq!(err.code, presto_common::ErrorCode::InsufficientResources);
+    }
+
+    #[test]
+    fn system_memory_consumes_general_headroom() {
+        let (pool, _) = setup(100, 1000, false);
+        pool.register_query(limits(1));
+        // Cache retention takes 60 of the 100-byte general pool.
+        pool.reserve_system(60);
+        assert_eq!(pool.system_bytes(), 60);
+        assert!((pool.general_utilization() - 0.6).abs() < 1e-9);
+        // A query can use the remaining 40 but not more: the next
+        // reservation trips arbitration (promotion to reserved succeeds
+        // here, so it is granted from the reserved pool).
+        assert!(matches!(
+            pool.reserve(QueryId(1), 40, 0),
+            Ok(ReservationResult::Granted)
+        ));
+        assert!(matches!(
+            pool.reserve(QueryId(1), 10, 0),
+            Ok(ReservationResult::Granted)
+        ));
+        assert_eq!(pool.reserved.owner(), Some(QueryId(1)));
+        // Releasing the cache bytes restores headroom.
+        pool.reserve_system(-60);
+        assert_eq!(pool.system_bytes(), 0);
     }
 
     #[test]

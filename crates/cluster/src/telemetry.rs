@@ -6,6 +6,7 @@
 //! per-query lifecycle timestamps, and error counters by code.
 
 use parking_lot::Mutex;
+use presto_cache::{CacheCounters, CacheStats};
 use presto_common::QueryId;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -33,6 +34,10 @@ struct Inner {
     queries: Mutex<HashMap<QueryId, QueryRecord>>,
     /// Errors by code tag.
     errors: Mutex<HashMap<&'static str, u64>>,
+    /// Cache-layer counters registered at cluster start: each entry is a
+    /// named layer ("porc_footer", "metastore_stats", …) exporting its
+    /// live [`CacheStats`] handle.
+    caches: Mutex<Vec<(&'static str, Arc<CacheStats>)>>,
 }
 
 /// Lifecycle record for one query.
@@ -70,6 +75,7 @@ impl ClusterTelemetry {
                 failed_queries: AtomicU64::new(0),
                 queries: Mutex::new(HashMap::new()),
                 errors: Mutex::new(HashMap::new()),
+                caches: Mutex::new(Vec::new()),
             }),
         }
     }
@@ -166,6 +172,31 @@ impl ClusterTelemetry {
 
     pub fn errors(&self) -> HashMap<&'static str, u64> {
         self.inner.errors.lock().clone()
+    }
+
+    /// Export a cache layer's live counters under `name`.
+    pub fn register_cache(&self, name: &'static str, stats: Arc<CacheStats>) {
+        self.inner.caches.lock().push((name, stats));
+    }
+
+    /// Merged counters across every registered cache layer.
+    pub fn cache_counters(&self) -> CacheCounters {
+        let caches = self.inner.caches.lock();
+        let mut total = CacheCounters::default();
+        for (_, stats) in caches.iter() {
+            total = total.merge(&stats.counters());
+        }
+        total
+    }
+
+    /// Counter snapshot per registered cache layer.
+    pub fn cache_counters_by_layer(&self) -> Vec<(&'static str, CacheCounters)> {
+        self.inner
+            .caches
+            .lock()
+            .iter()
+            .map(|(name, stats)| (*name, stats.counters()))
+            .collect()
     }
 }
 

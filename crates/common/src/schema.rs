@@ -5,7 +5,7 @@ use crate::types::DataType;
 use std::fmt;
 
 /// One column of a schema.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Field {
     pub name: String,
     pub data_type: DataType,
@@ -22,7 +22,7 @@ impl Field {
 
 /// An ordered list of fields. Column name lookup is case-insensitive, like
 /// the SQL dialect; positional access is used on the execution hot path.
-#[derive(Debug, Clone, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Schema {
     fields: Vec<Field>,
 }

@@ -12,7 +12,7 @@
 use crate::value::Value;
 
 /// A possibly-unknown non-negative estimate.
-#[derive(Debug, Clone, Copy, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Estimate(Option<f64>);
 
 impl Estimate {

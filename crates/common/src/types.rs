@@ -9,7 +9,7 @@
 use std::fmt;
 
 /// A scalar SQL data type.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DataType {
     Boolean,
     Bigint,

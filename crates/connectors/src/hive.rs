@@ -17,6 +17,7 @@
 //!   models shared-storage reads being slower than local flash (Raptor).
 
 use parking_lot::RwLock;
+use presto_cache::MetadataCache;
 use presto_common::{PrestoError, Result, Schema, TableStatistics};
 use presto_connector::{
     Connector, ConnectorMetadata, PageSink, PageSinkFactory, PageSource, PageSourceFactory,
@@ -53,27 +54,57 @@ pub struct HiveConnector {
     read_latency: RwLock<Duration>,
     /// Per-file write counter for unique file names.
     file_seq: AtomicU64,
-    /// Metastore statistics cache (the real Hive metastore persists stats;
-    /// re-reading every footer per query would tax the planner).
-    stats_cache: RwLock<HashMap<String, TableStatistics>>,
+    /// The shared metadata cache: metastore statistics/schemas, PORC
+    /// footers, and split listings (replaces the old ad-hoc stats map).
+    cache: Arc<MetadataCache>,
+    /// Namespaces this connector's entries in the shared cache.
+    catalog_key: String,
     /// How many stripes one split covers.
     stripes_per_split: usize,
 }
 
 impl HiveConnector {
-    /// Create a connector rooted at `root` (created if missing).
+    /// Create a connector rooted at `root` (created if missing) with a
+    /// private metadata cache.
     pub fn new(root: impl AsRef<Path>) -> Result<Arc<HiveConnector>> {
+        Self::with_cache(root, MetadataCache::with_defaults())
+    }
+
+    /// Create a connector sharing `cache` with the rest of the cluster.
+    pub fn with_cache(
+        root: impl AsRef<Path>,
+        cache: Arc<MetadataCache>,
+    ) -> Result<Arc<HiveConnector>> {
         std::fs::create_dir_all(root.as_ref())?;
+        let root = root.as_ref().to_path_buf();
+        let catalog_key = format!("hive:{}", root.display());
         Ok(Arc::new(HiveConnector {
-            root: root.as_ref().to_path_buf(),
+            root,
             metastore: RwLock::new(Metastore::default()),
             io: Arc::new(IoStats::new()),
             statistics_enabled: std::sync::atomic::AtomicBool::new(true),
             read_latency: RwLock::new(Duration::ZERO),
             file_seq: AtomicU64::new(0),
-            stats_cache: RwLock::new(HashMap::new()),
+            cache,
+            catalog_key,
             stripes_per_split: 4,
         }))
+    }
+
+    /// The metadata cache this connector reads through.
+    pub fn metadata_cache(&self) -> &Arc<MetadataCache> {
+        &self.cache
+    }
+
+    /// Open a PORC file through the footer cache; the simulated
+    /// remote-read latency is paid only on a cold footer fetch.
+    fn porc_reader(&self, path: &Path) -> Result<PorcReader> {
+        let latency = *self.read_latency.read();
+        self.cache.porc_reader(path, Arc::clone(&self.io), || {
+            if !latency.is_zero() {
+                std::thread::sleep(latency);
+            }
+        })
     }
 
     /// Toggle optimizer-visible statistics (Fig. 6's two Hive variants).
@@ -100,14 +131,20 @@ impl HiveConnector {
             .ok_or_else(|| PrestoError::user(format!("table '{name}' does not exist")))
     }
 
-    fn data_files(&self, table: &HiveTable) -> Result<Vec<PathBuf>> {
-        let mut files: Vec<PathBuf> = std::fs::read_dir(&table.directory)?
-            .filter_map(|e| e.ok())
-            .map(|e| e.path())
-            .filter(|p| p.extension().is_some_and(|x| x == "porc"))
-            .collect();
-        files.sort();
-        Ok(files)
+    /// The table's data files, through the split-listing cache: the walk
+    /// of the "remote filesystem" happens once per table until a write
+    /// invalidates the listing.
+    fn data_files(&self, name: &str, table: &HiveTable) -> Result<Arc<Vec<PathBuf>>> {
+        let directory = table.directory.clone();
+        self.cache.listing(&self.catalog_key, name, move || {
+            let mut files: Vec<PathBuf> = std::fs::read_dir(&directory)?
+                .filter_map(|e| e.ok())
+                .map(|e| e.path())
+                .filter(|p| p.extension().is_some_and(|x| x == "porc"))
+                .collect();
+            files.sort();
+            Ok(files)
+        })
     }
 
     /// Bulk-load pages into a table via the sink (test/loader convenience).
@@ -134,7 +171,8 @@ struct HiveSplit {
 /// batches are requested — queries can start (and finish) before the full
 /// file list is enumerated.
 struct HiveSplitSource {
-    connector: Arc<IoStats>,
+    cache: Arc<MetadataCache>,
+    io: Arc<IoStats>,
     read_latency: Duration,
     table: String,
     files: std::vec::IntoIter<PathBuf>,
@@ -151,10 +189,14 @@ impl SplitSource for HiveSplitSource {
                 self.finished = true;
                 break;
             };
-            if !self.read_latency.is_zero() {
-                std::thread::sleep(self.read_latency);
-            }
-            let reader = PorcReader::open(&file, Arc::clone(&self.connector))?;
+            // The footer cache makes warm enumeration free: the remote-read
+            // latency and the footer parse happen only on a miss.
+            let latency = self.read_latency;
+            let reader = self.cache.porc_reader(&file, Arc::clone(&self.io), || {
+                if !latency.is_zero() {
+                    std::thread::sleep(latency);
+                }
+            })?;
             // Predicate-driven stripe pruning at enumeration time.
             let stripes = reader.select_stripes(&self.predicate);
             let mut i = 0usize;
@@ -209,31 +251,58 @@ impl ConnectorMetadata for HiveConnector {
     }
 
     fn table_schema(&self, table: &str) -> Result<Schema> {
-        Ok(self.table(table)?.schema)
+        self.cache.schema(&self.catalog_key, table, || {
+            Ok(self.table(table)?.schema)
+        })
     }
 
     fn table_statistics(&self, table: &str) -> TableStatistics {
         if !self.statistics_enabled.load(Ordering::Relaxed) {
+            // Stats-off is a configuration, not a cacheable fact (Fig. 6's
+            // "no stats" variant); bypass the cache entirely.
             return TableStatistics::unknown();
         }
-        if let Some(cached) = self.stats_cache.read().get(table) {
-            return cached.clone();
+        self.cache.statistics(&self.catalog_key, table, || {
+            self.compute_statistics(table)
+        })
+    }
+
+    fn create_table(&self, table: &str, schema: &Schema) -> Result<()> {
+        let mut store = self.metastore.write();
+        if store.tables.contains_key(table) {
+            return Err(PrestoError::user(format!("table '{table}' already exists")));
         }
+        let directory = self.root.join(table);
+        std::fs::create_dir_all(&directory)?;
+        store.tables.insert(
+            table.to_string(),
+            HiveTable {
+                schema: schema.clone(),
+                directory,
+            },
+        );
+        Ok(())
+    }
+}
+
+impl HiveConnector {
+    /// Merge per-file footer statistics into table statistics (the cold
+    /// path behind the metastore cache).
+    fn compute_statistics(&self, table: &str) -> TableStatistics {
         let Ok(t) = self.table(table) else {
             return TableStatistics::unknown();
         };
-        let Ok(files) = self.data_files(&t) else {
+        let Ok(files) = self.data_files(table, &t) else {
             return TableStatistics::unknown();
         };
-        // Merge per-file footer stats.
         let mut merged = TableStatistics::unknown();
         let mut rows = 0.0f64;
         let mut columns: Vec<presto_common::ColumnStatistics> =
             vec![presto_common::ColumnStatistics::unknown(); t.schema.len()];
         let mut nulls = vec![0.0f64; t.schema.len()];
         let mut ndv = vec![0.0f64; t.schema.len()];
-        for file in files {
-            let Ok(reader) = PorcReader::open(&file, Arc::clone(&self.io)) else {
+        for file in files.iter() {
+            let Ok(reader) = self.porc_reader(file) else {
                 return TableStatistics::unknown();
             };
             let stats = reader.table_statistics();
@@ -270,27 +339,7 @@ impl ConnectorMetadata for HiveConnector {
         }
         merged.row_count = presto_common::Estimate::exact(rows);
         merged.columns = columns;
-        self.stats_cache
-            .write()
-            .insert(table.to_string(), merged.clone());
         merged
-    }
-
-    fn create_table(&self, table: &str, schema: &Schema) -> Result<()> {
-        let mut store = self.metastore.write();
-        if store.tables.contains_key(table) {
-            return Err(PrestoError::user(format!("table '{table}' already exists")));
-        }
-        let directory = self.root.join(table);
-        std::fs::create_dir_all(&directory)?;
-        store.tables.insert(
-            table.to_string(),
-            HiveTable {
-                schema: schema.clone(),
-                directory,
-            },
-        );
-        Ok(())
     }
 }
 
@@ -310,12 +359,13 @@ impl Connector for HiveConnector {
         predicate: &TupleDomain,
     ) -> Result<Box<dyn SplitSource>> {
         let t = self.table(table)?;
-        let files = self.data_files(&t)?;
+        let files = self.data_files(table, &t)?;
         Ok(Box::new(HiveSplitSource {
-            connector: Arc::clone(&self.io),
+            cache: Arc::clone(&self.cache),
+            io: Arc::clone(&self.io),
             read_latency: *self.read_latency.read(),
             table: table.to_string(),
-            files: files.into_iter(),
+            files: files.as_ref().clone().into_iter(),
             predicate: predicate.clone(),
             pending: Vec::new(),
             finished: false,
@@ -338,7 +388,7 @@ impl PageSourceFactory for HiveConnector {
             .payload
             .downcast_ref::<HiveSplit>()
             .ok_or_else(|| PrestoError::internal("hive: foreign split"))?;
-        let reader = PorcReader::open(&payload.file, Arc::clone(&self.io))?;
+        let reader = self.porc_reader(&payload.file)?;
         Ok(Box::new(HivePageSource {
             reader,
             stripes: (payload.first_stripe..payload.first_stripe + payload.stripe_count)
@@ -391,8 +441,9 @@ impl PageSource for HivePageSource {
 impl PageSinkFactory for HiveConnector {
     fn create_sink(&self, table: &str) -> Result<Box<dyn PageSink>> {
         let t = self.table(table)?;
-        // Writes invalidate cached statistics.
-        self.stats_cache.write().remove(table);
+        // Writes invalidate cached statistics, listings, and footers.
+        self.cache
+            .invalidate_table(&self.catalog_key, table, Some(&t.directory));
         let seq = self.file_seq.fetch_add(1, Ordering::Relaxed);
         // Like concurrent S3 writers (§IV-E3), each sink writes its own file.
         let path = t.directory.join(format!("part-{seq:06}.porc"));
@@ -400,6 +451,10 @@ impl PageSinkFactory for HiveConnector {
         Ok(Box::new(HiveSink {
             writer: Some(writer),
             rows: 0,
+            cache: Arc::clone(&self.cache),
+            catalog_key: self.catalog_key.clone(),
+            table: table.to_string(),
+            directory: t.directory,
         }))
     }
 }
@@ -407,6 +462,10 @@ impl PageSinkFactory for HiveConnector {
 struct HiveSink {
     writer: Option<PorcWriter>,
     rows: u64,
+    cache: Arc<MetadataCache>,
+    catalog_key: String,
+    table: String,
+    directory: PathBuf,
 }
 
 impl PageSink for HiveSink {
@@ -421,6 +480,11 @@ impl PageSink for HiveSink {
     fn finish(&mut self) -> Result<u64> {
         if let Some(w) = self.writer.take() {
             w.finish()?;
+            // Invalidate again at commit: anything cached between sink
+            // creation and the file landing (a concurrent reader's listing,
+            // a recomputed statistic) is stale now.
+            self.cache
+                .invalidate_table(&self.catalog_key, &self.table, Some(&self.directory));
         }
         Ok(self.rows)
     }
@@ -527,7 +591,56 @@ mod tests {
         s1.finish().unwrap();
         s2.finish().unwrap();
         let t = c.table("w").unwrap();
-        assert_eq!(c.data_files(&t).unwrap().len(), 2);
+        assert_eq!(c.data_files("w", &t).unwrap().len(), 2);
+        std::fs::remove_dir_all(root).ok();
+    }
+
+    #[test]
+    fn warm_enumeration_reads_no_footers() {
+        let root = temp_root("warmsplits");
+        let c = loaded_connector(&root);
+        let enumerate = || {
+            let mut src = c.split_source("t", "default", &TupleDomain::all()).unwrap();
+            let mut n = 0;
+            while !src.is_finished() {
+                n += src.next_batch(16).unwrap().len();
+            }
+            n
+        };
+        let cold = enumerate();
+        let footers_after_cold = c.io_stats().footer_reads();
+        assert!(footers_after_cold > 0);
+        let warm = enumerate();
+        assert_eq!(cold, warm);
+        assert_eq!(
+            c.io_stats().footer_reads(),
+            footers_after_cold,
+            "warm enumeration parses zero footers"
+        );
+        assert!(c.metadata_cache().footer_counters().hits > 0);
+        std::fs::remove_dir_all(root).ok();
+    }
+
+    #[test]
+    fn writes_invalidate_cached_statistics() {
+        let root = temp_root("invalidate");
+        let c = loaded_connector(&root);
+        assert_eq!(c.table_statistics("t").row_count.value(), Some(10_000.0));
+        // Cached now: recomputation would change nothing.
+        assert_eq!(c.table_statistics("t").row_count.value(), Some(10_000.0));
+        let schema = c.table_schema("t").unwrap();
+        let mut sink = c.create_sink("t").unwrap();
+        sink.append(&Page::from_rows(
+            &schema,
+            &[vec![Value::Bigint(10_000), Value::varchar("E")]],
+        ))
+        .unwrap();
+        sink.finish().unwrap();
+        assert_eq!(
+            c.table_statistics("t").row_count.value(),
+            Some(10_001.0),
+            "INSERT invalidated the stats and listing caches"
+        );
         std::fs::remove_dir_all(root).ok();
     }
 

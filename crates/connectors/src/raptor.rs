@@ -10,6 +10,7 @@
 //! case, §II-C / §IV-C3).
 
 use parking_lot::RwLock;
+use presto_cache::MetadataCache;
 use presto_common::{NodeId, PrestoError, Result, Schema, TableStatistics};
 use presto_connector::{
     Connector, ConnectorMetadata, DataLayout, FixedSplitSource, PageSink, PageSinkFactory,
@@ -54,6 +55,13 @@ pub struct RaptorConnector {
     nodes: Vec<NodeId>,
     metastore: RwLock<Metastore>,
     io: Arc<IoStats>,
+    /// Footer cache shared with the rest of the cluster. Schemas and
+    /// statistics live in Raptor's own metastore ("metadata in MySQL") and
+    /// need no extra cache layer, but shard footers are parsed per split
+    /// and benefit like any PORC reader.
+    cache: Arc<MetadataCache>,
+    /// Namespaces this connector's entries in the shared cache.
+    catalog_key: String,
     /// Self-reference so sinks created through the SPI can commit via
     /// `load_table` on finish.
     self_ref: std::sync::Weak<RaptorConnector>,
@@ -61,20 +69,37 @@ pub struct RaptorConnector {
 
 impl RaptorConnector {
     pub fn new(root: impl AsRef<Path>, nodes: Vec<NodeId>) -> Result<Arc<RaptorConnector>> {
+        Self::with_cache(root, nodes, MetadataCache::with_defaults())
+    }
+
+    /// Create a connector sharing `cache` with the rest of the cluster.
+    pub fn with_cache(
+        root: impl AsRef<Path>,
+        nodes: Vec<NodeId>,
+        cache: Arc<MetadataCache>,
+    ) -> Result<Arc<RaptorConnector>> {
         assert!(!nodes.is_empty(), "raptor needs at least one node");
         std::fs::create_dir_all(root.as_ref())?;
         let root = root.as_ref().to_path_buf();
+        let catalog_key = format!("raptor:{}", root.display());
         Ok(Arc::new_cyclic(|weak| RaptorConnector {
             root,
             nodes,
             metastore: RwLock::new(Metastore::default()),
             io: Arc::new(IoStats::new()),
+            cache,
+            catalog_key,
             self_ref: weak.clone(),
         }))
     }
 
     pub fn io_stats(&self) -> Arc<IoStats> {
         Arc::clone(&self.io)
+    }
+
+    /// The metadata cache this connector reads footers through.
+    pub fn metadata_cache(&self) -> &Arc<MetadataCache> {
+        &self.cache
     }
 
     /// Create a bucketed table: data will be hash-partitioned on
@@ -171,6 +196,11 @@ impl RaptorConnector {
             });
             all_stats.push(meta);
         }
+        // Reloads overwrite shard files in place; a same-length overwrite
+        // would otherwise satisfy the (path, len) footer key with stale
+        // stripe statistics.
+        self.cache
+            .invalidate_table(&self.catalog_key, table, Some(&self.root.join(table)));
         // Merge footer statistics into table statistics.
         let stats = merge_stats(&schema, &all_stats);
         let mut store = self.metastore.write();
@@ -332,7 +362,9 @@ impl PageSourceFactory for RaptorConnector {
             .payload
             .downcast_ref::<RaptorSplit>()
             .ok_or_else(|| PrestoError::internal("raptor: foreign split"))?;
-        let reader = PorcReader::open(&payload.path, Arc::clone(&self.io))?;
+        let reader = self
+            .cache
+            .porc_reader(&payload.path, Arc::clone(&self.io), || {})?;
         let stripes = reader.select_stripes(&options.predicate).into_iter();
         Ok(Box::new(RaptorPageSource {
             reader,
@@ -531,6 +563,46 @@ mod tests {
         let stats = c.table_statistics("t");
         assert_eq!(stats.row_count.value(), Some(100.0));
         assert_eq!(stats.columns[0].min, Some(Value::Bigint(0)));
+        std::fs::remove_dir_all(root).ok();
+    }
+
+    #[test]
+    fn reload_invalidates_cached_footers() {
+        let root = temp_root("reload");
+        let c = RaptorConnector::new(&root, nodes(1)).unwrap();
+        let schema = Schema::of(&[("k", DataType::Bigint)]);
+        c.create_table("t", &schema).unwrap();
+        let load = |v: i64| {
+            let rows: Vec<Vec<Value>> = (0..100).map(|i| vec![Value::Bigint(v + i)]).collect();
+            c.load_table("t", &[Page::from_rows(&schema, &rows)]).unwrap();
+        };
+        let scan_min = || {
+            let mut src = c.split_source("t", "default", &TupleDomain::all()).unwrap();
+            let mut min = i64::MAX;
+            for split in src.next_batch(64).unwrap() {
+                let mut source = c
+                    .create_source(
+                        &split,
+                        &ScanOptions {
+                            columns: vec![0],
+                            ..Default::default()
+                        },
+                    )
+                    .unwrap();
+                while let Some(page) = source.next_page().unwrap() {
+                    for i in 0..page.row_count() {
+                        min = min.min(page.block(0).i64_at(i));
+                    }
+                }
+            }
+            min
+        };
+        load(0);
+        assert_eq!(scan_min(), 0);
+        // Same row count → same shard file length: only explicit
+        // invalidation protects the (path, len) footer key.
+        load(1_000);
+        assert_eq!(scan_min(), 1_000, "no stale footer after reload");
         std::fs::remove_dir_all(root).ok();
     }
 

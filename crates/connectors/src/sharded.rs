@@ -12,6 +12,7 @@
 //! (§IV-B3-3).
 
 use parking_lot::RwLock;
+use presto_cache::MetadataCache;
 use presto_common::{PrestoError, Result, Schema, TableStatistics, Value};
 use presto_connector::{
     Connector, ConnectorMetadata, DataLayout, Domain, FixedSplitSource, IndexSource,
@@ -50,16 +51,32 @@ pub struct ShardedSqlConnector {
     /// Rows actually scanned (post-pushdown), for pushdown-effectiveness
     /// assertions and the Fig. 7 workload's latency profile.
     rows_scanned: std::sync::atomic::AtomicU64,
+    /// Shared metadata cache: schemas and row-count statistics are served
+    /// from here instead of cloning table state on every planner call.
+    cache: Arc<MetadataCache>,
+    catalog_key: String,
 }
 
 impl ShardedSqlConnector {
     pub fn new(shard_count: usize) -> Arc<ShardedSqlConnector> {
+        Self::with_cache(shard_count, MetadataCache::with_defaults())
+    }
+
+    /// Like [`new`](Self::new) but sharing an engine-wide [`MetadataCache`].
+    pub fn with_cache(shard_count: usize, cache: Arc<MetadataCache>) -> Arc<ShardedSqlConnector> {
         assert!(shard_count > 0);
         Arc::new(ShardedSqlConnector {
             inner: Arc::new(RwLock::new(Inner::default())),
             shard_count,
             rows_scanned: std::sync::atomic::AtomicU64::new(0),
+            cache,
+            catalog_key: "sharded-sql".to_string(),
         })
+    }
+
+    /// The metadata cache this connector populates.
+    pub fn metadata_cache(&self) -> &Arc<MetadataCache> {
+        &self.cache
     }
 
     /// Create a table sharded on `key_column` and load `rows`.
@@ -84,6 +101,7 @@ impl ShardedSqlConnector {
                 indexes,
             },
         );
+        self.cache.invalidate_table(&self.catalog_key, name, None);
     }
 
     fn shard_of(key: &Value, shard_count: usize) -> usize {
@@ -121,15 +139,27 @@ impl ConnectorMetadata for ShardedSqlConnector {
     }
 
     fn table_schema(&self, table: &str) -> Result<Schema> {
-        Ok(self.table(table)?.schema)
+        // Served from the metadata cache: a miss reads just the schema under
+        // the lock rather than cloning the whole table.
+        self.cache.schema(&self.catalog_key, table, || {
+            self.inner
+                .read()
+                .tables
+                .get(table)
+                .map(|t| t.schema.clone())
+                .ok_or_else(|| PrestoError::user(format!("table '{table}' does not exist")))
+        })
     }
 
     fn table_statistics(&self, table: &str) -> TableStatistics {
-        let Ok(t) = self.table(table) else {
-            return TableStatistics::unknown();
-        };
-        let rows: usize = t.shards.iter().map(|s| s.rows.len()).sum();
-        TableStatistics::with_row_count(rows as f64)
+        self.cache.statistics(&self.catalog_key, table, || {
+            let inner = self.inner.read();
+            let Some(t) = inner.tables.get(table) else {
+                return TableStatistics::unknown();
+            };
+            let rows: usize = t.shards.iter().map(|s| s.rows.len()).sum();
+            TableStatistics::with_row_count(rows as f64)
+        })
     }
 
     fn table_layouts(&self, table: &str) -> Vec<DataLayout> {
@@ -163,6 +193,8 @@ impl ConnectorMetadata for ShardedSqlConnector {
                 indexes: vec![HashMap::new(); self.shard_count],
             },
         );
+        drop(inner);
+        self.cache.invalidate_table(&self.catalog_key, table, None);
         Ok(())
     }
 }
@@ -421,6 +453,20 @@ mod tests {
     fn no_index_for_non_key_columns() {
         let c = connector();
         assert!(c.index_source("ads", &[1], &[0]).unwrap().is_none());
+    }
+
+    #[test]
+    fn statistics_cached_and_invalidated_on_reload() {
+        let c = connector();
+        assert_eq!(c.table_statistics("ads").row_count.value(), Some(10_000.0));
+        assert_eq!(c.table_statistics("ads").row_count.value(), Some(10_000.0));
+        let counters = c.metadata_cache().metastore_counters();
+        assert!(counters.hits >= 1, "second stats call served from cache");
+        // Reloading the table must drop the cached row count.
+        let schema = Schema::of(&[("ad_id", DataType::Bigint)]);
+        let rows: Vec<Vec<Value>> = (0..5).map(|i| vec![Value::Bigint(i)]).collect();
+        c.load_table("ads", schema, 0, &rows);
+        assert_eq!(c.table_statistics("ads").row_count.value(), Some(5.0));
     }
 
     #[test]

@@ -24,6 +24,7 @@
 //! assert_eq!(result.rows()[0][0], Value::varchar("grace"));
 //! ```
 
+use presto_cache::MetadataCache;
 use presto_cluster::{Cluster, ClusterConfig, QueryResult};
 use presto_common::{Result, Session};
 use presto_connector::{CatalogManager, Connector};
@@ -39,6 +40,7 @@ pub struct EngineBuilder {
     config: ClusterConfig,
     catalogs: CatalogManager,
     memory: Arc<MemoryConnector>,
+    cache: Option<Arc<MetadataCache>>,
 }
 
 impl EngineBuilder {
@@ -58,9 +60,20 @@ impl EngineBuilder {
         self
     }
 
+    /// Share a [`MetadataCache`] between the engine and connectors built
+    /// with `with_cache` constructors. Without this, the engine creates
+    /// its own cache from `config.cache`.
+    pub fn metadata_cache(mut self, cache: Arc<MetadataCache>) -> EngineBuilder {
+        self.cache = Some(cache);
+        self
+    }
+
     /// Start the cluster.
     pub fn build(self) -> Result<PrestoEngine> {
-        let cluster = Cluster::start(self.config, self.catalogs)?;
+        let cache = self
+            .cache
+            .unwrap_or_else(|| MetadataCache::new(self.config.cache.clone()));
+        let cluster = Cluster::start_with_cache(self.config, self.catalogs, cache)?;
         Ok(PrestoEngine {
             cluster,
             memory: self.memory,
@@ -84,6 +97,7 @@ impl PrestoEngine {
             config: ClusterConfig::default(),
             catalogs,
             memory,
+            cache: None,
         }
     }
 
@@ -123,5 +137,11 @@ impl PrestoEngine {
     /// The underlying cluster, for telemetry and fault injection.
     pub fn cluster(&self) -> &Cluster {
         &self.cluster
+    }
+
+    /// The metadata cache backing schema, statistics, footer, and split
+    /// caching for this engine.
+    pub fn metadata_cache(&self) -> &Arc<MetadataCache> {
+        self.cluster.metadata_cache()
     }
 }

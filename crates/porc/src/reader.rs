@@ -17,7 +17,7 @@ use crate::format::{FileMeta, IoStats, StripeMeta};
 pub struct PorcReader {
     file: Arc<File>,
     path: PathBuf,
-    meta: FileMeta,
+    meta: Arc<FileMeta>,
     stats: Arc<IoStats>,
 }
 
@@ -51,7 +51,25 @@ impl PorcReader {
         let mut footer = vec![0u8; footer_len as usize];
         file.read_exact_at(&mut footer, len - 8 - footer_len)?;
         stats.add_bytes(footer_len + 8);
-        let meta = crate::format::decode_footer(&footer)?;
+        stats.add_footer_read();
+        let meta = Arc::new(crate::format::decode_footer(&footer)?);
+        Ok(PorcReader {
+            file: Arc::new(file),
+            path,
+            meta,
+            stats,
+        })
+    }
+
+    /// Open `path` reusing an already-decoded footer (from a metadata
+    /// cache): no footer bytes are fetched and nothing is parsed.
+    pub fn open_with_meta(
+        path: impl AsRef<Path>,
+        stats: Arc<IoStats>,
+        meta: Arc<FileMeta>,
+    ) -> Result<PorcReader> {
+        let path = path.as_ref().to_path_buf();
+        let file = File::open(&path)?;
         Ok(PorcReader {
             file: Arc::new(file),
             path,
@@ -62,6 +80,11 @@ impl PorcReader {
 
     pub fn meta(&self) -> &FileMeta {
         &self.meta
+    }
+
+    /// Shared handle to the decoded footer, for caching.
+    pub fn meta_arc(&self) -> Arc<FileMeta> {
+        Arc::clone(&self.meta)
     }
 
     pub fn stripe_count(&self) -> usize {
@@ -335,6 +358,24 @@ mod tests {
             err.code,
             presto_common::ErrorCode::External { .. }
         ));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn open_with_meta_skips_footer_io() {
+        let path = temp_path("cachedmeta");
+        write_sample(&path, 1000, 256);
+        let cold_stats = Arc::new(IoStats::new());
+        let cold = PorcReader::open(&path, Arc::clone(&cold_stats)).unwrap();
+        assert_eq!(cold_stats.footer_reads(), 1);
+        let warm_stats = Arc::new(IoStats::new());
+        let warm =
+            PorcReader::open_with_meta(&path, Arc::clone(&warm_stats), cold.meta_arc()).unwrap();
+        assert_eq!(warm_stats.snapshot().0, 0, "no footer bytes fetched");
+        assert_eq!(warm_stats.footer_reads(), 0);
+        let page = warm.read_stripe(0, &[0], false).unwrap();
+        assert_eq!(page.block(0).i64_at(3), 3);
+        assert!(warm.meta().approx_weight() > 0);
         std::fs::remove_file(path).ok();
     }
 

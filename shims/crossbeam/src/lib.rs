@@ -1,0 +1,97 @@
+//! In-workspace stand-in for the `crossbeam` crate.
+//!
+//! Only `queue::SegQueue` is used by the workspace (the split queue in
+//! `presto-exec`). The real type is a lock-free segmented queue; this
+//! stand-in keeps the API (`&self` push/pop, `Send + Sync`) over a mutexed
+//! `VecDeque`, which is plenty for split-scheduling traffic.
+
+pub mod queue {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::Mutex;
+
+    /// Unbounded MPMC FIFO queue with interior mutability.
+    pub struct SegQueue<T> {
+        inner: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> SegQueue<T> {
+        pub fn new() -> SegQueue<T> {
+            SegQueue {
+                inner: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        pub fn push(&self, value: T) {
+            self.lock().push_back(value);
+        }
+
+        pub fn pop(&self) -> Option<T> {
+            self.lock().pop_front()
+        }
+
+        pub fn len(&self) -> usize {
+            self.lock().len()
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.lock().is_empty()
+        }
+
+        fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+            self.inner.lock().unwrap_or_else(|e| e.into_inner())
+        }
+    }
+
+    impl<T> Default for SegQueue<T> {
+        fn default() -> SegQueue<T> {
+            SegQueue::new()
+        }
+    }
+
+    impl<T> fmt::Debug for SegQueue<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "SegQueue(len={})", self.len())
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::sync::Arc;
+        use std::thread;
+
+        #[test]
+        fn fifo_order() {
+            let q = SegQueue::new();
+            q.push(1);
+            q.push(2);
+            assert_eq!(q.pop(), Some(1));
+            assert_eq!(q.pop(), Some(2));
+            assert_eq!(q.pop(), None);
+        }
+
+        #[test]
+        fn concurrent_producers_drain_fully() {
+            let q = Arc::new(SegQueue::new());
+            let handles: Vec<_> = (0..4)
+                .map(|t| {
+                    let q = q.clone();
+                    thread::spawn(move || {
+                        for i in 0..100 {
+                            q.push(t * 100 + i);
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().expect("producer");
+            }
+            let mut n = 0;
+            while q.pop().is_some() {
+                n += 1;
+            }
+            assert_eq!(n, 400);
+        }
+    }
+}

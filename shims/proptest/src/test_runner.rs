@@ -1,0 +1,113 @@
+//! Test-loop configuration and the deterministic per-case RNG.
+
+/// Why a test case failed; test bodies may `?`-propagate it. The shim's
+/// assertion macros panic instead of returning this, so it only flows
+/// through explicitly fallible helpers.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The property did not hold.
+    Fail(String),
+    /// The input was rejected (filtered out) — counts as a skip upstream;
+    /// the shim treats it as a failure since it does not resample.
+    Reject(String),
+}
+
+impl TestCaseError {
+    pub fn fail(reason: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(reason.into())
+    }
+
+    pub fn reject(reason: impl Into<String>) -> TestCaseError {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(r) => write!(f, "test case failed: {r}"),
+            TestCaseError::Reject(r) => write!(f, "input rejected: {r}"),
+        }
+    }
+}
+
+/// How many cases `proptest!` runs per test function.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 128 }
+    }
+}
+
+/// SplitMix64 seeded from the test's module path + case index, so every
+/// case is reproducible without shrinking support.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn for_case(test_id: &str, case: u32) -> TestRng {
+        // FNV-1a over the test id, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_id.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng {
+            state: h ^ (u64::from(case)).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+
+    /// Uniform in `[lo, hi)`; yields `lo` when the range is empty (matches
+    /// how size ranges like `1..1` should behave as a fixed length).
+    pub fn below_range(&mut self, lo: usize, hi: usize) -> usize {
+        if hi <= lo {
+            lo
+        } else {
+            lo + self.below((hi - lo) as u64) as usize
+        }
+    }
+
+    /// Uniform in `[0, 1)` with 53-bit precision.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_case_same_stream() {
+        let mut a = TestRng::for_case("t::x", 3);
+        let mut b = TestRng::for_case("t::x", 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = TestRng::for_case("t::x", 4);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+}

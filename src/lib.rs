@@ -16,11 +16,13 @@
 //! | [`planner`] | analyzer, optimizer, CBO, fragmenter |
 //! | [`exec`] | operators, pipelines, the driver loop |
 //! | [`shuffle`] | buffered in-memory exchanges |
+//! | [`cache`] | sharded metadata/footer/split caches with memory accounting |
 //! | [`cluster`] | coordinator, workers, MLFQ, memory pools, telemetry |
 //! | [`workload`] | TPC-H-style generator, Fig. 6 queries, Table I workloads |
 
 pub use presto_core::{PrestoEngine, QueryError};
 
+pub use presto_cache as cache;
 pub use presto_cluster as cluster;
 pub use presto_common as common;
 pub use presto_connector as connector;

@@ -69,6 +69,26 @@ fn per_query_limit_kills_only_the_offender() {
 }
 
 #[test]
+fn cache_memory_is_charged_as_system_memory() {
+    // Cache retention participates in §IV-F2 arbitration: bytes the
+    // metadata cache retains appear as system memory on every worker pool
+    // and shrink the general pool's headroom.
+    let cluster = tight_cluster(64 << 20, false);
+    let cache = cluster.metadata_cache();
+    assert!(cluster.worker_system_memory().iter().all(|&b| b == 0));
+    cache.statistics("memory", "lineitem", || {
+        presto::common::TableStatistics::with_row_count(1000.0)
+    });
+    let retained = cache.total_bytes() as i64;
+    assert!(retained > 0, "cache retains the inserted statistics");
+    for bytes in cluster.worker_system_memory() {
+        assert_eq!(bytes, retained, "every pool sees the cache's balance");
+    }
+    cache.clear();
+    assert!(cluster.worker_system_memory().iter().all(|&b| b == 0));
+}
+
+#[test]
 fn spilling_lets_queries_run_under_the_limit() {
     let cluster = tight_cluster(64 << 20, false);
     // Low per-node limit + spilling: the aggregation revokes state to disk
