@@ -17,6 +17,8 @@ use rand::{Rng, SeedableRng};
 use std::sync::Arc;
 use std::time::Duration;
 
+pub mod kernels;
+
 /// Scale factor for benchmark data; override with `PRESTO_SF`.
 pub fn scale_factor() -> f64 {
     std::env::var("PRESTO_SF")

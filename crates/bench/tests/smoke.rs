@@ -1,0 +1,85 @@
+//! Tier-1 smoke coverage for the benchmark suite: the `hash_kernels`
+//! binary's `--smoke` mode plus tiny fig4/fig6-style join and aggregation
+//! queries, so `cargo test -q` exercises the measured code paths end to
+//! end without release-build timing runs.
+#![allow(clippy::unwrap_used)]
+
+use presto_bench::kernels::{
+    baseline_group_by, baseline_join, flat_group_by, flat_join, make_pages, KeyEncoding,
+};
+use presto_cluster::{Cluster, ClusterConfig};
+use presto_common::{Session, Value};
+use presto_connector::{CatalogManager, Connector};
+use presto_connectors::MemoryConnector;
+use presto_workload::TpchGenerator;
+use std::sync::Arc;
+
+#[test]
+fn hash_kernels_smoke_mode_runs() {
+    // The benchmark binary itself, in --smoke mode: asserts internally
+    // that baseline and flat kernels agree on every encoding.
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_hash_kernels"))
+        .arg("--smoke")
+        .output()
+        .expect("run hash_kernels --smoke");
+    assert!(
+        out.status.success(),
+        "hash_kernels --smoke failed:\n{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr),
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("join build+probe"), "join section present");
+    assert!(stdout.contains("group-by"), "group-by section present");
+}
+
+#[test]
+fn kernel_library_paths_agree_at_smoke_sizes() {
+    for encoding in [KeyEncoding::Flat, KeyEncoding::Dictionary, KeyEncoding::Rle] {
+        let build = make_pages(1_500, 64, KeyEncoding::Flat);
+        let probe = make_pages(2_500, 64, encoding);
+        let b = baseline_join(&build, &probe);
+        let f = flat_join(&build, &probe);
+        assert_eq!(b.output_rows, f.output_rows, "{encoding:?} join");
+        assert_eq!(
+            baseline_group_by(&probe).output_rows,
+            flat_group_by(&probe).output_rows,
+            "{encoding:?} group-by"
+        );
+    }
+}
+
+fn smoke_cluster() -> Cluster {
+    let mem = MemoryConnector::new();
+    TpchGenerator::new(0.001).load_memory(&mem);
+    let mut catalogs = CatalogManager::new();
+    catalogs.register("memory", mem as Arc<dyn Connector>);
+    Cluster::start(ClusterConfig::test(), catalogs).unwrap()
+}
+
+#[test]
+fn fig4_style_join_query_runs_on_new_kernels() {
+    // The fig4/fig6 benchmarks' core shape: a distributed hash join whose
+    // build side goes through the partitioned flat-table path.
+    let cluster = smoke_cluster();
+    let out = cluster
+        .execute(
+            "SELECT COUNT(*), SUM(l.extendedprice) \
+             FROM orders o, lineitem l WHERE o.orderkey = l.orderkey",
+        )
+        .unwrap();
+    assert!(matches!(out.rows()[0][0], Value::Bigint(n) if n > 0));
+}
+
+#[test]
+fn fig6_style_aggregation_runs_on_flat_group_by() {
+    let cluster = smoke_cluster();
+    let out = cluster
+        .execute_with_session(
+            "SELECT orderkey, COUNT(*), SUM(extendedprice) \
+             FROM lineitem GROUP BY orderkey",
+            &Session::default(),
+        )
+        .unwrap();
+    assert!(out.rows().len() > 1, "multiple groups out");
+}

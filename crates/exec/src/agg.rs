@@ -4,10 +4,11 @@
 use presto_common::{DataType, PrestoError, Result};
 use presto_expr::GroupedAccumulator;
 use presto_page::{deserialize_page, serialize_page, Block, BlockBuilder, Page};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::path::PathBuf;
 
+use crate::flathash::{FlatHashTable, KeyArena};
 use crate::operator::Operator;
 
 /// Aggregation phase (mirrors the planner's `AggregateStep`).
@@ -30,15 +31,18 @@ pub struct AggSpec {
 
 /// Hash table assigning group ids to distinct key combinations.
 ///
-/// Keys are canonicalized to a byte encoding for hashing/equality; the key
-/// *values* are appended once to flat per-column builders (§V-A: flat
-/// memory arrays, no per-group objects) for output reconstruction.
+/// Keys are canonicalized to a byte encoding for hashing/equality and live
+/// in a contiguous [`KeyArena`] indexed by group id; lookups go through a
+/// [`FlatHashTable`] whose dense entry index *is* the group id (§V-A/§V-E:
+/// flat memory arrays, no per-group objects or per-key `Vec<u8>`
+/// allocations). The key *values* are appended once to flat per-column
+/// builders for output reconstruction.
 pub struct GroupByHash {
     key_channels: Vec<usize>,
     key_types: Vec<DataType>,
-    map: HashMap<Vec<u8>, u32>,
+    table: FlatHashTable,
+    arena: KeyArena,
     key_builders: Vec<BlockBuilder>,
-    key_bytes: usize,
     /// §V-E: "As the indices are processed, the operator records hash
     /// table locations for every dictionary entry in an array … When
     /// successive blocks share the same dictionary, the page processor
@@ -46,6 +50,10 @@ pub struct GroupByHash {
     dict_cache: Option<(u64, Vec<i64>)>,
     /// Rows resolved through the dictionary cache (observability).
     dict_cache_hits: u64,
+    /// Rows resolved through the RLE one-lookup-per-page fast path.
+    rle_hits: u64,
+    /// Dictionary-entry hash memo for the vectorized hash pass.
+    hash_cache: presto_page::hash::DictionaryHashCache,
 }
 
 impl GroupByHash {
@@ -54,24 +62,54 @@ impl GroupByHash {
         GroupByHash {
             key_channels,
             key_types,
-            map: HashMap::new(),
+            table: FlatHashTable::new(),
+            arena: KeyArena::new(),
             key_builders,
-            key_bytes: 0,
             dict_cache: None,
             dict_cache_hits: 0,
+            rle_hits: 0,
+            hash_cache: presto_page::hash::DictionaryHashCache::new(),
         }
     }
 
     pub fn group_count(&self) -> usize {
-        self.map.len()
+        self.arena.len()
     }
 
     pub fn dict_cache_hits(&self) -> u64 {
         self.dict_cache_hits
     }
 
+    pub fn rle_hits(&self) -> u64 {
+        self.rle_hits
+    }
+
     /// Assign a group id to every row of `page`.
     pub fn group_ids(&mut self, page: &Page) -> Vec<u32> {
+        let rows = page.row_count();
+        // RLE fast path (§V-E): a page whose key columns are all single
+        // runs has exactly one key — resolve it once for the whole page.
+        if rows > 0
+            && !self.key_channels.is_empty()
+            && self
+                .key_channels
+                .iter()
+                .all(|&c| matches!(page.block(c).loaded(), presto_page::Block::Rle(_)))
+        {
+            let mut key = Vec::with_capacity(16);
+            let mut hash = 0u64;
+            for (&c, &t) in self.key_channels.iter().zip(&self.key_types) {
+                let block = page.block(c);
+                encode_cell(block, t, 0, &mut key);
+                hash = presto_page::hash::combine_hashes(
+                    hash,
+                    presto_page::hash::hash_cell(block, 0),
+                );
+            }
+            let group = self.group_of(hash, &key, page, 0);
+            self.rle_hits += rows as u64;
+            return vec![group; rows];
+        }
         // Dictionary fast path for single-key grouping (§V-E).
         if let [channel] = self.key_channels[..] {
             if let presto_page::Block::Dictionary(d) = page.block(channel).loaded() {
@@ -81,31 +119,88 @@ impl GroupByHash {
                 return self.group_ids_via_dictionary(dict_id, &dictionary, &dict_ids);
             }
         }
-        let mut ids = Vec::with_capacity(page.row_count());
-        let mut key = Vec::with_capacity(16);
-        for row in 0..page.row_count() {
-            key.clear();
+        // Vectorized path (§V-E): one dictionary/RLE-aware hash sweep over
+        // the key columns, one encoding sweep into a page-local arena, then
+        // a batched breadth-first table walk. Each stage issues independent
+        // memory accesses per row, so lookup cache misses overlap instead of
+        // chaining serially. Grouping hashes stay identical to the
+        // shuffle/join row hashes across encodings.
+        let hashes =
+            presto_page::hash::hash_columns_cached(page, &self.key_channels, &mut self.hash_cache);
+        let mut scratch_bytes: Vec<u8> = Vec::with_capacity(rows * 9);
+        let mut scratch_offsets: Vec<u32> = Vec::with_capacity(rows + 1);
+        scratch_offsets.push(0);
+        for row in 0..rows {
             for (&c, &t) in self.key_channels.iter().zip(&self.key_types) {
-                encode_cell(page.block(c), t, row, &mut key);
+                encode_cell(page.block(c), t, row, &mut scratch_bytes);
             }
-            ids.push(self.group_of(&key, page, row));
+            scratch_offsets.push(scratch_bytes.len() as u32);
+        }
+        let key_of = |row: usize| {
+            &scratch_bytes[scratch_offsets[row] as usize..scratch_offsets[row + 1] as usize]
+        };
+        const EMPTY: u32 = FlatHashTable::EMPTY;
+        const UNRESOLVED: u32 = u32::MAX;
+        let mut ids = vec![UNRESOLVED; rows];
+        // Stage 1: bucket heads (read-only against the pre-page table).
+        let mut cursors: Vec<(u32, u32)> = Vec::with_capacity(rows);
+        for (row, &hash) in hashes.iter().enumerate() {
+            let head = self.table.head(hash);
+            if head != EMPTY {
+                cursors.push((row as u32, head));
+            }
+        }
+        // Stage 2: walk all live chains one step per round.
+        let mut candidates: Vec<(u32, u32)> = Vec::new();
+        let mut next_round: Vec<(u32, u32)> = Vec::with_capacity(cursors.len() / 4 + 1);
+        while !cursors.is_empty() {
+            next_round.clear();
+            for &(row, e) in &cursors {
+                let (stored, next) = self.table.entry_at(e);
+                if stored == hashes[row as usize] {
+                    candidates.push((row, e));
+                }
+                if next != EMPTY {
+                    next_round.push((row, next));
+                }
+            }
+            std::mem::swap(&mut cursors, &mut next_round);
+        }
+        // Stage 3: byte-verify candidates; a row matches at most one group.
+        for &(row, e) in &candidates {
+            if self.arena.get(e) == key_of(row as usize) {
+                ids[row as usize] = e;
+            }
+        }
+        // Stage 4: rows whose key predates this page are resolved; the rest
+        // insert (or find keys first seen earlier in this page) in row
+        // order, preserving first-seen group numbering.
+        for (row, id) in ids.iter_mut().enumerate() {
+            if *id == UNRESOLVED {
+                *id = self.group_of(hashes[row], key_of(row), page, row);
+            }
         }
         ids
     }
 
-    fn group_of(&mut self, key: &[u8], page: &Page, row: usize) -> u32 {
-        match self.map.get(key) {
-            Some(&id) => id,
-            None => {
-                let id = self.map.len() as u32;
-                self.map.insert(key.to_vec(), id);
-                self.key_bytes += key.len() + 24;
-                for (builder, &c) in self.key_builders.iter_mut().zip(&self.key_channels) {
-                    builder.append_from(page.block(c), row);
-                }
-                id
-            }
+    /// Flat-table lookup: one chain walk with stored-hash prefilter, arena
+    /// compare only on full hash match.
+    fn find_group(&self, hash: u64, key: &[u8]) -> Option<u32> {
+        let arena = &self.arena;
+        self.table.find(hash, |e| arena.get(e) == key)
+    }
+
+    fn group_of(&mut self, hash: u64, key: &[u8], page: &Page, row: usize) -> u32 {
+        if let Some(id) = self.find_group(hash, key) {
+            return id;
         }
+        let id = self.table.insert(hash);
+        debug_assert_eq!(id, self.arena.len() as u32);
+        self.arena.push(key);
+        for (builder, &c) in self.key_builders.iter_mut().zip(&self.key_channels) {
+            builder.append_from(page.block(c), row);
+        }
+        id
     }
 
     /// Resolve group ids entry-wise through the dictionary, reusing the
@@ -124,7 +219,10 @@ impl GroupByHash {
         let mut out = Vec::with_capacity(ids.len());
         let mut key = Vec::with_capacity(16);
         for &entry in ids {
-            let cached = self.dict_cache.as_ref().unwrap().1[entry as usize];
+            let cached = match &self.dict_cache {
+                Some((_, groups)) => groups[entry as usize],
+                None => -1,
+            };
             if cached >= 0 {
                 self.dict_cache_hits += 1;
                 out.push(cached as u32);
@@ -132,20 +230,25 @@ impl GroupByHash {
             }
             key.clear();
             encode_cell(dictionary, t, entry as usize, &mut key);
-            // The key-builder append needs a page view of the dictionary.
-            let group = match self.map.get(key.as_slice()) {
-                Some(&id) => id,
+            // Matches what hash_columns computes for a single-channel row.
+            let hash = presto_page::hash::combine_hashes(
+                0,
+                presto_page::hash::hash_cell(dictionary, entry as usize),
+            );
+            let group = match self.find_group(hash, &key) {
+                Some(id) => id,
                 None => {
-                    let id = self.map.len() as u32;
-                    self.map.insert(key.clone(), id);
-                    self.key_bytes += key.len() + 24;
+                    let id = self.table.insert(hash);
+                    self.arena.push(&key);
                     for builder in self.key_builders.iter_mut() {
                         builder.append_from(dictionary, entry as usize);
                     }
                     id
                 }
             };
-            self.dict_cache.as_mut().unwrap().1[entry as usize] = group as i64;
+            if let Some((_, groups)) = &mut self.dict_cache {
+                groups[entry as usize] = group as i64;
+            }
             out.push(group);
         }
         out
@@ -159,8 +262,10 @@ impl GroupByHash {
             .collect()
     }
 
+    /// Exact retained bytes: flat table arrays + key arena + key builders.
     pub fn memory_bytes(&self) -> usize {
-        self.key_bytes
+        self.table.memory_bytes()
+            + self.arena.memory_bytes()
             + self
                 .key_builders
                 .iter()
@@ -471,6 +576,7 @@ pub fn specs_from_planner(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use presto_common::{Schema, Value};
@@ -694,5 +800,87 @@ mod dict_cache_tests {
         // Flat rows for the same values must land in the same groups.
         assert_eq!(hash.group_ids(&flat), vec![1, 0]);
         assert_eq!(hash.group_count(), 2);
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod flat_hash_tests {
+    use super::*;
+    use presto_common::Value;
+    use presto_page::blocks::LongBlock;
+    use presto_page::Block;
+
+    #[test]
+    fn rle_keys_resolve_once_per_page() {
+        let mut hash = GroupByHash::new(vec![0], vec![DataType::Bigint]);
+        let run = |v: i64, n: usize| {
+            Page::new(vec![
+                Block::rle(Block::single(DataType::Bigint, &Value::Bigint(v)), n),
+                Block::rle(Block::single(DataType::Bigint, &Value::Bigint(0)), n),
+            ])
+        };
+        assert_eq!(hash.group_ids(&run(7, 4)), vec![0, 0, 0, 0]);
+        assert_eq!(hash.rle_hits(), 4, "whole page served by one lookup");
+        assert_eq!(hash.group_ids(&run(8, 2)), vec![1, 1]);
+        assert_eq!(hash.rle_hits(), 6);
+        // A flat page with the same key lands in the same group.
+        let flat = Page::new(vec![
+            Block::from(LongBlock::from_values(vec![7, 8])),
+            Block::from(LongBlock::from_values(vec![0, 0])),
+        ]);
+        assert_eq!(hash.group_ids(&flat), vec![0, 1]);
+        assert_eq!(hash.rle_hits(), 6, "flat pages bypass the RLE path");
+        assert_eq!(hash.group_count(), 2);
+    }
+
+    #[test]
+    fn rle_null_keys_form_a_group() {
+        let mut hash = GroupByHash::new(vec![0], vec![DataType::Bigint]);
+        let nulls = Page::new(vec![Block::rle(
+            Block::single(DataType::Bigint, &Value::Null),
+            3,
+        )]);
+        assert_eq!(hash.group_ids(&nulls), vec![0, 0, 0]);
+        let vals = Page::new(vec![Block::from(LongBlock::from_values(vec![1]))]);
+        assert_eq!(hash.group_ids(&vals), vec![1]);
+        assert_eq!(hash.group_count(), 2, "NULL groups separately from 1");
+    }
+
+    #[test]
+    fn memory_bytes_is_exact_flat_layout() {
+        let mut hash = GroupByHash::new(vec![0], vec![DataType::Bigint]);
+        let keys: Vec<Vec<Value>> = (0..300).map(|i| vec![Value::Bigint(i % 100)]).collect();
+        let schema = presto_common::Schema::of(&[("k", DataType::Bigint)]);
+        hash.group_ids(&Page::from_rows(&schema, &keys));
+        assert_eq!(hash.group_count(), 100);
+        // No estimate constants: the total is the sum of the component
+        // layouts, each an exact capacity accounting.
+        let expected = hash.table.memory_bytes()
+            + hash.arena.memory_bytes()
+            + hash
+                .key_builders
+                .iter()
+                .map(|b| b.size_in_bytes())
+                .sum::<usize>();
+        assert_eq!(hash.memory_bytes(), expected);
+        assert!(hash.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn colliding_hash_keys_stay_distinct_groups() {
+        // Force two distinct keys through the same table chain by using the
+        // arena equality check: varchar keys that FNV-collide are hard to
+        // construct, so instead verify via many keys that all groups stay
+        // distinct and stable under growth/rehash.
+        let mut hash = GroupByHash::new(vec![0], vec![DataType::Varchar]);
+        let schema = presto_common::Schema::of(&[("s", DataType::Varchar)]);
+        let rows: Vec<Vec<Value>> = (0..2000).map(|i| vec![Value::varchar(&format!("key-{i}"))]).collect();
+        let first = hash.group_ids(&Page::from_rows(&schema, &rows));
+        assert_eq!(hash.group_count(), 2000);
+        // Replaying the same input yields identical ids (lookup, no insert).
+        let second = hash.group_ids(&Page::from_rows(&schema, &rows));
+        assert_eq!(first, second);
+        assert_eq!(hash.group_count(), 2000);
     }
 }

@@ -171,6 +171,7 @@ impl Driver {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::filter::{LimitOperator, ValuesOperator};

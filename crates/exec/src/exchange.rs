@@ -206,6 +206,7 @@ impl Operator for PartitionedOutputOperator {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use presto_common::{DataType, Schema, Value};

@@ -192,6 +192,7 @@ impl Operator for PassThroughOperator {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use presto_common::{DataType, Schema, Value};

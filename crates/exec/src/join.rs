@@ -1,157 +1,374 @@
 //! Hash joins (build + probe pipelines, Fig. 4) and index joins.
+//!
+//! The build side is partitioned and parallel (§V-E): every
+//! [`HashBuilderOperator`] pre-hashes and radix-partitions its pages as they
+//! arrive — off the bridge lock — and once all builders are done, the
+//! per-partition flat tables are built by whichever build drivers are
+//! available, each claiming partitions from a shared queue. The probe side
+//! is batched: one vectorized hash pass per page, one index-vector gather
+//! per side, with dictionary and RLE fast paths that resolve each distinct
+//! key once per page instead of once per row.
 
 use parking_lot::Mutex;
-use presto_common::{DataType, Schema};
+use presto_common::{DataType, Schema, Value};
 use presto_common::{PrestoError, Result};
 use presto_expr::{CompiledExpr, Expr};
-use presto_page::hash::hash_columns;
-use presto_page::{BlockBuilder, Page};
-use std::collections::HashMap;
+use presto_page::hash::{combine_hashes, hash_cell, hash_columns_cached, DictionaryHashCache};
+use presto_page::{Block, Page};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
+use crate::flathash::FlatHashTable;
 use crate::operator::{BlockedReason, Operator};
+
+/// Pick the radix partition for a row hash. Partitions use the *high* bits;
+/// the flat tables bucket by the low bits, so the two never alias.
+#[inline]
+fn partition_of(hash: u64, bits: u32) -> usize {
+    if bits == 0 {
+        0
+    } else {
+        (hash >> (64 - bits)) as usize
+    }
+}
+
+/// One radix partition of the completed build side: its row addresses plus
+/// a flat hash table whose entry `i` describes `rows[i]`.
+struct PartitionTable {
+    rows: Vec<(u32, u32)>,
+    table: FlatHashTable,
+}
+
+impl PartitionTable {
+    fn build(input: PartitionInput) -> PartitionTable {
+        let mut rows = Vec::with_capacity(input.len);
+        let mut table = FlatHashTable::with_capacity(input.len);
+        for (page, entries) in input.chunks {
+            for (row, hash) in entries {
+                table.insert(hash);
+                rows.push((page, row));
+            }
+        }
+        PartitionTable { rows, table }
+    }
+
+    /// Cross joins keep every build row with no hash table.
+    fn cross(pages: &[Page]) -> PartitionTable {
+        let mut rows = Vec::new();
+        for (pi, page) in pages.iter().enumerate() {
+            for ri in 0..page.row_count() {
+                rows.push((pi as u32, ri as u32));
+            }
+        }
+        PartitionTable {
+            rows,
+            table: FlatHashTable::new(),
+        }
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.rows.capacity() * std::mem::size_of::<(u32, u32)>() + self.table.memory_bytes()
+    }
+}
 
 /// The completed build side of a hash join.
 pub struct JoinHashTable {
-    /// Build pages, fully loaded.
-    pages: Vec<Page>,
-    /// Row addresses: (page, row).
-    rows: Vec<(u32, u32)>,
-    /// key hash → indices into `rows`.
-    map: HashMap<u64, Vec<u32>>,
+    /// Build pages, fully loaded (shared with the finalize state).
+    pages: Arc<Vec<Page>>,
+    partitions: Vec<PartitionTable>,
+    partition_bits: u32,
     key_channels: Vec<usize>,
     memory_bytes: usize,
+    row_count: usize,
 }
 
 impl JoinHashTable {
     pub fn row_count(&self) -> usize {
-        self.rows.len()
+        self.row_count
     }
 
+    /// Exact retained bytes: page data plus every partition's row-address
+    /// vector and flat-table arrays.
     pub fn memory_bytes(&self) -> usize {
         self.memory_bytes
     }
 
-    /// All build rows (for cross joins).
-    pub fn all_rows(&self) -> &[(u32, u32)] {
-        &self.rows
+    /// Bytes of hash-lookup structure (everything beyond the page data).
+    pub fn hash_layout_bytes(&self) -> usize {
+        self.partitions.iter().map(PartitionTable::memory_bytes).sum()
+    }
+
+    /// All build rows in partition order (cross joins, diagnostics).
+    pub fn iter_rows(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.partitions.iter().flat_map(|p| p.rows.iter().copied())
+    }
+
+    pub fn pages(&self) -> &[Page] {
+        &self.pages
     }
 
     pub fn page(&self, i: u32) -> &Page {
         &self.pages[i as usize]
     }
 
-    /// Candidate build rows for a probe row with the given key hash; the
-    /// caller must verify key equality (hash collisions).
-    fn candidates(&self, hash: u64) -> &[u32] {
-        self.map.get(&hash).map(Vec::as_slice).unwrap_or(&[])
+    /// The partition a hash routes to.
+    #[inline]
+    fn partition(&self, hash: u64) -> &PartitionTable {
+        &self.partitions[partition_of(hash, self.partition_bits)]
     }
 
-    fn keys_match(&self, addr: (u32, u32), probe: &Page, probe_keys: &[usize], row: usize) -> bool {
-        let build_page = &self.pages[addr.0 as usize];
-        self.key_channels.iter().zip(probe_keys).all(|(&bc, &pc)| {
-            build_page
-                .block(bc)
-                .eq_at(addr.1 as usize, probe.block(pc), row)
-        })
+    /// Candidate build-row addresses for a probe hash; the caller must
+    /// verify key equality (hash collisions).
+    fn candidates(&self, hash: u64) -> impl Iterator<Item = (u32, u32)> + '_ {
+        let p = self.partition(hash);
+        p.table.probe(hash).map(move |e| p.rows[e as usize])
     }
+
+    /// Compare the build keys at `addr` against `key_blocks[i]` at `row`
+    /// (the probe page's key columns, or a dictionary block).
+    fn keys_match(&self, addr: (u32, u32), key_blocks: &[&Block], row: usize) -> bool {
+        let build_page = &self.pages[addr.0 as usize];
+        self.key_channels
+            .iter()
+            .zip(key_blocks)
+            .all(|(&bc, pb)| build_page.block(bc).eq_at(addr.1 as usize, pb, row))
+    }
+}
+
+/// Pre-partitioned build input: per partition, a list of page chunks with
+/// their (row, hash) entries. Appending a chunk is O(1), so builders only
+/// ever hold the bridge lock for a vector move.
+#[derive(Default)]
+struct PartitionInput {
+    chunks: Vec<(u32, Vec<(u32, u64)>)>,
+    len: usize,
+}
+
+/// Work queue for the parallel finalize: partitions are claimed by index
+/// and built entirely outside the bridge's state lock.
+struct FinalizeState {
+    pages: Arc<Vec<Page>>,
+    key_channels: Vec<usize>,
+    partition_bits: u32,
+    inputs: Vec<Mutex<PartitionInput>>,
+    built: Vec<Mutex<Option<PartitionTable>>>,
+    next: AtomicUsize,
+    remaining: AtomicUsize,
+    built_bytes: AtomicUsize,
+}
+
+struct BuildState {
+    pages: Vec<Page>,
+    /// Accumulated input bytes (pages + partition entries).
+    bytes: usize,
+    /// Build drivers still running.
+    pending_builders: usize,
+    key_channels: Vec<usize>,
+    partition_bits: u32,
+    partitions: Vec<PartitionInput>,
+    finalize: Option<Arc<FinalizeState>>,
+    table: Option<Arc<JoinHashTable>>,
 }
 
 /// Shared hand-off between the build pipeline and probe drivers.
 pub struct JoinBridge {
     state: Mutex<BuildState>,
-}
-
-struct BuildState {
-    pages: Vec<Page>,
-    bytes: usize,
-    /// Build drivers still running.
-    pending_builders: usize,
-    table: Option<Arc<JoinHashTable>>,
-    key_channels: Vec<usize>,
+    /// Distinct operators that built at least one partition during
+    /// finalize (observability: > 1 means the build used > 1 thread).
+    finalize_participants: AtomicUsize,
 }
 
 impl JoinBridge {
     pub fn new(key_channels: Vec<usize>, builder_count: usize) -> Arc<JoinBridge> {
+        // Cross joins (no keys) need no partitioning; keyed builds use a few
+        // partitions per builder so work-stealing balances skew.
+        let partition_count = if key_channels.is_empty() {
+            1
+        } else {
+            (builder_count.max(1) * 4).next_power_of_two().clamp(8, 64)
+        };
+        let partition_bits = partition_count.trailing_zeros();
         Arc::new(JoinBridge {
             state: Mutex::new(BuildState {
                 pages: Vec::new(),
                 bytes: 0,
                 pending_builders: builder_count.max(1),
-                table: None,
                 key_channels,
+                partition_bits,
+                partitions: (0..partition_count).map(|_| PartitionInput::default()).collect(),
+                finalize: None,
+                table: None,
             }),
+            finalize_participants: AtomicUsize::new(0),
         })
     }
 
-    /// The finished hash table, once all builders are done.
+    /// The finished hash table, once all builders are done and every
+    /// partition is built.
     pub fn table(&self) -> Option<Arc<JoinHashTable>> {
         self.state.lock().table.clone()
     }
 
+    /// Key channels and radix width, fixed at creation (builders partition
+    /// their input against these without taking the lock per row).
+    fn partitioning(&self) -> (Vec<usize>, u32) {
+        let s = self.state.lock();
+        (s.key_channels.clone(), s.partition_bits)
+    }
+
     pub fn build_bytes(&self) -> usize {
         let s = self.state.lock();
-        s.bytes + s.table.as_ref().map_or(0, |t| t.memory_bytes())
+        if let Some(t) = &s.table {
+            return t.memory_bytes();
+        }
+        let finalize_bytes = s
+            .finalize
+            .as_ref()
+            .map_or(0, |f| f.built_bytes.load(Ordering::Relaxed));
+        s.bytes + finalize_bytes
     }
 
-    fn add_page(&self, page: Page) {
+    /// Number of distinct operators that built ≥ 1 partition.
+    pub fn finalize_participants(&self) -> usize {
+        self.finalize_participants.load(Ordering::Relaxed)
+    }
+
+    fn note_finalize_participant(&self) {
+        self.finalize_participants.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Accept one pre-hashed, pre-partitioned page. Only vector moves
+    /// happen under the lock.
+    fn add_page(&self, page: Page, parts: Vec<Vec<(u32, u64)>>) {
+        let entry_size = std::mem::size_of::<(u32, u64)>();
         let mut s = self.state.lock();
         s.bytes += page.size_in_bytes();
-        s.pages.push(page.load_all());
+        let pi = s.pages.len() as u32;
+        s.pages.push(page);
+        for (p, entries) in parts.into_iter().enumerate() {
+            if entries.is_empty() {
+                continue;
+            }
+            s.bytes += entries.capacity() * entry_size;
+            s.partitions[p].len += entries.len();
+            s.partitions[p].chunks.push((pi, entries));
+        }
     }
 
+    /// A builder is done. The last one moves the accumulated input into the
+    /// finalize work queue — it does NOT build under the lock; partitions
+    /// are built by [`JoinBridge::claim_and_build_one`] callers.
     fn builder_finished(&self) {
         let mut s = self.state.lock();
         s.pending_builders -= 1;
-        if s.pending_builders == 0 && s.table.is_none() {
-            // Finalize: hash every build row.
-            let pages = std::mem::take(&mut s.pages);
-            let key_channels = s.key_channels.clone();
-            let mut rows = Vec::new();
-            let mut map: HashMap<u64, Vec<u32>> = HashMap::new();
-            let mut bytes = 0usize;
-            for (pi, page) in pages.iter().enumerate() {
-                bytes += page.size_in_bytes();
-                if key_channels.is_empty() {
-                    for ri in 0..page.row_count() {
-                        rows.push((pi as u32, ri as u32));
-                    }
-                    continue;
-                }
-                let hashes = hash_columns(page, &key_channels);
-                for (ri, &h) in hashes.iter().enumerate() {
-                    // NULL keys never join (SQL equality).
-                    if key_channels.iter().any(|&c| page.block(c).is_null(ri)) {
-                        continue;
-                    }
-                    let idx = rows.len() as u32;
-                    rows.push((pi as u32, ri as u32));
-                    map.entry(h).or_default().push(idx);
-                }
-            }
-            bytes += rows.len() * 8 + map.len() * 24;
-            s.table = Some(Arc::new(JoinHashTable {
-                pages,
-                rows,
-                map,
-                key_channels,
-                memory_bytes: bytes,
-            }));
+        if s.pending_builders > 0 || s.table.is_some() || s.finalize.is_some() {
+            return;
         }
+        let pages = Arc::new(std::mem::take(&mut s.pages));
+        let partitions = std::mem::take(&mut s.partitions);
+        let count = partitions.len();
+        s.finalize = Some(Arc::new(FinalizeState {
+            pages,
+            key_channels: s.key_channels.clone(),
+            partition_bits: s.partition_bits,
+            inputs: partitions.into_iter().map(Mutex::new).collect(),
+            built: (0..count).map(|_| Mutex::new(None)).collect(),
+            next: AtomicUsize::new(0),
+            remaining: AtomicUsize::new(count),
+            built_bytes: AtomicUsize::new(0),
+        }));
+    }
+
+    /// Claim and build one pending partition, off the bridge lock. Returns
+    /// false when there is nothing (left) to claim. The builder of the last
+    /// partition assembles and publishes the [`JoinHashTable`].
+    pub fn claim_and_build_one(&self) -> bool {
+        let finalize = self.state.lock().finalize.clone();
+        let Some(fin) = finalize else { return false };
+        let idx = fin.next.fetch_add(1, Ordering::Relaxed);
+        if idx >= fin.inputs.len() {
+            return false;
+        }
+        let input = std::mem::take(&mut *fin.inputs[idx].lock());
+        let part = if fin.key_channels.is_empty() {
+            PartitionTable::cross(&fin.pages)
+        } else {
+            PartitionTable::build(input)
+        };
+        fin.built_bytes.fetch_add(part.memory_bytes(), Ordering::Relaxed);
+        *fin.built[idx].lock() = Some(part);
+        if fin.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            self.assemble(&fin);
+        }
+        true
+    }
+
+    fn assemble(&self, fin: &FinalizeState) {
+        let partitions: Vec<PartitionTable> = fin
+            .built
+            .iter()
+            .map(|slot| slot.lock().take().expect("all partitions built"))
+            .collect();
+        let page_bytes: usize = fin.pages.iter().map(Page::size_in_bytes).sum();
+        let layout_bytes: usize = partitions.iter().map(PartitionTable::memory_bytes).sum();
+        let row_count = partitions.iter().map(|p| p.rows.len()).sum();
+        let table = Arc::new(JoinHashTable {
+            pages: Arc::clone(&fin.pages),
+            partitions,
+            partition_bits: fin.partition_bits,
+            key_channels: fin.key_channels.clone(),
+            memory_bytes: page_bytes + layout_bytes,
+            row_count,
+        });
+        let mut s = self.state.lock();
+        s.bytes = 0;
+        s.finalize = None;
+        s.table = Some(table);
     }
 }
 
-/// Build-side sink operator: accumulates pages into the bridge.
+/// Build-side sink operator: radix-partitions pages into the bridge and
+/// participates in the parallel partition build once its input is done.
 pub struct HashBuilderOperator {
     bridge: Arc<JoinBridge>,
+    key_channels: Vec<usize>,
+    partition_bits: u32,
+    hash_cache: DictionaryHashCache,
     finished: bool,
+    partitions_built: u64,
+    counted_as_participant: bool,
 }
 
 impl HashBuilderOperator {
     pub fn new(bridge: Arc<JoinBridge>) -> HashBuilderOperator {
+        let (key_channels, partition_bits) = bridge.partitioning();
         HashBuilderOperator {
             bridge,
+            key_channels,
+            partition_bits,
+            hash_cache: DictionaryHashCache::new(),
             finished: false,
+            partitions_built: 0,
+            counted_as_participant: false,
+        }
+    }
+
+    /// Partitions this operator built during finalize (observability).
+    pub fn partitions_built(&self) -> u64 {
+        self.partitions_built
+    }
+
+    fn drain_finalize(&mut self) {
+        let mut built = 0;
+        while self.bridge.claim_and_build_one() {
+            built += 1;
+        }
+        if built > 0 {
+            self.partitions_built += built;
+            if !self.counted_as_participant {
+                self.counted_as_participant = true;
+                self.bridge.note_finalize_participant();
+            }
         }
     }
 }
@@ -166,7 +383,25 @@ impl Operator for HashBuilderOperator {
     }
 
     fn add_input(&mut self, page: Page) -> Result<()> {
-        self.bridge.add_page(page);
+        let page = page.load_all();
+        if self.key_channels.is_empty() {
+            self.bridge.add_page(page, Vec::new());
+            return Ok(());
+        }
+        // Hash + partition off the bridge lock; the hash pass is
+        // dictionary/RLE-aware and the cache persists across pages.
+        let hashes = hash_columns_cached(&page, &self.key_channels, &mut self.hash_cache);
+        let mut parts: Vec<Vec<(u32, u64)>> = (0..(1usize << self.partition_bits))
+            .map(|_| Vec::new())
+            .collect();
+        for (ri, &h) in hashes.iter().enumerate() {
+            // NULL keys never join (SQL equality).
+            if self.key_channels.iter().any(|&c| page.block(c).is_null(ri)) {
+                continue;
+            }
+            parts[partition_of(h, self.partition_bits)].push((ri as u32, h));
+        }
+        self.bridge.add_page(page, parts);
         Ok(())
     }
 
@@ -174,15 +409,29 @@ impl Operator for HashBuilderOperator {
         if !self.finished {
             self.finished = true;
             self.bridge.builder_finished();
+            self.drain_finalize();
         }
     }
 
     fn output(&mut self) -> Result<Option<Page>> {
+        // Finished builders keep helping with the partition build until the
+        // table is published (parallel finalize).
+        if self.finished && self.bridge.table().is_none() {
+            self.drain_finalize();
+        }
         Ok(None)
     }
 
     fn is_finished(&self) -> bool {
-        self.finished
+        self.finished && self.bridge.table().is_some()
+    }
+
+    fn blocked(&self) -> Option<BlockedReason> {
+        if self.finished && self.bridge.table().is_none() {
+            Some(BlockedReason::WaitingForBuild)
+        } else {
+            None
+        }
     }
 
     fn user_memory_bytes(&self) -> usize {
@@ -190,6 +439,31 @@ impl Operator for HashBuilderOperator {
         self.bridge.build_bytes()
     }
 }
+
+/// Entry → build-row matches memo for dictionary-keyed probes, retained
+/// while consecutive pages share one dictionary (§V-E). Matches live in one
+/// contiguous arena addressed by per-entry `(start, len)` slots, so a cache
+/// hit costs one array read — no per-row allocation or refcount traffic.
+struct DictProbeCache {
+    dict_id: u64,
+    /// Entry → (start, len) into `matches`; `len == UNRESOLVED` means the
+    /// entry has not been probed yet.
+    slots: Vec<(u32, u32)>,
+    matches: Vec<(u32, u32)>,
+}
+
+impl DictProbeCache {
+    const UNRESOLVED: u32 = u32::MAX;
+
+    fn new(dict_id: u64, entries: usize) -> DictProbeCache {
+        DictProbeCache {
+            dict_id,
+            slots: vec![(0, Self::UNRESOLVED); entries],
+            matches: Vec::new(),
+        }
+    }
+}
+
 
 /// Join semantics the probe operator implements.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -200,17 +474,29 @@ pub enum ProbeJoinType {
 }
 
 /// Probe-side operator: streams probe pages against the hash table.
+///
+/// Probing is batched per page: one vectorized hash pass, one pass
+/// collecting (probe index, build address) match vectors, then block-level
+/// gathers materialize both sides at once. A dictionary-keyed page probes
+/// each distinct entry once (the entry → matches array is retained while
+/// pages share a dictionary); an RLE key probes once per page.
 pub struct LookupJoinOperator {
     bridge: Arc<JoinBridge>,
     join_type: ProbeJoinType,
     probe_keys: Vec<usize>,
     probe_schema: Schema,
     build_schema: Schema,
+    build_types: Vec<DataType>,
     /// Residual non-equi condition over the concatenated output schema.
     filter: Option<CompiledExpr>,
     pending: Option<Page>,
     input_done: bool,
     rows_out: u64,
+    hash_cache: DictionaryHashCache,
+    /// Entry → build matches memo, retained across pages (§V-E).
+    dict_probe: Option<DictProbeCache>,
+    dict_probe_hits: u64,
+    rle_probe_rows: u64,
 }
 
 impl LookupJoinOperator {
@@ -222,82 +508,257 @@ impl LookupJoinOperator {
         build_schema: Schema,
         filter: Option<&Expr>,
     ) -> LookupJoinOperator {
+        let build_types = build_schema.fields().iter().map(|f| f.data_type).collect();
         LookupJoinOperator {
             bridge,
             join_type,
             probe_keys,
             probe_schema,
             build_schema,
+            build_types,
             filter: filter.map(CompiledExpr::compile),
             pending: None,
             input_done: false,
             rows_out: 0,
+            hash_cache: DictionaryHashCache::new(),
+            dict_probe: None,
+            dict_probe_hits: 0,
+            rle_probe_rows: 0,
         }
     }
 
-    fn join_page(&self, table: &JoinHashTable, probe: &Page) -> Result<Page> {
-        let probe_width = self.probe_schema.len();
-        let build_width = self.build_schema.len();
-        // Pair candidates: (probe row, build addr).
-        let mut pairs: Vec<(u32, (u32, u32))> = Vec::new();
-        // For LEFT joins: which probe rows found any key match.
-        let mut candidate_of_probe = vec![0u32; probe.row_count()];
-        match self.join_type {
-            ProbeJoinType::Cross => {
-                for row in 0..probe.row_count() as u32 {
-                    for &addr in table.all_rows() {
-                        pairs.push((row, addr));
+    /// Probe rows resolved through the per-dictionary-entry match cache.
+    pub fn dict_probe_hits(&self) -> u64 {
+        self.dict_probe_hits
+    }
+
+    /// Probe rows resolved through the RLE one-probe-per-page fast path.
+    pub fn rle_probe_rows(&self) -> u64 {
+        self.rle_probe_rows
+    }
+
+    /// Collect matches for a keyed probe page into index vectors.
+    fn probe_keyed(
+        &mut self,
+        table: &JoinHashTable,
+        probe: &Page,
+        probe_idx: &mut Vec<u32>,
+        build_addrs: &mut Vec<(u32, u32)>,
+        match_counts: &mut [u32],
+    ) {
+        if let [channel] = self.probe_keys[..] {
+            match probe.block(channel).loaded() {
+                Block::Rle(rle) => {
+                    // One probe for the whole page.
+                    let value = Arc::clone(&rle.value);
+                    self.rle_probe_rows += probe.row_count() as u64;
+                    if value.is_null(0) {
+                        return;
                     }
+                    let hash = combine_hashes(0, hash_cell(&value, 0));
+                    let matches: Vec<(u32, u32)> = table
+                        .candidates(hash)
+                        .filter(|&addr| table.keys_match(addr, &[&value], 0))
+                        .collect();
+                    if matches.is_empty() {
+                        return;
+                    }
+                    for (row, count) in match_counts.iter_mut().enumerate() {
+                        for &addr in &matches {
+                            probe_idx.push(row as u32);
+                            build_addrs.push(addr);
+                        }
+                        *count += matches.len() as u32;
+                    }
+                    return;
                 }
-            }
-            _ => {
-                let hashes = hash_columns(probe, &self.probe_keys);
-                for row in 0..probe.row_count() {
-                    if self.probe_keys.iter().any(|&c| probe.block(c).is_null(row)) {
-                        continue;
+                Block::Dictionary(d) => {
+                    // One probe per distinct dictionary entry; the entry →
+                    // matches arena survives across pages sharing the
+                    // dictionary. Entries new to the memo are resolved with
+                    // the same batched breadth-first walk as the general
+                    // path, then every row expands via one slot read.
+                    let dictionary = Arc::clone(&d.dictionary);
+                    let dict_id = d.dictionary_id;
+                    let ids = d.ids.clone();
+                    let valid = matches!(&self.dict_probe, Some(c) if c.dict_id == dict_id);
+                    if !valid {
+                        self.dict_probe = Some(DictProbeCache::new(dict_id, dictionary.len()));
                     }
-                    for &idx in table.candidates(hashes[row]) {
-                        let addr = table.all_rows()[idx as usize];
-                        if table.keys_match(addr, probe, &self.probe_keys, row) {
-                            pairs.push((row as u32, addr));
-                            candidate_of_probe[row] += 1;
+                    let Some(cache) = &mut self.dict_probe else {
+                        unreachable!("dict_probe set above")
+                    };
+                    const EMPTY: u32 = FlatHashTable::EMPTY;
+                    const PENDING: u32 = u32::MAX - 1;
+                    let mut to_resolve: Vec<u32> = Vec::new();
+                    for &entry in &ids {
+                        if dictionary.is_null(entry as usize) {
+                            continue;
+                        }
+                        if cache.slots[entry as usize].1 == DictProbeCache::UNRESOLVED {
+                            cache.slots[entry as usize] = (0, PENDING);
+                            to_resolve.push(entry);
                         }
                     }
+                    if !to_resolve.is_empty() {
+                        let entry_hashes: Vec<u64> = to_resolve
+                            .iter()
+                            .map(|&e| combine_hashes(0, hash_cell(&dictionary, e as usize)))
+                            .collect();
+                        let mut cursors: Vec<(u32, u32)> =
+                            Vec::with_capacity(to_resolve.len());
+                        for (i, &hash) in entry_hashes.iter().enumerate() {
+                            let head = table.partition(hash).table.head(hash);
+                            if head != EMPTY {
+                                cursors.push((i as u32, head));
+                            }
+                        }
+                        let mut pairs: Vec<(u32, (u32, u32))> = Vec::new();
+                        let mut next_round: Vec<(u32, u32)> =
+                            Vec::with_capacity(cursors.len() / 4 + 1);
+                        while !cursors.is_empty() {
+                            next_round.clear();
+                            for &(i, e) in &cursors {
+                                let hash = entry_hashes[i as usize];
+                                let part = table.partition(hash);
+                                let (stored, next) = part.table.entry_at(e);
+                                if stored == hash {
+                                    pairs.push((i, part.rows[e as usize]));
+                                }
+                                if next != EMPTY {
+                                    next_round.push((i, next));
+                                }
+                            }
+                            std::mem::swap(&mut cursors, &mut next_round);
+                        }
+                        pairs.retain(|&(i, addr)| {
+                            table.keys_match(addr, &[&dictionary], to_resolve[i as usize] as usize)
+                        });
+                        // Group each entry's matches contiguously in the arena.
+                        pairs.sort_unstable_by_key(|&(i, _)| i);
+                        let mut pos = 0;
+                        for (i, &entry) in to_resolve.iter().enumerate() {
+                            let start = cache.matches.len() as u32;
+                            while pos < pairs.len() && pairs[pos].0 == i as u32 {
+                                cache.matches.push(pairs[pos].1);
+                                pos += 1;
+                            }
+                            cache.slots[entry as usize] =
+                                (start, cache.matches.len() as u32 - start);
+                        }
+                    }
+                    // Expansion: one slot read per row.
+                    let mut nonnull_rows = 0u64;
+                    for (row, &entry) in ids.iter().enumerate() {
+                        if dictionary.is_null(entry as usize) {
+                            continue;
+                        }
+                        nonnull_rows += 1;
+                        let (start, len) = cache.slots[entry as usize];
+                        for i in start..start + len {
+                            probe_idx.push(row as u32);
+                            build_addrs.push(cache.matches[i as usize]);
+                        }
+                        match_counts[row] += len;
+                    }
+                    // A "hit" is a row served by an already-resolved entry,
+                    // exactly as when rows resolved one at a time.
+                    self.dict_probe_hits += nonnull_rows - to_resolve.len() as u64;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        // General path: one vectorized hash pass, then a batched
+        // breadth-first chain walk. Each stage issues one independent memory
+        // access per row, so the cache misses of different rows overlap
+        // instead of chaining serially (head → entry → row → page data).
+        let hashes = hash_columns_cached(probe, &self.probe_keys, &mut self.hash_cache);
+        let key_blocks: Vec<&Block> = self.probe_keys.iter().map(|&c| probe.block(c)).collect();
+        const EMPTY: u32 = FlatHashTable::EMPTY;
+        // Stage 1: bucket heads.
+        let mut cursors: Vec<(u32, u32)> = Vec::with_capacity(hashes.len());
+        for (row, &hash) in hashes.iter().enumerate() {
+            if key_blocks.iter().any(|b| b.is_null(row)) {
+                continue;
+            }
+            let head = table.partition(hash).table.head(hash);
+            if head != EMPTY {
+                cursors.push((row as u32, head));
+            }
+        }
+        // Stage 2: walk all live chains one step per round, collecting
+        // hash-equal entries as (probe row, build addr) candidates.
+        let mut candidates: Vec<(u32, (u32, u32))> = Vec::new();
+        let mut next_round: Vec<(u32, u32)> = Vec::with_capacity(cursors.len() / 4 + 1);
+        while !cursors.is_empty() {
+            next_round.clear();
+            for &(row, e) in &cursors {
+                let hash = hashes[row as usize];
+                let part = table.partition(hash);
+                let (stored, next) = part.table.entry_at(e);
+                if stored == hash {
+                    candidates.push((row, part.rows[e as usize]));
+                }
+                if next != EMPTY {
+                    next_round.push((row, next));
                 }
             }
+            std::mem::swap(&mut cursors, &mut next_round);
         }
-        // Materialize candidate pairs into a combined page.
-        let mut builders: Vec<BlockBuilder> = self
-            .probe_schema
-            .fields()
-            .iter()
-            .chain(self.build_schema.fields())
-            .map(|f| BlockBuilder::with_capacity(f.data_type, pairs.len()))
-            .collect();
-        for &(prow, (bpage, brow)) in &pairs {
-            for (c, b) in builders.iter_mut().enumerate().take(probe_width) {
-                b.append_from(probe.block(c), prow as usize);
-            }
-            let build_page = table.page(bpage);
-            for c in 0..build_width {
-                builders[probe_width + c].append_from(build_page.block(c), brow as usize);
+        // Stage 3: verify keys and emit matches.
+        for &(row, addr) in &candidates {
+            if table.keys_match(addr, &key_blocks, row as usize) {
+                probe_idx.push(row);
+                build_addrs.push(addr);
+                match_counts[row as usize] += 1;
             }
         }
-        let mut combined = if builders.is_empty() {
-            Page::zero_column(pairs.len())
+    }
+
+    fn join_page(&mut self, table: &JoinHashTable, probe: &Page) -> Result<Page> {
+        let probe_rows = probe.row_count();
+        let probe_width = self.probe_schema.len();
+        let build_width = self.build_schema.len();
+        // Match vectors: probe row index and build address per output row.
+        let mut probe_idx: Vec<u32> = Vec::new();
+        let mut build_addrs: Vec<(u32, u32)> = Vec::new();
+        // For LEFT joins: how many matches each probe row found.
+        let mut match_counts = vec![0u32; probe_rows];
+        match self.join_type {
+            ProbeJoinType::Cross => {
+                for row in 0..probe_rows as u32 {
+                    for addr in table.iter_rows() {
+                        probe_idx.push(row);
+                        build_addrs.push(addr);
+                        match_counts[row as usize] += 1;
+                    }
+                }
+            }
+            _ => self.probe_keyed(table, probe, &mut probe_idx, &mut build_addrs, &mut match_counts),
+        }
+        // Materialize both sides with block-level gathers: the probe gather
+        // preserves dictionary/RLE structure, the build gather fills each
+        // output block in one column-major pass.
+        let probe_side = probe.filter(&probe_idx);
+        let build_side = Page::gather_rows(table.pages(), &build_addrs, &self.build_types);
+        let mut combined = if build_width == 0 {
+            probe_side
+        } else if probe_width == 0 {
+            build_side
         } else {
-            Page::new(builders.into_iter().map(BlockBuilder::finish).collect())
+            probe_side.append_columns(&build_side)
         };
         // Residual filter.
-        let mut surviving_probe_matches = candidate_of_probe;
+        let mut surviving_probe_matches = match_counts;
         if let Some(filter) = &self.filter {
             let selection = filter.eval_selection(&combined)?;
             if selection.len() != combined.row_count() {
                 // Recompute per-probe match counts for LEFT semantics.
                 if self.join_type == ProbeJoinType::Left {
-                    surviving_probe_matches = vec![0; probe.row_count()];
+                    surviving_probe_matches = vec![0; probe_rows];
                     for &s in &selection {
-                        surviving_probe_matches[pairs[s as usize].0 as usize] += 1;
+                        surviving_probe_matches[probe_idx[s as usize] as usize] += 1;
                     }
                 }
                 combined = combined.filter(&selection);
@@ -305,26 +766,23 @@ impl LookupJoinOperator {
         }
         // LEFT join: append null-padded rows for unmatched probe rows.
         if self.join_type == ProbeJoinType::Left {
-            let unmatched: Vec<u32> = (0..probe.row_count() as u32)
+            let unmatched: Vec<u32> = (0..probe_rows as u32)
                 .filter(|&r| surviving_probe_matches[r as usize] == 0)
                 .collect();
             if !unmatched.is_empty() {
-                let mut builders: Vec<BlockBuilder> = self
-                    .probe_schema
-                    .fields()
-                    .iter()
-                    .chain(self.build_schema.fields())
-                    .map(|f| BlockBuilder::with_capacity(f.data_type, unmatched.len()))
-                    .collect();
-                for &r in &unmatched {
-                    for (c, b) in builders.iter_mut().enumerate().take(probe_width) {
-                        b.append_from(probe.block(c), r as usize);
-                    }
-                    for b in builders.iter_mut().skip(probe_width) {
-                        b.push_null();
-                    }
+                let mut blocks = probe.filter(&unmatched).into_blocks();
+                for f in self.build_schema.fields() {
+                    // Null build columns as RLE runs: no per-row appends.
+                    blocks.push(Block::rle(
+                        Block::single(f.data_type, &Value::Null),
+                        unmatched.len(),
+                    ));
                 }
-                let nulls = Page::new(builders.into_iter().map(BlockBuilder::finish).collect());
+                let nulls = if blocks.is_empty() {
+                    Page::zero_column(unmatched.len())
+                } else {
+                    Page::new(blocks)
+                };
                 combined = Page::concat(&[combined, nulls]);
             }
         }
@@ -445,6 +903,7 @@ impl Operator for IndexJoinOperator {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use presto_common::Value;
@@ -561,6 +1020,42 @@ mod tests {
     }
 
     #[test]
+    fn null_build_keys_never_match() {
+        let bridge = JoinBridge::new(vec![0], 1);
+        let mut b = HashBuilderOperator::new(Arc::clone(&bridge));
+        let s = schema();
+        b.add_input(Page::from_rows(
+            &s,
+            &[
+                vec![Value::Null, Value::varchar("null-build")],
+                vec![Value::Bigint(7), Value::varchar("seven")],
+            ],
+        ))
+        .unwrap();
+        b.finish();
+        let mut probe = LookupJoinOperator::new(
+            bridge,
+            ProbeJoinType::Inner,
+            vec![0],
+            schema(),
+            schema(),
+            None,
+        );
+        // A NULL probe key must not meet the NULL build key.
+        let p = Page::from_rows(
+            &s,
+            &[
+                vec![Value::Null, Value::varchar("null-probe")],
+                vec![Value::Bigint(7), Value::varchar("x")],
+            ],
+        );
+        probe.add_input(p).unwrap();
+        let rows = drain_rows(&mut probe);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].3, "seven");
+    }
+
+    #[test]
     fn residual_filter_applies_to_pairs() {
         let bridge = build_table(&[(1, "keep"), (1, "drop")]);
         // filter: build.s = 'keep' (channel 3 of the combined schema)
@@ -632,7 +1127,259 @@ mod tests {
         b2.add_input(kv_page(&[(2, "b")])).unwrap();
         b1.finish();
         assert!(bridge.table().is_none(), "waits for all builders");
+        assert!(!b1.is_finished(), "builder waits for the table");
+        assert_eq!(b1.blocked(), Some(BlockedReason::WaitingForBuild));
         b2.finish();
         assert_eq!(bridge.table().unwrap().row_count(), 2);
+        assert!(b1.is_finished() && b2.is_finished());
+    }
+
+    #[test]
+    fn finalize_runs_off_the_bridge_lock() {
+        // builder_finished() must only queue work: the table appears only
+        // after claim_and_build_one() calls, and table() polls in between
+        // return instantly with None instead of blocking on a finalize
+        // critical section.
+        let bridge = JoinBridge::new(vec![0], 1);
+        let rows: Vec<(i64, String)> = (0..100).map(|i| (i, format!("v{i}"))).collect();
+        let borrowed: Vec<(i64, &str)> = rows.iter().map(|(k, s)| (*k, s.as_str())).collect();
+        let mut b = HashBuilderOperator::new(Arc::clone(&bridge));
+        b.add_input(kv_page(&borrowed)).unwrap();
+        // Go through the bridge directly so no operator drains the queue.
+        bridge.builder_finished();
+        assert!(bridge.table().is_none(), "nothing built under the lock");
+        let mut built = 0;
+        while bridge.claim_and_build_one() {
+            built += 1;
+            if bridge.table().is_none() {
+                // Poll mid-finalize: must not deadlock or publish early.
+                assert!(built < 64 + 1);
+            }
+        }
+        assert!(built >= 8, "keyed builds use multiple partitions");
+        assert_eq!(bridge.table().unwrap().row_count(), 100);
+    }
+
+    #[test]
+    fn parallel_finalize_uses_multiple_threads() {
+        // Two threads each claim at least one partition: the partition work
+        // queue serves claimants concurrently (> 1 thread finalize).
+        let bridge = JoinBridge::new(vec![0], 2);
+        let rows: Vec<(i64, String)> = (0..256).map(|i| (i, format!("v{i}"))).collect();
+        let borrowed: Vec<(i64, &str)> = rows.iter().map(|(k, s)| (*k, s.as_str())).collect();
+        let mut b1 = HashBuilderOperator::new(Arc::clone(&bridge));
+        let mut b2 = HashBuilderOperator::new(Arc::clone(&bridge));
+        b1.add_input(kv_page(&borrowed[..128])).unwrap();
+        b2.add_input(kv_page(&borrowed[128..])).unwrap();
+        // Finish via the bridge so the operators don't drain the queue
+        // single-threadedly first.
+        bridge.builder_finished();
+        bridge.builder_finished();
+        let barrier = std::sync::Barrier::new(2);
+        let claims: Vec<bool> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let bridge = Arc::clone(&bridge);
+                    let barrier = &barrier;
+                    scope.spawn(move || {
+                        barrier.wait();
+                        bridge.claim_and_build_one()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert!(
+            claims.iter().all(|&c| c),
+            "both threads claimed a partition: {claims:?}"
+        );
+        // Drain the rest and verify the table.
+        while bridge.claim_and_build_one() {}
+        assert_eq!(bridge.table().unwrap().row_count(), 256);
+        drop((b1, b2));
+    }
+
+    #[test]
+    fn exact_memory_accounting_from_flat_layout() {
+        let rows: Vec<(i64, String)> = (0..1000).map(|i| (i % 100, format!("s{i}"))).collect();
+        let borrowed: Vec<(i64, &str)> = rows.iter().map(|(k, s)| (*k, s.as_str())).collect();
+        let bridge = build_table(&borrowed);
+        let table = bridge.table().unwrap();
+        // memory_bytes is the exact sum of page bytes and the per-partition
+        // flat layouts — no estimate constants.
+        let page_bytes: usize = table.pages().iter().map(Page::size_in_bytes).sum();
+        let layout: usize = table
+            .partitions
+            .iter()
+            .map(|p| p.rows.capacity() * 8 + p.table.memory_bytes())
+            .sum();
+        assert_eq!(table.memory_bytes(), page_bytes + layout);
+        assert_eq!(table.hash_layout_bytes(), layout);
+        // The bridge reports the table's exact size once built.
+        assert_eq!(bridge.build_bytes(), table.memory_bytes());
+        // Every row is addressable.
+        assert_eq!(table.iter_rows().count(), 1000);
+    }
+
+    #[test]
+    fn dictionary_probe_caches_entry_matches() {
+        use presto_page::blocks::{DictionaryBlock, VarcharBlock};
+        let bridge = JoinBridge::new(vec![0], 1);
+        let mut b = HashBuilderOperator::new(Arc::clone(&bridge));
+        let s = Schema::of(&[("k", DataType::Varchar), ("v", DataType::Bigint)]);
+        b.add_input(Page::from_rows(
+            &s,
+            &[
+                vec![Value::varchar("a"), Value::Bigint(1)],
+                vec![Value::varchar("b"), Value::Bigint(2)],
+            ],
+        ))
+        .unwrap();
+        b.finish();
+        let mut probe = LookupJoinOperator::new(
+            bridge,
+            ProbeJoinType::Inner,
+            vec![0],
+            Schema::of(&[("k", DataType::Varchar)]),
+            s,
+            None,
+        );
+        let dict = Arc::new(Block::from(VarcharBlock::from_strs(&["a", "b", "zz"])));
+        // 6 rows over 3 entries; repeats hit the cache.
+        let p1 = Page::new(vec![Block::Dictionary(DictionaryBlock::new(
+            Arc::clone(&dict),
+            vec![0, 1, 2, 0, 1, 2],
+        ))]);
+        probe.add_input(p1).unwrap();
+        let out = probe.output().unwrap().unwrap();
+        assert_eq!(out.row_count(), 4, "a and b match twice each");
+        assert_eq!(probe.dict_probe_hits(), 3);
+        // Second page sharing the dictionary: all rows served by the cache.
+        let p2 = Page::new(vec![Block::Dictionary(DictionaryBlock::new(
+            Arc::clone(&dict),
+            vec![1, 1, 0],
+        ))]);
+        probe.add_input(p2).unwrap();
+        assert_eq!(probe.output().unwrap().unwrap().row_count(), 3);
+        assert_eq!(probe.dict_probe_hits(), 6);
+    }
+
+    #[test]
+    fn rle_probe_resolves_once_per_page() {
+        let bridge = build_table(&[(5, "five"), (6, "six")]);
+        let mut probe = LookupJoinOperator::new(
+            bridge,
+            ProbeJoinType::Inner,
+            vec![0],
+            Schema::of(&[("k", DataType::Bigint)]),
+            schema(),
+            None,
+        );
+        let rle = Page::new(vec![Block::rle(
+            Block::single(DataType::Bigint, &Value::Bigint(5)),
+            4,
+        )]);
+        probe.add_input(rle).unwrap();
+        let out = probe.output().unwrap().unwrap();
+        assert_eq!(out.row_count(), 4);
+        assert!((0..4).all(|i| out.block(2).str_at(i) == "five"));
+        assert_eq!(probe.rle_probe_rows(), 4);
+        // An RLE run of NULLs matches nothing.
+        let null_rle = Page::new(vec![Block::rle(
+            Block::single(DataType::Bigint, &Value::Null),
+            3,
+        )]);
+        probe.add_input(null_rle).unwrap();
+        assert!(probe.output().unwrap().is_none());
+    }
+
+    /// Invert the splitmix64 finalizer used by `presto_page::hash` so the
+    /// test can manufacture genuine 64-bit hash collisions.
+    fn inv_mix(mut h: u64) -> u64 {
+        fn unshift(mut v: u64, s: u32) -> u64 {
+            // Invert v ^= v >> s by reapplying until all bits recovered.
+            let mut r = v;
+            while v > 0 {
+                v >>= s;
+                r ^= v;
+            }
+            r
+        }
+        fn mul_inverse(a: u64) -> u64 {
+            // Newton iteration: works for any odd multiplier mod 2^64.
+            let mut x = a;
+            for _ in 0..6 {
+                x = x.wrapping_mul(2u64.wrapping_sub(a.wrapping_mul(x)));
+            }
+            x
+        }
+        h = unshift(h, 31);
+        h = h.wrapping_mul(mul_inverse(0x94D0_49BB_1331_11EB));
+        h = unshift(h, 27);
+        h = h.wrapping_mul(mul_inverse(0xBF58_476D_1CE4_E5B9));
+        unshift(h, 30)
+    }
+
+    /// Two distinct (a, b) bigint key pairs with identical row hashes.
+    fn collision_pair() -> ((i64, i64), (i64, i64)) {
+        use presto_page::hash::hash_i64;
+        let (a1, a2) = (0i64, 1i64);
+        let (b1, _) = (42i64, ());
+        // Row hash is mix(mix(hash(a)) * SEED ^ hash(b)); solve for b2 so
+        // the pre-mix values collide.
+        const SEED: u64 = 0x9E37_79B9_7F4A_7C15;
+        let c1 = combine_hashes(0, hash_i64(a1)).wrapping_mul(SEED);
+        let c2 = combine_hashes(0, hash_i64(a2)).wrapping_mul(SEED);
+        let b2 = inv_mix(hash_i64(b1) ^ c1 ^ c2) as i64;
+        ((a1, b1), (a2, b2))
+    }
+
+    #[test]
+    fn hash_collisions_do_not_cross_join() {
+        use presto_page::hash::hash_columns;
+        let ((a1, b1), (a2, b2)) = collision_pair();
+        assert_ne!((a1, b1), (a2, b2));
+        let s = Schema::of(&[("a", DataType::Bigint), ("b", DataType::Bigint)]);
+        let build = Page::from_rows(&s, &[vec![Value::Bigint(a1), Value::Bigint(b1)]]);
+        let probe_page = Page::from_rows(&s, &[vec![Value::Bigint(a2), Value::Bigint(b2)]]);
+        // Verify this really is a full 64-bit collision.
+        assert_eq!(
+            hash_columns(&build, &[0, 1])[0],
+            hash_columns(&probe_page, &[0, 1])[0],
+            "constructed keys collide"
+        );
+        let bridge = JoinBridge::new(vec![0, 1], 1);
+        let mut b = HashBuilderOperator::new(Arc::clone(&bridge));
+        b.add_input(build).unwrap();
+        b.finish();
+        let mut probe = LookupJoinOperator::new(
+            Arc::clone(&bridge),
+            ProbeJoinType::Inner,
+            vec![0, 1],
+            s.clone(),
+            s.clone(),
+            None,
+        );
+        probe.add_input(probe_page).unwrap();
+        assert!(
+            probe.output().unwrap().is_none(),
+            "colliding but unequal keys must not join"
+        );
+        // The equal key still joins.
+        let mut probe2 = LookupJoinOperator::new(
+            bridge,
+            ProbeJoinType::Inner,
+            vec![0, 1],
+            s.clone(),
+            s.clone(),
+            None,
+        );
+        probe2
+            .add_input(Page::from_rows(
+                &s,
+                &[vec![Value::Bigint(a1), Value::Bigint(b1)]],
+            ))
+            .unwrap();
+        assert_eq!(probe2.output().unwrap().unwrap().row_count(), 1);
     }
 }

@@ -20,6 +20,7 @@ pub mod agg;
 pub mod driver;
 pub mod exchange;
 pub mod filter;
+pub mod flathash;
 pub mod join;
 pub mod memory;
 pub mod operator;

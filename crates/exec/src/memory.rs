@@ -115,6 +115,7 @@ impl Drop for TaskMemoryContext {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use parking_lot::Mutex;

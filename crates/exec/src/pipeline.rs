@@ -178,6 +178,7 @@ impl Operator for LocalQueueSource {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use presto_common::{DataType, Schema, Value};

@@ -248,6 +248,7 @@ pub struct ScanStats {
 pub type SharedScanStats = Arc<Mutex<ScanStats>>;
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use presto_common::{DataType, Schema, Value};

@@ -308,6 +308,7 @@ impl Operator for TopNOperator {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use presto_common::Schema;

@@ -154,6 +154,7 @@ impl Operator for WindowOperator {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use presto_common::{DataType, Schema, Value};

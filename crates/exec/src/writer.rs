@@ -79,6 +79,7 @@ impl Operator for TableWriterOperator {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use presto_connector::{ConnectorMetadata, PageSinkFactory};

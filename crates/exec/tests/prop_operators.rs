@@ -1,3 +1,4 @@
+#![allow(clippy::unwrap_used)]
 //! Property tests for execution operators against simple references:
 //! sorting vs `slice::sort`, aggregation vs a HashMap fold, TopN vs
 //! sort+truncate, joins vs nested loops, and partial/final vs single-phase.
@@ -238,5 +239,64 @@ proptest! {
         }
         expected.sort();
         prop_assert_eq!(got, expected);
+    }
+}
+
+// Model check for the flat-table group-by (§V-E): group ids must equal a
+// BTreeMap reference that assigns first-seen ordinals to distinct keys,
+// regardless of page chunking, NULLs, or multi-column varchar keys.
+fn arb_keyed_rows(max: usize) -> impl Strategy<Value = Vec<(Option<i64>, Option<u8>)>> {
+    proptest::collection::vec(
+        (
+            prop_oneof![4 => (0i64..15).prop_map(Some), 1 => Just(None)],
+            prop_oneof![4 => (0u8..5).prop_map(Some), 1 => Just(None)],
+        ),
+        0..max,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn flat_group_by_matches_btreemap_model(rows in arb_keyed_rows(120), chunk in 1usize..17) {
+        use presto_exec::agg::GroupByHash;
+        use std::collections::BTreeMap;
+        let schema = Schema::of(&[("k", DataType::Bigint), ("s", DataType::Varchar)]);
+        let pages: Vec<Page> = rows
+            .chunks(chunk)
+            .map(|piece| {
+                Page::from_rows(
+                    &schema,
+                    &piece
+                        .iter()
+                        .map(|(k, s)| {
+                            vec![
+                                k.map(Value::Bigint).unwrap_or(Value::Null),
+                                s.map(|c| Value::varchar(&format!("s{c}")))
+                                    .unwrap_or(Value::Null),
+                            ]
+                        })
+                        .collect::<Vec<_>>(),
+                )
+            })
+            .collect();
+        let mut hash = GroupByHash::new(vec![0, 1], vec![DataType::Bigint, DataType::Varchar]);
+        let mut got: Vec<u32> = Vec::new();
+        for p in &pages {
+            got.extend(hash.group_ids(p));
+        }
+        // Reference model: first-seen ordinal per distinct key (NULL is a
+        // key value of its own).
+        let mut model: BTreeMap<(Option<i64>, Option<u8>), u32> = BTreeMap::new();
+        let mut expected: Vec<u32> = Vec::new();
+        for &key in &rows {
+            let next = model.len() as u32;
+            expected.push(*model.entry(key).or_insert(next));
+        }
+        prop_assert_eq!(got, expected);
+        prop_assert_eq!(hash.group_count(), model.len());
+        // Exact accounting stays queryable mid-stream.
+        prop_assert!(rows.is_empty() || hash.memory_bytes() > 0);
     }
 }

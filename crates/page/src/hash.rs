@@ -117,17 +117,36 @@ pub fn hash_block_into(block: &Block, hashes: &mut [u64], cache: &mut Dictionary
     }
 }
 
+/// Fold one cell hash into a row-hash accumulator (start from 0). Exposed
+/// so single-key fast paths (RLE/dictionary probes) can reproduce exactly
+/// what [`hash_columns`] computes for one channel.
+#[inline]
+pub fn combine_hashes(acc: u64, h: u64) -> u64 {
+    mix(acc.wrapping_mul(COLUMN_SEED) ^ h)
+}
+
 #[inline]
 fn combine(acc: u64, h: u64) -> u64 {
-    mix(acc.wrapping_mul(COLUMN_SEED) ^ h)
+    combine_hashes(acc, h)
 }
 
 /// Hash the given columns of a page into one u64 per row.
 pub fn hash_columns(page: &crate::page::Page, channels: &[usize]) -> Vec<u64> {
-    let mut hashes = vec![0u64; page.row_count()];
     let mut cache = DictionaryHashCache::new();
+    hash_columns_cached(page, channels, &mut cache)
+}
+
+/// Like [`hash_columns`], but with a caller-retained [`DictionaryHashCache`]
+/// so operators that see many pages sharing one dictionary (§V-E) hash each
+/// dictionary entry once per dictionary, not once per page.
+pub fn hash_columns_cached(
+    page: &crate::page::Page,
+    channels: &[usize],
+    cache: &mut DictionaryHashCache,
+) -> Vec<u64> {
+    let mut hashes = vec![0u64; page.row_count()];
     for &c in channels {
-        hash_block_into(page.block(c), &mut hashes, &mut cache);
+        hash_block_into(page.block(c), &mut hashes, cache);
     }
     hashes
 }

@@ -149,6 +149,34 @@ impl Page {
         (0..self.row_count).map(|i| self.row(schema, i)).collect()
     }
 
+    /// Gather rows addressed as `(page, row)` across several pages into one
+    /// flat page (the join probe's build-side materialization). Works
+    /// column-major so each output block fills in one pass.
+    pub fn gather_rows(
+        pages: &[Page],
+        addrs: &[(u32, u32)],
+        types: &[presto_common::DataType],
+    ) -> Page {
+        if types.is_empty() {
+            return Page::zero_column(addrs.len());
+        }
+        let blocks = types
+            .iter()
+            .enumerate()
+            .map(|(c, &t)| {
+                let mut builder = crate::builder::BlockBuilder::with_capacity(t, addrs.len());
+                for &(p, r) in addrs {
+                    builder.append_from(pages[p as usize].block(c), r as usize);
+                }
+                builder.finish()
+            })
+            .collect();
+        Page {
+            blocks,
+            row_count: addrs.len(),
+        }
+    }
+
     /// Concatenate pages (all with the same column layout) into one flat page.
     pub fn concat(pages: &[Page]) -> Page {
         match pages {

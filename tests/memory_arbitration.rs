@@ -113,3 +113,58 @@ fn spilling_lets_queries_run_under_the_limit() {
     drop(cluster);
     let _ = session;
 }
+
+#[test]
+fn join_build_memory_is_exact_flat_layout() {
+    // §V-E: the join build charges memory from the flat partitioned layout
+    // itself (pages + row-address vectors + hash arrays), not an estimate.
+    // The bridge's reported bytes must match the table's exact accounting
+    // at every phase boundary, so arbitration and revoke decisions see
+    // truthful numbers.
+    use presto::common::{DataType, Schema};
+    use presto::exec::join::{HashBuilderOperator, JoinBridge};
+    use presto::exec::Operator;
+    use presto::page::Page;
+
+    let schema = Schema::of(&[("k", DataType::Bigint), ("v", DataType::Varchar)]);
+    let rows: Vec<Vec<Value>> = (0..2_000)
+        .map(|i| vec![Value::Bigint(i % 331), Value::varchar(&format!("row-{i}"))])
+        .collect();
+    let bridge = JoinBridge::new(vec![0], 1);
+    let mut builder = HashBuilderOperator::new(Arc::clone(&bridge));
+    let mut input_bytes = 0;
+    for piece in rows.chunks(257) {
+        let page = Page::from_rows(&schema, piece);
+        input_bytes += page.size_in_bytes();
+        builder.add_input(page).unwrap();
+        // While accumulating, the charge covers at least the page bytes
+        // plus the partition entries (16 bytes per keyed row).
+        assert!(bridge.build_bytes() >= input_bytes);
+    }
+    builder.finish();
+    let table = bridge.table().expect("build complete");
+    // Exact identity: reported bytes == page bytes + flat layout bytes.
+    let page_bytes: usize = table.pages().iter().map(Page::size_in_bytes).sum();
+    assert_eq!(
+        table.memory_bytes(),
+        page_bytes + table.hash_layout_bytes(),
+        "no estimate constants in the accounting"
+    );
+    assert_eq!(bridge.build_bytes(), table.memory_bytes());
+    assert_eq!(builder.user_memory_bytes(), table.memory_bytes());
+    assert_eq!(table.row_count(), 2_000);
+}
+
+#[test]
+fn joins_complete_under_tight_memory_with_exact_accounting() {
+    // End-to-end: a join query on a tight general pool still completes —
+    // the exact build-side accounting admits it without overcharging.
+    let cluster = tight_cluster(8 << 20, false);
+    let out = cluster
+        .execute(
+            "SELECT COUNT(*) FROM orders o, lineitem l \
+             WHERE o.orderkey = l.orderkey",
+        )
+        .unwrap();
+    assert!(matches!(out.rows()[0][0], Value::Bigint(n) if n > 0));
+}
