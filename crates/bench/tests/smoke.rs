@@ -49,6 +49,27 @@ fn kernel_library_paths_agree_at_smoke_sizes() {
     }
 }
 
+#[test]
+fn shuffle_bench_smoke_mode_runs() {
+    // The §IV-E2 shuffle data-plane benchmark in --smoke mode: asserts
+    // internally that the shatter baseline and the coalescing writer agree
+    // on rows and key checksums, that coalesced pages reach at least half
+    // the target row count, and that both fetch clients deliver every row.
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_shuffle_bench"))
+        .arg("--smoke")
+        .output()
+        .expect("run shuffle_bench --smoke");
+    assert!(
+        out.status.success(),
+        "shuffle_bench --smoke failed:\n{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr),
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("hash-partitioned sink"), "sink section present");
+    assert!(stdout.contains("exchange fetch"), "fetch section present");
+}
+
 fn smoke_cluster() -> Cluster {
     let mem = MemoryConnector::new();
     TpchGenerator::new(0.001).load_memory(&mem);

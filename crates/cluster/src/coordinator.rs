@@ -5,7 +5,7 @@ use presto_common::id::QueryIdGenerator;
 use presto_common::{DataType, PrestoError, QueryId, Result, Schema, Session, TaskId, Value};
 use presto_connector::CatalogManager;
 use presto_exec::task::{create_task, TaskContext};
-use presto_page::{deserialize_page, Page};
+use presto_page::{decode_framed_page, Page};
 use presto_planner::{OutputPartitioning, PhysicalPlan};
 use presto_sql::ast::Statement;
 use presto_sql::parse_statement;
@@ -262,11 +262,11 @@ impl Coordinator {
             for (consumer_index, task) in fragment_tasks.iter().enumerate() {
                 for exchange in &task.exchanges {
                     let producers = &tasks[exchange.source_fragment as usize];
-                    let mut client = exchange.client.lock();
                     for producer in producers {
-                        client.add_source(Arc::clone(&producer.output), consumer_index);
+                        exchange
+                            .client
+                            .add_source(Arc::clone(&producer.output), consumer_index);
                     }
-                    drop(client);
                     exchange
                         .no_more_sources
                         .store(true, std::sync::atomic::Ordering::SeqCst);
@@ -345,7 +345,7 @@ impl Coordinator {
             let response = root_output.poll(0, token, 1 << 20);
             token = response.next_token;
             for bytes in &response.pages {
-                pages.push(deserialize_page(bytes)?);
+                pages.push(decode_framed_page(bytes)?);
             }
             if response.finished {
                 break;

@@ -56,6 +56,16 @@ pub struct Session {
     pub quanta: Duration,
     /// Target rows per page produced by operators.
     pub target_page_rows: usize,
+    /// Target bytes per shuffle page: hash-partitioned output coalesces
+    /// rows until an accumulator reaches `target_page_rows` or this many
+    /// bytes, whichever comes first (§IV-E2).
+    pub shuffle_target_page_bytes: usize,
+    /// Serialized shuffle pages at least this long are LZ-compressed on
+    /// the wire (`usize::MAX` disables compression).
+    pub shuffle_compression_min_bytes: usize,
+    /// Upper bound on concurrent exchange polls per fetch round (the
+    /// paper's target HTTP request concurrency cap, §IV-E2).
+    pub exchange_concurrency: usize,
     /// Number of hash partitions (tasks) for intermediate stages.
     pub hash_partition_count: usize,
     /// Allow spilling revocable state (hash aggregations, sorts) to disk.
@@ -87,6 +97,9 @@ impl Default for Session {
             scheduling_policy: SchedulingPolicy::AllAtOnce,
             quanta: Duration::from_millis(10),
             target_page_rows: 1024,
+            shuffle_target_page_bytes: 1 << 20,
+            shuffle_compression_min_bytes: 8 << 10,
+            exchange_concurrency: 8,
             hash_partition_count: 4,
             spill_enabled: false,
             query_max_memory: 4 << 30,

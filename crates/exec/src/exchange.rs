@@ -1,27 +1,27 @@
 //! Exchange operators: the task-side ends of a shuffle.
 
-use parking_lot::Mutex;
 use presto_common::Result;
-use presto_page::hash::hash_columns;
 use presto_page::Page;
 use presto_shuffle::{ExchangeClient, OutputBuffer};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crate::operator::{BlockedReason, Operator};
+use crate::partitioned_output::PagePartitioner;
 
 /// Source side: pulls pages from upstream task buffers via an
-/// [`ExchangeClient`]. The client is shared so the coordinator can attach
-/// new upstream tasks as they are scheduled.
+/// [`ExchangeClient`]. The client is shared (lock-free: all its methods
+/// take `&self`) so the coordinator can attach new upstream tasks as they
+/// are scheduled and N exchange drivers can poll concurrently.
 pub struct ExchangeSourceOperator {
-    client: Arc<Mutex<ExchangeClient>>,
+    client: Arc<ExchangeClient>,
     /// Set once the coordinator has registered every upstream task.
     no_more_sources: Arc<std::sync::atomic::AtomicBool>,
 }
 
 impl ExchangeSourceOperator {
     pub fn new(
-        client: Arc<Mutex<ExchangeClient>>,
+        client: Arc<ExchangeClient>,
         no_more_sources: Arc<std::sync::atomic::AtomicBool>,
     ) -> ExchangeSourceOperator {
         ExchangeSourceOperator {
@@ -47,16 +47,15 @@ impl Operator for ExchangeSourceOperator {
     fn finish(&mut self) {}
 
     fn output(&mut self) -> Result<Option<Page>> {
-        let mut client = self.client.lock();
-        if let Some(p) = client.next_page() {
+        if let Some(p) = self.client.next_page() {
             return Ok(Some(p));
         }
-        client.poll_progress()?;
-        Ok(client.next_page())
+        self.client.poll_progress()?;
+        Ok(self.client.next_page())
     }
 
     fn is_finished(&self) -> bool {
-        self.no_more_sources.load(Ordering::SeqCst) && self.client.lock().is_finished()
+        self.no_more_sources.load(Ordering::SeqCst) && self.client.is_finished()
     }
 
     fn blocked(&self) -> Option<BlockedReason> {
@@ -68,8 +67,9 @@ impl Operator for ExchangeSourceOperator {
     }
 
     fn system_memory_bytes(&self) -> usize {
-        // The client's input buffer is system memory (shuffle buffers).
-        64 * 1024
+        // The client's input buffer is system memory (shuffle buffers,
+        // §IV-F2): charge the wire bytes actually held, not a token.
+        self.client.buffered_bytes()
     }
 }
 
@@ -86,16 +86,26 @@ pub enum OutputRouting {
     RoundRobin,
 }
 
-/// Sink side: writes pages into this task's [`OutputBuffer`].
+/// Sink side: writes pages into this task's [`OutputBuffer`]. Hash routing
+/// goes through a coalescing [`PagePartitioner`] so consumers receive
+/// target-sized pages instead of per-input-page fragments.
 pub struct PartitionedOutputOperator {
     buffer: Arc<OutputBuffer>,
     routing: OutputRouting,
     round_robin_next: u64,
     input_done: bool,
     rows_out: Arc<AtomicU64>,
+    /// Coalescing accumulator for hash routing (lazy: built on first page).
+    partitioner: Option<PagePartitioner>,
+    /// Flush accumulators at this many rows per partition…
+    target_rows: usize,
+    /// …or this many bytes, whichever comes first.
+    target_bytes: usize,
     /// When several drivers share the buffer, only the last one to finish
     /// closes it.
     close_group: Option<Arc<std::sync::atomic::AtomicUsize>>,
+    /// How many sinks share `buffer` (for the memory-accounting split).
+    buffer_share: usize,
 }
 
 impl PartitionedOutputOperator {
@@ -106,8 +116,20 @@ impl PartitionedOutputOperator {
             round_robin_next: 0,
             input_done: false,
             rows_out: Arc::new(AtomicU64::new(0)),
+            partitioner: None,
+            target_rows: 1024,
+            target_bytes: 1 << 20,
             close_group: None,
+            buffer_share: 1,
         }
+    }
+
+    /// Set the per-partition flush thresholds (`session.target_page_rows` /
+    /// target shuffle page bytes).
+    pub fn with_targets(mut self, target_rows: usize, target_bytes: usize) -> Self {
+        self.target_rows = target_rows.max(1);
+        self.target_bytes = target_bytes.max(1);
+        self
     }
 
     /// Share the buffer across a group of sink instances (one per driver);
@@ -116,6 +138,7 @@ impl PartitionedOutputOperator {
         mut self,
         group: Arc<std::sync::atomic::AtomicUsize>,
     ) -> PartitionedOutputOperator {
+        self.buffer_share = group.load(Ordering::SeqCst).max(1);
         self.close_group = Some(group);
         self
     }
@@ -154,15 +177,16 @@ impl Operator for PartitionedOutputOperator {
                     self.buffer.enqueue(0, &page);
                     return Ok(());
                 }
-                let hashes = hash_columns(&page, channels);
-                let mut positions: Vec<Vec<u32>> = vec![Vec::new(); consumers];
-                for (i, h) in hashes.iter().enumerate() {
-                    positions[(h % consumers as u64) as usize].push(i as u32);
-                }
-                for (p, pos) in positions.iter().enumerate() {
-                    if !pos.is_empty() {
-                        self.buffer.enqueue(p, &page.filter(pos));
-                    }
+                let partitioner = self.partitioner.get_or_insert_with(|| {
+                    PagePartitioner::new(
+                        channels.clone(),
+                        consumers,
+                        self.target_rows,
+                        self.target_bytes,
+                    )
+                });
+                for (p, out) in partitioner.add_page(page) {
+                    self.buffer.enqueue(p, &out);
                 }
             }
         }
@@ -172,6 +196,12 @@ impl Operator for PartitionedOutputOperator {
     fn finish(&mut self) {
         if !self.input_done {
             self.input_done = true;
+            // Flush rows still sitting in the coalescing accumulators.
+            if let Some(partitioner) = &mut self.partitioner {
+                for (p, out) in partitioner.finish() {
+                    self.buffer.enqueue(p, &out);
+                }
+            }
             match &self.close_group {
                 None => self.buffer.set_no_more_pages(),
                 Some(group) => {
@@ -200,8 +230,14 @@ impl Operator for PartitionedOutputOperator {
     }
 
     fn system_memory_bytes(&self) -> usize {
-        // Retained shuffle output is system memory (§IV-F2's example).
-        (self.buffer.utilization() * 1024.0) as usize
+        // Retained shuffle output is system memory (§IV-F2's example):
+        // rows accumulating in this sink's partitioner, plus this sink's
+        // share of the wire bytes the shared buffer retains.
+        let pending = self
+            .partitioner
+            .as_ref()
+            .map_or(0, PagePartitioner::retained_bytes);
+        pending + self.buffer.retained_bytes() / self.buffer_share
     }
 }
 
@@ -237,10 +273,44 @@ mod tests {
         for p in 0..4 {
             let r = buffer.poll(p, 0, usize::MAX);
             for bytes in &r.pages {
-                total += presto_page::deserialize_page(bytes).unwrap().row_count();
+                total += presto_page::decode_framed_page(bytes).unwrap().row_count();
             }
         }
         assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn hash_routing_coalesces_across_input_pages() {
+        let buffer = OutputBuffer::new(4, 1 << 20);
+        let mut sink = PartitionedOutputOperator::new(
+            Arc::clone(&buffer),
+            OutputRouting::Hash { channels: vec![0] },
+        )
+        .with_targets(64, usize::MAX);
+        // 64 pages of 16 rows each: the old path would emit ~256 fragments
+        // of ~4 rows; coalescing emits ~16 pages of ~64 rows.
+        for i in 0..64 {
+            sink.add_input(page(&(i * 16..(i + 1) * 16).collect::<Vec<_>>()))
+                .unwrap();
+        }
+        assert!(
+            sink.system_memory_bytes() > 0,
+            "pending accumulator rows must be charged to the system pool"
+        );
+        sink.finish();
+        let mut total_rows = 0usize;
+        let mut total_pages = 0usize;
+        for p in 0..4 {
+            for bytes in &buffer.poll(p, 0, usize::MAX).pages {
+                let decoded = presto_page::decode_framed_page(bytes).unwrap();
+                total_rows += decoded.row_count();
+                total_pages += 1;
+            }
+        }
+        assert_eq!(total_rows, 1024);
+        assert!(total_pages <= 24, "expected coalesced pages, got {total_pages}");
+        let mean = total_rows / total_pages;
+        assert!(mean >= 32, "mean delivered page rows {mean} < target/2");
     }
 
     #[test]
@@ -263,10 +333,10 @@ mod tests {
         upstream.enqueue(0, &page(&[1]));
         upstream.enqueue(0, &page(&[2]));
         upstream.set_no_more_pages();
-        let mut client = ExchangeClient::new(1 << 20, Duration::ZERO);
+        let client = Arc::new(ExchangeClient::new(1 << 20, Duration::ZERO));
         client.add_source(upstream, 0);
         let no_more = Arc::new(std::sync::atomic::AtomicBool::new(true));
-        let mut src = ExchangeSourceOperator::new(Arc::new(Mutex::new(client)), no_more);
+        let mut src = ExchangeSourceOperator::new(client, no_more);
         let mut rows = 0;
         while !src.is_finished() {
             if let Some(p) = src.output().unwrap() {

@@ -24,6 +24,7 @@ pub mod flathash;
 pub mod join;
 pub mod memory;
 pub mod operator;
+pub mod partitioned_output;
 pub mod pipeline;
 pub mod scan;
 pub mod sort;

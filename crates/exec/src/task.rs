@@ -53,9 +53,10 @@ pub struct ScanSource {
 }
 
 /// An exchange input of a task: the coordinator attaches upstream buffers.
+/// The client is internally synchronized (all methods take `&self`).
 pub struct ExchangeInput {
     pub source_fragment: u32,
-    pub client: Arc<Mutex<ExchangeClient>>,
+    pub client: Arc<ExchangeClient>,
     pub no_more_sources: Arc<AtomicBool>,
 }
 
@@ -73,7 +74,11 @@ pub struct Task {
 
 /// Compile `fragment` into a [`Task`].
 pub fn create_task(fragment: &PlanFragment, ctx: &TaskContext) -> Result<Task> {
-    let output = OutputBuffer::new(ctx.consumer_count.max(1), ctx.output_buffer_bytes);
+    let output = OutputBuffer::with_compression(
+        ctx.consumer_count.max(1),
+        ctx.output_buffer_bytes,
+        ctx.session.shuffle_compression_min_bytes,
+    );
     let memory = TaskMemoryContext::new(ctx.task_id.stage.query, Arc::clone(&ctx.memory_pool));
     let mut compiler = Compiler {
         ctx,
@@ -96,9 +101,12 @@ pub fn create_task(fragment: &PlanFragment, ctx: &TaskContext) -> Result<Task> {
     let buffer = Arc::clone(&output);
     let mut factories = chain.factories;
     let routing_for_factory = routing.clone();
+    let target_rows = ctx.session.target_page_rows;
+    let target_bytes = ctx.session.shuffle_target_page_bytes;
     factories.push(Arc::new(move || {
         Ok(Box::new(
             PartitionedOutputOperator::new(Arc::clone(&buffer), routing_for_factory.clone())
+                .with_targets(target_rows, target_bytes)
                 .with_close_group(Arc::clone(&close_group)),
         ) as Box<dyn crate::operator::Operator>)
     }));
@@ -493,10 +501,12 @@ impl<'a> Compiler<'a> {
                 })
             }
             PlanNode::RemoteSource { fragment, .. } => {
-                let client = Arc::new(Mutex::new(ExchangeClient::new(
+                let client = Arc::new(ExchangeClient::with_config(
                     self.ctx.exchange_buffer_bytes,
                     self.ctx.exchange_poll_latency,
-                )));
+                    self.ctx.session.exchange_concurrency,
+                    self.ctx.session.max_transient_retries,
+                ));
                 let no_more = Arc::new(AtomicBool::new(false));
                 self.exchanges.push(ExchangeInput {
                     source_fragment: *fragment,

@@ -101,7 +101,7 @@ fn decode_null_mask(buf: &mut &[u8]) -> Result<NullMask> {
         0 => Ok(None),
         1 => {
             let len = read_u32(buf)? as usize;
-            let bytes = (len + 7) / 8;
+            let bytes = len.div_ceil(8);
             if buf.remaining() < bytes {
                 return Err(truncated());
             }

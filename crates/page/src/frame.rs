@@ -1,0 +1,476 @@
+//! Framed wire format for pages crossing task boundaries.
+//!
+//! The raw page codec ([`crate::codec`]) is deliberately trusting: it is
+//! also used for spill files and PORC stripes where the bytes come from
+//! local disk. Shuffle traffic models a network hop (§IV-E2), so pages on
+//! the wire get a small frame around the serialized payload:
+//!
+//! ```text
+//! u8  flags              bit 0: payload is LZ-compressed
+//! u32 uncompressed_len   payload length before compression
+//! u32 wire_len           length of the body that follows the checksum
+//! u64 checksum           XXH64 of the body bytes
+//! [wire_len bytes]       body: raw or compressed payload
+//! ```
+//!
+//! The checksum covers the body as it travels, so a receiver can validate a
+//! frame *without* decompressing or decoding it — a corrupted frame is
+//! detected cheaply and surfaces as a retryable error (the producer retains
+//! the page until the token acknowledges it, so a re-fetch can succeed).
+//!
+//! Compression is an in-crate, dependency-free LZ77 variant using the LZ4
+//! block layout (token / extended lengths / little-endian u16 offsets,
+//! minimum match 4). It is only applied above a caller-chosen threshold and
+//! only kept when it actually shrinks the payload.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use presto_common::{PrestoError, Result};
+
+use crate::codec::{deserialize_page, serialize_page};
+use crate::page::Page;
+
+const FLAG_COMPRESSED: u8 = 1;
+/// flags + uncompressed_len + wire_len + checksum.
+pub const FRAME_HEADER_BYTES: usize = 1 + 4 + 4 + 8;
+
+/// Decoded frame header, for telemetry and cheap validation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameInfo {
+    pub compressed: bool,
+    /// Payload length before compression (the logical serialized size).
+    pub uncompressed_len: usize,
+    /// Body length on the wire (after compression, without the header).
+    pub wire_len: usize,
+    pub checksum: u64,
+}
+
+/// Wrap a serialized payload in a frame, compressing when the payload is at
+/// least `compression_min_bytes` long and compression actually helps. Pass
+/// `usize::MAX` to disable compression.
+pub fn frame_payload(payload: &[u8], compression_min_bytes: usize) -> Bytes {
+    let compressed = if payload.len() >= compression_min_bytes {
+        let mut out = Vec::with_capacity(payload.len() / 2 + 16);
+        lz_compress(payload, &mut out);
+        (out.len() < payload.len()).then_some(out)
+    } else {
+        None
+    };
+    let (flags, body): (u8, &[u8]) = match &compressed {
+        Some(c) => (FLAG_COMPRESSED, c.as_slice()),
+        None => (0, payload),
+    };
+    let mut buf = BytesMut::with_capacity(FRAME_HEADER_BYTES + body.len());
+    buf.put_u8(flags);
+    buf.put_u32_le(payload.len() as u32);
+    buf.put_u32_le(body.len() as u32);
+    buf.put_u64_le(xxh64(body, 0));
+    buf.put_slice(body);
+    buf.freeze()
+}
+
+/// Serialize a page and frame it in one step.
+pub fn frame_page(page: &Page, compression_min_bytes: usize) -> Bytes {
+    frame_payload(&serialize_page(page), compression_min_bytes)
+}
+
+/// Parse and checksum-validate a frame header without decompressing.
+pub fn frame_info(bytes: &[u8]) -> Result<FrameInfo> {
+    let mut buf = bytes;
+    if buf.remaining() < FRAME_HEADER_BYTES {
+        return Err(corrupt("truncated frame header"));
+    }
+    let flags = buf.get_u8();
+    if flags & !FLAG_COMPRESSED != 0 {
+        return Err(corrupt(format!("unknown frame flags {flags:#x}")));
+    }
+    let uncompressed_len = buf.get_u32_le() as usize;
+    let wire_len = buf.get_u32_le() as usize;
+    let checksum = buf.get_u64_le();
+    if buf.remaining() != wire_len {
+        return Err(corrupt(format!(
+            "frame body length mismatch: header says {wire_len}, got {}",
+            buf.remaining()
+        )));
+    }
+    if xxh64(buf, 0) != checksum {
+        return Err(corrupt("frame checksum mismatch"));
+    }
+    let compressed = flags & FLAG_COMPRESSED != 0;
+    if !compressed && uncompressed_len != wire_len {
+        return Err(corrupt("uncompressed frame length mismatch"));
+    }
+    Ok(FrameInfo {
+        compressed,
+        uncompressed_len,
+        wire_len,
+        checksum,
+    })
+}
+
+/// Validate and unwrap a frame, returning the decompressed payload.
+pub fn unframe_payload(bytes: &[u8]) -> Result<Vec<u8>> {
+    let info = frame_info(bytes)?;
+    let body = &bytes[FRAME_HEADER_BYTES..];
+    if !info.compressed {
+        return Ok(body.to_vec());
+    }
+    let out = lz_decompress(body, info.uncompressed_len)?;
+    if out.len() != info.uncompressed_len {
+        return Err(corrupt(format!(
+            "decompressed {} bytes, frame promised {}",
+            out.len(),
+            info.uncompressed_len
+        )));
+    }
+    Ok(out)
+}
+
+/// Validate, unwrap, and decode a framed page.
+pub fn decode_framed_page(bytes: &[u8]) -> Result<Page> {
+    deserialize_page(&unframe_payload(bytes)?)
+}
+
+fn corrupt(msg: impl Into<String>) -> PrestoError {
+    // Frame corruption models a network-level fault: transient from the
+    // engine's view, because the producer still retains the page (the token
+    // has not acknowledged it) and a re-fetch may deliver it intact.
+    PrestoError::transient(format!("page frame: {}", msg.into()))
+}
+
+// --- XXH64 ------------------------------------------------------------
+
+const PRIME1: u64 = 0x9E37_79B1_85EB_CA87;
+const PRIME2: u64 = 0xC2B2_AE3D_27D4_EB4F;
+const PRIME3: u64 = 0x1656_67B1_9E37_79F9;
+const PRIME4: u64 = 0x85EB_CA77_C2B2_AE63;
+const PRIME5: u64 = 0x27D4_EB2F_1656_67C5;
+
+#[inline]
+fn read_u64(b: &[u8]) -> u64 {
+    u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]])
+}
+
+#[inline]
+fn read_u32(b: &[u8]) -> u32 {
+    u32::from_le_bytes([b[0], b[1], b[2], b[3]])
+}
+
+#[inline]
+fn round(acc: u64, input: u64) -> u64 {
+    acc.wrapping_add(input.wrapping_mul(PRIME2))
+        .rotate_left(31)
+        .wrapping_mul(PRIME1)
+}
+
+#[inline]
+fn merge_round(acc: u64, val: u64) -> u64 {
+    (acc ^ round(0, val))
+        .wrapping_mul(PRIME1)
+        .wrapping_add(PRIME4)
+}
+
+/// The standard XXH64 hash (reference layout), used as the frame checksum.
+pub fn xxh64(data: &[u8], seed: u64) -> u64 {
+    let len = data.len();
+    let mut h: u64;
+    let mut rest = data;
+    if len >= 32 {
+        let mut v1 = seed.wrapping_add(PRIME1).wrapping_add(PRIME2);
+        let mut v2 = seed.wrapping_add(PRIME2);
+        let mut v3 = seed;
+        let mut v4 = seed.wrapping_sub(PRIME1);
+        while rest.len() >= 32 {
+            v1 = round(v1, read_u64(&rest[0..]));
+            v2 = round(v2, read_u64(&rest[8..]));
+            v3 = round(v3, read_u64(&rest[16..]));
+            v4 = round(v4, read_u64(&rest[24..]));
+            rest = &rest[32..];
+        }
+        h = v1
+            .rotate_left(1)
+            .wrapping_add(v2.rotate_left(7))
+            .wrapping_add(v3.rotate_left(12))
+            .wrapping_add(v4.rotate_left(18));
+        h = merge_round(h, v1);
+        h = merge_round(h, v2);
+        h = merge_round(h, v3);
+        h = merge_round(h, v4);
+    } else {
+        h = seed.wrapping_add(PRIME5);
+    }
+    h = h.wrapping_add(len as u64);
+    while rest.len() >= 8 {
+        h = (h ^ round(0, read_u64(rest)))
+            .rotate_left(27)
+            .wrapping_mul(PRIME1)
+            .wrapping_add(PRIME4);
+        rest = &rest[8..];
+    }
+    if rest.len() >= 4 {
+        h = (h ^ u64::from(read_u32(rest)).wrapping_mul(PRIME1))
+            .rotate_left(23)
+            .wrapping_mul(PRIME2)
+            .wrapping_add(PRIME3);
+        rest = &rest[4..];
+    }
+    for &b in rest {
+        h = (h ^ u64::from(b).wrapping_mul(PRIME5))
+            .rotate_left(11)
+            .wrapping_mul(PRIME1);
+    }
+    h ^= h >> 33;
+    h = h.wrapping_mul(PRIME2);
+    h ^= h >> 29;
+    h = h.wrapping_mul(PRIME3);
+    h ^= h >> 32;
+    h
+}
+
+// --- LZ77 compressor (LZ4 block layout) -------------------------------
+
+const MIN_MATCH: usize = 4;
+/// Stop match search this far from the end (reference LZ4 margin: the last
+/// sequence must be literal-only and matches may not reach the final bytes).
+const END_MARGIN: usize = 12;
+const HASH_LOG: usize = 13;
+
+#[inline]
+fn seq_hash(v: u32) -> usize {
+    (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_LOG)) as usize
+}
+
+fn put_length(out: &mut Vec<u8>, mut len: usize) {
+    while len >= 255 {
+        out.push(255);
+        len -= 255;
+    }
+    out.push(len as u8);
+}
+
+/// Greedy LZ4-block-style compression. Always produces a valid stream for
+/// [`lz_decompress`]; callers compare output length against the input to
+/// decide whether to keep it.
+pub fn lz_compress(src: &[u8], out: &mut Vec<u8>) {
+    let n = src.len();
+    if n < END_MARGIN + MIN_MATCH {
+        // Too short to contain a legal match: one literal-only sequence.
+        emit_sequence(out, src, 0, 0);
+        return;
+    }
+    let mut table = vec![0u32; 1 << HASH_LOG]; // position + 1, 0 = empty
+    let mut anchor = 0usize; // start of pending literals
+    let mut i = 0usize;
+    let search_end = n - END_MARGIN;
+    while i < search_end {
+        let cur = read_u32(&src[i..]);
+        let slot = seq_hash(cur);
+        let candidate = table[slot] as usize;
+        table[slot] = (i + 1) as u32;
+        let matched = candidate > 0
+            && i - (candidate - 1) <= u16::MAX as usize
+            && read_u32(&src[candidate - 1..]) == cur;
+        if !matched {
+            i += 1;
+            continue;
+        }
+        let m = candidate - 1;
+        // Extend the match forward (stay clear of the end margin).
+        let mut len = MIN_MATCH;
+        let limit = n.saturating_sub(5) - i; // last 5 bytes stay literal
+        while len < limit && src[m + len] == src[i + len] {
+            len += 1;
+        }
+        emit_sequence(out, &src[anchor..i], i - m, len);
+        i += len;
+        anchor = i;
+    }
+    // Trailing literals.
+    emit_sequence(out, &src[anchor..], 0, 0);
+}
+
+/// Emit one sequence: literals, then (when `match_len > 0`) an offset and
+/// match length. `match_len == 0` marks the final literal-only sequence.
+fn emit_sequence(out: &mut Vec<u8>, literals: &[u8], offset: usize, match_len: usize) {
+    let lit_len = literals.len();
+    let ml = if match_len > 0 {
+        debug_assert!(match_len >= MIN_MATCH);
+        match_len - MIN_MATCH
+    } else {
+        0
+    };
+    let token = ((lit_len.min(15) as u8) << 4) | (ml.min(15) as u8);
+    out.push(token);
+    if lit_len >= 15 {
+        put_length(out, lit_len - 15);
+    }
+    out.extend_from_slice(literals);
+    if match_len > 0 {
+        out.extend_from_slice(&(offset as u16).to_le_bytes());
+        if ml >= 15 {
+            put_length(out, ml - 15);
+        }
+    }
+}
+
+fn get_length(src: &[u8], pos: &mut usize, base: usize) -> Result<usize> {
+    let mut len = base;
+    if base == 15 {
+        loop {
+            let b = *src
+                .get(*pos)
+                .ok_or_else(|| corrupt("truncated length in compressed block"))?;
+            *pos += 1;
+            len += b as usize;
+            if b != 255 {
+                break;
+            }
+        }
+    }
+    Ok(len)
+}
+
+/// Decompress an [`lz_compress`] stream. All offsets and lengths are bounds
+/// checked; malformed input is an error, never a panic or overread.
+pub fn lz_decompress(src: &[u8], expected_len: usize) -> Result<Vec<u8>> {
+    let mut out = Vec::with_capacity(expected_len);
+    let mut pos = 0usize;
+    loop {
+        let token = *src
+            .get(pos)
+            .ok_or_else(|| corrupt("truncated compressed block"))?;
+        pos += 1;
+        let lit_len = get_length(src, &mut pos, (token >> 4) as usize)?;
+        let lit_end = pos
+            .checked_add(lit_len)
+            .ok_or_else(|| corrupt("literal length overflow"))?;
+        if lit_end > src.len() {
+            return Err(corrupt("literal run past end of compressed block"));
+        }
+        out.extend_from_slice(&src[pos..lit_end]);
+        pos = lit_end;
+        if pos == src.len() {
+            return Ok(out); // final literal-only sequence
+        }
+        if pos + 2 > src.len() {
+            return Err(corrupt("truncated match offset"));
+        }
+        let offset = u16::from_le_bytes([src[pos], src[pos + 1]]) as usize;
+        pos += 2;
+        if offset == 0 || offset > out.len() {
+            return Err(corrupt("match offset out of range"));
+        }
+        let match_len = get_length(src, &mut pos, (token & 0x0F) as usize)? + MIN_MATCH;
+        if out.len() + match_len > expected_len {
+            return Err(corrupt("match overruns expected length"));
+        }
+        // Byte-at-a-time copy: overlapping matches (offset < len) are legal
+        // and replicate the most recent `offset` bytes.
+        let start = out.len() - offset;
+        for k in 0..match_len {
+            let b = out[start + k];
+            out.push(b);
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use crate::blocks::LongBlock;
+    use crate::block::Block;
+    use presto_common::{DataType, Schema, Value};
+
+    #[test]
+    fn xxh64_reference_vectors() {
+        // Reference values from the xxHash spec/test suite.
+        assert_eq!(xxh64(b"", 0), 0xEF46_DB37_51D8_E999);
+        assert_eq!(xxh64(b"a", 0), 0xD24E_C4F1_A98C_6E5B);
+        assert_eq!(xxh64(b"abc", 0), 0x44BC_2CF5_AD77_0999);
+        assert_eq!(
+            xxh64(b"abcdefghijklmnopqrstuvwxyz0123456789", 0),
+            0x64F2_3ECF_1609_B766
+        );
+    }
+
+    #[test]
+    fn lz_round_trips_patterns() {
+        let cases: Vec<Vec<u8>> = vec![
+            vec![],
+            b"short".to_vec(),
+            vec![0u8; 10_000],
+            (0..10_000u32).map(|i| (i % 7) as u8).collect(),
+            (0..5_000u32).flat_map(|i| i.to_le_bytes()).collect(),
+            (0..255u8).cycle().take(70_000).collect(),
+        ];
+        for case in cases {
+            let mut c = Vec::new();
+            lz_compress(&case, &mut c);
+            let d = lz_decompress(&c, case.len()).unwrap();
+            assert_eq!(d, case);
+        }
+    }
+
+    #[test]
+    fn compressible_data_shrinks() {
+        let data = vec![42u8; 64 << 10];
+        let mut c = Vec::new();
+        lz_compress(&data, &mut c);
+        assert!(c.len() < data.len() / 20, "{} vs {}", c.len(), data.len());
+    }
+
+    #[test]
+    fn frame_round_trip_compressed_and_raw() {
+        let schema = Schema::of(&[("x", DataType::Bigint)]);
+        let rows: Vec<Vec<Value>> = (0..2_000).map(|i| vec![Value::Bigint(i % 5)]).collect();
+        let page = Page::from_rows(&schema, &rows);
+        for threshold in [0usize, usize::MAX] {
+            let framed = frame_page(&page, threshold);
+            let info = frame_info(&framed).unwrap();
+            assert_eq!(info.compressed, threshold == 0);
+            let decoded = decode_framed_page(&framed).unwrap();
+            assert_eq!(decoded.to_rows(&schema), rows);
+        }
+        // Compression actually pays on this page.
+        assert!(frame_page(&page, 0).len() < frame_page(&page, usize::MAX).len());
+    }
+
+    #[test]
+    fn corrupted_frames_error_out() {
+        let page = Page::new(vec![Block::from(LongBlock::from_values(
+            (0..500).collect::<Vec<i64>>(),
+        ))]);
+        for threshold in [0usize, usize::MAX] {
+            let good = frame_page(&page, threshold);
+            // Flip one byte anywhere: header fields or body.
+            for pos in [0, 3, 9, 13, FRAME_HEADER_BYTES + 5, good.len() - 1] {
+                let mut bad = good.to_vec();
+                bad[pos] ^= 0x40;
+                let err = decode_framed_page(&bad).unwrap_err();
+                assert!(err.is_retryable(), "corruption must be transient: {err}");
+            }
+            // Truncation too.
+            assert!(decode_framed_page(&good[..good.len() - 2]).is_err());
+            assert!(frame_info(&good[..FRAME_HEADER_BYTES - 1]).is_err());
+        }
+    }
+
+    #[test]
+    fn incompressible_payload_stays_raw() {
+        // Pseudo-random bytes: compression cannot help, frame stays raw
+        // even with a zero threshold.
+        let mut state = 0x1234_5678_9ABC_DEF0u64;
+        let data: Vec<u8> = (0..4096)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state as u8
+            })
+            .collect();
+        let framed = frame_payload(&data, 0);
+        let info = frame_info(&framed).unwrap();
+        assert!(!info.compressed);
+        assert_eq!(unframe_payload(&framed).unwrap(), data);
+    }
+}

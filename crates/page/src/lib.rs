@@ -24,6 +24,7 @@ pub mod block;
 pub mod blocks;
 pub mod builder;
 pub mod codec;
+pub mod frame;
 pub mod hash;
 pub mod page;
 
@@ -33,4 +34,7 @@ pub use blocks::{
 };
 pub use builder::BlockBuilder;
 pub use codec::{deserialize_block, deserialize_page, serialize_block, serialize_page};
+pub use frame::{
+    decode_framed_page, frame_info, frame_page, frame_payload, unframe_payload, FrameInfo,
+};
 pub use page::Page;

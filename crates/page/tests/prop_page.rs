@@ -1,5 +1,6 @@
 //! Property tests for the columnar page layer: codec round-trips, encoding
 //! equivalence, and dictionary-aware hashing.
+#![allow(clippy::unwrap_used)]
 
 use presto_common::{DataType, Field, Schema, Value};
 use presto_page::blocks::{DictionaryBlock, VarcharBlock};

@@ -2,7 +2,7 @@
 
 use bytes::Bytes;
 use parking_lot::Mutex;
-use presto_page::{serialize_page, Page};
+use presto_page::{frame_payload, serialize_page, Page};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -10,7 +10,7 @@ use std::sync::Arc;
 /// Result of one long-poll request.
 #[derive(Debug, Clone)]
 pub struct PollResponse {
-    /// Serialized pages, in order.
+    /// Framed serialized pages, in order (see `presto_page::frame`).
     pub pages: Vec<Bytes>,
     /// Token to send with the next request (acknowledges these pages).
     pub next_token: u64,
@@ -28,7 +28,7 @@ pub enum BufferState {
 
 #[derive(Debug, Default)]
 struct Partition {
-    /// (sequence, page) pairs retained until acknowledged.
+    /// (sequence, framed page) pairs retained until acknowledged.
     pages: VecDeque<(u64, Bytes)>,
     /// Sequence number of the next page appended.
     next_seq: u64,
@@ -36,23 +36,42 @@ struct Partition {
 
 /// A partitioned, bounded, token-acknowledged page buffer owned by one
 /// producing task.
+///
+/// Pages are framed ([`presto_page::frame`]) at enqueue time: the buffer
+/// retains and serves *wire* bytes, so capacity, utilization, and the
+/// backpressure signal all reflect what actually sits in memory awaiting
+/// acknowledgement. The pre-compression (logical) byte count is tracked
+/// separately for telemetry.
 pub struct OutputBuffer {
     partitions: Vec<Mutex<Partition>>,
-    /// Bytes currently retained (pending + unacknowledged).
+    /// Wire bytes currently retained (pending + unacknowledged).
     buffered_bytes: AtomicUsize,
     /// Soft capacity; producers stall above it.
     capacity_bytes: usize,
+    /// Frames at least this long get LZ-compressed (`usize::MAX` disables).
+    compression_min_bytes: usize,
     no_more_pages: std::sync::atomic::AtomicBool,
     /// Partitions currently accepting round-robin traffic (§IV-E3 adaptive
     /// writer scaling: consumers activate as the engine adds writer tasks).
     active_partitions: AtomicUsize,
     /// Total pages/bytes ever enqueued, for telemetry.
     total_pages: AtomicU64,
-    total_bytes: AtomicU64,
+    total_wire_bytes: AtomicU64,
+    total_logical_bytes: AtomicU64,
 }
 
 impl OutputBuffer {
     pub fn new(consumer_count: usize, capacity_bytes: usize) -> Arc<OutputBuffer> {
+        Self::with_compression(consumer_count, capacity_bytes, usize::MAX)
+    }
+
+    /// Build a buffer that compresses frames at least `compression_min_bytes`
+    /// long (`usize::MAX` disables compression).
+    pub fn with_compression(
+        consumer_count: usize,
+        capacity_bytes: usize,
+        compression_min_bytes: usize,
+    ) -> Arc<OutputBuffer> {
         assert!(
             consumer_count > 0,
             "output buffer needs at least one consumer"
@@ -63,10 +82,12 @@ impl OutputBuffer {
                 .collect(),
             buffered_bytes: AtomicUsize::new(0),
             capacity_bytes,
+            compression_min_bytes,
             no_more_pages: std::sync::atomic::AtomicBool::new(false),
             active_partitions: AtomicUsize::new(consumer_count),
             total_pages: AtomicU64::new(0),
-            total_bytes: AtomicU64::new(0),
+            total_wire_bytes: AtomicU64::new(0),
+            total_logical_bytes: AtomicU64::new(0),
         })
     }
 
@@ -102,37 +123,46 @@ impl OutputBuffer {
     /// Append a page to one partition. The caller should check
     /// [`OutputBuffer::can_add`] first and yield when full; `enqueue` itself
     /// never blocks (buffers are soft-bounded so a page in flight always
-    /// lands).
+    /// lands). The page is serialized and framed here, on the producer's
+    /// thread.
     pub fn enqueue(&self, partition: usize, page: &Page) {
-        let bytes = serialize_page(page);
-        self.enqueue_serialized(partition, bytes);
+        let payload = serialize_page(page);
+        let logical = payload.len();
+        let frame = frame_payload(&payload, self.compression_min_bytes);
+        self.enqueue_frame(partition, frame, logical);
     }
 
-    /// Append an already-serialized page (used by broadcast to serialize
-    /// once and share the buffer across partitions).
-    pub fn enqueue_serialized(&self, partition: usize, bytes: Bytes) {
+    /// Append an already-framed page (used by broadcast to serialize and
+    /// frame once, then share the allocation across partitions).
+    /// `logical_len` is the pre-compression payload length, for telemetry.
+    pub fn enqueue_frame(&self, partition: usize, frame: Bytes, logical_len: usize) {
         // A cancelled task closes the buffer while producers may still be
         // mid-quanta; their trailing pages are dropped, not an error.
         if self.no_more_pages.load(Ordering::SeqCst) {
             return;
         }
-        let len = bytes.len();
+        let wire_len = frame.len();
         let mut p = self.partitions[partition].lock();
         let seq = p.next_seq;
         p.next_seq += 1;
-        p.pages.push_back((seq, bytes));
+        p.pages.push_back((seq, frame));
         drop(p);
-        self.buffered_bytes.fetch_add(len, Ordering::Relaxed);
+        self.buffered_bytes.fetch_add(wire_len, Ordering::Relaxed);
         self.total_pages.fetch_add(1, Ordering::Relaxed);
-        self.total_bytes.fetch_add(len as u64, Ordering::Relaxed);
+        self.total_wire_bytes
+            .fetch_add(wire_len as u64, Ordering::Relaxed);
+        self.total_logical_bytes
+            .fetch_add(logical_len as u64, Ordering::Relaxed);
     }
 
     /// Broadcast a page to every partition (replicated joins). The page is
-    /// serialized once; `Bytes` clones share the allocation.
+    /// serialized and framed once; `Bytes` clones share the allocation.
     pub fn broadcast(&self, page: &Page) {
-        let bytes = serialize_page(page);
+        let payload = serialize_page(page);
+        let logical = payload.len();
+        let frame = frame_payload(&payload, self.compression_min_bytes);
         for partition in 0..self.partitions.len() {
-            self.enqueue_serialized(partition, bytes.clone());
+            self.enqueue_frame(partition, frame.clone(), logical);
         }
     }
 
@@ -194,12 +224,27 @@ impl OutputBuffer {
         }
     }
 
-    /// (pages, bytes) ever enqueued.
+    /// (pages, wire bytes) ever enqueued.
     pub fn totals(&self) -> (u64, u64) {
         (
             self.total_pages.load(Ordering::Relaxed),
-            self.total_bytes.load(Ordering::Relaxed),
+            self.total_wire_bytes.load(Ordering::Relaxed),
         )
+    }
+
+    /// (wire bytes, logical pre-compression bytes) ever enqueued; their
+    /// ratio is the shuffle compression factor.
+    pub fn byte_totals(&self) -> (u64, u64) {
+        (
+            self.total_wire_bytes.load(Ordering::Relaxed),
+            self.total_logical_bytes.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Wire bytes currently retained (pending + unacknowledged). This is
+    /// what the producing task's operators charge to the system memory pool.
+    pub fn retained_bytes(&self) -> usize {
+        self.buffered_bytes.load(Ordering::Relaxed)
     }
 }
 
@@ -284,6 +329,31 @@ mod tests {
         }
         let (pages, _) = buf.totals();
         assert_eq!(pages, 3);
+    }
+
+    #[test]
+    fn wire_bytes_drive_accounting_and_compression_is_tracked() {
+        use presto_page::frame_info;
+        // Highly repetitive page: compresses well once framed.
+        let rows: Vec<Vec<Value>> = (0..512).map(|_| vec![Value::Bigint(7)]).collect();
+        let big = Page::from_rows(&Schema::of(&[("x", DataType::Bigint)]), &rows);
+        let buf = OutputBuffer::with_compression(1, 1 << 20, 64);
+        buf.enqueue(0, &big);
+        let r = buf.poll(0, 0, usize::MAX);
+        assert_eq!(r.pages.len(), 1);
+        let frame = &r.pages[0];
+        let info = frame_info(frame).expect("valid frame");
+        assert!(info.compressed, "512 identical rows must compress");
+        // Retained bytes are the wire size of the frame, not the logical
+        // serialized size — the backpressure signal sees real memory.
+        assert_eq!(buf.retained_bytes(), frame.len());
+        let (wire, logical) = buf.byte_totals();
+        assert_eq!(wire as usize, frame.len());
+        assert_eq!(logical as usize, info.uncompressed_len);
+        assert!(wire < logical, "wire {wire} should be < logical {logical}");
+        // Acknowledging frees exactly the wire bytes.
+        buf.poll(0, r.next_token, usize::MAX);
+        assert_eq!(buf.retained_bytes(), 0);
     }
 
     #[test]

@@ -115,6 +115,92 @@ fn spilling_lets_queries_run_under_the_limit() {
 }
 
 #[test]
+fn shuffle_operators_charge_actual_retained_bytes() {
+    // §IV-F2: shuffle buffers are system memory. Both ends of the exchange
+    // must charge the bytes they actually retain — not a flat per-operator
+    // token — so arbitration sees real pressure. The sink's charge is its
+    // coalescing accumulator plus its share of the output buffer; the
+    // source's charge is the client's buffered wire bytes.
+    use presto::exec::exchange::{
+        ExchangeSourceOperator, OutputRouting, PartitionedOutputOperator,
+    };
+    use presto::exec::Operator;
+    use presto::page::Page;
+    use presto::shuffle::{ExchangeClient, OutputBuffer};
+    use std::sync::atomic::AtomicBool;
+    use std::time::Duration;
+
+    let schema = presto::common::Schema::of(&[("k", presto::common::DataType::Bigint)]);
+    let page = |lo: i64| {
+        Page::from_rows(
+            &schema,
+            &(lo..lo + 200)
+                .map(|v| vec![Value::Bigint(v)])
+                .collect::<Vec<_>>(),
+        )
+    };
+
+    // Sink side: with flush targets set beyond the input, every row sits in
+    // the partitioner, so the charge must grow with the data (a constant
+    // token would stay flat).
+    let buffer = OutputBuffer::new(4, usize::MAX);
+    let mut sink = PartitionedOutputOperator::new(
+        Arc::clone(&buffer),
+        OutputRouting::Hash { channels: vec![0] },
+    )
+    .with_targets(usize::MAX, usize::MAX);
+    let mut last = 0usize;
+    for batch in 0..3 {
+        sink.add_input(page(batch * 200)).unwrap();
+        let charge = sink.system_memory_bytes();
+        assert!(
+            charge > last,
+            "charge must track accumulated rows: {charge} after batch {batch}"
+        );
+        last = charge;
+    }
+    assert_eq!(buffer.retained_bytes(), 0, "nothing flushed yet");
+    sink.finish();
+    // Accumulators flushed into the buffer: the charge now equals exactly
+    // the wire bytes the buffer retains for unacknowledged pages.
+    let (wire, _) = buffer.byte_totals();
+    assert_eq!(buffer.retained_bytes() as u64, wire);
+    assert_eq!(sink.system_memory_bytes(), buffer.retained_bytes());
+    for p in 0..4 {
+        let r = buffer.poll(p, 0, usize::MAX);
+        buffer.poll(p, r.next_token, usize::MAX); // acknowledge
+    }
+    assert_eq!(sink.system_memory_bytes(), 0, "acked pages are freed");
+
+    // Source side: the operator's charge is the client's buffered wire
+    // bytes, which return to zero once the pages are consumed.
+    let upstream = OutputBuffer::new(1, usize::MAX);
+    for batch in 0..3 {
+        upstream.enqueue(0, &page(batch * 200));
+    }
+    upstream.set_no_more_pages();
+    let expected_wire = upstream.byte_totals().0 as usize;
+    let client = Arc::new(ExchangeClient::new(usize::MAX, Duration::ZERO));
+    client.add_source(upstream, 0);
+    let no_more = Arc::new(AtomicBool::new(true));
+    let mut source = ExchangeSourceOperator::new(Arc::clone(&client), no_more);
+    client.poll_progress().unwrap();
+    assert_eq!(
+        source.system_memory_bytes(),
+        expected_wire,
+        "source charges exactly the fetched wire bytes"
+    );
+    let mut rows = 0usize;
+    while !source.is_finished() {
+        if let Some(p) = source.output().unwrap() {
+            rows += p.row_count();
+        }
+    }
+    assert_eq!(rows, 600);
+    assert_eq!(source.system_memory_bytes(), 0, "drained client charges nothing");
+}
+
+#[test]
 fn join_build_memory_is_exact_flat_layout() {
     // §V-E: the join build charges memory from the flat partitioned layout
     // itself (pages + row-address vectors + hash arrays), not an estimate.
