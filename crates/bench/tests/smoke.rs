@@ -70,6 +70,28 @@ fn shuffle_bench_smoke_mode_runs() {
     assert!(stdout.contains("exchange fetch"), "fetch section present");
 }
 
+#[test]
+fn telemetry_bench_smoke_mode_runs() {
+    // The §VII telemetry benchmark in --smoke mode: asserts internally
+    // that the per-operator stats hooks cost under 3% on the group-by
+    // pipeline, that metrics snapshots round-trip through JSON, and that
+    // the Chrome trace export parses with events present.
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_telemetry_bench"))
+        .arg("--smoke")
+        .output()
+        .expect("run telemetry_bench --smoke");
+    assert!(
+        out.status.success(),
+        "telemetry_bench --smoke failed:\n{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr),
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("stats overhead"), "overhead section present");
+    assert!(stdout.contains("trace timeline"), "trace section present");
+    assert!(stdout.contains("telemetry_bench: ok"), "completion marker");
+}
+
 fn smoke_cluster() -> Cluster {
     let mem = MemoryConnector::new();
     TpchGenerator::new(0.001).load_memory(&mem);

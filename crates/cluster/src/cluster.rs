@@ -1,7 +1,7 @@
 //! The embedding facade: start a cluster, run SQL.
 
 use presto_cache::MetadataCache;
-use presto_common::{NodeId, Result, Session};
+use presto_common::{NodeId, Result, Session, TraceBuffer};
 use presto_connector::CatalogManager;
 use std::sync::Arc;
 
@@ -19,6 +19,7 @@ pub struct Cluster {
     coordinator: Arc<Coordinator>,
     workers: Vec<Arc<Worker>>,
     cache: Arc<MetadataCache>,
+    trace: Option<Arc<TraceBuffer>>,
 }
 
 impl Cluster {
@@ -43,6 +44,7 @@ impl Cluster {
         config.validate()?;
         let telemetry = ClusterTelemetry::new(config.workers);
         let reserved = ReservedPoolLock::new();
+        let trace = (config.trace_capacity > 0).then(|| TraceBuffer::new(config.trace_capacity));
         let workers: Vec<Arc<Worker>> = (0..config.workers)
             .map(|i| {
                 let pool = NodeMemoryPool::new(
@@ -52,12 +54,16 @@ impl Cluster {
                     config.kill_on_memory_exhausted,
                     Arc::clone(&reserved),
                 );
+                if let Some(trace) = &trace {
+                    pool.set_trace(Arc::clone(trace));
+                }
                 Worker::start(
                     NodeId(i as u32),
                     i,
                     config.threads_per_worker,
                     pool,
                     telemetry.clone(),
+                    trace.clone(),
                 )
             })
             .collect();
@@ -75,12 +81,31 @@ impl Cluster {
             workers.clone(),
             telemetry,
             reserved,
+            trace.clone(),
         ));
         Ok(Cluster {
             coordinator,
             workers,
             cache,
+            trace,
         })
+    }
+
+    /// The shared trace timeline, if tracing is enabled
+    /// (`config.trace_capacity > 0`). Export with
+    /// [`TraceBuffer::to_chrome_trace`].
+    pub fn trace(&self) -> Option<&Arc<TraceBuffer>> {
+        self.trace.as_ref()
+    }
+
+    /// A point-in-time snapshot of runtime metrics across the cluster:
+    /// scheduler occupancy, memory pools, shuffle, and query gauges (§VII).
+    pub fn metrics_snapshot(&self) -> crate::metrics::ClusterSnapshot {
+        crate::metrics::ClusterSnapshot::collect(
+            &self.workers,
+            self.telemetry(),
+            self.trace.as_deref(),
+        )
     }
 
     /// The metadata cache shared by this cluster (and any connectors built

@@ -55,6 +55,10 @@ pub struct ClusterConfig {
     /// footers, and split listings (§IV-B, §V-C). Retained bytes are
     /// charged as system memory against every worker's general pool.
     pub cache: MetadataCacheConfig,
+    /// Capacity (in events) of the cluster-wide trace timeline ring
+    /// (§VII). Old events are overwritten once full; `0` disables
+    /// tracing entirely.
+    pub trace_capacity: usize,
 }
 
 impl Default for ClusterConfig {
@@ -77,6 +81,7 @@ impl Default for ClusterConfig {
             max_writer_tasks: 4,
             writer_scale_up_threshold: 0.5,
             cache: MetadataCacheConfig::default(),
+            trace_capacity: 4096,
         }
     }
 }
@@ -117,6 +122,7 @@ impl ClusterConfig {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

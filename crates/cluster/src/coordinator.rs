@@ -2,9 +2,12 @@
 
 use parking_lot::{Condvar, Mutex};
 use presto_common::id::QueryIdGenerator;
-use presto_common::{DataType, PrestoError, QueryId, Result, Schema, Session, TaskId, Value};
+use presto_common::{
+    DataType, PrestoError, QueryId, Result, Schema, Session, TaskId, TraceBuffer, Value,
+};
 use presto_connector::CatalogManager;
 use presto_exec::task::{create_task, TaskContext};
+use presto_exec::{QueryStats, StageStats};
 use presto_page::{decode_framed_page, Page};
 use presto_planner::{OutputPartitioning, PhysicalPlan};
 use presto_sql::ast::Statement;
@@ -107,6 +110,7 @@ pub struct Coordinator {
     pub workers: Vec<Arc<Worker>>,
     pub telemetry: ClusterTelemetry,
     pub reserved: Arc<ReservedPoolLock>,
+    trace: Option<Arc<TraceBuffer>>,
     ids: QueryIdGenerator,
     admission: Admission,
 }
@@ -118,6 +122,7 @@ impl Coordinator {
         workers: Vec<Arc<Worker>>,
         telemetry: ClusterTelemetry,
         reserved: Arc<ReservedPoolLock>,
+        trace: Option<Arc<TraceBuffer>>,
     ) -> Coordinator {
         let admission = Admission::new(config.max_concurrent_queries, config.max_queued_queries);
         Coordinator {
@@ -126,6 +131,7 @@ impl Coordinator {
             workers,
             telemetry,
             reserved,
+            trace,
             ids: QueryIdGenerator::new(),
             admission,
         }
@@ -141,25 +147,26 @@ impl Coordinator {
         let queued_at = Instant::now();
         self.telemetry.query_queued(query);
         let fail = |e: PrestoError| QueryError { query, error: e };
-        // Parse before queueing so syntax errors fail fast.
+        // Parse before admission so syntax errors fail fast. The query
+        // fails while still queued — it never started running, and
+        // telemetry accounts it against the queued gauge.
         let statement = parse_statement(sql).map_err(|e| {
-            self.telemetry.query_started(query);
             self.telemetry.query_finished(query, Duration::ZERO, true);
-            self.telemetry.record_error(e.code.tag());
+            self.telemetry.record_query_error(query, e.code.tag());
             fail(e)
         })?;
         self.admission.acquire().map_err(|e| {
-            self.telemetry.query_started(query);
             self.telemetry.query_finished(query, Duration::ZERO, true);
+            self.telemetry.record_query_error(query, e.code.tag());
             fail(e)
         })?;
         self.telemetry.query_started(query);
         let queued_time = queued_at.elapsed();
         let started_at = Instant::now();
-        let result = self.run_admitted(query, &statement, session);
+        let (result, cpu) = self.run_admitted(query, &statement, session);
         self.admission.release();
         match result {
-            Ok((schema, pages, cpu)) => {
+            Ok((schema, pages)) => {
                 self.telemetry.query_finished(query, cpu, false);
                 Ok(QueryOutput {
                     query,
@@ -171,8 +178,10 @@ impl Coordinator {
                 })
             }
             Err(e) => {
-                self.telemetry.query_finished(query, Duration::ZERO, true);
-                self.telemetry.record_error(e.code.tag());
+                // Failures report their real thread time too (§VII): a
+                // query killed after burning CPU should show the spend.
+                self.telemetry.query_finished(query, cpu, true);
+                self.telemetry.record_query_error(query, e.code.tag());
                 Err(fail(e))
             }
         }
@@ -183,16 +192,56 @@ impl Coordinator {
         query: QueryId,
         statement: &Statement,
         session: &Session,
-    ) -> Result<(Schema, Vec<Page>, Duration)> {
-        // EXPLAIN returns the distributed plan as text.
-        if let Statement::Explain(inner) = statement {
-            let plan = presto_planner::plan_statement(inner, session, &self.catalogs)?;
+    ) -> (Result<(Schema, Vec<Page>)>, Duration) {
+        fn plan_page(text: String) -> (Schema, Vec<Page>) {
             let schema = Schema::of(&[("plan", DataType::Varchar)]);
-            let page = Page::from_rows(&schema, &[vec![Value::varchar(plan.explain())]]);
-            return Ok((schema, vec![page], Duration::ZERO));
+            let page = Page::from_rows(&schema, &[vec![Value::varchar(text)]]);
+            (schema, vec![page])
         }
-        let plan = presto_planner::plan_statement(statement, session, &self.catalogs)?;
-        let schema = plan.output_schema();
+        match statement {
+            // EXPLAIN returns the distributed plan as text, without running.
+            Statement::Explain(inner) => {
+                let res = presto_planner::plan_statement(inner, session, &self.catalogs)
+                    .map(|plan| plan_page(plan.explain()));
+                (res, Duration::ZERO)
+            }
+            // EXPLAIN ANALYZE executes the inner statement, discards its
+            // rows, and renders the fragment tree annotated with the
+            // statistics collected while it ran.
+            Statement::ExplainAnalyze(inner) => {
+                let (res, cpu) = self.execute_plan(query, inner, session, true);
+                let res = res.map(|(plan, _pages, stats)| {
+                    let stats = stats.unwrap_or(QueryStats {
+                        query,
+                        stages: Vec::new(),
+                        total_cpu: cpu,
+                        wall_time: Duration::ZERO,
+                    });
+                    plan_page(crate::analyze::render_explain_analyze(&plan, &stats))
+                });
+                (res, cpu)
+            }
+            _ => {
+                let (res, cpu) = self.execute_plan(query, statement, session, false);
+                (res.map(|(plan, pages, _)| (plan.output_schema(), pages)), cpu)
+            }
+        }
+    }
+
+    /// Plan and run a statement. The returned `Duration` is the query's
+    /// total thread time, available for successes and failures alike.
+    #[allow(clippy::type_complexity)]
+    fn execute_plan(
+        &self,
+        query: QueryId,
+        statement: &Statement,
+        session: &Session,
+        want_stats: bool,
+    ) -> (Result<(PhysicalPlan, Vec<Page>, Option<QueryStats>)>, Duration) {
+        let plan = match presto_planner::plan_statement(statement, session, &self.catalogs) {
+            Ok(plan) => plan,
+            Err(e) => return (Err(e), Duration::ZERO),
+        };
         let state = QueryState::new(query);
         // Register memory limits on every node.
         let limits = QueryMemoryLimits::new(
@@ -204,7 +253,7 @@ impl Coordinator {
         for w in &self.workers {
             w.pool.register_query(Arc::clone(&limits));
         }
-        let run = self.run_tasks(query, &plan, session, &state);
+        let run = self.run_tasks(query, &plan, session, &state, want_stats);
         // Cleanup regardless of outcome: cancel first so stragglers (e.g.
         // leaf drivers of a LIMIT query that finished early) stop before
         // their memory registration disappears.
@@ -214,7 +263,7 @@ impl Coordinator {
         }
         self.reserved.release(query);
         let cpu = state.cpu();
-        run.map(|pages| (schema, pages, cpu))
+        (run.map(|(pages, stats)| (plan, pages, stats)), cpu)
     }
 
     fn run_tasks(
@@ -223,7 +272,9 @@ impl Coordinator {
         plan: &PhysicalPlan,
         session: &Session,
         state: &Arc<QueryState>,
-    ) -> Result<Vec<Page>> {
+        want_stats: bool,
+    ) -> Result<(Vec<Page>, Option<QueryStats>)> {
+        let started = Instant::now();
         let placements = place_fragments(plan, &self.config);
         // Create every task (compiled, not yet running).
         let mut tasks: Vec<Vec<presto_exec::Task>> = Vec::with_capacity(plan.fragments.len());
@@ -252,6 +303,7 @@ impl Coordinator {
                     output_buffer_bytes: self.config.output_buffer_bytes,
                     exchange_buffer_bytes: self.config.exchange_buffer_bytes,
                     exchange_poll_latency: self.config.exchange_poll_latency,
+                    trace: self.trace.clone(),
                 };
                 fragment_tasks.push(create_task(fragment, &ctx)?);
             }
@@ -366,7 +418,30 @@ impl Coordinator {
         if let Some(e) = state.error() {
             return Err(e);
         }
-        Ok(pages)
+        let stats = want_stats.then(|| {
+            // Give in-flight drivers a moment to retire so their final
+            // reports land in the rollup. Bounded: LIMIT-style plans leave
+            // leaf drivers running until cancellation, and those report
+            // whatever they had when cancelled.
+            let deadline = Instant::now() + Duration::from_millis(500);
+            while !handles.iter().flatten().all(|h| h.is_done()) && Instant::now() < deadline {
+                std::thread::sleep(Duration::from_micros(200));
+            }
+            QueryStats {
+                query,
+                stages: handles
+                    .iter()
+                    .enumerate()
+                    .map(|(fid, hs)| StageStats {
+                        stage: fid as u32,
+                        tasks: hs.iter().map(|h| h.task.stats_snapshot()).collect(),
+                    })
+                    .collect(),
+                total_cpu: state.cpu(),
+                wall_time: started.elapsed(),
+            }
+        });
+        Ok((pages, stats))
     }
 
     /// Start asynchronous split enumeration for every scan of a fragment.

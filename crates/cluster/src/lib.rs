@@ -19,12 +19,16 @@
 //! * [`scheduler`] — stage/task/split scheduling (§IV-D);
 //! * [`coordinator::Coordinator`] — admission queueing, planning, task
 //!   orchestration, adaptive writer scaling, telemetry;
+//! * [`metrics`] — point-in-time [`metrics::ClusterSnapshot`] of the
+//!   runtime counters of §VII, serializable to JSON;
 //! * [`cluster::Cluster`] — the embedding facade.
 
+pub mod analyze;
 pub mod cluster;
 pub mod config;
 pub mod coordinator;
 pub mod memory;
+pub mod metrics;
 pub mod mlfq;
 pub mod scheduler;
 pub mod telemetry;
@@ -33,4 +37,5 @@ pub mod worker;
 pub use cluster::{Cluster, QueryResult};
 pub use config::ClusterConfig;
 pub use coordinator::QueryError;
+pub use metrics::ClusterSnapshot;
 pub use telemetry::ClusterTelemetry;

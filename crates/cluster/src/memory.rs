@@ -9,11 +9,11 @@
 //! cluster can be configured to kill that query instead.
 
 use parking_lot::Mutex;
-use presto_common::{PrestoError, QueryId, Result};
+use presto_common::{PrestoError, QueryId, Result, TraceBuffer, TraceKind};
 use presto_exec::memory::{MemoryPool, ReservationResult};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicI64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Per-query, cluster-wide memory counters and limits, shared by all node
 /// pools. Registered by the coordinator at admission.
@@ -98,7 +98,31 @@ struct QueryUsage {
 struct PoolState {
     general_used: i64,
     reserved_used: i64,
+    peak_general: i64,
+    peak_reserved: i64,
     per_query: HashMap<QueryId, QueryUsage>,
+}
+
+impl PoolState {
+    fn note_peaks(&mut self) {
+        self.peak_general = self.peak_general.max(self.general_used);
+        self.peak_reserved = self.peak_reserved.max(self.reserved_used);
+    }
+}
+
+/// Point-in-time view of one node pool, for metrics export.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolSnapshot {
+    pub general_used: i64,
+    pub reserved_used: i64,
+    pub system_used: i64,
+    pub peak_general: i64,
+    pub peak_reserved: i64,
+    pub general_limit: i64,
+    pub reserved_limit: i64,
+    pub blocked_reservations: i64,
+    /// Queries with non-zero accounting on this node right now.
+    pub active_queries: usize,
 }
 
 /// One worker node's memory pool.
@@ -117,6 +141,8 @@ pub struct NodeMemoryPool {
     /// bytes participate in §IV-F2 arbitration, but never blocks or kills:
     /// caches bound themselves by eviction.
     system_used: AtomicI64,
+    /// Optional timeline: grants/revokes land here as trace events.
+    trace: OnceLock<Arc<TraceBuffer>>,
 }
 
 impl NodeMemoryPool {
@@ -135,13 +161,36 @@ impl NodeMemoryPool {
             state: Mutex::new(PoolState {
                 general_used: 0,
                 reserved_used: 0,
+                peak_general: 0,
+                peak_reserved: 0,
                 per_query: HashMap::new(),
             }),
             reserved,
             limits: Mutex::new(HashMap::new()),
             blocked_reservations: AtomicI64::new(0),
             system_used: AtomicI64::new(0),
+            trace: OnceLock::new(),
         })
+    }
+
+    /// Attach a trace buffer; reservation grants and releases then emit
+    /// [`TraceKind::MemoryGrant`] / [`TraceKind::MemoryRevoke`] events.
+    pub fn set_trace(&self, trace: Arc<TraceBuffer>) {
+        let _ = self.trace.set(trace);
+    }
+
+    fn trace_delta(&self, query: QueryId, delta: i64) {
+        if delta == 0 {
+            return;
+        }
+        if let Some(trace) = self.trace.get() {
+            let kind = if delta > 0 {
+                TraceKind::MemoryGrant
+            } else {
+                TraceKind::MemoryRevoke
+            };
+            trace.record(kind, self.node.0, 0, query.0, delta.unsigned_abs());
+        }
     }
 
     /// Charge (or release, negative `delta`) node-level system memory that
@@ -203,6 +252,26 @@ impl NodeMemoryPool {
             .get(&query)
             .map(|u| (u.user, u.system))
             .unwrap_or((0, 0))
+    }
+
+    /// Point-in-time usage, limits, and high-water marks.
+    pub fn snapshot(&self) -> PoolSnapshot {
+        let state = self.state.lock();
+        PoolSnapshot {
+            general_used: state.general_used,
+            reserved_used: state.reserved_used,
+            system_used: self.system_used.load(Ordering::Relaxed),
+            peak_general: state.peak_general,
+            peak_reserved: state.peak_reserved,
+            general_limit: self.general_limit,
+            reserved_limit: self.reserved_limit,
+            blocked_reservations: self.blocked_reservations.load(Ordering::Relaxed),
+            active_queries: state
+                .per_query
+                .values()
+                .filter(|u| u.user + u.system != 0)
+                .count(),
+        }
     }
 }
 
@@ -305,7 +374,10 @@ impl MemoryPool for NodeMemoryPool {
                             } else {
                                 state.general_used += total_delta;
                             }
+                            state.note_peaks();
                             limits.global_user.fetch_add(user_delta, Ordering::Relaxed);
+                            drop(state);
+                            self.trace_delta(query, total_delta);
                             return Ok(ReservationResult::Granted);
                         }
                     }
@@ -331,7 +403,10 @@ impl MemoryPool for NodeMemoryPool {
         } else {
             state.general_used += total_delta;
         }
+        state.note_peaks();
         limits.global_user.fetch_add(user_delta, Ordering::Relaxed);
+        drop(state);
+        self.trace_delta(query, total_delta);
         Ok(ReservationResult::Granted)
     }
 }
@@ -360,6 +435,7 @@ impl presto_cache::MemoryCharger for PoolSystemCharger {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use presto_common::NodeId;

@@ -1,0 +1,444 @@
+//! Runtime metrics export (§VII "Effortless instrumentation").
+//!
+//! "The median Presto worker node exports ~10,000 real-time performance
+//! counters" — [`ClusterSnapshot`] gathers the cluster's live runtime
+//! state into one serializable value, queryable mid-flight: per-worker
+//! MLFQ occupancy and demotions, memory-pool usage and peaks, shuffle
+//! gauges, cache counters, and the query lifecycle gauges. Serialization
+//! round-trips through [`presto_common::json`] so snapshots can be
+//! shipped, diffed, and re-parsed without third-party crates.
+
+use presto_common::json::Json;
+use presto_common::{Result, TraceBuffer};
+use std::sync::Arc;
+
+use crate::memory::PoolSnapshot;
+use crate::mlfq::{LevelSnapshot, SchedulerSnapshot};
+use crate::telemetry::ClusterTelemetry;
+use crate::worker::Worker;
+
+/// One worker's runtime state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkerMetrics {
+    pub node: u32,
+    /// Executor busy time since startup, in nanoseconds.
+    pub busy_nanos: u64,
+    /// Drivers executing a quantum right now.
+    pub running_drivers: u64,
+    /// Drivers parked on a blocked condition.
+    pub blocked_drivers: u64,
+    /// Drivers waiting in the scheduling queue.
+    pub queued_drivers: u64,
+    pub scheduler: SchedulerSnapshot,
+    pub memory: PoolSnapshot,
+}
+
+/// Shuffle data-plane gauges, aggregated over tasks still running.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShuffleMetrics {
+    /// Bytes parked in live tasks' output buffers right now.
+    pub output_buffered_bytes: u64,
+    /// Bytes parked in live exchange-client input buffers right now.
+    pub exchange_buffered_bytes: u64,
+    /// Exchange requests currently in flight.
+    pub in_flight_requests: u64,
+    /// Transient decode failures retried by live exchange clients.
+    pub retries: u64,
+    /// Serialized (possibly compressed) bytes pulled from upstream tasks.
+    pub wire_bytes_received: u64,
+    /// Uncompressed logical bytes of the same pages.
+    pub logical_bytes_received: u64,
+}
+
+impl ShuffleMetrics {
+    /// Logical/wire expansion of exchanged data (1.0 when nothing moved
+    /// or nothing compressed).
+    pub fn compression_ratio(&self) -> f64 {
+        if self.wire_bytes_received == 0 {
+            1.0
+        } else {
+            self.logical_bytes_received as f64 / self.wire_bytes_received as f64
+        }
+    }
+}
+
+/// Query lifecycle gauges. Invariant (asserted by the telemetry stress
+/// test): `queued + running + finished + failed == submitted`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryGauges {
+    pub submitted: u64,
+    pub queued: u64,
+    pub running: u64,
+    pub finished: u64,
+    pub failed: u64,
+}
+
+/// One registered cache layer's counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheLayerMetrics {
+    pub layer: String,
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+    pub inserts: u64,
+    pub invalidations: u64,
+    pub bytes: u64,
+}
+
+/// A point-in-time view of the whole cluster's runtime counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterSnapshot {
+    pub uptime_nanos: u64,
+    pub workers: Vec<WorkerMetrics>,
+    pub shuffle: ShuffleMetrics,
+    pub queries: QueryGauges,
+    pub caches: Vec<CacheLayerMetrics>,
+    /// Events recorded into the trace timeline so far (0 when disabled).
+    pub trace_events: u64,
+}
+
+impl ClusterSnapshot {
+    /// Gather the current state. Cheap enough to call mid-query: every
+    /// source is either an atomic counter or a short-lived lock.
+    pub fn collect(
+        workers: &[Arc<Worker>],
+        telemetry: &ClusterTelemetry,
+        trace: Option<&TraceBuffer>,
+    ) -> ClusterSnapshot {
+        let busy = telemetry.worker_busy();
+        let mut shuffle = ShuffleMetrics::default();
+        let worker_metrics = workers
+            .iter()
+            .enumerate()
+            .map(|(i, w)| {
+                for handle in w.live_tasks() {
+                    shuffle.output_buffered_bytes += handle.task.output.retained_bytes() as u64;
+                    for e in &handle.task.exchanges {
+                        shuffle.exchange_buffered_bytes += e.client.buffered_bytes() as u64;
+                        shuffle.in_flight_requests += e.client.in_flight() as u64;
+                        shuffle.retries += e.client.retries();
+                        shuffle.wire_bytes_received += e.client.bytes_received();
+                        shuffle.logical_bytes_received += e.client.logical_bytes_received();
+                    }
+                }
+                WorkerMetrics {
+                    node: w.node.0,
+                    busy_nanos: busy.get(i).map_or(0, |d| d.as_nanos() as u64),
+                    running_drivers: w.running_drivers() as u64,
+                    blocked_drivers: w.blocked_drivers() as u64,
+                    queued_drivers: w.scheduler_queue().len() as u64,
+                    scheduler: w.scheduler_queue().snapshot(),
+                    memory: w.pool.snapshot(),
+                }
+            })
+            .collect();
+        ClusterSnapshot {
+            uptime_nanos: telemetry.uptime().as_nanos() as u64,
+            workers: worker_metrics,
+            shuffle,
+            queries: QueryGauges {
+                submitted: telemetry.submitted_queries(),
+                queued: telemetry.queued_queries(),
+                running: telemetry.running_queries(),
+                finished: telemetry.finished_queries(),
+                failed: telemetry.failed_queries(),
+            },
+            caches: telemetry
+                .cache_counters_by_layer()
+                .into_iter()
+                .map(|(name, c)| CacheLayerMetrics {
+                    layer: name.to_string(),
+                    hits: c.hits,
+                    misses: c.misses,
+                    evictions: c.evictions,
+                    inserts: c.inserts,
+                    invalidations: c.invalidations,
+                    bytes: c.bytes,
+                })
+                .collect(),
+            trace_events: trace.map_or(0, |t| t.recorded()),
+        }
+    }
+
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("uptime_nanos", int(self.uptime_nanos)),
+            (
+                "workers",
+                Json::Arr(self.workers.iter().map(worker_to_json).collect()),
+            ),
+            (
+                "shuffle",
+                Json::obj([
+                    ("output_buffered_bytes", int(self.shuffle.output_buffered_bytes)),
+                    (
+                        "exchange_buffered_bytes",
+                        int(self.shuffle.exchange_buffered_bytes),
+                    ),
+                    ("in_flight_requests", int(self.shuffle.in_flight_requests)),
+                    ("retries", int(self.shuffle.retries)),
+                    ("wire_bytes_received", int(self.shuffle.wire_bytes_received)),
+                    (
+                        "logical_bytes_received",
+                        int(self.shuffle.logical_bytes_received),
+                    ),
+                ]),
+            ),
+            (
+                "queries",
+                Json::obj([
+                    ("submitted", int(self.queries.submitted)),
+                    ("queued", int(self.queries.queued)),
+                    ("running", int(self.queries.running)),
+                    ("finished", int(self.queries.finished)),
+                    ("failed", int(self.queries.failed)),
+                ]),
+            ),
+            (
+                "caches",
+                Json::Arr(
+                    self.caches
+                        .iter()
+                        .map(|c| {
+                            Json::obj([
+                                ("layer", Json::Str(c.layer.clone())),
+                                ("hits", int(c.hits)),
+                                ("misses", int(c.misses)),
+                                ("evictions", int(c.evictions)),
+                                ("inserts", int(c.inserts)),
+                                ("invalidations", int(c.invalidations)),
+                                ("bytes", int(c.bytes)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("trace_events", int(self.trace_events)),
+        ])
+    }
+
+    pub fn from_json(v: &Json) -> Result<ClusterSnapshot> {
+        let shuffle = v.field("shuffle")?;
+        let queries = v.field("queries")?;
+        Ok(ClusterSnapshot {
+            uptime_nanos: v.field_u64("uptime_nanos")?,
+            workers: v
+                .field_arr("workers")?
+                .iter()
+                .map(worker_from_json)
+                .collect::<Result<Vec<_>>>()?,
+            shuffle: ShuffleMetrics {
+                output_buffered_bytes: shuffle.field_u64("output_buffered_bytes")?,
+                exchange_buffered_bytes: shuffle.field_u64("exchange_buffered_bytes")?,
+                in_flight_requests: shuffle.field_u64("in_flight_requests")?,
+                retries: shuffle.field_u64("retries")?,
+                wire_bytes_received: shuffle.field_u64("wire_bytes_received")?,
+                logical_bytes_received: shuffle.field_u64("logical_bytes_received")?,
+            },
+            queries: QueryGauges {
+                submitted: queries.field_u64("submitted")?,
+                queued: queries.field_u64("queued")?,
+                running: queries.field_u64("running")?,
+                finished: queries.field_u64("finished")?,
+                failed: queries.field_u64("failed")?,
+            },
+            caches: v
+                .field_arr("caches")?
+                .iter()
+                .map(|c| {
+                    Ok(CacheLayerMetrics {
+                        layer: c.field_str("layer")?.to_string(),
+                        hits: c.field_u64("hits")?,
+                        misses: c.field_u64("misses")?,
+                        evictions: c.field_u64("evictions")?,
+                        inserts: c.field_u64("inserts")?,
+                        invalidations: c.field_u64("invalidations")?,
+                        bytes: c.field_u64("bytes")?,
+                    })
+                })
+                .collect::<Result<Vec<_>>>()?,
+            trace_events: v.field_u64("trace_events")?,
+        })
+    }
+}
+
+/// u64 → JSON integer. Counters beyond `i64::MAX` saturate (a physical
+/// impossibility for byte/event counts; saturation beats panicking).
+fn int(v: u64) -> Json {
+    Json::Int(i64::try_from(v).unwrap_or(i64::MAX))
+}
+
+fn worker_to_json(w: &WorkerMetrics) -> Json {
+    Json::obj([
+        ("node", int(w.node as u64)),
+        ("busy_nanos", int(w.busy_nanos)),
+        ("running_drivers", int(w.running_drivers)),
+        ("blocked_drivers", int(w.blocked_drivers)),
+        ("queued_drivers", int(w.queued_drivers)),
+        (
+            "scheduler",
+            Json::obj([
+                (
+                    "levels",
+                    Json::Arr(
+                        w.scheduler
+                            .levels
+                            .iter()
+                            .map(|l| {
+                                Json::obj([
+                                    ("occupancy", int(l.occupancy as u64)),
+                                    ("used_nanos", int(l.used_nanos)),
+                                    ("entries", int(l.entries)),
+                                    ("quanta_granted", int(l.quanta_granted)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+                ("demotions", int(w.scheduler.demotions)),
+                ("promotions", int(w.scheduler.promotions)),
+            ]),
+        ),
+        (
+            "memory",
+            Json::obj([
+                ("general_used", Json::Int(w.memory.general_used)),
+                ("reserved_used", Json::Int(w.memory.reserved_used)),
+                ("system_used", Json::Int(w.memory.system_used)),
+                ("peak_general", Json::Int(w.memory.peak_general)),
+                ("peak_reserved", Json::Int(w.memory.peak_reserved)),
+                ("general_limit", Json::Int(w.memory.general_limit)),
+                ("reserved_limit", Json::Int(w.memory.reserved_limit)),
+                (
+                    "blocked_reservations",
+                    Json::Int(w.memory.blocked_reservations),
+                ),
+                ("active_queries", int(w.memory.active_queries as u64)),
+            ]),
+        ),
+    ])
+}
+
+fn worker_from_json(v: &Json) -> Result<WorkerMetrics> {
+    let scheduler = v.field("scheduler")?;
+    let memory = v.field("memory")?;
+    Ok(WorkerMetrics {
+        node: v.field_u64("node")? as u32,
+        busy_nanos: v.field_u64("busy_nanos")?,
+        running_drivers: v.field_u64("running_drivers")?,
+        blocked_drivers: v.field_u64("blocked_drivers")?,
+        queued_drivers: v.field_u64("queued_drivers")?,
+        scheduler: SchedulerSnapshot {
+            levels: scheduler
+                .field_arr("levels")?
+                .iter()
+                .map(|l| {
+                    Ok(LevelSnapshot {
+                        occupancy: l.field_u64("occupancy")? as usize,
+                        used_nanos: l.field_u64("used_nanos")?,
+                        entries: l.field_u64("entries")?,
+                        quanta_granted: l.field_u64("quanta_granted")?,
+                    })
+                })
+                .collect::<Result<Vec<_>>>()?,
+            demotions: scheduler.field_u64("demotions")?,
+            promotions: scheduler.field_u64("promotions")?,
+        },
+        memory: PoolSnapshot {
+            general_used: memory.field_i64("general_used")?,
+            reserved_used: memory.field_i64("reserved_used")?,
+            system_used: memory.field_i64("system_used")?,
+            peak_general: memory.field_i64("peak_general")?,
+            peak_reserved: memory.field_i64("peak_reserved")?,
+            general_limit: memory.field_i64("general_limit")?,
+            reserved_limit: memory.field_i64("reserved_limit")?,
+            blocked_reservations: memory.field_i64("blocked_reservations")?,
+            active_queries: memory.field_u64("active_queries")? as usize,
+        },
+    })
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ClusterSnapshot {
+        ClusterSnapshot {
+            uptime_nanos: 12_345_678,
+            workers: vec![WorkerMetrics {
+                node: 0,
+                busy_nanos: 999,
+                running_drivers: 2,
+                blocked_drivers: 1,
+                queued_drivers: 3,
+                scheduler: SchedulerSnapshot {
+                    levels: vec![LevelSnapshot {
+                        occupancy: 3,
+                        used_nanos: 17,
+                        entries: 9,
+                        quanta_granted: 6,
+                    }],
+                    demotions: 2,
+                    promotions: 0,
+                },
+                memory: PoolSnapshot {
+                    general_used: 1024,
+                    reserved_used: 0,
+                    system_used: 77,
+                    peak_general: 2048,
+                    peak_reserved: 0,
+                    general_limit: 1 << 29,
+                    reserved_limit: 1 << 27,
+                    blocked_reservations: 1,
+                    active_queries: 1,
+                },
+            }],
+            shuffle: ShuffleMetrics {
+                output_buffered_bytes: 4096,
+                exchange_buffered_bytes: 512,
+                in_flight_requests: 2,
+                retries: 1,
+                wire_bytes_received: 100,
+                logical_bytes_received: 250,
+            },
+            queries: QueryGauges {
+                submitted: 10,
+                queued: 1,
+                running: 2,
+                finished: 6,
+                failed: 1,
+            },
+            caches: vec![CacheLayerMetrics {
+                layer: "porc_footer".to_string(),
+                hits: 5,
+                misses: 2,
+                evictions: 0,
+                inserts: 2,
+                invalidations: 0,
+                bytes: 333,
+            }],
+            trace_events: 42,
+        }
+    }
+
+    #[test]
+    fn json_round_trip_preserves_everything() {
+        let snap = sample();
+        let text = snap.to_json().to_string();
+        let back = ClusterSnapshot::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn compression_ratio() {
+        assert_eq!(ShuffleMetrics::default().compression_ratio(), 1.0);
+        assert_eq!(sample().shuffle.compression_ratio(), 2.5);
+    }
+
+    #[test]
+    fn gauge_invariant_holds_in_sample() {
+        let q = sample().queries;
+        assert_eq!(q.queued + q.running + q.finished + q.failed, q.submitted);
+    }
+}

@@ -8,6 +8,7 @@
 
 use parking_lot::Mutex;
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 /// Number of levels.
@@ -46,11 +47,42 @@ struct Level<T> {
     /// CPU nanoseconds charged to this level so far (for deficit-based
     /// level selection).
     used_nanos: u64,
+    /// Entries ever enqueued at this level.
+    entries: u64,
+    /// Quanta dispatched from this level (pops).
+    quanta_granted: u64,
+}
+
+/// Point-in-time view of one level, for metrics export.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LevelSnapshot {
+    /// Entries currently queued at this level.
+    pub occupancy: usize,
+    /// CPU nanoseconds charged to this level so far.
+    pub used_nanos: u64,
+    /// Entries ever enqueued at this level.
+    pub entries: u64,
+    /// Quanta dispatched from this level.
+    pub quanta_granted: u64,
+}
+
+/// Point-in-time view of the whole queue.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SchedulerSnapshot {
+    pub levels: Vec<LevelSnapshot>,
+    /// Times a task crossed a CPU threshold into a lower-priority level.
+    pub demotions: u64,
+    /// Always zero under aggregate-CPU classification (CPU is monotonic,
+    /// so a task never moves back down); kept so dashboards watching for
+    /// scheduler-policy changes have a stable field.
+    pub promotions: u64,
 }
 
 /// Deficit-weighted multi-level queue.
 pub struct MultilevelQueue<T> {
     levels: Mutex<Vec<Level<T>>>,
+    demotions: AtomicU64,
+    promotions: AtomicU64,
 }
 
 impl<T> Default for MultilevelQueue<T> {
@@ -61,9 +93,13 @@ impl<T> Default for MultilevelQueue<T> {
                     .map(|_| Level {
                         queue: VecDeque::new(),
                         used_nanos: 0,
+                        entries: 0,
+                        quanta_granted: 0,
                     })
                     .collect(),
             ),
+            demotions: AtomicU64::new(0),
+            promotions: AtomicU64::new(0),
         }
     }
 }
@@ -76,7 +112,9 @@ impl<T> MultilevelQueue<T> {
     /// Enqueue an entry whose owning task has accumulated `task_cpu`.
     pub fn push(&self, item: T, task_cpu: Duration) {
         let level = level_of(task_cpu);
-        self.levels.lock()[level].queue.push_back(item);
+        let mut levels = self.levels.lock();
+        levels[level].entries += 1;
+        levels[level].queue.push_back(item);
     }
 
     /// Dequeue the next entry: among non-empty levels, pick the one whose
@@ -98,6 +136,7 @@ impl<T> MultilevelQueue<T> {
             }
         }
         let i = best?;
+        levels[i].quanta_granted += 1;
         levels[i].queue.pop_front()
     }
 
@@ -108,7 +147,30 @@ impl<T> MultilevelQueue<T> {
     /// ran at, preserving fairness even for splits that overshoot.
     pub fn charge(&self, task_cpu_before: Duration, elapsed: Duration) {
         let level = level_of(task_cpu_before);
+        // The quantum pushed the task past a threshold: its next enqueue
+        // lands at a lower-priority level. That transition is a demotion.
+        if level_of(task_cpu_before + elapsed) > level {
+            self.demotions.fetch_add(1, Ordering::Relaxed);
+        }
         self.levels.lock()[level].used_nanos += elapsed.as_nanos() as u64;
+    }
+
+    /// Snapshot occupancy and counters for metrics export.
+    pub fn snapshot(&self) -> SchedulerSnapshot {
+        let levels = self.levels.lock();
+        SchedulerSnapshot {
+            levels: levels
+                .iter()
+                .map(|l| LevelSnapshot {
+                    occupancy: l.queue.len(),
+                    used_nanos: l.used_nanos,
+                    entries: l.entries,
+                    quanta_granted: l.quanta_granted,
+                })
+                .collect(),
+            demotions: self.demotions.load(Ordering::Relaxed),
+            promotions: self.promotions.load(Ordering::Relaxed),
+        }
     }
 
     pub fn len(&self) -> usize {
@@ -131,6 +193,7 @@ impl<T> MultilevelQueue<T> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 
@@ -185,6 +248,25 @@ mod tests {
         // fraction is 0.40 vs 0.07).
         assert!(level0 > level4, "level0={level0} level4={level4}");
         assert!(level4 > 0, "high levels are not starved");
+    }
+
+    #[test]
+    fn snapshot_tracks_occupancy_and_demotions() {
+        let q: MultilevelQueue<u32> = MultilevelQueue::new();
+        q.push(1, Duration::ZERO);
+        let snap = q.snapshot();
+        assert_eq!(snap.levels.len(), LEVELS);
+        assert_eq!(snap.levels[0].occupancy, 1);
+        assert_eq!(snap.levels[0].entries, 1);
+        // A quantum that crosses the first CPU threshold is a demotion.
+        q.charge(Duration::from_millis(99), Duration::from_millis(5));
+        let snap = q.snapshot();
+        assert_eq!(snap.demotions, 1);
+        assert_eq!(snap.promotions, 0);
+        assert!(snap.levels[0].used_nanos > 0);
+        let _ = q.pop();
+        assert_eq!(q.snapshot().levels[0].quanta_granted, 1);
+        assert_eq!(q.snapshot().levels[0].occupancy, 0);
     }
 
     #[test]

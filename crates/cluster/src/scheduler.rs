@@ -119,6 +119,7 @@ impl SplitFeeder<'_> {
     /// bucketed splits go to their bucket's task; others to the shortest
     /// queue among candidate tasks (respecting address constraints).
     /// Returns the number of splits assigned.
+    #[allow(clippy::too_many_arguments)]
     pub fn feed(
         &self,
         catalog: &str,
@@ -209,6 +210,7 @@ impl SplitFeeder<'_> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use presto_common::{DataType, Schema, Session, Value};

@@ -23,6 +23,8 @@ struct Inner {
     started_at: Instant,
     /// Busy nanoseconds per worker.
     worker_busy_nanos: Vec<AtomicU64>,
+    /// Every query ever submitted (queued + running + finished + failed).
+    submitted_queries: AtomicU64,
     /// Currently running queries.
     running_queries: AtomicU64,
     /// Currently queued queries.
@@ -48,11 +50,19 @@ pub struct QueryRecord {
     pub finished_at: Option<Instant>,
     pub cpu: Duration,
     pub failed: bool,
+    /// Error-code tag of the failure, when the query failed.
+    pub error_tag: Option<&'static str>,
 }
 
 impl QueryRecord {
     pub fn queue_time(&self) -> Option<Duration> {
-        self.started_at.map(|s| s - self.queued_at)
+        // A query that failed before starting spent its whole life queued;
+        // its breakdown is still reportable.
+        match (self.started_at, self.finished_at) {
+            (Some(s), _) => Some(s - self.queued_at),
+            (None, Some(f)) => Some(f - self.queued_at),
+            (None, None) => None,
+        }
     }
 
     pub fn execution_time(&self) -> Option<Duration> {
@@ -69,6 +79,7 @@ impl ClusterTelemetry {
             inner: Arc::new(Inner {
                 started_at: Instant::now(),
                 worker_busy_nanos: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+                submitted_queries: AtomicU64::new(0),
                 running_queries: AtomicU64::new(0),
                 queued_queries: AtomicU64::new(0),
                 finished_queries: AtomicU64::new(0),
@@ -99,6 +110,7 @@ impl ClusterTelemetry {
     }
 
     pub fn query_queued(&self, query: QueryId) {
+        self.inner.submitted_queries.fetch_add(1, Ordering::SeqCst);
         self.inner.queued_queries.fetch_add(1, Ordering::SeqCst);
         self.inner.queries.lock().insert(
             query,
@@ -108,6 +120,7 @@ impl ClusterTelemetry {
                 finished_at: None,
                 cpu: Duration::ZERO,
                 failed: false,
+                error_tag: None,
             },
         );
     }
@@ -121,13 +134,24 @@ impl ClusterTelemetry {
     }
 
     pub fn query_finished(&self, query: QueryId, cpu: Duration, failed: bool) {
-        self.inner.running_queries.fetch_sub(1, Ordering::SeqCst);
+        // A query that fails while still queued (parse error, admission
+        // rejection) never incremented the running gauge; decrementing it
+        // anyway would wrap the counter. Settle the gauge the query is
+        // actually in. The map lock is held across the gauge update so a
+        // concurrent snapshot can't observe the query in both states.
+        let mut queries = self.inner.queries.lock();
+        let started = queries.get(&query).is_none_or(|r| r.started_at.is_some());
+        if started {
+            self.inner.running_queries.fetch_sub(1, Ordering::SeqCst);
+        } else {
+            self.inner.queued_queries.fetch_sub(1, Ordering::SeqCst);
+        }
         if failed {
             self.inner.failed_queries.fetch_add(1, Ordering::SeqCst);
         } else {
             self.inner.finished_queries.fetch_add(1, Ordering::SeqCst);
         }
-        if let Some(r) = self.inner.queries.lock().get_mut(&query) {
+        if let Some(r) = queries.get_mut(&query) {
             r.finished_at = Some(Instant::now());
             r.cpu = cpu;
             r.failed = failed;
@@ -136,6 +160,19 @@ impl ClusterTelemetry {
 
     pub fn record_error(&self, tag: &'static str) {
         *self.inner.errors.lock().entry(tag).or_insert(0) += 1;
+    }
+
+    /// Record a query's failure cause: bumps the cluster-wide counter for
+    /// `tag` and stamps the tag onto the query's record.
+    pub fn record_query_error(&self, query: QueryId, tag: &'static str) {
+        self.record_error(tag);
+        if let Some(r) = self.inner.queries.lock().get_mut(&query) {
+            r.error_tag = Some(tag);
+        }
+    }
+
+    pub fn submitted_queries(&self) -> u64 {
+        self.inner.submitted_queries.load(Ordering::SeqCst)
     }
 
     pub fn running_queries(&self) -> u64 {
@@ -201,6 +238,7 @@ impl ClusterTelemetry {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 
@@ -236,5 +274,100 @@ mod tests {
         t.record_error("EXTERNAL_TRANSIENT");
         t.record_error("EXTERNAL_TRANSIENT");
         assert_eq!(t.errors()["EXTERNAL_TRANSIENT"], 2);
+    }
+
+    /// Regression: a query that fails while still queued (parse error,
+    /// admission rejection) must settle the *queued* gauge. Decrementing
+    /// the running gauge — which it never incremented — wrapped it to
+    /// u64::MAX.
+    #[test]
+    fn failure_while_queued_settles_queued_gauge() {
+        let t = ClusterTelemetry::new(1);
+        let q = QueryId(7);
+        t.query_queued(q);
+        t.query_finished(q, Duration::ZERO, true);
+        assert_eq!(t.queued_queries(), 0);
+        assert_eq!(t.running_queries(), 0, "running gauge must not underflow");
+        assert_eq!(t.failed_queries(), 1);
+        let r = t.query_record(q).unwrap();
+        assert!(r.failed);
+        // The time spent queued is still reportable; it never executed.
+        assert!(r.queue_time().is_some());
+        assert!(r.execution_time().is_none());
+    }
+
+    #[test]
+    fn query_error_tag_stamped_on_record() {
+        let t = ClusterTelemetry::new(1);
+        let q = QueryId(3);
+        t.query_queued(q);
+        t.query_finished(q, Duration::ZERO, true);
+        t.record_query_error(q, "SYNTAX_ERROR");
+        assert_eq!(t.query_record(q).unwrap().error_tag, Some("SYNTAX_ERROR"));
+        assert_eq!(t.errors()["SYNTAX_ERROR"], 1);
+    }
+
+    /// The gauge invariant under concurrent lifecycle churn:
+    /// queued + running + finished + failed == submitted, both while
+    /// threads are racing and after they join.
+    #[test]
+    fn concurrent_lifecycle_preserves_gauge_invariant() {
+        let t = ClusterTelemetry::new(1);
+        let threads = 8u64;
+        let per_thread = 200u64;
+        std::thread::scope(|s| {
+            for thread in 0..threads {
+                let t = t.clone();
+                s.spawn(move || {
+                    for i in 0..per_thread {
+                        let q = QueryId(thread * per_thread + i);
+                        t.query_queued(q);
+                        match i % 3 {
+                            // Finishes normally.
+                            0 => {
+                                t.query_started(q);
+                                t.query_finished(q, Duration::from_micros(i), false);
+                            }
+                            // Fails mid-run.
+                            1 => {
+                                t.query_started(q);
+                                t.query_finished(q, Duration::from_micros(i), true);
+                                t.record_query_error(q, "EXCEEDED_MEMORY_LIMIT");
+                            }
+                            // Fails while still queued.
+                            _ => {
+                                t.query_finished(q, Duration::ZERO, true);
+                                t.record_query_error(q, "SYNTAX_ERROR");
+                            }
+                        }
+                    }
+                });
+            }
+            // Sample the invariant while the writers are racing. Gauges are
+            // separate atomics, so read a consistent-enough view by checking
+            // the sum never exceeds submissions and never underflows into
+            // u64::MAX territory.
+            for _ in 0..50 {
+                let (queued, running) = (t.queued_queries(), t.running_queries());
+                assert!(queued < u64::MAX / 2, "queued gauge underflowed");
+                assert!(running < u64::MAX / 2, "running gauge underflowed");
+                std::thread::yield_now();
+            }
+        });
+        let total = threads * per_thread;
+        assert_eq!(t.submitted_queries(), total);
+        assert_eq!(t.queued_queries(), 0);
+        assert_eq!(t.running_queries(), 0);
+        assert_eq!(
+            t.queued_queries()
+                + t.running_queries()
+                + t.finished_queries()
+                + t.failed_queries(),
+            total
+        );
+        // 1-in-3 finish clean, 2-in-3 fail (mid-run or queued).
+        let clean = threads * per_thread.div_ceil(3);
+        assert_eq!(t.finished_queries(), clean);
+        assert_eq!(t.failed_queries(), total - clean);
     }
 }

@@ -9,7 +9,7 @@
 //! processing another task."
 
 use parking_lot::Mutex;
-use presto_common::{NodeId, PrestoError, QueryId, TaskId};
+use presto_common::{NodeId, PrestoError, QueryId, TaskId, TraceBuffer, TraceKind};
 use presto_exec::{Driver, DriverState, Task};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -120,7 +120,13 @@ impl TaskHandle {
         self.done.load(Ordering::SeqCst)
     }
 
-    fn driver_done(&self) {
+    /// Retire one driver, folding its statistics into the task rollup.
+    /// Every retirement path (finished, failed, cancelled) comes through
+    /// here so the §VII counters survive the driver itself.
+    fn driver_done(&self, driver: Option<&Driver>) {
+        if let Some(driver) = driver {
+            self.task.stats.record(driver.stats_report());
+        }
         if self.remaining_drivers.fetch_sub(1, Ordering::SeqCst) == 1 {
             self.done.store(true, Ordering::SeqCst);
             self.task.memory.release_all();
@@ -128,8 +134,10 @@ impl TaskHandle {
     }
 }
 
-/// One queued unit of work: a driver plus its task.
-struct DriverRun {
+/// One queued unit of work: a driver plus its task. Public in name only —
+/// it appears in [`Worker::scheduler_queue`]'s type, but its fields and
+/// construction stay private to this module.
+pub struct DriverRun {
     driver: Driver,
     task: Arc<TaskHandle>,
 }
@@ -148,6 +156,7 @@ pub struct Worker {
     /// Tasks currently known to this worker (for kill()).
     tasks: Mutex<Vec<Arc<TaskHandle>>>,
     running_drivers: Arc<AtomicUsize>,
+    trace: Option<Arc<TraceBuffer>>,
 }
 
 impl Worker {
@@ -157,6 +166,7 @@ impl Worker {
         threads: usize,
         pool: Arc<NodeMemoryPool>,
         telemetry: ClusterTelemetry,
+        trace: Option<Arc<TraceBuffer>>,
     ) -> Arc<Worker> {
         let worker = Arc::new(Worker {
             node,
@@ -170,6 +180,7 @@ impl Worker {
             worker_index,
             tasks: Mutex::new(Vec::new()),
             running_drivers: Arc::new(AtomicUsize::new(0)),
+            trace,
         });
         let mut handles = Vec::new();
         for t in 0..threads {
@@ -177,7 +188,7 @@ impl Worker {
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("worker-{}-{t}", node.0))
-                    .spawn(move || w.run_executor())
+                    .spawn(move || w.run_executor(t as u32))
                     .expect("spawn worker thread"),
             );
         }
@@ -230,6 +241,32 @@ impl Worker {
         self.queue.len() + self.blocked.lock().len()
     }
 
+    /// Drivers currently executing a quantum on this worker's threads.
+    pub fn running_drivers(&self) -> usize {
+        self.running_drivers.load(Ordering::Relaxed)
+    }
+
+    /// Drivers parked on a blocked condition (backoff pending).
+    pub fn blocked_drivers(&self) -> usize {
+        self.blocked.lock().len()
+    }
+
+    /// The worker's MLFQ, for metrics snapshots.
+    pub fn scheduler_queue(&self) -> &MultilevelQueue<DriverRun> {
+        &self.queue
+    }
+
+    /// Tasks submitted to this worker that have not completed yet (the
+    /// source of the mid-flight shuffle gauges in metrics snapshots).
+    pub fn live_tasks(&self) -> Vec<Arc<TaskHandle>> {
+        self.tasks
+            .lock()
+            .iter()
+            .filter(|t| !t.is_done())
+            .cloned()
+            .collect()
+    }
+
     /// Simulated crash (§IV-G): every task on this worker fails; the node
     /// stops processing.
     pub fn kill(&self) {
@@ -258,7 +295,7 @@ impl Worker {
         }
     }
 
-    fn run_executor(&self) {
+    fn run_executor(&self, thread_index: u32) {
         while !self.shutdown.load(Ordering::SeqCst) {
             if self.dead.load(Ordering::SeqCst) {
                 std::thread::sleep(Duration::from_millis(1));
@@ -283,7 +320,7 @@ impl Worker {
                 continue;
             };
             if run.task.is_cancelled() || run.task.query_state.is_cancelled() {
-                run.task.driver_done();
+                run.task.driver_done(Some(&run.driver));
                 continue;
             }
             self.running_drivers.fetch_add(1, Ordering::Relaxed);
@@ -315,6 +352,16 @@ impl Worker {
             self.queue.charge(cpu_before, elapsed);
             self.telemetry
                 .record_worker_busy(self.worker_index, elapsed);
+            if let Some(trace) = &self.trace {
+                trace.record_span(
+                    TraceKind::DriverQuantum,
+                    elapsed.as_nanos() as u64,
+                    self.node.0,
+                    thread_index,
+                    run.task.id.stage.query.0,
+                    run.task.id.stage.stage as u64,
+                );
+            }
             match result {
                 Ok(DriverState::Ready) => {
                     self.queue.push(run, cpu_before + elapsed);
@@ -331,7 +378,7 @@ impl Worker {
                             Ok(_) => {}
                             Err(e) => {
                                 run.task.query_state.fail(e);
-                                run.task.driver_done();
+                                run.task.driver_done(Some(&run.driver));
                                 continue;
                             }
                         }
@@ -342,11 +389,11 @@ impl Worker {
                         .push_back((Instant::now() + backoff, run));
                 }
                 Ok(DriverState::Finished) => {
-                    run.task.driver_done();
+                    run.task.driver_done(Some(&run.driver));
                 }
                 Err(e) => {
                     run.task.query_state.fail(e);
-                    run.task.driver_done();
+                    run.task.driver_done(Some(&run.driver));
                 }
             }
         }

@@ -1,5 +1,7 @@
 //! End-to-end cluster tests: SQL in, rows out, across multiple workers.
 
+#![allow(clippy::unwrap_used)]
+
 use presto_cluster::{Cluster, ClusterConfig};
 use presto_common::{DataType, Schema, Session, Value};
 use presto_connector::CatalogManager;
@@ -317,15 +319,13 @@ fn worker_crash_fails_running_queries() {
     );
     std::thread::sleep(std::time::Duration::from_millis(20));
     c.kill_worker(0);
-    // The query either failed with the crash error, or had already finished.
-    match handle.join().unwrap() {
-        Err(e) => {
-            assert!(
-                matches!(e.error.code, presto_common::ErrorCode::External { .. }),
-                "{e}"
-            );
-        }
-        Ok(_) => {} // raced to completion; acceptable
+    // The query either failed with the crash error, or had already raced
+    // to completion (acceptable).
+    if let Err(e) = handle.join().unwrap() {
+        assert!(
+            matches!(e.error.code, presto_common::ErrorCode::External { .. }),
+            "{e}"
+        );
     }
     // New queries on remaining workers still work? (Dead node keeps its
     // tasks failing; the cluster has no resurrection, matching the paper.)
@@ -335,8 +335,10 @@ fn worker_crash_fails_running_queries() {
 fn memory_limit_kills_query() {
     let (catalogs, _) = test_catalogs();
     let c = Cluster::start(ClusterConfig::test(), catalogs).unwrap();
-    let mut session = Session::default();
-    session.query_max_memory_per_node = 1; // absurd: first reservation dies
+    let session = Session {
+        query_max_memory_per_node: 1, // absurd: first reservation dies
+        ..Session::default()
+    };
     let err = c
         .execute_with_session(
             "SELECT custkey, COUNT(*) FROM orders GROUP BY custkey",
@@ -353,8 +355,10 @@ fn memory_limit_kills_query() {
 fn spill_enables_memory_constrained_aggregation() {
     let (catalogs, _) = test_catalogs();
     let c = Cluster::start(ClusterConfig::test(), catalogs).unwrap();
-    let mut session = Session::default();
-    session.spill_enabled = true;
+    let session = Session {
+        spill_enabled: true,
+        ..Session::default()
+    };
     let out = c
         .execute_with_session(
             "SELECT custkey, COUNT(*) FROM orders GROUP BY custkey",

@@ -2,6 +2,8 @@
 //! BETWEEN, CASE/CAST, ordinals, aliases, nested derived tables, and
 //! window aggregates — everything §IV-A promises, executed distributed.
 
+#![allow(clippy::unwrap_used)]
+
 use presto_cluster::{Cluster, ClusterConfig};
 use presto_common::time::days_from_civil;
 use presto_common::{DataType, Schema, Value};

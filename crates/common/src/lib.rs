@@ -11,10 +11,12 @@
 
 pub mod error;
 pub mod id;
+pub mod json;
 pub mod schema;
 pub mod session;
 pub mod stats;
 pub mod time;
+pub mod trace;
 pub mod types;
 pub mod value;
 
@@ -23,5 +25,6 @@ pub use id::{NodeId, PlanNodeId, QueryId, StageId, TaskId};
 pub use schema::{Field, Schema};
 pub use session::Session;
 pub use stats::{ColumnStatistics, Estimate, TableStatistics};
+pub use trace::{TraceBuffer, TraceEvent, TraceKind};
 pub use types::DataType;
 pub use value::Value;

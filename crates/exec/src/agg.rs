@@ -316,6 +316,12 @@ pub struct HashAggregationOperator {
     spill_files: Vec<PathBuf>,
     spill_seq: u64,
     rows_in: u64,
+    /// Cumulative bytes written to spill files (spilled files are deleted
+    /// after re-ingest, so this cannot be derived from live metadata).
+    spilled_bytes_total: u64,
+    /// Flathash counters carried over from hashes consumed by `flush`.
+    rle_hits_flushed: u64,
+    dict_cache_hits_flushed: u64,
 }
 
 impl HashAggregationOperator {
@@ -346,6 +352,9 @@ impl HashAggregationOperator {
             spill_files: Vec::new(),
             spill_seq: 0,
             rows_in: 0,
+            spilled_bytes_total: 0,
+            rle_hits_flushed: 0,
+            dict_cache_hits_flushed: 0,
         }
     }
 
@@ -382,6 +391,8 @@ impl HashAggregationOperator {
             &mut self.hash,
             GroupByHash::new(self.group_channels.clone(), self.group_types.clone()),
         );
+        self.rle_hits_flushed += hash.rle_hits();
+        self.dict_cache_hits_flushed += hash.dict_cache_hits();
         let accumulators: Vec<GroupedAccumulator> = std::mem::replace(
             &mut self.accumulators,
             self.aggs
@@ -550,10 +561,22 @@ impl Operator for HashAggregationOperator {
             let bytes = serialize_page(page);
             file.write_all(&(bytes.len() as u32).to_le_bytes())?;
             file.write_all(&bytes)?;
+            self.spilled_bytes_total += bytes.len() as u64 + 4;
         }
         file.flush()?;
         self.spill_files.push(path);
         Ok(before)
+    }
+
+    fn counters(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("rle_hits", self.rle_hits_flushed + self.hash.rle_hits()),
+            (
+                "dict_cache_hits",
+                self.dict_cache_hits_flushed + self.hash.dict_cache_hits(),
+            ),
+            ("spilled_bytes", self.spilled_bytes_total),
+        ]
     }
 }
 

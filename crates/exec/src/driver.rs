@@ -31,6 +31,15 @@ pub struct Driver {
     memory: Arc<TaskMemoryContext>,
     stats: Vec<OperatorStats>,
     cpu_time: Duration,
+    /// Index of the owning pipeline inside the task (for rollup grouping).
+    pipeline: usize,
+    /// When false the per-operator timing hooks are skipped entirely (no
+    /// extra clock reads on the page-transfer path); flow counters are
+    /// always kept — they are just integer adds.
+    stats_enabled: bool,
+    /// Set when `process` returns Blocked: the park began then, for this
+    /// reason, attributable to this operator. Charged on the next entry.
+    last_block: Option<(Instant, BlockedReason, usize)>,
 }
 
 impl Driver {
@@ -43,7 +52,26 @@ impl Driver {
             memory,
             stats: vec![OperatorStats::default(); n],
             cpu_time: Duration::ZERO,
+            pipeline: 0,
+            stats_enabled: true,
+            last_block: None,
         }
+    }
+
+    /// Tag this driver with its pipeline index within the task.
+    pub fn with_pipeline(mut self, pipeline: usize) -> Driver {
+        self.pipeline = pipeline;
+        self
+    }
+
+    pub fn pipeline(&self) -> usize {
+        self.pipeline
+    }
+
+    /// Toggle the per-operator CPU/blocked timing hooks (used by the
+    /// overhead benchmark; defaults to on).
+    pub fn set_stats_enabled(&mut self, enabled: bool) {
+        self.stats_enabled = enabled;
     }
 
     /// Total thread time this driver has consumed (the scheduler's
@@ -52,13 +80,36 @@ impl Driver {
         self.cpu_time
     }
 
-    /// Per-operator statistics (name, counters).
+    /// Per-operator statistics (name, counters), with each operator's live
+    /// [`Operator::counters`] folded in.
     pub fn operator_stats(&self) -> Vec<(&'static str, OperatorStats)> {
         self.operators
             .iter()
-            .map(|o| o.name())
-            .zip(self.stats.iter().copied())
+            .zip(self.stats.iter())
+            .map(|(op, stats)| {
+                let mut stats = stats.clone();
+                for (name, value) in op.counters() {
+                    stats.add_counter(name, value);
+                }
+                (op.name(), stats)
+            })
             .collect()
+    }
+
+    /// Snapshot this driver's contribution for the task-level rollup.
+    pub fn stats_report(&self) -> crate::stats::DriverStatsReport {
+        crate::stats::DriverStatsReport {
+            pipeline: self.pipeline,
+            cpu_time: self.cpu_time,
+            operators: self
+                .operator_stats()
+                .into_iter()
+                .map(|(name, stats)| crate::stats::OperatorStatsEntry {
+                    name,
+                    stats,
+                })
+                .collect(),
+        }
     }
 
     pub fn is_finished(&self) -> bool {
@@ -72,9 +123,64 @@ impl Driver {
     /// allowed to run on a thread for a maximum quanta of one second").
     pub fn process(&mut self, quanta: Duration) -> Result<DriverState> {
         let start = Instant::now();
+        // Attribute the time we spent parked since the last Blocked return
+        // to the operator that caused it.
+        if let Some((since, reason, op)) = self.last_block.take() {
+            if self.stats_enabled {
+                self.stats[op].record_blocked(reason, start.duration_since(since));
+            }
+        }
         let result = self.process_until(start, quanta);
         self.cpu_time += start.elapsed();
+        if let Ok(DriverState::Blocked(reason)) = &result {
+            self.last_block = Some((Instant::now(), *reason, self.blocked_operator(*reason)));
+        }
         result
+    }
+
+    /// Which operator to blame for a Blocked return: the memory hog for
+    /// memory waits, the operator reporting blocked otherwise, the source
+    /// as a fallback.
+    fn blocked_operator(&self, reason: BlockedReason) -> usize {
+        if reason == BlockedReason::Memory {
+            return (0..self.operators.len())
+                .max_by_key(|&i| {
+                    self.operators[i].user_memory_bytes() + self.operators[i].system_memory_bytes()
+                })
+                .unwrap_or(0);
+        }
+        self.operators
+            .iter()
+            .position(|op| op.blocked() == Some(reason))
+            .unwrap_or(0)
+    }
+
+    /// Transfer one page from operator `i` to `i+1`, timing both sides
+    /// when stats are enabled. Returns whether a page moved.
+    fn transfer(&mut self, i: usize) -> Result<bool> {
+        let (upstream, downstream) = {
+            let (a, b) = self.operators.split_at_mut(i + 1);
+            (&mut a[i], &mut b[0])
+        };
+        if self.stats_enabled {
+            let t0 = Instant::now();
+            let page = upstream.output()?;
+            let t1 = Instant::now();
+            self.stats[i].cpu += t1 - t0;
+            let Some(page) = page else { return Ok(false) };
+            self.stats[i].record_output(&page);
+            self.stats[i + 1].record_input(&page);
+            downstream.add_input(page)?;
+            self.stats[i + 1].cpu += t1.elapsed();
+        } else {
+            let Some(page) = upstream.output()? else {
+                return Ok(false);
+            };
+            self.stats[i].record_output(&page);
+            self.stats[i + 1].record_input(&page);
+            downstream.add_input(page)?;
+        }
+        Ok(true)
     }
 
     fn process_until(&mut self, start: Instant, quanta: Duration) -> Result<DriverState> {
@@ -87,39 +193,30 @@ impl Driver {
             let n = self.operators.len();
             // Move pages between every adjacent pair that can progress.
             for i in 0..n - 1 {
-                let (upstream, downstream) = {
-                    let (a, b) = self.operators.split_at_mut(i + 1);
-                    (&mut a[i], &mut b[0])
-                };
-                if downstream.needs_input() && !upstream.is_finished() {
-                    if let Some(page) = upstream.output()? {
-                        self.stats[i].record_output(&page);
-                        self.stats[i + 1].record_input(&page);
-                        downstream.add_input(page)?;
-                        progressed = true;
-                    }
+                if self.operators[i + 1].needs_input() && !self.operators[i].is_finished() {
+                    progressed |= self.transfer(i)?;
                 }
                 // Drain remaining output even after the upstream finished
                 // accepting input.
-                if upstream.is_finished() && !self.finish_notified[i + 1] {
+                if self.operators[i].is_finished() && !self.finish_notified[i + 1] {
                     // One more drain attempt before propagating finish.
-                    if downstream.needs_input() {
-                        if let Some(page) = upstream.output()? {
-                            self.stats[i].record_output(&page);
-                            self.stats[i + 1].record_input(&page);
-                            downstream.add_input(page)?;
-                            progressed = true;
-                            continue;
-                        }
+                    if self.operators[i + 1].needs_input() && self.transfer(i)? {
+                        progressed = true;
+                        continue;
                     }
-                    downstream.finish();
+                    self.operators[i + 1].finish();
                     self.finish_notified[i + 1] = true;
                     progressed = true;
                 }
             }
             // Let the sink flush (e.g. TableWriter commit happens in
             // output(); PartitionedOutput returns None immediately).
-            if let Some(page) = self.operators[n - 1].output()? {
+            let sink_t0 = self.stats_enabled.then(Instant::now);
+            let sink_page = self.operators[n - 1].output()?;
+            if let Some(t0) = sink_t0 {
+                self.stats[n - 1].cpu += t0.elapsed();
+            }
+            if let Some(page) = sink_page {
                 // The last operator should be a sink; any page it produces
                 // has nowhere to go — that is a pipeline construction bug.
                 return Err(PrestoError::internal(format!(
@@ -128,9 +225,17 @@ impl Driver {
                     page.row_count()
                 )));
             }
-            // Reconcile memory with the pool.
-            let user: usize = self.operators.iter().map(|o| o.user_memory_bytes()).sum();
-            let system: usize = self.operators.iter().map(|o| o.system_memory_bytes()).sum();
+            // Reconcile memory with the pool, tracking per-operator peaks.
+            let mut user = 0usize;
+            let mut system = 0usize;
+            for (op, stats) in self.operators.iter().zip(self.stats.iter_mut()) {
+                let u = op.user_memory_bytes();
+                let s = op.system_memory_bytes();
+                user += u;
+                system += s;
+                stats.peak_user_memory_bytes = stats.peak_user_memory_bytes.max(u as u64);
+                stats.peak_system_memory_bytes = stats.peak_system_memory_bytes.max(s as u64);
+            }
             if self.memory.update(user, system)? == ReservationResult::Blocked {
                 return Ok(DriverState::Blocked(BlockedReason::Memory));
             }

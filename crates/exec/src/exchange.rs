@@ -1,6 +1,6 @@
 //! Exchange operators: the task-side ends of a shuffle.
 
-use presto_common::Result;
+use presto_common::{Result, TraceBuffer, TraceKind};
 use presto_page::Page;
 use presto_shuffle::{ExchangeClient, OutputBuffer};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -17,6 +17,8 @@ pub struct ExchangeSourceOperator {
     client: Arc<ExchangeClient>,
     /// Set once the coordinator has registered every upstream task.
     no_more_sources: Arc<std::sync::atomic::AtomicBool>,
+    /// Optional timeline: (buffer, pid, tid) for PageDequeue events.
+    trace: Option<(Arc<TraceBuffer>, u32, u32)>,
 }
 
 impl ExchangeSourceOperator {
@@ -27,7 +29,13 @@ impl ExchangeSourceOperator {
         ExchangeSourceOperator {
             client,
             no_more_sources,
+            trace: None,
         }
+    }
+
+    pub fn with_trace(mut self, trace: Arc<TraceBuffer>, pid: u32, tid: u32) -> Self {
+        self.trace = Some((trace, pid, tid));
+        self
     }
 }
 
@@ -47,11 +55,23 @@ impl Operator for ExchangeSourceOperator {
     fn finish(&mut self) {}
 
     fn output(&mut self) -> Result<Option<Page>> {
-        if let Some(p) = self.client.next_page() {
-            return Ok(Some(p));
+        let page = match self.client.next_page() {
+            Some(p) => Some(p),
+            None => {
+                self.client.poll_progress()?;
+                self.client.next_page()
+            }
+        };
+        if let (Some(p), Some((trace, pid, tid))) = (&page, &self.trace) {
+            trace.record(
+                TraceKind::PageDequeue,
+                *pid,
+                *tid,
+                p.row_count() as u64,
+                p.size_in_bytes() as u64,
+            );
         }
-        self.client.poll_progress()?;
-        Ok(self.client.next_page())
+        Ok(page)
     }
 
     fn is_finished(&self) -> bool {
@@ -106,6 +126,8 @@ pub struct PartitionedOutputOperator {
     close_group: Option<Arc<std::sync::atomic::AtomicUsize>>,
     /// How many sinks share `buffer` (for the memory-accounting split).
     buffer_share: usize,
+    /// Optional timeline: (buffer, pid, tid) for PageEnqueue events.
+    trace: Option<(Arc<TraceBuffer>, u32, u32)>,
 }
 
 impl PartitionedOutputOperator {
@@ -121,7 +143,13 @@ impl PartitionedOutputOperator {
             target_bytes: 1 << 20,
             close_group: None,
             buffer_share: 1,
+            trace: None,
         }
+    }
+
+    pub fn with_trace(mut self, trace: Arc<TraceBuffer>, pid: u32, tid: u32) -> Self {
+        self.trace = Some((trace, pid, tid));
+        self
     }
 
     /// Set the per-partition flush thresholds (`session.target_page_rows` /
@@ -160,6 +188,15 @@ impl Operator for PartitionedOutputOperator {
     fn add_input(&mut self, page: Page) -> Result<()> {
         self.rows_out
             .fetch_add(page.row_count() as u64, Ordering::Relaxed);
+        if let Some((trace, pid, tid)) = &self.trace {
+            trace.record(
+                TraceKind::PageEnqueue,
+                *pid,
+                *tid,
+                page.row_count() as u64,
+                page.size_in_bytes() as u64,
+            );
+        }
         let consumers = self.buffer.consumer_count();
         match &self.routing {
             OutputRouting::Gather => self.buffer.enqueue(0, &page),

@@ -831,6 +831,13 @@ impl Operator for LookupJoinOperator {
             None
         }
     }
+
+    fn counters(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("dict_probe_hits", self.dict_probe_hits),
+            ("rle_probe_rows", self.rle_probe_rows),
+        ]
+    }
 }
 
 /// Index-nested-loop join (§IV-B3-3): probe rows look up a connector index.

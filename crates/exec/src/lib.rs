@@ -28,12 +28,17 @@ pub mod partitioned_output;
 pub mod pipeline;
 pub mod scan;
 pub mod sort;
+pub mod stats;
 pub mod task;
 pub mod window;
 pub mod writer;
 
 pub use driver::{Driver, DriverState};
 pub use memory::{MemoryPool, TaskMemoryContext, UnlimitedPool};
-pub use operator::{BlockedReason, Operator};
+pub use operator::{BlockedReason, Operator, OperatorStats};
 pub use pipeline::Pipeline;
+pub use stats::{
+    DriverStatsReport, OperatorStatsEntry, PipelineStats, QueryStats, StageStats, TaskStats,
+    TaskStatsCollector,
+};
 pub use task::{Task, TaskContext};

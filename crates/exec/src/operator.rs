@@ -7,6 +7,7 @@
 
 use presto_common::Result;
 use presto_page::Page;
+use std::time::Duration;
 
 /// Why an operator cannot currently make progress. The driver propagates
 /// the reason so the worker scheduler can account for it (§IV-F1: "When
@@ -72,34 +73,108 @@ pub trait Operator: Send {
     fn revoke_memory(&mut self) -> Result<u64> {
         Ok(0)
     }
+
+    /// Operator-specific counters (flathash RLE hits, spill bytes, splits
+    /// processed, …), snapshotted by the driver into [`OperatorStats`].
+    /// Counter values are cumulative; names should be stable identifiers.
+    fn counters(&self) -> Vec<(&'static str, u64)> {
+        Vec::new()
+    }
 }
 
-/// Rows-and-bytes counters every driver keeps per operator, merged upward
-/// to task and stage level (§VII "we collect and store operator level
-/// statistics … for every query").
-#[derive(Debug, Default, Clone, Copy)]
+/// Uniform per-operator counters every driver keeps, merged upward to
+/// pipeline, task, and stage level (§VII "we collect and store operator
+/// level statistics … for every query").
+#[derive(Debug, Default, Clone)]
 pub struct OperatorStats {
     pub input_rows: u64,
     pub input_bytes: u64,
+    pub input_pages: u64,
     pub output_rows: u64,
     pub output_bytes: u64,
+    pub output_pages: u64,
+    /// Thread time spent inside this operator's `output`/`add_input`
+    /// (measured by the driver's timing hooks).
+    pub cpu: Duration,
+    /// Time the driver sat parked because this operator was starved of
+    /// upstream input (WaitingForInput / WaitingForBuild).
+    pub blocked_on_input: Duration,
+    /// Time parked because this operator's downstream sink was full.
+    pub blocked_on_output: Duration,
+    /// Time parked waiting for a memory-pool grant.
+    pub blocked_on_memory: Duration,
+    /// High-water user-memory reservation observed for this operator.
+    pub peak_user_memory_bytes: u64,
+    /// High-water system-memory reservation observed for this operator.
+    pub peak_system_memory_bytes: u64,
+    /// Operator-specific counters ([`Operator::counters`]); merged by name.
+    pub counters: Vec<(&'static str, u64)>,
 }
 
 impl OperatorStats {
     pub fn record_input(&mut self, page: &Page) {
         self.input_rows += page.row_count() as u64;
         self.input_bytes += page.size_in_bytes() as u64;
+        self.input_pages += 1;
     }
 
     pub fn record_output(&mut self, page: &Page) {
         self.output_rows += page.row_count() as u64;
         self.output_bytes += page.size_in_bytes() as u64;
+        self.output_pages += 1;
     }
 
+    /// Total parked time, all causes.
+    pub fn blocked_total(&self) -> Duration {
+        self.blocked_on_input + self.blocked_on_output + self.blocked_on_memory
+    }
+
+    /// Add a blocked interval attributed to `reason`.
+    pub fn record_blocked(&mut self, reason: BlockedReason, elapsed: Duration) {
+        match reason {
+            BlockedReason::WaitingForInput | BlockedReason::WaitingForBuild => {
+                self.blocked_on_input += elapsed;
+            }
+            BlockedReason::OutputFull => self.blocked_on_output += elapsed,
+            BlockedReason::Memory => self.blocked_on_memory += elapsed,
+        }
+    }
+
+    /// Fold an operator-specific counter in by name.
+    pub fn add_counter(&mut self, name: &'static str, value: u64) {
+        if let Some(slot) = self.counters.iter_mut().find(|(n, _)| *n == name) {
+            slot.1 += value;
+        } else {
+            self.counters.push((name, value));
+        }
+    }
+
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Merge a sibling instance (another driver of the same pipeline, or
+    /// the same operator on another task). Flows and counters add; memory
+    /// peaks add as well — concurrent drivers reserve simultaneously, so
+    /// the pipeline-level high-water mark is bounded by the sum.
     pub fn merge(&mut self, other: &OperatorStats) {
         self.input_rows += other.input_rows;
         self.input_bytes += other.input_bytes;
+        self.input_pages += other.input_pages;
         self.output_rows += other.output_rows;
         self.output_bytes += other.output_bytes;
+        self.output_pages += other.output_pages;
+        self.cpu += other.cpu;
+        self.blocked_on_input += other.blocked_on_input;
+        self.blocked_on_output += other.blocked_on_output;
+        self.blocked_on_memory += other.blocked_on_memory;
+        self.peak_user_memory_bytes += other.peak_user_memory_bytes;
+        self.peak_system_memory_bytes += other.peak_system_memory_bytes;
+        for (name, value) in &other.counters {
+            self.add_counter(name, *value);
+        }
     }
 }

@@ -8,7 +8,6 @@
 //! [`SplitQueue`].
 
 use crossbeam::queue::SegQueue;
-use parking_lot::Mutex;
 use presto_common::{Result, Session};
 use presto_connector::{Connector, ScanOptions, Split};
 use presto_expr::{Expr, PageProcessor};
@@ -86,6 +85,8 @@ pub struct ScanOperator {
     finished: bool,
     rows_produced: u64,
     splits_processed: u64,
+    /// Optional timeline: (buffer, pid, tid) for split start/finish events.
+    trace: Option<(Arc<presto_common::TraceBuffer>, u32, u32)>,
 }
 
 impl ScanOperator {
@@ -119,11 +120,28 @@ impl ScanOperator {
             finished: false,
             rows_produced: 0,
             splits_processed: 0,
+            trace: None,
         }
+    }
+
+    pub fn with_trace(
+        mut self,
+        trace: Arc<presto_common::TraceBuffer>,
+        pid: u32,
+        tid: u32,
+    ) -> ScanOperator {
+        self.trace = Some((trace, pid, tid));
+        self
     }
 
     pub fn rows_produced(&self) -> u64 {
         self.rows_produced
+    }
+
+    fn trace_split(&self, kind: presto_common::TraceKind) {
+        if let Some((trace, pid, tid)) = &self.trace {
+            trace.record(kind, *pid, *tid, self.splits_processed, 0);
+        }
     }
 
     fn open_next_split(&mut self) -> Result<bool> {
@@ -139,6 +157,7 @@ impl ScanOperator {
                 self.current = Some(source);
                 self.current_split = Some(split);
                 self.retries_remaining = self.max_retries;
+                self.trace_split(presto_common::TraceKind::SplitStart);
                 Ok(true)
             }
             Err(e) if e.is_retryable() && self.retries_remaining > 0 => {
@@ -200,6 +219,7 @@ impl Operator for ScanOperator {
                     self.current_split = None;
                     self.queue.mark_completed();
                     self.splits_processed += 1;
+                    self.trace_split(presto_common::TraceKind::SplitFinish);
                     continue;
                 }
                 Err(e) if e.is_retryable() && self.retries_remaining > 0 => {
@@ -235,17 +255,14 @@ impl Operator for ScanOperator {
             0
         }
     }
-}
 
-/// Wraps a scan with per-operator observability shared across drivers.
-#[derive(Debug, Default)]
-pub struct ScanStats {
-    pub rows: AtomicU64,
-    pub splits: AtomicU64,
+    fn counters(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("splits_processed", self.splits_processed),
+            ("rows_produced", self.rows_produced),
+        ]
+    }
 }
-
-/// Shared scan stats handle (one per scan node per task).
-pub type SharedScanStats = Arc<Mutex<ScanStats>>;
 
 #[cfg(test)]
 #[allow(clippy::unwrap_used)]

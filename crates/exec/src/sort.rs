@@ -66,6 +66,7 @@ pub struct SortOperator {
     spill_enabled: bool,
     spill_runs: Vec<PathBuf>,
     spill_seq: u64,
+    spilled_bytes_total: u64,
 }
 
 impl SortOperator {
@@ -80,6 +81,7 @@ impl SortOperator {
             spill_enabled,
             spill_runs: Vec::new(),
             spill_seq: 0,
+            spilled_bytes_total: 0,
         }
     }
 
@@ -240,8 +242,13 @@ impl Operator for SortOperator {
         file.write_all(&(bytes.len() as u32).to_le_bytes())?;
         file.write_all(&bytes)?;
         file.flush()?;
+        self.spilled_bytes_total += bytes.len() as u64 + 4;
         self.spill_runs.push(path);
         Ok(freed)
+    }
+
+    fn counters(&self) -> Vec<(&'static str, u64)> {
+        vec![("spilled_bytes", self.spilled_bytes_total)]
     }
 }
 

@@ -22,6 +22,7 @@ use crate::memory::{MemoryPool, TaskMemoryContext};
 use crate::pipeline::{LocalQueue, LocalQueueSink, LocalQueueSource, OpFactory, Pipeline};
 use crate::scan::{ScanOperator, SplitQueue};
 use crate::sort::{SortOperator, TopNOperator};
+use crate::stats::{PipelineMeta, TaskStats, TaskStatsCollector};
 use crate::window::WindowOperator;
 use crate::writer::TableWriterOperator;
 
@@ -40,6 +41,9 @@ pub struct TaskContext {
     pub exchange_buffer_bytes: usize,
     /// Simulated network latency per exchange poll.
     pub exchange_poll_latency: Duration,
+    /// Optional shared timeline: split and page events from this task's
+    /// operators land here (pid = query id, tid = fragment id).
+    pub trace: Option<Arc<presto_common::TraceBuffer>>,
 }
 
 /// A scan inside a task: the coordinator feeds its split queue.
@@ -70,6 +74,34 @@ pub struct Task {
     pub exchanges: Vec<ExchangeInput>,
     pub drivers: Mutex<Vec<Driver>>,
     pub memory: Arc<TaskMemoryContext>,
+    /// Per-driver statistics recorded by the worker as drivers retire.
+    pub stats: TaskStatsCollector,
+}
+
+impl Task {
+    /// Snapshot this task's statistics: everything drivers have reported
+    /// so far plus the task-level data-plane counters (output buffer and
+    /// exchange clients are shared across the task's drivers, so they are
+    /// read here exactly once rather than summed per driver).
+    pub fn stats_snapshot(&self) -> TaskStats {
+        let pipelines = self.stats.pipelines();
+        let cpu_time = pipelines.iter().map(|p| p.cpu_time).sum();
+        let (output_pages, _) = self.output.totals();
+        let (output_wire_bytes, output_logical_bytes) = self.output.byte_totals();
+        TaskStats {
+            task: self.id,
+            cpu_time,
+            pipelines,
+            output_pages,
+            output_wire_bytes,
+            output_logical_bytes,
+            exchange_bytes_received: self
+                .exchanges
+                .iter()
+                .map(|e| e.client.bytes_received())
+                .sum(),
+        }
+    }
 }
 
 /// Compile `fragment` into a [`Task`].
@@ -103,12 +135,20 @@ pub fn create_task(fragment: &PlanFragment, ctx: &TaskContext) -> Result<Task> {
     let routing_for_factory = routing.clone();
     let target_rows = ctx.session.target_page_rows;
     let target_bytes = ctx.session.shuffle_target_page_bytes;
+    let trace = ctx.trace.clone();
+    let trace_pid = ctx.task_id.stage.query.0 as u32;
+    let trace_tid = ctx.task_id.stage.stage;
     factories.push(Arc::new(move || {
-        Ok(Box::new(
-            PartitionedOutputOperator::new(Arc::clone(&buffer), routing_for_factory.clone())
-                .with_targets(target_rows, target_bytes)
-                .with_close_group(Arc::clone(&close_group)),
-        ) as Box<dyn crate::operator::Operator>)
+        let mut op = PartitionedOutputOperator::new(
+            Arc::clone(&buffer),
+            routing_for_factory.clone(),
+        )
+        .with_targets(target_rows, target_bytes)
+        .with_close_group(Arc::clone(&close_group));
+        if let Some(trace) = &trace {
+            op = op.with_trace(Arc::clone(trace), trace_pid, trace_tid);
+        }
+        Ok(Box::new(op) as Box<dyn crate::operator::Operator>)
     }));
     compiler.pipelines.push(Pipeline {
         factories,
@@ -122,13 +162,23 @@ pub fn create_task(fragment: &PlanFragment, ctx: &TaskContext) -> Result<Task> {
     // reads and writes of the stored totals, drifting the pool accounting.
     // All contexts charge the same query on the same pool.
     let mut drivers = Vec::new();
-    for pipeline in &compiler.pipelines {
+    for (pipeline_index, pipeline) in compiler.pipelines.iter().enumerate() {
         for _ in 0..pipeline.driver_count {
             let operators = pipeline.instantiate()?;
             let ctx = TaskMemoryContext::new(ctx.task_id.stage.query, Arc::clone(&ctx.memory_pool));
-            drivers.push(Driver::new(operators, ctx));
+            drivers.push(Driver::new(operators, ctx).with_pipeline(pipeline_index));
         }
     }
+    let stats = TaskStatsCollector::new(
+        compiler
+            .pipelines
+            .iter()
+            .map(|p| PipelineMeta {
+                description: p.description.clone(),
+                driver_count: p.driver_count,
+            })
+            .collect(),
+    );
     Ok(Task {
         id: ctx.task_id,
         output,
@@ -136,6 +186,7 @@ pub fn create_task(fragment: &PlanFragment, ctx: &TaskContext) -> Result<Task> {
         exchanges: compiler.exchanges,
         drivers: Mutex::new(drivers),
         memory,
+        stats,
     })
 }
 
@@ -513,12 +564,19 @@ impl<'a> Compiler<'a> {
                     client: Arc::clone(&client),
                     no_more_sources: Arc::clone(&no_more),
                 });
+                let trace = self.ctx.trace.clone();
+                let trace_pid = self.ctx.task_id.stage.query.0 as u32;
+                let trace_tid = self.ctx.task_id.stage.stage;
                 Ok(Chain {
                     factories: vec![Arc::new(move || {
-                        Ok(Box::new(ExchangeSourceOperator::new(
+                        let mut op = ExchangeSourceOperator::new(
                             Arc::clone(&client),
                             Arc::clone(&no_more),
-                        )))
+                        );
+                        if let Some(trace) = &trace {
+                            op = op.with_trace(Arc::clone(trace), trace_pid, trace_tid);
+                        }
+                        Ok(Box::new(op) as Box<dyn crate::operator::Operator>)
                     })],
                     parallel: false,
                     description: format!("Exchange({fragment})"),
@@ -561,8 +619,11 @@ impl<'a> Compiler<'a> {
         let columns = columns.clone();
         let predicate = predicate.clone();
         let session = self.ctx.session.clone();
+        let trace = self.ctx.trace.clone();
+        let trace_pid = self.ctx.task_id.stage.query.0 as u32;
+        let trace_tid = self.ctx.task_id.stage.stage;
         let factory: OpFactory = Arc::new(move || {
-            Ok(Box::new(ScanOperator::new(
+            let mut op = ScanOperator::new(
                 Arc::clone(&connector),
                 Arc::clone(&queue),
                 columns.clone(),
@@ -570,7 +631,11 @@ impl<'a> Compiler<'a> {
                 filter.as_ref(),
                 &projections,
                 &session,
-            )))
+            );
+            if let Some(trace) = &trace {
+                op = op.with_trace(Arc::clone(trace), trace_pid, trace_tid);
+            }
+            Ok(Box::new(op) as Box<dyn crate::operator::Operator>)
         });
         Ok(Chain {
             factories: vec![factory],

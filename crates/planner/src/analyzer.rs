@@ -165,7 +165,7 @@ impl<'a> Analyzer<'a> {
                     names: vec!["rows".to_string()],
                 })
             }
-            Statement::Explain(inner) => self.analyze(inner),
+            Statement::Explain(inner) | Statement::ExplainAnalyze(inner) => self.analyze(inner),
         }
     }
 

@@ -89,6 +89,14 @@ pub struct ExchangeClient {
     max_retries: u32,
     /// Total wire bytes fetched, for telemetry.
     bytes_received: AtomicU64,
+    /// Uncompressed logical bytes of decoded pages (wire vs logical gives
+    /// the realized shuffle compression ratio).
+    logical_bytes_received: AtomicU64,
+    /// Transient decode failures retried (token not advanced).
+    retries: AtomicU64,
+    /// Virtual requests currently outstanding (issued, deadline not yet
+    /// reached).
+    in_flight: AtomicUsize,
     /// Chaos hook: every Nth decode fails transiently (0 = off). Tests use
     /// this to prove the retry path neither loses nor duplicates pages.
     chaos_decode_every: AtomicUsize,
@@ -121,6 +129,9 @@ impl ExchangeClient {
             concurrency_cap: concurrency_cap.max(1),
             max_retries: max_retries.max(1),
             bytes_received: AtomicU64::new(0),
+            logical_bytes_received: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            in_flight: AtomicUsize::new(0),
             chaos_decode_every: AtomicUsize::new(0),
             decode_attempts: AtomicUsize::new(0),
         }
@@ -254,12 +265,16 @@ impl ExchangeClient {
             match progress.in_flight_until {
                 None => {
                     progress.in_flight_until = Some(Instant::now() + self.poll_latency);
+                    self.in_flight.fetch_add(1, Ordering::Relaxed);
                     return Ok(PollOutcome::Pending);
                 }
                 Some(deadline) if Instant::now() < deadline => {
                     return Ok(PollOutcome::Pending);
                 }
-                Some(_) => progress.in_flight_until = None,
+                Some(_) => {
+                    progress.in_flight_until = None;
+                    self.in_flight.fetch_sub(1, Ordering::Relaxed);
+                }
             }
         }
         let headroom = self
@@ -283,6 +298,7 @@ impl ExchangeClient {
                 }
                 Err(e) => {
                     progress.consecutive_failures += 1;
+                    self.retries.fetch_add(1, Ordering::Relaxed);
                     if progress.consecutive_failures >= self.max_retries {
                         return Err(PrestoError::internal(format!(
                             "exchange source failed {} consecutive decodes: {e}",
@@ -310,6 +326,9 @@ impl ExchangeClient {
             self.buffered_bytes.fetch_add(batch_bytes, Ordering::SeqCst);
             self.bytes_received
                 .fetch_add(batch_bytes as u64, Ordering::Relaxed);
+            let logical: u64 = decoded.iter().map(|(p, _)| p.size_in_bytes() as u64).sum();
+            self.logical_bytes_received
+                .fetch_add(logical, Ordering::Relaxed);
             self.observe_response(batch_bytes);
             for entry in decoded {
                 self.ready.push(entry);
@@ -353,6 +372,21 @@ impl ExchangeClient {
 
     pub fn bytes_received(&self) -> u64 {
         self.bytes_received.load(Ordering::Relaxed)
+    }
+
+    /// Uncompressed size of everything received so far.
+    pub fn logical_bytes_received(&self) -> u64 {
+        self.logical_bytes_received.load(Ordering::Relaxed)
+    }
+
+    /// Transient decode failures that were retried.
+    pub fn retries(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
+    }
+
+    /// Virtual requests currently outstanding.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.load(Ordering::Relaxed)
     }
 }
 

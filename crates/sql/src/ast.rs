@@ -12,6 +12,9 @@ pub enum Statement {
     Insert { table: QualifiedName, query: Query },
     /// `EXPLAIN <query>` — plan text instead of results.
     Explain(Box<Statement>),
+    /// `EXPLAIN ANALYZE <query>` — execute the query, then return the
+    /// fragment tree annotated with per-operator runtime statistics.
+    ExplainAnalyze(Box<Statement>),
 }
 
 /// A (possibly catalog-qualified) object name: `[catalog.]table`.

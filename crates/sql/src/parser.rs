@@ -115,6 +115,10 @@ impl Parser {
 
     fn parse_statement(&mut self) -> Result<Statement> {
         if self.accept_kw("explain") {
+            // ANALYZE is contextual, not reserved: `EXPLAIN ANALYZE` only.
+            if self.accept_kw("analyze") {
+                return Ok(Statement::ExplainAnalyze(Box::new(self.parse_statement()?)));
+            }
             return Ok(Statement::Explain(Box::new(self.parse_statement()?)));
         }
         if self.accept_kw("insert") {
