@@ -126,3 +126,27 @@ fn fig6_style_aggregation_runs_on_flat_group_by() {
         .unwrap();
     assert!(out.rows().len() > 1, "multiple groups out");
 }
+
+#[test]
+fn chaos_bench_smoke_mode_runs() {
+    // The §IV-G fault-injection benchmark in --smoke mode: asserts
+    // internally that a hung worker is detected within the liveness
+    // timeout, that crash teardown leaves zero live tasks and zero pool
+    // bytes, and that every query under the seeded chaos storm terminates
+    // with a fault-shaped outcome.
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_chaos_bench"))
+        .arg("--smoke")
+        .output()
+        .expect("run chaos_bench --smoke");
+    assert!(
+        out.status.success(),
+        "chaos_bench --smoke failed:\n{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr),
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("detection"), "detection section present");
+    assert!(stdout.contains("teardown/retry"), "teardown section present");
+    assert!(stdout.contains("chaos run"), "chaos-run section present");
+    assert!(stdout.contains("chaos_bench: ok"), "end marker present");
+}

@@ -1,15 +1,17 @@
 //! The embedding facade: start a cluster, run SQL.
 
 use presto_cache::MetadataCache;
-use presto_common::{NodeId, Result, Session, TraceBuffer};
+use presto_common::{NodeId, QueryId, Result, Session, TraceBuffer};
 use presto_connector::CatalogManager;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use crate::config::ClusterConfig;
 use crate::coordinator::{Coordinator, QueryError, QueryOutput};
 use crate::memory::{NodeMemoryPool, PoolSystemCharger, ReservedPoolLock};
 use crate::telemetry::ClusterTelemetry;
-use crate::worker::Worker;
+use crate::worker::{Worker, WorkerState};
 
 /// Re-exported result type.
 pub type QueryResult = QueryOutput;
@@ -20,6 +22,53 @@ pub struct Cluster {
     workers: Vec<Arc<Worker>>,
     cache: Arc<MetadataCache>,
     trace: Option<Arc<TraceBuffer>>,
+    monitor_stop: Arc<AtomicBool>,
+    monitor: parking_lot::Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+/// Coordinator-side failure detector (§IV-G): "The coordinator monitors
+/// worker heartbeats and removes nodes that fail to respond." Each worker's
+/// executor threads bump a heartbeat counter between quanta; if the counter
+/// stops advancing for `liveness_timeout`, the worker is declared lost —
+/// its queries fail with the retryable `WorkerFailed` code and placement
+/// excludes it from then on.
+fn run_liveness_monitor(
+    workers: Vec<Arc<Worker>>,
+    telemetry: ClusterTelemetry,
+    timeout: Duration,
+    stop: Arc<AtomicBool>,
+) {
+    let interval = (timeout / 4).clamp(Duration::from_millis(5), Duration::from_millis(250));
+    let mut last: Vec<(u64, Instant)> = workers
+        .iter()
+        .map(|w| (w.heartbeat(), Instant::now()))
+        .collect();
+    while !stop.load(Ordering::SeqCst) {
+        // Sleep in small chunks so shutdown is prompt even with long
+        // liveness timeouts.
+        let wake = Instant::now() + interval;
+        while Instant::now() < wake && !stop.load(Ordering::SeqCst) {
+            std::thread::sleep(Duration::from_millis(2).min(interval));
+        }
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        for (i, w) in workers.iter().enumerate() {
+            if w.is_dead() || !matches!(w.state(), WorkerState::Active | WorkerState::Draining) {
+                continue;
+            }
+            let beat = w.heartbeat();
+            if beat != last[i].0 {
+                last[i] = (beat, Instant::now());
+            } else if last[i].1.elapsed() > timeout {
+                w.kill_with(&format!(
+                    "lost: no heartbeat for {:?} (liveness timeout {timeout:?})",
+                    last[i].1.elapsed()
+                ));
+                telemetry.record_error("WORKER_LOST");
+            }
+        }
+    }
 }
 
 impl Cluster {
@@ -75,6 +124,17 @@ impl Cluster {
         for (name, stats) in cache.stats_handles() {
             telemetry.register_cache(name, stats);
         }
+        let monitor_stop = Arc::new(AtomicBool::new(false));
+        let monitor = (config.liveness_timeout > Duration::ZERO).then(|| {
+            let workers = workers.clone();
+            let telemetry = telemetry.clone();
+            let timeout = config.liveness_timeout;
+            let stop = Arc::clone(&monitor_stop);
+            std::thread::Builder::new()
+                .name("liveness-monitor".to_string())
+                .spawn(move || run_liveness_monitor(workers, telemetry, timeout, stop))
+                .expect("spawn liveness monitor")
+        });
         let coordinator = Arc::new(Coordinator::new(
             config,
             catalogs,
@@ -88,6 +148,8 @@ impl Cluster {
             workers,
             cache,
             trace,
+            monitor_stop,
+            monitor: parking_lot::Mutex::new(monitor),
         })
     }
 
@@ -160,13 +222,98 @@ impl Cluster {
         self.workers.len()
     }
 
-    /// Simulate a worker crash (§IV-G): queries with tasks there fail.
+    /// Simulate a worker crash (§IV-G): queries with tasks there fail with
+    /// the retryable `WorkerFailed` code, and peers never block on exchange
+    /// fetch from the dead node (its output buffers abort).
     pub fn kill_worker(&self, index: usize) {
         self.workers[index].kill();
     }
 
+    /// Chaos hook: hang a worker's scheduler — its executor threads stop
+    /// taking quanta and stop heartbeating. The liveness detector will
+    /// declare it lost after `liveness_timeout`.
+    pub fn hang_worker(&self, index: usize) {
+        self.workers[index].set_paused(true);
+    }
+
+    /// Undo [`hang_worker`](Self::hang_worker) (if the detector has not
+    /// already declared the worker lost).
+    pub fn resume_worker(&self, index: usize) {
+        self.workers[index].set_paused(false);
+    }
+
+    /// Lifecycle state of each worker, by index.
+    pub fn worker_states(&self) -> Vec<WorkerState> {
+        self.workers.iter().map(|w| w.state()).collect()
+    }
+
+    /// Unretired tasks per worker. Every entry must drain to zero once the
+    /// queries that created them terminate — a nonzero count after teardown
+    /// is a stuck task (the §IV-G invariant `fault_tolerance.rs` and
+    /// `chaos_bench` assert).
+    pub fn worker_live_tasks(&self) -> Vec<usize> {
+        self.workers.iter().map(|w| w.live_tasks().len()).collect()
+    }
+
+    /// Gracefully drain a worker (§IV-G "shutting down"): stop placing new
+    /// tasks on it, wait for in-flight placements and running tasks to
+    /// finish, then stop its threads. Returns an error if the drain does
+    /// not complete within `timeout`.
+    pub fn drain_worker(&self, index: usize, timeout: Duration) -> Result<()> {
+        let w = &self.workers[index];
+        w.begin_drain();
+        let deadline = Instant::now() + timeout;
+        loop {
+            let quiesced =
+                w.leases() == 0 && w.live_tasks().is_empty() && w.backlog() == 0;
+            if quiesced && w.state() == WorkerState::Draining {
+                // No coordinator is mid-placement (any lease taken after
+                // begin_drain observes Draining and excludes this worker),
+                // and nothing is running or queued — safe to stop.
+                w.shutdown();
+                return Ok(());
+            }
+            if w.is_dead() {
+                return Err(presto_common::PrestoError::worker_failed(format!(
+                    "worker {} died during drain",
+                    w.node
+                )));
+            }
+            if Instant::now() >= deadline {
+                return Err(presto_common::PrestoError::internal(format!(
+                    "drain of worker {} timed out after {timeout:?} \
+                     (leases={}, live_tasks={}, backlog={})",
+                    w.node,
+                    w.leases(),
+                    w.live_tasks().len(),
+                    w.backlog()
+                )));
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    /// Queries currently registered with the coordinator (admitted, not yet
+    /// finished).
+    pub fn active_queries(&self) -> Vec<QueryId> {
+        self.coordinator.active_queries()
+    }
+
+    /// Cancel a running query: all its tasks across all workers stop, its
+    /// memory returns to the pools, and the submitter gets a `Killed`
+    /// error.
+    pub fn cancel_query(&self, query: QueryId) -> bool {
+        self.coordinator.cancel_query(query)
+    }
+
     /// Stop all worker threads. Queries in flight are cancelled.
     pub fn shutdown(&self) {
+        // Stop the failure detector first so it cannot observe workers we
+        // are deliberately stopping and "declare them lost".
+        self.monitor_stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.monitor.lock().take() {
+            let _ = h.join();
+        }
         for w in &self.workers {
             w.shutdown();
         }

@@ -59,6 +59,13 @@ pub struct ClusterConfig {
     /// (§VII). Old events are overwritten once full; `0` disables
     /// tracing entirely.
     pub trace_capacity: usize,
+    /// Failure-detector grace period (§IV-G): a worker whose heartbeat
+    /// counter stops advancing for this long is declared lost — its state
+    /// flips to `Lost`, every query with a task on it fails with the
+    /// retryable `WorkerFailed` code, and placement excludes it. Must be
+    /// much larger than the session quanta (executor threads heartbeat
+    /// between quanta). `Duration::ZERO` disables the detector.
+    pub liveness_timeout: Duration,
 }
 
 impl Default for ClusterConfig {
@@ -82,6 +89,7 @@ impl Default for ClusterConfig {
             writer_scale_up_threshold: 0.5,
             cache: MetadataCacheConfig::default(),
             trace_capacity: 4096,
+            liveness_timeout: Duration::from_secs(2),
         }
     }
 }

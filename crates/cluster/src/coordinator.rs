@@ -12,6 +12,7 @@ use presto_page::{decode_framed_page, Page};
 use presto_planner::{OutputPartitioning, PhysicalPlan};
 use presto_sql::ast::Statement;
 use presto_sql::parse_statement;
+use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -113,6 +114,9 @@ pub struct Coordinator {
     trace: Option<Arc<TraceBuffer>>,
     ids: QueryIdGenerator,
     admission: Admission,
+    /// Queries currently executing (admitted, tasks possibly live), for
+    /// administrative cancellation and introspection.
+    active: Mutex<HashMap<QueryId, Arc<QueryState>>>,
 }
 
 impl Coordinator {
@@ -134,6 +138,29 @@ impl Coordinator {
             trace,
             ids: QueryIdGenerator::new(),
             admission,
+            active: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Queries currently registered as executing.
+    pub fn active_queries(&self) -> Vec<QueryId> {
+        let mut v: Vec<QueryId> = self.active.lock().keys().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// Administratively cancel a running query (§IV-G clean teardown):
+    /// every task across every worker stops, exchange buffers drain, and
+    /// the query's memory returns to the pools. Returns `false` if the
+    /// query is not currently running.
+    pub fn cancel_query(&self, query: QueryId) -> bool {
+        let state = self.active.lock().get(&query).cloned();
+        match state {
+            Some(state) => {
+                state.fail(PrestoError::killed("query cancelled by administrator"));
+                true
+            }
+            None => false,
         }
     }
 
@@ -163,7 +190,30 @@ impl Coordinator {
         self.telemetry.query_started(query);
         let queued_time = queued_at.elapsed();
         let started_at = Instant::now();
-        let (result, cpu) = self.run_admitted(query, &statement, session);
+        // Coordinator-level query retry (§IV-G). The paper leaves whole-query
+        // retry to external clients; sessions opt in via
+        // `query_retry_attempts` for retryable failures (worker loss,
+        // exhausted transient externals). Each attempt replans and replaces
+        // tasks — a lost worker is excluded the second time around.
+        let mut attempt: u32 = 0;
+        let mut total_cpu = Duration::ZERO;
+        let result = loop {
+            let (result, cpu) = self.run_admitted(query, &statement, session);
+            total_cpu += cpu;
+            match result {
+                Err(e) if e.is_retryable() && attempt < session.query_retry_attempts => {
+                    attempt += 1;
+                    self.telemetry.record_error("QUERY_RETRY");
+                    std::thread::sleep(retry_backoff(
+                        session.query_retry_backoff,
+                        attempt,
+                        query.0,
+                    ));
+                }
+                other => break other,
+            }
+        };
+        let cpu = total_cpu;
         self.admission.release();
         match result {
             Ok((schema, pages)) => {
@@ -181,7 +231,8 @@ impl Coordinator {
                 // Failures report their real thread time too (§VII): a
                 // query killed after burning CPU should show the spend.
                 self.telemetry.query_finished(query, cpu, true);
-                self.telemetry.record_query_error(query, e.code.tag());
+                self.telemetry
+                    .record_query_failure(query, e.code.tag(), e.message.clone());
                 Err(fail(e))
             }
         }
@@ -243,6 +294,7 @@ impl Coordinator {
             Err(e) => return (Err(e), Duration::ZERO),
         };
         let state = QueryState::new(query);
+        self.active.lock().insert(query, Arc::clone(&state));
         // Register memory limits on every node.
         let limits = QueryMemoryLimits::new(
             query,
@@ -258,6 +310,7 @@ impl Coordinator {
         // leaf drivers of a LIMIT query that finished early) stop before
         // their memory registration disappears.
         state.cancel();
+        self.active.lock().remove(&query);
         for w in &self.workers {
             w.pool.unregister_query(query);
         }
@@ -275,7 +328,21 @@ impl Coordinator {
         want_stats: bool,
     ) -> Result<(Vec<Page>, Option<QueryStats>)> {
         let started = Instant::now();
-        let placements = place_fragments(plan, &self.config);
+        // Lease every worker for the placement-to-submission window, THEN
+        // read availability. Ordering matters: a graceful drain first flips
+        // the worker to Draining, then waits for leases to reach zero — so
+        // any lease taken after the flip observes Draining and excludes the
+        // worker, and any lease taken before delays the drain until the
+        // tasks have actually been submitted. Either way, no task can land
+        // on a worker whose threads have stopped.
+        let lease = PlacementLease::new(&self.workers);
+        let available = lease.available();
+        if available.is_empty() {
+            return Err(PrestoError::resources(
+                "no workers available for placement (all draining, lost, or shut down)",
+            ));
+        }
+        let placements = place_fragments(plan, &self.config, &available);
         // Create every task (compiled, not yet running).
         let mut tasks: Vec<Vec<presto_exec::Task>> = Vec::with_capacity(plan.fragments.len());
         for fragment in &plan.fragments {
@@ -385,6 +452,9 @@ impl Coordinator {
             // Feed splits for this fragment's scans.
             self.feed_fragment_splits(plan, fid, &placements, &handles[fid as usize], state)?;
         }
+        // All tasks are submitted; drains may proceed (running tasks still
+        // hold the worker via live_tasks()).
+        drop(lease);
         // Drive: poll root output, monitor writer scaling, watch errors.
         let root_handles = &handles[plan.root as usize];
         let root_output = Arc::clone(&root_handles[0].task.output);
@@ -512,6 +582,53 @@ impl Coordinator {
         }
         Ok(())
     }
+}
+
+/// RAII guard over the placement-to-submission window: holds one lease on
+/// every worker so a graceful drain cannot stop threads between "placement
+/// computed" and "tasks submitted" (see `run_tasks` for the ordering
+/// argument).
+struct PlacementLease<'a> {
+    workers: &'a [Arc<Worker>],
+}
+
+impl<'a> PlacementLease<'a> {
+    fn new(workers: &'a [Arc<Worker>]) -> PlacementLease<'a> {
+        for w in workers {
+            w.lease();
+        }
+        PlacementLease { workers }
+    }
+
+    /// Indices of workers placement may use, read *after* the leases are
+    /// held.
+    fn available(&self) -> Vec<usize> {
+        self.workers
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| w.is_available())
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+impl Drop for PlacementLease<'_> {
+    fn drop(&mut self) {
+        for w in self.workers {
+            w.release_lease();
+        }
+    }
+}
+
+/// Exponential backoff with deterministic jitter for coordinator-level
+/// query retry: attempt `n` (1-based) sleeps `base * 2^(n-1)` plus up to
+/// 50% jitter derived from the query id, so queries retried after the same
+/// worker loss do not stampede in lockstep.
+fn retry_backoff(base: Duration, attempt: u32, salt: u64) -> Duration {
+    let base_ns = base.as_nanos() as u64;
+    let step = base_ns.saturating_mul(1u64 << attempt.saturating_sub(1).min(20));
+    let jitter = presto_common::chaos::mix(salt ^ u64::from(attempt)) % (step / 2 + 1);
+    Duration::from_nanos(step.saturating_add(jitter))
 }
 
 /// Topological order of fragments, children first.

@@ -21,9 +21,11 @@
 //!   orchestration, adaptive writer scaling, telemetry;
 //! * [`metrics`] — point-in-time [`metrics::ClusterSnapshot`] of the
 //!   runtime counters of §VII, serializable to JSON;
+//! * [`chaos`] — deterministic fault-injection schedules (§IV-G testing);
 //! * [`cluster::Cluster`] — the embedding facade.
 
 pub mod analyze;
+pub mod chaos;
 pub mod cluster;
 pub mod config;
 pub mod coordinator;
@@ -34,8 +36,10 @@ pub mod scheduler;
 pub mod telemetry;
 pub mod worker;
 
+pub use chaos::{ChaosEvent, ChaosProfile, ChaosSchedule};
 pub use cluster::{Cluster, QueryResult};
 pub use config::ClusterConfig;
 pub use coordinator::QueryError;
 pub use metrics::ClusterSnapshot;
 pub use telemetry::ClusterTelemetry;
+pub use worker::WorkerState;

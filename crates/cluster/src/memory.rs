@@ -209,7 +209,13 @@ impl NodeMemoryPool {
 
     /// Register a query's limits before its tasks run on this node.
     pub fn register_query(&self, limits: Arc<QueryMemoryLimits>) {
-        self.limits.lock().insert(limits.query, limits);
+        let query = limits.query;
+        self.limits.lock().insert(query, limits);
+        // The usage entry doubles as the registration token under the state
+        // lock: `reserve` refuses to touch pool counters once
+        // `unregister_query` has removed it, so a reservation racing
+        // teardown cannot resurrect accounting that nobody will clean up.
+        self.state.lock().per_query.entry(query).or_default();
     }
 
     /// Drop a finished query's accounting.
@@ -284,19 +290,55 @@ impl MemoryPool for NodeMemoryPool {
     ) -> Result<ReservationResult> {
         let limits = self.limits.lock().get(&query).cloned();
         let Some(limits) = limits else {
+            if user_delta <= 0 && system_delta <= 0 {
+                // A release racing query teardown: the accounting was
+                // already zeroed by `unregister_query`; nothing to return.
+                return Ok(ReservationResult::Granted);
+            }
             return Err(PrestoError::internal(format!(
                 "query {query} not registered on {}",
                 self.node
             )));
         };
-        if let Some(msg) = limits.killed.lock().clone() {
-            return Err(PrestoError::resources(msg));
+        if user_delta + system_delta > 0 {
+            // Growth is refused once the query is memory-killed; releases
+            // must still drain so teardown leaves the pool at zero.
+            if let Some(msg) = limits.killed.lock().clone() {
+                return Err(PrestoError::resources(msg));
+            }
         }
-        let total_delta = user_delta + system_delta;
         let mut state = self.state.lock();
-        let usage = state.per_query.entry(query).or_default();
-        let new_user = usage.user + user_delta;
-        let new_total = usage.user + usage.system + total_delta;
+        let Some(usage) = state.per_query.get(&query) else {
+            // `unregister_query` won the race between our limits lookup and
+            // here. Applying the delta now would mutate counters nobody
+            // cleans up afterwards, so drop it: the unregister already
+            // returned this query's entire balance.
+            return if user_delta <= 0 && system_delta <= 0 {
+                Ok(ReservationResult::Granted)
+            } else {
+                Err(PrestoError::internal(format!(
+                    "query {query} no longer registered on {}",
+                    self.node
+                )))
+            };
+        };
+        let (cur_user, cur_system) = (usage.user, usage.system);
+        // Clamp releases to what this query actually has charged here, so a
+        // duplicated release (task abort racing normal driver teardown)
+        // cannot drive the pool negative.
+        let user_delta = if user_delta < 0 {
+            user_delta.max(-cur_user)
+        } else {
+            user_delta
+        };
+        let system_delta = if system_delta < 0 {
+            system_delta.max(-cur_system)
+        } else {
+            system_delta
+        };
+        let total_delta = user_delta + system_delta;
+        let new_user = cur_user + user_delta;
+        let new_total = cur_user + cur_system + total_delta;
         // Hard per-query limits: exceeding kills the query (§IV-F2
         // "queries that exceed a global limit … or per-node limit are
         // killed").

@@ -21,6 +21,9 @@ use crate::worker::Worker;
 #[derive(Debug, Clone, PartialEq)]
 pub struct WorkerMetrics {
     pub node: u32,
+    /// Lifecycle state: "active", "draining", "lost", or "shutdown"
+    /// (§IV-G).
+    pub state: String,
     /// Executor busy time since startup, in nanoseconds.
     pub busy_nanos: u64,
     /// Drivers executing a quantum right now.
@@ -123,6 +126,7 @@ impl ClusterSnapshot {
                 }
                 WorkerMetrics {
                     node: w.node.0,
+                    state: w.state().as_str().to_string(),
                     busy_nanos: busy.get(i).map_or(0, |d| d.as_nanos() as u64),
                     running_drivers: w.running_drivers() as u64,
                     blocked_drivers: w.blocked_drivers() as u64,
@@ -271,6 +275,7 @@ fn int(v: u64) -> Json {
 fn worker_to_json(w: &WorkerMetrics) -> Json {
     Json::obj([
         ("node", int(w.node as u64)),
+        ("state", Json::Str(w.state.clone())),
         ("busy_nanos", int(w.busy_nanos)),
         ("running_drivers", int(w.running_drivers)),
         ("blocked_drivers", int(w.blocked_drivers)),
@@ -324,6 +329,7 @@ fn worker_from_json(v: &Json) -> Result<WorkerMetrics> {
     let memory = v.field("memory")?;
     Ok(WorkerMetrics {
         node: v.field_u64("node")? as u32,
+        state: v.field_str("state")?.to_string(),
         busy_nanos: v.field_u64("busy_nanos")?,
         running_drivers: v.field_u64("running_drivers")?,
         blocked_drivers: v.field_u64("blocked_drivers")?,
@@ -368,6 +374,7 @@ mod tests {
             uptime_nanos: 12_345_678,
             workers: vec![WorkerMetrics {
                 node: 0,
+                state: "active".to_string(),
                 busy_nanos: 999,
                 running_drivers: 2,
                 blocked_drivers: 1,

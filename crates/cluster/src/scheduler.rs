@@ -20,7 +20,14 @@ pub struct Placement {
 }
 
 /// Decide task counts and worker assignments for every fragment (§IV-D2).
-pub fn place_fragments(plan: &PhysicalPlan, config: &ClusterConfig) -> Vec<Placement> {
+/// `available` lists the indices of workers placement may use — healthy
+/// `Active` nodes only; draining or lost workers are excluded (§IV-G).
+/// Must be non-empty.
+pub fn place_fragments(
+    plan: &PhysicalPlan,
+    config: &ClusterConfig,
+    available: &[usize],
+) -> Vec<Placement> {
     // Which fragments consume a round-robin (scaled-writer) exchange?
     let round_robin_consumers: Vec<u32> = plan
         .fragments
@@ -28,7 +35,7 @@ pub fn place_fragments(plan: &PhysicalPlan, config: &ClusterConfig) -> Vec<Place
         .filter(|f| f.output == OutputPartitioning::RoundRobin)
         .map(|f| consumer_of(plan, f.id))
         .collect();
-    let workers = config.workers;
+    let workers = available.len();
     plan.fragments
         .iter()
         .map(|f| {
@@ -58,7 +65,7 @@ pub fn place_fragments(plan: &PhysicalPlan, config: &ClusterConfig) -> Vec<Place
             // Round-robin placement, offset by fragment id so single-task
             // stages spread across the cluster.
             let tasks = (0..count.max(1))
-                .map(|t| (t + f.id as usize) % workers)
+                .map(|t| available[(t + f.id as usize) % workers])
                 .collect();
             Placement {
                 fragment: f.id,
@@ -240,7 +247,7 @@ mod tests {
             workers: 4,
             ..ClusterConfig::test()
         };
-        let placements = place_fragments(&plan, &config);
+        let placements = place_fragments(&plan, &config, &[0, 1, 2, 3]);
         let leaf = placements
             .iter()
             .find(|p| {
@@ -260,7 +267,7 @@ mod tests {
             workers: 2,
             ..ClusterConfig::test()
         };
-        let placements = place_fragments(&plan, &config);
+        let placements = place_fragments(&plan, &config, &[0, 1]);
         let hash = placements
             .iter()
             .find(|p| {
@@ -271,6 +278,24 @@ mod tests {
             })
             .expect("hash stage");
         assert_eq!(hash.tasks.len(), Session::default().hash_partition_count);
+    }
+
+    #[test]
+    fn placement_uses_only_available_workers() {
+        // Draining/lost workers are excluded from the available set; no
+        // task may land on them (§IV-G).
+        let (plan, _) = plan_for("SELECT k, count(*) FROM t GROUP BY k");
+        let config = ClusterConfig {
+            workers: 4,
+            ..ClusterConfig::test()
+        };
+        let placements = place_fragments(&plan, &config, &[1, 3]);
+        for p in &placements {
+            assert!(!p.tasks.is_empty());
+            for &w in &p.tasks {
+                assert!(w == 1 || w == 3, "task placed on unavailable worker {w}");
+            }
+        }
     }
 
     #[test]

@@ -52,6 +52,10 @@ pub struct QueryRecord {
     pub failed: bool,
     /// Error-code tag of the failure, when the query failed.
     pub error_tag: Option<&'static str>,
+    /// Human-readable failure cause (the error's message), when the query
+    /// failed. This is the post-mortem record for clean teardown (§IV-G):
+    /// a cancelled or worker-failed query keeps *why* it died.
+    pub error_message: Option<String>,
 }
 
 impl QueryRecord {
@@ -121,6 +125,7 @@ impl ClusterTelemetry {
                 cpu: Duration::ZERO,
                 failed: false,
                 error_tag: None,
+                error_message: None,
             },
         );
     }
@@ -168,6 +173,16 @@ impl ClusterTelemetry {
         self.record_error(tag);
         if let Some(r) = self.inner.queries.lock().get_mut(&query) {
             r.error_tag = Some(tag);
+        }
+    }
+
+    /// Like [`record_query_error`](Self::record_query_error), but also
+    /// keeps the human-readable failure cause on the query record.
+    pub fn record_query_failure(&self, query: QueryId, tag: &'static str, message: String) {
+        self.record_error(tag);
+        if let Some(r) = self.inner.queries.lock().get_mut(&query) {
+            r.error_tag = Some(tag);
+            r.error_message = Some(message);
         }
     }
 

@@ -12,13 +12,57 @@ use parking_lot::Mutex;
 use presto_common::{NodeId, PrestoError, QueryId, TaskId, TraceBuffer, TraceKind};
 use presto_exec::{Driver, DriverState, Task};
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::memory::NodeMemoryPool;
 use crate::mlfq::MultilevelQueue;
 use crate::telemetry::ClusterTelemetry;
+
+/// Lifecycle of a worker node, exported by `ClusterSnapshot` (§IV-G).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkerState {
+    /// Healthy: accepts new task placement.
+    Active = 0,
+    /// Graceful drain ("shutting down" in the paper): no new placement,
+    /// running tasks finish.
+    Draining = 1,
+    /// Crashed or declared dead by the liveness detector; tasks failed.
+    Lost = 2,
+    /// Threads stopped cleanly (drain completed or cluster shutdown).
+    Shutdown = 3,
+}
+
+impl WorkerState {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            WorkerState::Active => "active",
+            WorkerState::Draining => "draining",
+            WorkerState::Lost => "lost",
+            WorkerState::Shutdown => "shutdown",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<WorkerState> {
+        Some(match s {
+            "active" => WorkerState::Active,
+            "draining" => WorkerState::Draining,
+            "lost" => WorkerState::Lost,
+            "shutdown" => WorkerState::Shutdown,
+            _ => return None,
+        })
+    }
+
+    fn from_u8(v: u8) -> WorkerState {
+        match v {
+            1 => WorkerState::Draining,
+            2 => WorkerState::Lost,
+            3 => WorkerState::Shutdown,
+            _ => WorkerState::Active,
+        }
+    }
+}
 
 /// Shared, cluster-wide state of one query (error slot + cancellation).
 pub struct QueryState {
@@ -106,10 +150,33 @@ impl TaskHandle {
         Duration::from_nanos(self.cpu_nanos.load(Ordering::Relaxed))
     }
 
+    /// Clean teardown (§IV-G): stop the task's drivers, release the output
+    /// buffer's retained wire bytes (consumers observe a clean
+    /// end-of-stream), and stop this task's own exchange fetches/retries
+    /// immediately. Called for every sibling task when a query fails, is
+    /// cancelled, or completes early (LIMIT).
     pub fn cancel(&self) {
         self.cancelled.store(true, Ordering::SeqCst);
-        // Unblock any consumer polling this task's output.
-        self.task.output.set_no_more_pages();
+        self.task.output.close();
+        for e in &self.task.exchanges {
+            e.client.cancel();
+        }
+    }
+
+    /// Forced teardown for tasks on a crashed or lost worker: like
+    /// [`cancel`](Self::cancel), but the output buffer is *aborted* so
+    /// remote consumers surface `WorkerFailed` instead of a clean
+    /// end-of-stream, and the task is marked done immediately — its queued
+    /// drivers will never run, so nothing else would ever retire it.
+    pub fn abort(&self) {
+        self.cancelled.store(true, Ordering::SeqCst);
+        self.task.output.abort();
+        for e in &self.task.exchanges {
+            e.client.cancel();
+        }
+        if !self.done.swap(true, Ordering::SeqCst) {
+            self.task.memory.release_all();
+        }
     }
 
     pub fn is_cancelled(&self) -> bool {
@@ -157,6 +224,19 @@ pub struct Worker {
     tasks: Mutex<Vec<Arc<TaskHandle>>>,
     running_drivers: Arc<AtomicUsize>,
     trace: Option<Arc<TraceBuffer>>,
+    /// Lifecycle state ([`WorkerState`] as u8), exported to snapshots and
+    /// consulted by placement.
+    state: AtomicU8,
+    /// Monotone liveness counter, bumped by executor threads between quanta
+    /// (and while idle). The coordinator's failure detector declares the
+    /// worker lost when it stops advancing for `liveness_timeout`.
+    heartbeat: AtomicU64,
+    /// Chaos hook: a paused worker's scheduler stops taking quanta (and
+    /// stops heartbeating) — the injected "hung worker" fault.
+    paused: AtomicBool,
+    /// Coordinators mid-placement hold a lease so a graceful drain cannot
+    /// stop the threads between placement and task submission.
+    leases: AtomicUsize,
 }
 
 impl Worker {
@@ -181,6 +261,10 @@ impl Worker {
             tasks: Mutex::new(Vec::new()),
             running_drivers: Arc::new(AtomicUsize::new(0)),
             trace,
+            state: AtomicU8::new(WorkerState::Active as u8),
+            heartbeat: AtomicU64::new(0),
+            paused: AtomicBool::new(false),
+            leases: AtomicUsize::new(0),
         });
         let mut handles = Vec::new();
         for t in 0..threads {
@@ -217,6 +301,17 @@ impl Worker {
             spill_enabled,
         });
         query_state.register_task(Arc::clone(&handle));
+        // A dead or stopped worker will never run these drivers; fail the
+        // query promptly instead of letting the task hang forever.
+        if self.is_dead() || self.state() == WorkerState::Shutdown {
+            query_state.fail(PrestoError::worker_failed(format!(
+                "worker {} is not accepting tasks ({})",
+                self.node,
+                self.state().as_str()
+            )));
+            handle.abort();
+            return handle;
+        }
         {
             // Prune completed tasks so a long-lived worker does not retain
             // every task (and its buffers) it ever ran.
@@ -232,6 +327,18 @@ impl Worker {
                 },
                 Duration::ZERO,
             );
+        }
+        // Close the race with a concurrent kill(): if the worker died while
+        // we were enqueuing, the kill may have drained the queue before (or
+        // while) our drivers landed — abort them here so the task retires.
+        if self.is_dead() {
+            query_state.fail(PrestoError::worker_failed(format!(
+                "worker {} crashed",
+                self.node
+            )));
+            drop(self.queue.drain());
+            self.blocked.lock().clear();
+            handle.abort();
         }
         handle
     }
@@ -267,19 +374,33 @@ impl Worker {
             .collect()
     }
 
-    /// Simulated crash (§IV-G): every task on this worker fails; the node
-    /// stops processing.
+    /// Simulated crash (§IV-G): every task on this worker fails with the
+    /// retryable `WorkerFailed` code; the node stops processing.
     pub fn kill(&self) {
-        self.dead.store(true, Ordering::SeqCst);
-        for task in self.tasks.lock().iter() {
+        self.kill_with("crashed");
+    }
+
+    /// Crash / declare-lost implementation shared by [`kill`](Self::kill)
+    /// and the liveness detector. In-flight tasks fail their queries
+    /// promptly (peers must not block on exchange fetch from a dead
+    /// source), queued drivers are aborted so no task lingers half-retired,
+    /// and the worker's task memory returns to the pool.
+    pub fn kill_with(&self, why: &str) {
+        if self.dead.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.set_state(WorkerState::Lost);
+        let tasks: Vec<Arc<TaskHandle>> = self.tasks.lock().clone();
+        for task in tasks {
             if !task.is_done() {
-                task.query_state.fail(PrestoError::external(format!(
-                    "worker {} crashed",
+                task.query_state.fail(PrestoError::worker_failed(format!(
+                    "worker {} {why}",
                     self.node
                 )));
+                task.abort();
             }
         }
-        self.queue.drain();
+        drop(self.queue.drain());
         self.blocked.lock().clear();
     }
 
@@ -287,8 +408,71 @@ impl Worker {
         self.dead.load(Ordering::SeqCst)
     }
 
+    /// Current lifecycle state.
+    pub fn state(&self) -> WorkerState {
+        WorkerState::from_u8(self.state.load(Ordering::SeqCst))
+    }
+
+    fn set_state(&self, state: WorkerState) {
+        self.state.store(state as u8, Ordering::SeqCst);
+    }
+
+    /// Healthy and accepting new placement: `Active`, not dead, not paused
+    /// into oblivion (a hung worker stays nominally available until the
+    /// detector declares it lost — exactly the window the paper's
+    /// heartbeat monitoring closes).
+    pub fn is_available(&self) -> bool {
+        self.state() == WorkerState::Active && !self.is_dead()
+    }
+
+    /// Enter graceful drain ("shutting down", §IV-G): placement skips this
+    /// worker from now on; running tasks continue to completion.
+    pub fn begin_drain(&self) {
+        let _ = self.state.compare_exchange(
+            WorkerState::Active as u8,
+            WorkerState::Draining as u8,
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+        );
+    }
+
+    /// Liveness counter; advances while executor threads are taking (or
+    /// waiting for) quanta. Frozen when hung or dead.
+    pub fn heartbeat(&self) -> u64 {
+        self.heartbeat.load(Ordering::Relaxed)
+    }
+
+    /// Chaos hook: pause/unpause the scheduler loop. A paused worker stops
+    /// taking quanta and stops heartbeating — indistinguishable from a hung
+    /// process to the failure detector.
+    pub fn set_paused(&self, paused: bool) {
+        self.paused.store(paused, Ordering::SeqCst);
+    }
+
+    pub fn is_paused(&self) -> bool {
+        self.paused.load(Ordering::SeqCst)
+    }
+
+    /// Take a placement lease. While any coordinator holds one, a graceful
+    /// drain must keep the worker's threads running: the lease closes the
+    /// race between "placement computed" and "tasks submitted".
+    pub fn lease(&self) {
+        self.leases.fetch_add(1, Ordering::SeqCst);
+    }
+
+    pub fn release_lease(&self) {
+        self.leases.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    pub fn leases(&self) -> usize {
+        self.leases.load(Ordering::SeqCst)
+    }
+
     pub fn shutdown(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
+        if self.state() != WorkerState::Lost {
+            self.set_state(WorkerState::Shutdown);
+        }
         let handles = std::mem::take(&mut *self.threads.lock());
         for h in handles {
             let _ = h.join();
@@ -301,6 +485,13 @@ impl Worker {
                 std::thread::sleep(Duration::from_millis(1));
                 continue;
             }
+            // A hung scheduler (chaos injection) stops taking quanta AND
+            // stops heartbeating — the detector must notice.
+            if self.paused.load(Ordering::SeqCst) {
+                std::thread::sleep(Duration::from_micros(200));
+                continue;
+            }
+            self.heartbeat.fetch_add(1, Ordering::Relaxed);
             // Re-admit blocked drivers whose backoff elapsed.
             {
                 let mut blocked = self.blocked.lock();

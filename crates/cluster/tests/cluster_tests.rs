@@ -319,13 +319,14 @@ fn worker_crash_fails_running_queries() {
     );
     std::thread::sleep(std::time::Duration::from_millis(20));
     c.kill_worker(0);
-    // The query either failed with the crash error, or had already raced
-    // to completion (acceptable).
+    // The query either failed with the retryable worker-loss error, or had
+    // already raced to completion (acceptable).
     if let Err(e) = handle.join().unwrap() {
         assert!(
-            matches!(e.error.code, presto_common::ErrorCode::External { .. }),
+            matches!(e.error.code, presto_common::ErrorCode::WorkerFailed),
             "{e}"
         );
+        assert!(e.error.is_retryable(), "worker loss must be retryable");
     }
     // New queries on remaining workers still work? (Dead node keeps its
     // tasks failing; the cluster has no resurrection, matching the paper.)

@@ -1,0 +1,321 @@
+//! Fault-tolerance invariants (§IV-G): whatever kills a query — user
+//! cancellation, worker crash, memory limits, a hung scheduler — teardown
+//! must be *clean*: every task retires, every memory-pool byte returns, no
+//! peer blocks forever on a dead exchange source.
+
+#![allow(clippy::unwrap_used)]
+
+use presto_cluster::{Cluster, ClusterConfig, WorkerState};
+use presto_common::{DataType, ErrorCode, Schema, Session, Value};
+use presto_connector::CatalogManager;
+use presto_connectors::MemoryConnector;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Slow enough to still be mid-flight when a fault lands: a 4000×4000
+/// cross join (16M pairs). Matching pairs `(k, 3999-k)` number exactly
+/// 4000.
+const SLOW_JOIN: &str = "SELECT o1.orderkey FROM orders o1 CROSS JOIN orders o2 \
+     WHERE o1.orderkey + o2.orderkey = 3999";
+
+fn test_catalogs() -> CatalogManager {
+    let mem = MemoryConnector::new();
+    let schema = Schema::of(&[
+        ("orderkey", DataType::Bigint),
+        ("custkey", DataType::Bigint),
+    ]);
+    let rows: Vec<Vec<Value>> = (0..4000)
+        .map(|i| vec![Value::Bigint(i), Value::Bigint(i % 100)])
+        .collect();
+    let pages: Vec<presto_page::Page> = rows
+        .chunks(50)
+        .map(|chunk| presto_page::Page::from_rows(&schema, chunk))
+        .collect();
+    mem.load_table("orders", schema, pages);
+    mem.analyze("orders").unwrap();
+    let mut catalogs = CatalogManager::new();
+    catalogs.register("memory", mem as Arc<dyn presto_connector::Connector>);
+    catalogs
+}
+
+fn start(config: ClusterConfig) -> Cluster {
+    Cluster::start(config, test_catalogs()).unwrap()
+}
+
+/// The clean-teardown invariant: within `grace`, every worker's live-task
+/// list empties and the general/reserved pools return to zero. (System
+/// memory is excluded: it holds cache retention, not query state.)
+fn assert_clean(c: &Cluster, grace: Duration) {
+    let deadline = Instant::now() + grace;
+    loop {
+        let live = c.worker_live_tasks();
+        let snap = c.metrics_snapshot();
+        let residual: Vec<(i64, i64)> = snap
+            .workers
+            .iter()
+            .map(|w| (w.memory.general_used, w.memory.reserved_used))
+            .collect();
+        let clean = live.iter().all(|&n| n == 0)
+            && residual.iter().all(|&(g, r)| g == 0 && r == 0);
+        if clean {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "teardown left residue: live_tasks={live:?} (general,reserved)={residual:?}"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+#[test]
+fn mid_query_cancel_releases_everything() {
+    let c = start(ClusterConfig::test());
+    let handle = c.submit(SLOW_JOIN, Session::default());
+    // Wait until the query is registered and has had a moment to reserve.
+    let deadline = Instant::now() + Duration::from_secs(2);
+    let query = loop {
+        if let Some(q) = c.active_queries().first().copied() {
+            break q;
+        }
+        assert!(Instant::now() < deadline, "query never became active");
+        std::thread::sleep(Duration::from_millis(1));
+    };
+    std::thread::sleep(Duration::from_millis(10));
+    assert!(c.cancel_query(query), "cancel must find the running query");
+    match handle.join().unwrap() {
+        Err(e) => assert_eq!(e.error.code, ErrorCode::Killed, "{e}"),
+        Ok(_) => panic!("cancelled query must not succeed"),
+    }
+    assert!(!c.cancel_query(query), "finished query is no longer active");
+    assert_clean(&c, Duration::from_secs(5));
+}
+
+#[test]
+fn worker_crash_releases_everything() {
+    let c = start(ClusterConfig::test());
+    let handle = c.submit(SLOW_JOIN, Session::default());
+    std::thread::sleep(Duration::from_millis(15));
+    c.kill_worker(1);
+    // Crash mid-run fails the query with the retryable worker-loss code;
+    // racing to completion first is acceptable.
+    if let Err(e) = handle.join().unwrap() {
+        assert_eq!(e.error.code, ErrorCode::WorkerFailed, "{e}");
+    }
+    assert_eq!(c.worker_states()[1], WorkerState::Lost);
+    assert_clean(&c, Duration::from_secs(5));
+}
+
+#[test]
+fn memory_kill_releases_everything() {
+    let c = start(ClusterConfig::test());
+    let session = Session {
+        query_max_memory_per_node: 1,
+        ..Session::default()
+    };
+    let err = c
+        .execute_with_session("SELECT custkey, COUNT(*) FROM orders GROUP BY custkey", &session)
+        .unwrap_err();
+    assert_eq!(err.error.code, ErrorCode::InsufficientResources);
+    assert_clean(&c, Duration::from_secs(5));
+}
+
+/// Eight threads hammering the cluster while cancels and a worker crash
+/// land mid-flight: every query terminates, nothing leaks.
+#[test]
+fn stress_mixed_faults_leave_no_residue() {
+    let config = ClusterConfig {
+        workers: 3,
+        ..ClusterConfig::test()
+    };
+    let c = Arc::new(start(config));
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut threads = Vec::new();
+    for t in 0..8 {
+        let c = Arc::clone(&c);
+        threads.push(std::thread::spawn(move || {
+            let mut outcomes = (0u32, 0u32); // (ok, failed)
+            for i in 0..6 {
+                let sql = if (t + i) % 2 == 0 {
+                    "SELECT custkey, COUNT(*) FROM orders GROUP BY custkey"
+                } else {
+                    SLOW_JOIN
+                };
+                match c.execute(sql) {
+                    Ok(_) => outcomes.0 += 1,
+                    Err(e) => {
+                        // Only fault-induced failures are acceptable.
+                        assert!(
+                            matches!(
+                                e.error.code,
+                                ErrorCode::Killed | ErrorCode::WorkerFailed
+                            ),
+                            "unexpected failure: {e}"
+                        );
+                        outcomes.1 += 1;
+                    }
+                }
+            }
+            outcomes
+        }));
+    }
+    // Chaos thread: cancel whatever is running, then crash a worker.
+    let chaos = {
+        let c = Arc::clone(&c);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            for round in 0..30 {
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(10));
+                if round == 10 {
+                    c.kill_worker(2);
+                }
+                if round % 3 == 0 {
+                    for q in c.active_queries() {
+                        c.cancel_query(q);
+                    }
+                }
+            }
+        })
+    };
+    let mut ok = 0;
+    let mut failed = 0;
+    for t in threads {
+        let (o, f) = t.join().unwrap();
+        ok += o;
+        failed += f;
+    }
+    stop.store(true, Ordering::SeqCst);
+    chaos.join().unwrap();
+    assert_eq!(ok + failed, 48, "every query must terminate");
+    assert_clean(&c, Duration::from_secs(10));
+}
+
+/// Opt-in coordinator retry (§IV-G deviation knob): a query that loses a
+/// worker mid-run succeeds transparently on the second attempt, placed on
+/// the survivors.
+#[test]
+fn query_retry_recovers_from_worker_loss() {
+    let config = ClusterConfig {
+        workers: 3,
+        ..ClusterConfig::test()
+    };
+    let c = start(config);
+    let session = Session {
+        query_retry_attempts: 2,
+        query_retry_backoff: Duration::from_millis(5),
+        ..Session::default()
+    };
+    let handle = c.submit(SLOW_JOIN, session);
+    std::thread::sleep(Duration::from_millis(15));
+    c.kill_worker(2);
+    let out = handle
+        .join()
+        .unwrap()
+        .expect("retry must recover the query on surviving workers");
+    assert_eq!(out.row_count(), 4000);
+    // Queries after the loss keep working without the retry knob, too.
+    assert!(c.execute("SELECT COUNT(*) FROM orders").is_ok());
+}
+
+/// The failure detector: a hung scheduler stops heartbeating and is
+/// declared lost within the liveness timeout; its queries fail with
+/// `WorkerFailed` instead of hanging forever.
+#[test]
+fn liveness_detector_declares_hung_worker_lost() {
+    let config = ClusterConfig {
+        workers: 2,
+        liveness_timeout: Duration::from_millis(100),
+        ..ClusterConfig::test()
+    };
+    let c = start(config);
+    let handle = c.submit(SLOW_JOIN, Session::default());
+    std::thread::sleep(Duration::from_millis(15));
+    c.hang_worker(1);
+    // Detection latency: timeout + detector interval + slack.
+    let deadline = Instant::now() + Duration::from_secs(3);
+    while c.worker_states()[1] != WorkerState::Lost {
+        assert!(
+            Instant::now() < deadline,
+            "detector never declared the hung worker lost: {:?}",
+            c.worker_states()
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    if let Err(e) = handle.join().unwrap() {
+        assert_eq!(e.error.code, ErrorCode::WorkerFailed, "{e}");
+    }
+    assert_clean(&c, Duration::from_secs(5));
+}
+
+/// A short hang (GC-pause blip) under the liveness timeout must NOT get
+/// the worker killed.
+#[test]
+fn short_hang_below_timeout_is_tolerated() {
+    let config = ClusterConfig {
+        workers: 2,
+        liveness_timeout: Duration::from_millis(500),
+        ..ClusterConfig::test()
+    };
+    let c = start(config);
+    c.hang_worker(1);
+    std::thread::sleep(Duration::from_millis(60));
+    c.resume_worker(1);
+    std::thread::sleep(Duration::from_millis(200));
+    assert_eq!(c.worker_states()[1], WorkerState::Active);
+    assert!(c.execute("SELECT COUNT(*) FROM orders").is_ok());
+}
+
+/// Graceful drain (§IV-G "shutting down"): mid-workload, a drained worker
+/// finishes its tasks and stops — with zero query failures.
+#[test]
+fn drain_worker_mid_workload_fails_nothing() {
+    let config = ClusterConfig {
+        workers: 3,
+        ..ClusterConfig::test()
+    };
+    let c = Arc::new(start(config));
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut threads = Vec::new();
+    for _ in 0..4 {
+        let c = Arc::clone(&c);
+        let stop = Arc::clone(&stop);
+        threads.push(std::thread::spawn(move || {
+            let mut ran = 0u32;
+            while !stop.load(Ordering::SeqCst) {
+                c.execute("SELECT custkey, COUNT(*) FROM orders GROUP BY custkey")
+                    .expect("drain must not fail queries");
+                ran += 1;
+            }
+            ran
+        }));
+    }
+    std::thread::sleep(Duration::from_millis(50));
+    c.drain_worker(2, Duration::from_secs(10))
+        .expect("drain must complete");
+    assert_eq!(c.worker_states()[2], WorkerState::Shutdown);
+    // The reduced cluster keeps serving.
+    std::thread::sleep(Duration::from_millis(50));
+    stop.store(true, Ordering::SeqCst);
+    let ran: u32 = threads.into_iter().map(|t| t.join().unwrap()).sum();
+    assert!(ran > 0, "workload should have made progress");
+    assert_clean(&c, Duration::from_secs(5));
+}
+
+/// Regression: a cross join whose predicate becomes a residual filter is
+/// planned as an inner join with no equi keys; the keyed probe path hashes
+/// zero columns and silently matched nothing. It must take the full-pairing
+/// path and find all 4000 `(k, 3999-k)` pairs.
+#[test]
+fn cross_join_residual_filter_finds_all_matches() {
+    let config = ClusterConfig {
+        workers: 3,
+        ..ClusterConfig::test()
+    };
+    let c = start(config);
+    let out = c.execute(SLOW_JOIN).unwrap();
+    assert_eq!(out.row_count(), 4000);
+}

@@ -245,15 +245,17 @@ fn arb_worker() -> impl Strategy<Value = WorkerMetrics> {
         (
             proptest::collection::vec(any::<i64>(), 8..9),
             0..100_000usize,
+            0..4usize,
         ),
     )
         .prop_map(
             |(
                 (node, busy_nanos, running_drivers, blocked_drivers, queued_drivers),
                 (levels, demotions, promotions),
-                (mem, active_queries),
+                (mem, active_queries, state),
             )| WorkerMetrics {
                 node,
+                state: ["active", "draining", "lost", "shutdown"][state].to_string(),
                 busy_nanos,
                 running_drivers,
                 blocked_drivers,

@@ -1,0 +1,117 @@
+//! Deterministic fault-injection primitives (§IV-G).
+//!
+//! The chaos connector, the cluster-level `ChaosSchedule`, and the shuffle
+//! client's retry jitter all derive their randomness from the same seeded
+//! SplitMix64 stream so a failing chaos run reproduces bit-for-bit from its
+//! seed alone. The seed comes from the `PRESTO_CHAOS_SEED` environment
+//! variable when set, so a CI failure's schedule can be replayed locally.
+
+/// The environment variable consulted by [`seed_from_env`].
+pub const CHAOS_SEED_ENV: &str = "PRESTO_CHAOS_SEED";
+
+/// Resolve the chaos seed: `PRESTO_CHAOS_SEED` when set and parseable,
+/// otherwise `default`.
+pub fn seed_from_env(default: u64) -> u64 {
+    std::env::var(CHAOS_SEED_ENV)
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(default)
+}
+
+/// One SplitMix64 scrambling round: a cheap, high-quality stateless mixer.
+/// Used directly for per-item decisions (hash a split id with the seed) and
+/// as the core of [`ChaosRng`].
+pub fn mix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Deterministic seeded generator for chaos schedules. Intentionally tiny:
+/// fault injection needs reproducibility, not statistical perfection.
+#[derive(Debug, Clone)]
+pub struct ChaosRng {
+    state: u64,
+}
+
+impl ChaosRng {
+    pub fn new(seed: u64) -> ChaosRng {
+        ChaosRng { state: seed }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        mix(self.state)
+    }
+
+    /// Uniform in `[0, n)`. Modulo bias is negligible for the small ranges
+    /// chaos schedules use (worker counts, event kinds).
+    pub fn next_below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0, "next_below needs a non-empty range");
+        self.next_u64() % n.max(1)
+    }
+
+    /// Uniform in `[0.0, 1.0)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Bernoulli trial with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let a: Vec<u64> = {
+            let mut r = ChaosRng::new(42);
+            (0..16).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = ChaosRng::new(42);
+            (0..16).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        let c: Vec<u64> = {
+            let mut r = ChaosRng::new(43);
+            (0..16).map(|_| r.next_u64()).collect()
+        };
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn floats_are_unit_interval() {
+        let mut r = ChaosRng::new(7);
+        for _ in 0..1000 {
+            let f = r.next_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn mix_is_stateless_and_nontrivial() {
+        assert_eq!(mix(1), mix(1));
+        assert_ne!(mix(1), mix(2));
+        assert_ne!(mix(0), 0);
+    }
+
+    #[test]
+    fn env_seed_overrides_default() {
+        // Serialize around the process-global env var.
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        let _g = LOCK.lock();
+        std::env::remove_var(CHAOS_SEED_ENV);
+        assert_eq!(seed_from_env(9), 9);
+        std::env::set_var(CHAOS_SEED_ENV, "1234");
+        assert_eq!(seed_from_env(9), 1234);
+        std::env::set_var(CHAOS_SEED_ENV, "not a number");
+        assert_eq!(seed_from_env(9), 9);
+        std::env::remove_var(CHAOS_SEED_ENV);
+    }
+}

@@ -29,12 +29,19 @@ pub enum ErrorCode {
     /// The query was killed by an administrator, a queue policy, or the
     /// reserved-pool arbitration ("kill the query unblocking most nodes").
     Killed,
+    /// A worker node crashed or was declared lost by the coordinator's
+    /// liveness detector while the query had tasks on it (§IV-G). Retryable:
+    /// re-running the query places tasks only on surviving workers.
+    WorkerFailed,
 }
 
 impl ErrorCode {
     /// Whether the engine may transparently retry the failed operation.
     pub fn is_retryable(&self) -> bool {
-        matches!(self, ErrorCode::External { retryable: true })
+        matches!(
+            self,
+            ErrorCode::External { retryable: true } | ErrorCode::WorkerFailed
+        )
     }
 
     /// Short machine-readable tag, as exported by telemetry counters.
@@ -46,6 +53,7 @@ impl ErrorCode {
             ErrorCode::External { retryable: true } => "EXTERNAL_TRANSIENT",
             ErrorCode::External { retryable: false } => "EXTERNAL_PERMANENT",
             ErrorCode::Killed => "KILLED",
+            ErrorCode::WorkerFailed => "WORKER_FAILED",
         }
     }
 }
@@ -98,6 +106,11 @@ impl PrestoError {
         Self::new(ErrorCode::Killed, message)
     }
 
+    /// A worker carrying one of the query's tasks crashed or went silent.
+    pub fn worker_failed(message: impl Into<String>) -> Self {
+        Self::new(ErrorCode::WorkerFailed, message)
+    }
+
     /// Whether the engine may transparently retry the failed operation.
     pub fn is_retryable(&self) -> bool {
         self.code.is_retryable()
@@ -141,6 +154,14 @@ mod tests {
         assert!(!PrestoError::internal("oops").is_retryable());
         assert!(!PrestoError::resources("oom").is_retryable());
         assert!(!PrestoError::killed("admin").is_retryable());
+        assert!(PrestoError::worker_failed("node 3 lost").is_retryable());
+    }
+
+    #[test]
+    fn worker_failed_tag() {
+        let e = PrestoError::worker_failed("worker 1 crashed");
+        assert_eq!(e.code.tag(), "WORKER_FAILED");
+        assert_eq!(e.to_string(), "WORKER_FAILED: worker 1 crashed");
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! statistics model ([`stats`]) shared by connectors and the cost-based
 //! optimizer.
 
+pub mod chaos;
 pub mod error;
 pub mod id;
 pub mod json;

@@ -82,6 +82,18 @@ pub struct Session {
     pub writer_scaling_threshold: f64,
     /// Transparent retries for transient external failures (§IV-G).
     pub max_transient_retries: u32,
+    /// Coordinator-level whole-query retries for retryable failures
+    /// (worker loss, transient external errors that exhausted low-level
+    /// retries). `0` disables, matching the paper's stance that query
+    /// retry is the client's job; clients that want it opt in here.
+    pub query_retry_attempts: u32,
+    /// Base delay of the exponential backoff between query retry attempts
+    /// (doubled per attempt, plus deterministic jitter).
+    pub query_retry_backoff: Duration,
+    /// Chaos hook: make every Nth shuffle frame decode fail transiently in
+    /// this query's exchange clients (0 = off). Exercises the §IV-G
+    /// low-level retry path from `chaos_bench` and tests.
+    pub exchange_chaos_decode_every: usize,
 }
 
 impl Default for Session {
@@ -108,6 +120,9 @@ impl Default for Session {
             writer_scaling: true,
             writer_scaling_threshold: 0.5,
             max_transient_retries: 3,
+            query_retry_attempts: 0,
+            query_retry_backoff: Duration::from_millis(50),
+            exchange_chaos_decode_every: 0,
         }
     }
 }
@@ -137,6 +152,10 @@ mod tests {
         assert_eq!(s.scheduling_policy, SchedulingPolicy::AllAtOnce);
         // Facebook deployments do not spill (§IV-F2).
         assert!(!s.spill_enabled);
+        // Whole-query retry is external by default (§IV-G): off unless the
+        // client opts in.
+        assert_eq!(s.query_retry_attempts, 0);
+        assert_eq!(s.exchange_chaos_decode_every, 0);
     }
 
     #[test]

@@ -281,6 +281,7 @@ impl TupleDomain {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -81,6 +81,7 @@ pub trait ConnectorMetadata: Send + Sync {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

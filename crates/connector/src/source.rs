@@ -88,6 +88,7 @@ impl PageSource for FixedPageSource {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use presto_page::blocks::LongBlock;

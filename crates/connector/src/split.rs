@@ -90,6 +90,7 @@ impl SplitSource for FixedSplitSource {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

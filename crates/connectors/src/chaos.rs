@@ -4,16 +4,75 @@
 //! low-level retries." This wrapper makes any connector unreliable on
 //! demand so those retries can be exercised deterministically: every Nth
 //! page-source creation (and optionally every Nth page read) fails with a
-//! retryable external error.
+//! retryable external error, and a seeded [`ChaosPolicy`] adds per-split
+//! faults — transient first-attempt failures, permanent failures, page
+//! delays, and one-shot hangs — decided by a pure hash of `(seed, split)`,
+//! so the same seed reproduces the same faults on the same splits. The seed
+//! family is shared with the cluster's `ChaosSchedule`
+//! (`presto_common::chaos`), so one number reproduces an entire run.
 
+use parking_lot::Mutex;
+use presto_common::chaos::mix;
 use presto_common::{PrestoError, Result, Schema, TableStatistics};
 use presto_connector::{
     Connector, ConnectorMetadata, DataLayout, IndexSource, PageSinkFactory, PageSource,
     PageSourceFactory, ScanOptions, Split, SplitSource, TupleDomain,
 };
 use presto_page::Page;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
+
+/// Seeded per-split fault policy. Each split's fate is a pure function of
+/// `(seed, split.info)`: re-running the same workload under the same seed
+/// injects the same faults into the same splits, which is what makes chaos
+/// runs debuggable. Ratios are in `[0, 1]`.
+#[derive(Debug, Clone)]
+pub struct ChaosPolicy {
+    pub seed: u64,
+    /// Fraction of splits whose *first* source creation fails with a
+    /// retryable error; the engine's low-level retry must recover them.
+    pub transient_fail_ratio: f64,
+    /// Fraction of splits whose source creation *always* fails
+    /// (non-retryable): the query must fail promptly and cleanly.
+    pub permanent_fail_ratio: f64,
+    /// Fraction of splits whose every page read is delayed by `delay`
+    /// (stragglers exercising the adaptive split scheduler).
+    pub delay_ratio: f64,
+    pub delay: Duration,
+    /// Fraction of splits that hang once for `hang` before their first
+    /// page (a long I/O stall).
+    pub hang_ratio: f64,
+    pub hang: Duration,
+}
+
+impl Default for ChaosPolicy {
+    fn default() -> Self {
+        ChaosPolicy {
+            seed: 0,
+            transient_fail_ratio: 0.0,
+            permanent_fail_ratio: 0.0,
+            delay_ratio: 0.0,
+            delay: Duration::ZERO,
+            hang_ratio: 0.0,
+            hang: Duration::ZERO,
+        }
+    }
+}
+
+impl ChaosPolicy {
+    /// Deterministic uniform draw in `[0, 1)` for a (split, dimension)
+    /// pair. Different `salt`s give independent decisions for the same
+    /// split.
+    fn die(&self, split: &Split, salt: u64) -> f64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in split.info.as_bytes() {
+            h = (h ^ u64::from(*b)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        (mix(self.seed ^ h ^ salt) >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
 
 /// Wraps a connector, injecting transient failures.
 pub struct ChaosConnector {
@@ -22,9 +81,15 @@ pub struct ChaosConnector {
     fail_every_nth_source: u64,
     /// Fail every Nth `next_page` call across all sources (0 = never).
     fail_every_nth_page: u64,
+    /// Seeded per-split faults, layered on top of the Nth counters.
+    policy: ChaosPolicy,
+    /// Source-creation attempts per split, for first-attempt-only
+    /// transient failures.
+    attempts: Mutex<HashMap<String, u64>>,
     source_calls: AtomicU64,
     page_calls: Arc<AtomicU64>,
     injected: Arc<AtomicU64>,
+    delays: Arc<AtomicU64>,
 }
 
 impl ChaosConnector {
@@ -33,19 +98,46 @@ impl ChaosConnector {
         fail_every_nth_source: u64,
         fail_every_nth_page: u64,
     ) -> Arc<ChaosConnector> {
+        Self::build(
+            inner,
+            fail_every_nth_source,
+            fail_every_nth_page,
+            ChaosPolicy::default(),
+        )
+    }
+
+    /// A connector whose faults follow the seeded per-split `policy`.
+    pub fn with_policy(inner: Arc<dyn Connector>, policy: ChaosPolicy) -> Arc<ChaosConnector> {
+        Self::build(inner, 0, 0, policy)
+    }
+
+    fn build(
+        inner: Arc<dyn Connector>,
+        fail_every_nth_source: u64,
+        fail_every_nth_page: u64,
+        policy: ChaosPolicy,
+    ) -> Arc<ChaosConnector> {
         Arc::new(ChaosConnector {
             inner,
             fail_every_nth_source,
             fail_every_nth_page,
+            policy,
+            attempts: Mutex::new(HashMap::new()),
             source_calls: AtomicU64::new(0),
             page_calls: Arc::new(AtomicU64::new(0)),
             injected: Arc::new(AtomicU64::new(0)),
+            delays: Arc::new(AtomicU64::new(0)),
         })
     }
 
     /// Number of failures injected so far.
     pub fn injected_failures(&self) -> u64 {
         self.injected.load(Ordering::Relaxed)
+    }
+
+    /// Number of delayed or hung page reads injected so far.
+    pub fn injected_delays(&self) -> u64 {
+        self.delays.load(Ordering::Relaxed)
     }
 }
 
@@ -117,6 +209,38 @@ impl PageSourceFactory for ChaosConnector {
                 split.info
             )));
         }
+        // Per-split seeded faults. Permanent failures take priority (no
+        // amount of retrying helps); a transient draw fails only the first
+        // attempt, so a retry observes the fault healed.
+        let p = &self.policy;
+        if p.permanent_fail_ratio > 0.0 && p.die(split, 1) < p.permanent_fail_ratio {
+            self.injected.fetch_add(1, Ordering::SeqCst);
+            return Err(PrestoError::external(format!(
+                "chaos: injected permanent failure for {}",
+                split.info
+            )));
+        }
+        if p.transient_fail_ratio > 0.0 && p.die(split, 2) < p.transient_fail_ratio {
+            let attempt = {
+                let mut attempts = self.attempts.lock();
+                let n = attempts.entry(split.info.clone()).or_insert(0);
+                *n += 1;
+                *n
+            };
+            if attempt == 1 {
+                self.injected.fetch_add(1, Ordering::SeqCst);
+                return Err(PrestoError::transient(format!(
+                    "chaos: injected transient failure for {}",
+                    split.info
+                )));
+            }
+        }
+        let delay = (p.delay_ratio > 0.0 && p.die(split, 3) < p.delay_ratio)
+            .then_some(p.delay)
+            .unwrap_or(Duration::ZERO);
+        let hang = (p.hang_ratio > 0.0 && p.die(split, 4) < p.hang_ratio)
+            .then_some(p.hang)
+            .unwrap_or(Duration::ZERO);
         let inner = self
             .inner
             .page_source_factory()
@@ -124,8 +248,11 @@ impl PageSourceFactory for ChaosConnector {
         Ok(Box::new(ChaosPageSource {
             inner,
             fail_every_nth_page: self.fail_every_nth_page,
+            delay,
+            pending_hang: hang,
             page_calls: Arc::clone(&self.page_calls),
             injected: Arc::clone(&self.injected),
+            delays: Arc::clone(&self.delays),
         }))
     }
 }
@@ -133,8 +260,13 @@ impl PageSourceFactory for ChaosConnector {
 struct ChaosPageSource {
     inner: Box<dyn PageSource>,
     fail_every_nth_page: u64,
+    /// Sleep this long before every page read (straggler split).
+    delay: Duration,
+    /// Sleep this long before the first page read only (one I/O stall).
+    pending_hang: Duration,
     page_calls: Arc<AtomicU64>,
     injected: Arc<AtomicU64>,
+    delays: Arc<AtomicU64>,
 }
 
 impl PageSource for ChaosPageSource {
@@ -143,6 +275,15 @@ impl PageSource for ChaosPageSource {
         if self.fail_every_nth_page > 0 && call % self.fail_every_nth_page == 0 {
             self.injected.fetch_add(1, Ordering::SeqCst);
             return Err(PrestoError::transient("chaos: injected read failure"));
+        }
+        if self.pending_hang > Duration::ZERO {
+            let hang = std::mem::replace(&mut self.pending_hang, Duration::ZERO);
+            self.delays.fetch_add(1, Ordering::SeqCst);
+            std::thread::sleep(hang);
+        }
+        if self.delay > Duration::ZERO {
+            self.delays.fetch_add(1, Ordering::SeqCst);
+            std::thread::sleep(self.delay);
         }
         self.inner.next_page()
     }
@@ -157,6 +298,7 @@ impl PageSource for ChaosPageSource {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::memory::MemoryConnector;
@@ -201,5 +343,117 @@ mod tests {
         let (chaos, _) = chaotic();
         assert_eq!(chaos.metadata().list_tables(), vec!["t"]);
         assert!(chaos.metadata().table_schema("t").is_ok());
+    }
+
+    fn policy_fixture(policy: ChaosPolicy) -> (Arc<ChaosConnector>, Vec<Split>) {
+        let mem = MemoryConnector::new();
+        let schema = Schema::of(&[("x", DataType::Bigint)]);
+        // One page per row so the table yields many splits — per-split
+        // fault decisions need a population to sample.
+        let pages: Vec<presto_page::Page> = (0..64)
+            .map(|i| presto_page::Page::from_rows(&schema, &[vec![Value::Bigint(i)]]))
+            .collect();
+        mem.load_table("t", schema, pages);
+        let chaos = ChaosConnector::with_policy(mem, policy);
+        let splits = chaos
+            .split_source("t", "default", &TupleDomain::all())
+            .unwrap()
+            .next_batch(1000)
+            .unwrap();
+        (chaos, splits)
+    }
+
+    #[test]
+    fn policy_decisions_are_deterministic_per_seed() {
+        let policy = ChaosPolicy {
+            seed: 99,
+            transient_fail_ratio: 0.5,
+            ..Default::default()
+        };
+        let (a, splits_a) = policy_fixture(policy.clone());
+        let (b, splits_b) = policy_fixture(policy);
+        let opts = ScanOptions {
+            columns: vec![0],
+            ..Default::default()
+        };
+        let fates_a: Vec<bool> = splits_a
+            .iter()
+            .map(|s| a.create_source(s, &opts).is_err())
+            .collect();
+        let fates_b: Vec<bool> = splits_b
+            .iter()
+            .map(|s| b.create_source(s, &opts).is_err())
+            .collect();
+        assert_eq!(fates_a, fates_b, "same seed must doom the same splits");
+        assert!(fates_a.iter().any(|f| *f), "ratio 0.5 should doom some");
+        assert!(fates_a.iter().any(|f| !*f), "ratio 0.5 should spare some");
+    }
+
+    #[test]
+    fn transient_policy_failure_heals_on_retry() {
+        let (chaos, splits) = policy_fixture(ChaosPolicy {
+            seed: 7,
+            transient_fail_ratio: 1.0,
+            ..Default::default()
+        });
+        let opts = ScanOptions {
+            columns: vec![0],
+            ..Default::default()
+        };
+        let err = match chaos.create_source(&splits[0], &opts) {
+            Err(e) => e,
+            Ok(_) => panic!("first attempt must fail"),
+        };
+        assert!(err.is_retryable());
+        assert!(
+            chaos.create_source(&splits[0], &opts).is_ok(),
+            "second attempt on the same split must succeed"
+        );
+    }
+
+    #[test]
+    fn permanent_policy_failure_never_heals() {
+        let (chaos, splits) = policy_fixture(ChaosPolicy {
+            seed: 7,
+            permanent_fail_ratio: 1.0,
+            ..Default::default()
+        });
+        let opts = ScanOptions {
+            columns: vec![0],
+            ..Default::default()
+        };
+        for _ in 0..3 {
+            let err = match chaos.create_source(&splits[0], &opts) {
+                Err(e) => e,
+                Ok(_) => panic!("permanent failure must persist"),
+            };
+            assert!(!err.is_retryable(), "permanent failures are not retryable");
+        }
+    }
+
+    #[test]
+    fn delayed_splits_still_produce_all_rows() {
+        let (chaos, splits) = policy_fixture(ChaosPolicy {
+            seed: 7,
+            delay_ratio: 1.0,
+            delay: Duration::from_micros(100),
+            hang_ratio: 1.0,
+            hang: Duration::from_micros(500),
+            ..Default::default()
+        });
+        let opts = ScanOptions {
+            columns: vec![0],
+            ..Default::default()
+        };
+        let mut rows = 0u64;
+        for split in &splits {
+            let mut src = chaos.create_source(split, &opts).unwrap();
+            while let Some(page) = src.next_page().unwrap() {
+                rows += page.row_count() as u64;
+            }
+        }
+        assert_eq!(rows, 64);
+        assert!(chaos.injected_delays() > 0);
+        assert_eq!(chaos.injected_failures(), 0);
     }
 }

@@ -491,6 +491,7 @@ impl PageSink for HiveSink {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use presto_common::{DataType, Value};

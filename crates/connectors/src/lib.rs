@@ -27,7 +27,7 @@ pub mod memory;
 pub mod raptor;
 pub mod sharded;
 
-pub use chaos::ChaosConnector;
+pub use chaos::{ChaosConnector, ChaosPolicy};
 pub use hive::HiveConnector;
 pub use memory::MemoryConnector;
 pub use raptor::RaptorConnector;

@@ -295,6 +295,7 @@ impl PageSink for MemorySink {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use presto_common::DataType;

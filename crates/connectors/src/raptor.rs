@@ -204,7 +204,10 @@ impl RaptorConnector {
         // Merge footer statistics into table statistics.
         let stats = merge_stats(&schema, &all_stats);
         let mut store = self.metastore.write();
-        let t = store.tables.get_mut(table).unwrap();
+        let t = store
+            .tables
+            .get_mut(table)
+            .expect("table registered before shard write");
         t.shards = shards;
         t.stats = stats;
         Ok(())
@@ -445,6 +448,7 @@ impl PageSink for RaptorSink {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use presto_common::{DataType, Value};

@@ -355,6 +355,7 @@ impl IndexSource for ShardedIndexSource {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use presto_common::DataType;

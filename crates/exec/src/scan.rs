@@ -193,13 +193,11 @@ impl Operator for ScanOperator {
             if self.finished {
                 return Ok(None);
             }
-            if self.current.is_none() {
-                if !self.open_next_split()? {
-                    if self.queue.is_exhausted() {
-                        self.finished = true;
-                    }
-                    return Ok(None);
+            if self.current.is_none() && !self.open_next_split()? {
+                if self.queue.is_exhausted() {
+                    self.finished = true;
                 }
+                return Ok(None);
             }
             let source = self.current.as_mut().expect("split open");
             match source.next_page() {

@@ -363,6 +363,11 @@ impl<'a> Compiler<'a> {
                 // Probe continues in the current pipeline.
                 let mut chain = probe_chain;
                 let probe_type = match join_type {
+                    // An inner join with no equi keys (a cross join whose
+                    // predicate became a residual filter) must take the
+                    // full-pairing probe path: the keyed path hashes zero
+                    // columns and would match nothing.
+                    JoinType::Inner if left_keys.is_empty() => ProbeJoinType::Cross,
                     JoinType::Inner => ProbeJoinType::Inner,
                     JoinType::Left => ProbeJoinType::Left,
                     JoinType::Cross => ProbeJoinType::Cross,
@@ -558,6 +563,9 @@ impl<'a> Compiler<'a> {
                     self.ctx.session.exchange_concurrency,
                     self.ctx.session.max_transient_retries,
                 ));
+                if self.ctx.session.exchange_chaos_decode_every > 0 {
+                    client.set_chaos_decode_every(self.ctx.session.exchange_chaos_decode_every);
+                }
                 let no_more = Arc::new(AtomicBool::new(false));
                 self.exchanges.push(ExchangeInput {
                     source_fragment: *fragment,

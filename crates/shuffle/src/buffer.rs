@@ -51,6 +51,10 @@ pub struct OutputBuffer {
     /// Frames at least this long get LZ-compressed (`usize::MAX` disables).
     compression_min_bytes: usize,
     no_more_pages: std::sync::atomic::AtomicBool,
+    /// Set when the producing task's worker crashed or was declared lost:
+    /// consumers must surface `WorkerFailed` instead of treating the
+    /// (cleared) buffer as a clean end-of-stream.
+    aborted: std::sync::atomic::AtomicBool,
     /// Partitions currently accepting round-robin traffic (§IV-E3 adaptive
     /// writer scaling: consumers activate as the engine adds writer tasks).
     active_partitions: AtomicUsize,
@@ -84,6 +88,7 @@ impl OutputBuffer {
             capacity_bytes,
             compression_min_bytes,
             no_more_pages: std::sync::atomic::AtomicBool::new(false),
+            aborted: std::sync::atomic::AtomicBool::new(false),
             active_partitions: AtomicUsize::new(consumer_count),
             total_pages: AtomicU64::new(0),
             total_wire_bytes: AtomicU64::new(0),
@@ -169,6 +174,35 @@ impl OutputBuffer {
     /// Declare that no further pages will be enqueued.
     pub fn set_no_more_pages(&self) {
         self.no_more_pages.store(true, Ordering::SeqCst);
+    }
+
+    /// Teardown: stop accepting pages and release every retained frame
+    /// (§IV-G clean teardown — unacknowledged wire bytes must not outlive
+    /// their query). Consumers observe a clean end-of-stream.
+    pub fn close(&self) {
+        self.set_no_more_pages();
+        let mut freed = 0usize;
+        for partition in &self.partitions {
+            let mut p = partition.lock();
+            freed += p.pages.iter().map(|(_, b)| b.len()).sum::<usize>();
+            p.pages.clear();
+        }
+        if freed > 0 {
+            self.buffered_bytes.fetch_sub(freed, Ordering::Relaxed);
+        }
+    }
+
+    /// Source-lost teardown: like [`close`](Self::close), but consumers must
+    /// treat this buffer as a failed upstream (`WorkerFailed`), not a clean
+    /// end-of-stream — the producer died mid-stream and data may be missing.
+    pub fn abort(&self) {
+        self.aborted.store(true, Ordering::SeqCst);
+        self.close();
+    }
+
+    /// Whether the producing task was lost mid-stream.
+    pub fn is_aborted(&self) -> bool {
+        self.aborted.load(Ordering::SeqCst)
     }
 
     pub fn state(&self) -> BufferState {
@@ -353,6 +387,35 @@ mod tests {
         assert!(wire < logical, "wire {wire} should be < logical {logical}");
         // Acknowledging frees exactly the wire bytes.
         buf.poll(0, r.next_token, usize::MAX);
+        assert_eq!(buf.retained_bytes(), 0);
+    }
+
+    #[test]
+    fn close_releases_retained_bytes() {
+        let buf = OutputBuffer::new(2, 1 << 20);
+        for i in 0..8 {
+            buf.enqueue(0, &page(i));
+            buf.enqueue(1, &page(i));
+        }
+        assert!(buf.retained_bytes() > 0);
+        buf.close();
+        assert_eq!(buf.retained_bytes(), 0, "teardown must free wire bytes");
+        assert!(!buf.is_aborted());
+        assert_eq!(buf.state(), BufferState::Finished);
+        // Late producer pages (cancelled task mid-quanta) are dropped.
+        buf.enqueue(0, &page(99));
+        assert_eq!(buf.retained_bytes(), 0);
+        // Consumers see a clean end-of-stream.
+        let r = buf.poll(0, 0, usize::MAX);
+        assert!(r.pages.is_empty() && r.finished);
+    }
+
+    #[test]
+    fn abort_marks_source_lost() {
+        let buf = OutputBuffer::new(1, 1 << 20);
+        buf.enqueue(0, &page(1));
+        buf.abort();
+        assert!(buf.is_aborted());
         assert_eq!(buf.retained_bytes(), 0);
     }
 

@@ -17,7 +17,7 @@
 
 use crossbeam::queue::SegQueue;
 use parking_lot::{Mutex, RwLock};
-use presto_common::{PrestoError, Result};
+use presto_common::{ErrorCode, PrestoError, Result};
 use presto_page::{decode_framed_page, Page};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -38,6 +38,10 @@ struct SourceProgress {
     in_flight_until: Option<Instant>,
     /// Consecutive transient decode failures; reset on success.
     consecutive_failures: u32,
+    /// Earliest instant the next retry of this source may fetch: set after
+    /// a transient failure to `base * 2^(failures-1)` plus deterministic
+    /// jitter, so retries back off instead of hammering the producer.
+    retry_after: Option<Instant>,
 }
 
 /// One upstream producer this client reads from.
@@ -101,6 +105,12 @@ pub struct ExchangeClient {
     /// this to prove the retry path neither loses nor duplicates pages.
     chaos_decode_every: AtomicUsize,
     decode_attempts: AtomicUsize,
+    /// Set when the owning query was cancelled or failed: polling stops
+    /// immediately (no retry runs to exhaustion for a dead query) and the
+    /// client reports finished so exchange drivers retire.
+    cancelled: AtomicBool,
+    /// Base of the per-source exponential retry backoff, in nanoseconds.
+    retry_backoff_nanos: AtomicU64,
 }
 
 impl ExchangeClient {
@@ -134,6 +144,8 @@ impl ExchangeClient {
             in_flight: AtomicUsize::new(0),
             chaos_decode_every: AtomicUsize::new(0),
             decode_attempts: AtomicUsize::new(0),
+            cancelled: AtomicBool::new(false),
+            retry_backoff_nanos: AtomicU64::new(200_000), // 200µs
         }
     }
 
@@ -151,6 +163,7 @@ impl ExchangeClient {
                 finished: false,
                 in_flight_until: None,
                 consecutive_failures: 0,
+                retry_after: None,
             }),
         }));
     }
@@ -164,6 +177,38 @@ impl ExchangeClient {
     /// (0 disables). Models flaky transport below the retry layer.
     pub fn set_chaos_decode_every(&self, every: usize) {
         self.chaos_decode_every.store(every, Ordering::SeqCst);
+    }
+
+    /// Override the base retry backoff (tests shorten or lengthen it to
+    /// observe the schedule).
+    pub fn set_retry_backoff(&self, base: Duration) {
+        self.retry_backoff_nanos
+            .store(base.as_nanos() as u64, Ordering::SeqCst);
+    }
+
+    /// Cancel the client: the owning query was cancelled or failed. Stops
+    /// all polling and retrying immediately, reports finished so exchange
+    /// drivers retire, and releases the locally buffered pages.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::SeqCst);
+        while let Some((_page, wire_len)) = self.ready.pop() {
+            self.buffered_bytes.fetch_sub(wire_len, Ordering::SeqCst);
+        }
+    }
+
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::SeqCst)
+    }
+
+    /// Deterministic jitter for the `attempt`-th retry: up to half the
+    /// backoff step, derived from the attempt counter so concurrent
+    /// consumers de-synchronize without shared randomness.
+    fn retry_delay(&self, attempt: u32) -> Duration {
+        let base = self.retry_backoff_nanos.load(Ordering::Relaxed).max(1);
+        let step = base.saturating_mul(1u64 << (attempt.saturating_sub(1)).min(10));
+        let salt = self.decode_attempts.load(Ordering::Relaxed) as u64;
+        let jitter = presto_common::chaos::mix(salt ^ u64::from(attempt)) % (step / 2 + 1);
+        Duration::from_nanos(step + jitter)
     }
 
     fn avg_bytes_per_request(&self) -> f64 {
@@ -211,6 +256,11 @@ impl ExchangeClient {
     /// Returns true if any pages were delivered or a source finished.
     /// Never sleeps and never holds a client-wide lock while decoding.
     pub fn poll_progress(&self) -> Result<bool> {
+        // A cancelled query stops retrying (and fetching) immediately —
+        // retry budgets must not keep dead queries alive.
+        if self.is_cancelled() {
+            return Ok(false);
+        }
         if !self.has_capacity() {
             return Ok(false);
         }
@@ -257,6 +307,22 @@ impl ExchangeClient {
         if progress.finished {
             return Ok(PollOutcome::Idle);
         }
+        // A crashed/lost producer is not an end-of-stream: surface the loss
+        // as the retryable `WorkerFailed` instead of silently spending the
+        // decode-retry budget against a buffer that will never recover.
+        if source.buffer.is_aborted() {
+            return Err(PrestoError::new(
+                ErrorCode::WorkerFailed,
+                "exchange source lost: producing task's worker crashed or was declared dead",
+            ));
+        }
+        // Honor the post-failure backoff window.
+        if let Some(at) = progress.retry_after {
+            if Instant::now() < at {
+                return Ok(PollOutcome::Pending);
+            }
+            progress.retry_after = None;
+        }
         // Latency injection via per-request deadlines: the first touch
         // "issues" the request and returns immediately; data is delivered
         // by whichever driver touches the source after the deadline. N
@@ -300,13 +366,24 @@ impl ExchangeClient {
                     progress.consecutive_failures += 1;
                     self.retries.fetch_add(1, Ordering::Relaxed);
                     if progress.consecutive_failures >= self.max_retries {
-                        return Err(PrestoError::internal(format!(
-                            "exchange source failed {} consecutive decodes: {e}",
-                            progress.consecutive_failures
-                        )));
+                        // Exhausted low-level retries: a page-transport
+                        // fault, not an engine bug. Surface it as the
+                        // retryable worker-failure class so the query fails
+                        // with a fault-shaped error the coordinator (or the
+                        // client) may retry, per §IV-G.
+                        return Err(PrestoError::new(
+                            ErrorCode::WorkerFailed,
+                            format!(
+                                "exchange source failed {} consecutive decodes: {e}",
+                                progress.consecutive_failures
+                            ),
+                        ));
                     }
                     // Transient: token not advanced, nothing buffered; the
-                    // next poll of this source re-fetches the same batch.
+                    // next poll of this source re-fetches the same batch —
+                    // after a jittered exponential backoff.
+                    progress.retry_after =
+                        Some(Instant::now() + self.retry_delay(progress.consecutive_failures));
                     return Ok(PollOutcome::Idle);
                 }
             }
@@ -365,9 +442,10 @@ impl ExchangeClient {
         Some(page)
     }
 
-    /// All sources finished and the local buffer is drained.
+    /// All sources finished and the local buffer is drained (or the owning
+    /// query was cancelled — exchange drivers must retire immediately).
     pub fn is_finished(&self) -> bool {
-        self.ready.is_empty() && self.open.load(Ordering::SeqCst) == 0
+        self.is_cancelled() || (self.ready.is_empty() && self.open.load(Ordering::SeqCst) == 0)
     }
 
     pub fn bytes_received(&self) -> u64 {
@@ -500,6 +578,7 @@ mod tests {
         // Small input buffer keeps batches to a frame or two, so a batch
         // that hits an injected failure succeeds on its re-fetch.
         let client = ExchangeClient::with_config(64, Duration::ZERO, 8, 5);
+        client.set_retry_backoff(Duration::ZERO);
         client.add_source(a, 0);
         // Fail every 3rd decode attempt: batches get retried, and because
         // the token only advances after a full-batch decode, every page
@@ -527,6 +606,7 @@ mod tests {
         a.enqueue(0, &page(1));
         a.set_no_more_pages();
         let client = ExchangeClient::with_config(1 << 20, Duration::ZERO, 8, 3);
+        client.set_retry_backoff(Duration::ZERO);
         client.add_source(a, 0);
         client.set_chaos_decode_every(1); // every decode fails
         let mut err = None;
@@ -540,7 +620,94 @@ mod tests {
             }
         }
         let err = err.expect("exhausted retries must surface an error");
-        assert!(!err.is_retryable(), "retry budget spent: error is fatal");
+        // The low-level retry budget is spent, but the failure stays
+        // fault-shaped: the coordinator (or client) may retry the whole
+        // query on fresh exchanges.
+        assert_eq!(err.code, presto_common::ErrorCode::WorkerFailed);
+        assert!(err.is_retryable(), "transport exhaustion is a worker fault");
+    }
+
+    #[test]
+    fn aborted_source_surfaces_worker_failed() {
+        let a = OutputBuffer::new(1, 1 << 20);
+        a.enqueue(0, &page(1));
+        let client = ExchangeClient::new(1 << 20, Duration::ZERO);
+        client.add_source(Arc::clone(&a), 0);
+        a.abort();
+        let err = client.poll_progress().expect_err("lost source must error");
+        assert_eq!(err.code, presto_common::ErrorCode::WorkerFailed);
+        assert!(err.is_retryable(), "worker loss is retryable at query level");
+    }
+
+    #[test]
+    fn cancel_stops_retrying_and_finishes() {
+        let a = OutputBuffer::new(1, 1 << 20);
+        for i in 0..10 {
+            a.enqueue(0, &page(i));
+        }
+        let client = ExchangeClient::with_config(1 << 20, Duration::ZERO, 8, 1000);
+        client.set_retry_backoff(Duration::ZERO);
+        client.add_source(a, 0);
+        client.set_chaos_decode_every(1); // every decode fails: retry forever
+        for _ in 0..5 {
+            client.poll_progress().unwrap();
+        }
+        let retries_before = client.retries();
+        assert!(retries_before > 0, "chaos must have forced retries");
+        client.cancel();
+        assert!(client.is_finished(), "cancelled client reports finished");
+        for _ in 0..20 {
+            assert!(!client.poll_progress().unwrap());
+        }
+        assert_eq!(
+            client.retries(),
+            retries_before,
+            "a cancelled query must stop retrying immediately"
+        );
+        assert_eq!(client.buffered_bytes(), 0, "cancel releases buffered bytes");
+        assert!(client.next_page().is_none());
+    }
+
+    #[test]
+    fn transient_failure_backs_off_before_retrying() {
+        let a = OutputBuffer::new(1, 1 << 20);
+        a.enqueue(0, &page(1));
+        a.set_no_more_pages();
+        let client = ExchangeClient::with_config(1 << 20, Duration::ZERO, 8, 100);
+        client.set_retry_backoff(Duration::from_millis(30));
+        client.add_source(a, 0);
+        client.set_chaos_decode_every(1); // fail the first decode…
+        client.poll_progress().unwrap();
+        assert_eq!(client.retries(), 1);
+        client.set_chaos_decode_every(0); // …then let the retry through
+        // Inside the backoff window no new decode is attempted.
+        for _ in 0..10 {
+            client.poll_progress().unwrap();
+        }
+        assert!(client.next_page().is_none(), "no fetch inside the backoff");
+        // After the window (30ms base + ≤15ms jitter) the re-fetch succeeds.
+        std::thread::sleep(Duration::from_millis(50));
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while client.next_page().is_none() {
+            assert!(Instant::now() < deadline, "retry must happen post-backoff");
+            client.poll_progress().unwrap();
+        }
+        assert_eq!(client.retries(), 1, "exactly one retry was needed");
+    }
+
+    #[test]
+    fn retry_delay_grows_exponentially_with_jitter_bound() {
+        let client = ExchangeClient::new(1 << 20, Duration::ZERO);
+        client.set_retry_backoff(Duration::from_millis(10));
+        let mut last = Duration::ZERO;
+        for attempt in 1..=5u32 {
+            let d = client.retry_delay(attempt);
+            let step = Duration::from_millis(10) * 2u32.pow(attempt - 1);
+            assert!(d >= step, "attempt {attempt}: {d:?} < base step {step:?}");
+            assert!(d <= step + step / 2, "attempt {attempt}: jitter beyond 50%");
+            assert!(d > last, "backoff must grow");
+            last = d;
+        }
     }
 
     #[test]

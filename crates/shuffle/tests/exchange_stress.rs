@@ -127,3 +127,105 @@ fn single_poll_pass_issues_all_requests_without_blocking() {
         "poll_progress must not block on injected latency"
     );
 }
+
+#[test]
+fn cancel_mid_drain_under_chaos_stops_all_drivers_and_releases_buffers() {
+    // Four drivers drain four sources through a flaky transport (every 5th
+    // decode fails, so several sources sit in retry-backoff windows at any
+    // moment). Cancelling mid-drain must stop polling AND retrying at once:
+    // no driver keeps a dead query's retry budget alive.
+    let client = Arc::new(ExchangeClient::with_config(
+        512,
+        Duration::from_millis(1),
+        8,
+        10,
+    ));
+    client.set_chaos_decode_every(5);
+    client.set_retry_backoff(Duration::from_micros(100));
+    for s in 0..4 {
+        client.add_source(fill_source(s, 64, 32), 0);
+    }
+    let canceller = Arc::clone(&client);
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            let client = Arc::clone(&client);
+            scope.spawn(move || {
+                let deadline = Instant::now() + Duration::from_secs(10);
+                while !client.is_finished() {
+                    assert!(Instant::now() < deadline, "driver failed to observe cancel");
+                    if client.poll_progress().is_err() {
+                        break;
+                    }
+                    while client.next_page().is_some() {}
+                    std::thread::sleep(Duration::from_micros(100));
+                }
+            });
+        }
+        scope.spawn(move || {
+            std::thread::sleep(Duration::from_millis(5));
+            canceller.cancel();
+        });
+    });
+    assert!(client.is_cancelled());
+    assert!(
+        client.is_finished(),
+        "a cancelled client reports finished so exchange drivers retire"
+    );
+    // Drain anything a racing decode slipped in after the cancel's sweep;
+    // teardown must end with zero retained wire bytes.
+    while client.next_page().is_some() {}
+    assert_eq!(client.buffered_bytes(), 0, "cancel releases buffered pages");
+}
+
+#[test]
+fn aborted_source_mid_drain_surfaces_worker_failed_to_every_driver() {
+    use presto_common::ErrorCode;
+    // Source 0's producer "crashes" mid-stream: its buffer aborts without
+    // ever finishing. Every driver must get the retryable WorkerFailed
+    // error instead of blocking forever or burning the decode-retry budget.
+    let client = Arc::new(ExchangeClient::with_config(
+        64 << 10,
+        Duration::from_millis(1),
+        8,
+        3,
+    ));
+    let lost = OutputBuffer::new(1, usize::MAX);
+    let values: Vec<i64> = (0..8).collect();
+    lost.enqueue(
+        0,
+        &Page::new(vec![Block::from(LongBlock::from_values(values))]),
+    );
+    client.add_source(Arc::clone(&lost), 0);
+    for s in 1..4 {
+        client.add_source(fill_source(s, 8, 8), 0);
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let client = Arc::clone(&client);
+                scope.spawn(move || {
+                    let deadline = Instant::now() + Duration::from_secs(10);
+                    loop {
+                        assert!(Instant::now() < deadline, "worker loss never surfaced");
+                        match client.poll_progress() {
+                            Err(e) => break e,
+                            Ok(_) => {
+                                while client.next_page().is_some() {}
+                                std::thread::sleep(Duration::from_micros(200));
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        scope.spawn(|| {
+            std::thread::sleep(Duration::from_millis(5));
+            lost.abort();
+        });
+        for h in handles {
+            let e = h.join().expect("driver thread");
+            assert_eq!(e.code, ErrorCode::WorkerFailed, "{e}");
+            assert!(e.is_retryable(), "worker loss is retryable upstream");
+        }
+    });
+}
