@@ -92,6 +92,30 @@ fn telemetry_bench_smoke_mode_runs() {
     assert!(stdout.contains("telemetry_bench: ok"), "completion marker");
 }
 
+#[test]
+fn dynfilter_bench_smoke_mode_runs() {
+    // The runtime dynamic-filtering benchmark in --smoke mode: asserts
+    // internally that the filtered and unfiltered runs return identical
+    // rows, that at least one filter is published, and that split/stripe/
+    // row pruning reduced scan bytes.
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_dynfilter_bench"))
+        .arg("--smoke")
+        .current_dir(std::env::temp_dir())
+        .output()
+        .expect("run dynfilter_bench --smoke");
+    assert!(
+        out.status.success(),
+        "dynfilter_bench --smoke failed:\n{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr),
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("star-schema join"), "join section present");
+    assert!(stdout.contains("zero diffs"), "differential check present");
+    assert!(stdout.contains("scan-bytes reduction"), "bytes section present");
+    assert!(stdout.contains("dynfilter_bench: ok"), "end marker present");
+}
+
 fn smoke_cluster() -> Cluster {
     let mem = MemoryConnector::new();
     TpchGenerator::new(0.001).load_memory(&mem);

@@ -343,6 +343,24 @@ impl Coordinator {
             ));
         }
         let placements = place_fragments(plan, &self.config, &available);
+        // Dynamic filtering (§IV-B2): one registry per query routes
+        // build-side key domains from join builds to probe-side scans.
+        // Partitioned builds complete a filter after every join-stage task
+        // reports its shard; replicated (broadcast) builds see the full
+        // build side in every task, so the first report wins.
+        let dyn_filters = (session.dynamic_filtering && !plan.dynamic_filters.is_empty())
+            .then(|| {
+                let registry = presto_exec::DynamicFilterRegistry::new();
+                for spec in &plan.dynamic_filters {
+                    let expected = if spec.broadcast {
+                        1
+                    } else {
+                        placements[spec.join_fragment as usize].tasks.len()
+                    };
+                    registry.register(spec.join, expected);
+                }
+                presto_exec::TaskDynamicFilters::new(registry, plan.dynamic_filters.clone())
+            });
         // Create every task (compiled, not yet running).
         let mut tasks: Vec<Vec<presto_exec::Task>> = Vec::with_capacity(plan.fragments.len());
         for fragment in &plan.fragments {
@@ -371,6 +389,7 @@ impl Coordinator {
                     exchange_buffer_bytes: self.config.exchange_buffer_bytes,
                     exchange_poll_latency: self.config.exchange_poll_latency,
                     trace: self.trace.clone(),
+                    dynamic_filters: dyn_filters.clone(),
                 };
                 fragment_tasks.push(create_task(fragment, &ctx)?);
             }
@@ -450,7 +469,15 @@ impl Coordinator {
                 handles[fid as usize].push(handle);
             }
             // Feed splits for this fragment's scans.
-            self.feed_fragment_splits(plan, fid, &placements, &handles[fid as usize], state)?;
+            self.feed_fragment_splits(
+                plan,
+                fid,
+                &placements,
+                &handles[fid as usize],
+                state,
+                session,
+                dyn_filters.as_ref(),
+            )?;
         }
         // All tasks are submitted; drains may proceed (running tasks still
         // hold the worker via live_tasks()).
@@ -488,6 +515,20 @@ impl Coordinator {
         if let Some(e) = state.error() {
             return Err(e);
         }
+        // Roll this query's dynamic-filtering savings into the
+        // cluster-lifetime counters exported by `ClusterSnapshot`.
+        if let Some(df) = &dyn_filters {
+            use std::sync::atomic::Ordering::Relaxed;
+            let t = df.registry.totals();
+            self.telemetry
+                .record_dynamic_filters(crate::telemetry::DynamicFilterMetrics {
+                    filters_published: t.filters_published.load(Relaxed),
+                    splits_pruned: t.splits_pruned.load(Relaxed),
+                    stripes_pruned: t.stripes_pruned.load(Relaxed),
+                    rows_filtered: t.rows_filtered.load(Relaxed),
+                    wait_nanos: t.wait_nanos.load(Relaxed),
+                });
+        }
         let stats = want_stats.then(|| {
             // Give in-flight drivers a moment to retire so their final
             // reports land in the rollup. Bounded: LIMIT-style plans leave
@@ -518,6 +559,7 @@ impl Coordinator {
     /// Feeding runs on its own threads so (a) co-located fragments with two
     /// scans cannot deadlock on bounded split queues, and (b) queries can
     /// start returning results before enumeration completes (§IV-D3).
+    #[allow(clippy::too_many_arguments)]
     fn feed_fragment_splits(
         &self,
         plan: &PhysicalPlan,
@@ -525,6 +567,8 @@ impl Coordinator {
         placements: &[Placement],
         handles: &[Arc<TaskHandle>],
         state: &Arc<QueryState>,
+        session: &Session,
+        dyn_filters: Option<&Arc<presto_exec::TaskDynamicFilters>>,
     ) -> Result<()> {
         let fragment = plan.fragment(fid);
         if fragment.scans().is_empty() {
@@ -554,6 +598,19 @@ impl Coordinator {
             let state = Arc::clone(state);
             let bucketed = placement.bucketed;
             let node_of = node_of.clone();
+            // Feeder-side consumer handle when a dynamic filter targets
+            // this scan: prunes still-unassigned splits once the filter
+            // arrives, within the same bounded wait the operators use.
+            let scan_filter = dyn_filters.and_then(|df| {
+                let specs = df.specs_for_scan(proto.node_id);
+                (!specs.is_empty()).then(|| {
+                    presto_exec::ScanDynamicFilter::new(
+                        Arc::clone(&df.registry),
+                        specs,
+                        session.dynamic_filter_wait,
+                    )
+                })
+            });
             std::thread::Builder::new()
                 .name(format!("split-feed-{fid}-{scan_idx}"))
                 .spawn(move || {
@@ -570,6 +627,7 @@ impl Coordinator {
                         bucketed,
                         &state,
                         &|w| node_of[w],
+                        scan_filter.as_deref(),
                     ) {
                         state.fail(e);
                         // Unblock scan drivers waiting for splits.

@@ -14,7 +14,7 @@ use std::sync::Arc;
 
 use crate::memory::PoolSnapshot;
 use crate::mlfq::{LevelSnapshot, SchedulerSnapshot};
-use crate::telemetry::ClusterTelemetry;
+use crate::telemetry::{ClusterTelemetry, DynamicFilterMetrics};
 use crate::worker::Worker;
 
 /// One worker's runtime state.
@@ -95,6 +95,8 @@ pub struct ClusterSnapshot {
     pub workers: Vec<WorkerMetrics>,
     pub shuffle: ShuffleMetrics,
     pub queries: QueryGauges,
+    /// Dynamic-filtering savings accumulated across finished queries.
+    pub dynamic_filters: DynamicFilterMetrics,
     pub caches: Vec<CacheLayerMetrics>,
     /// Events recorded into the trace timeline so far (0 when disabled).
     pub trace_events: u64,
@@ -147,6 +149,7 @@ impl ClusterSnapshot {
                 finished: telemetry.finished_queries(),
                 failed: telemetry.failed_queries(),
             },
+            dynamic_filters: telemetry.dynamic_filter_metrics(),
             caches: telemetry
                 .cache_counters_by_layer()
                 .into_iter()
@@ -199,6 +202,16 @@ impl ClusterSnapshot {
                 ]),
             ),
             (
+                "dynamic_filters",
+                Json::obj([
+                    ("filters_published", int(self.dynamic_filters.filters_published)),
+                    ("splits_pruned", int(self.dynamic_filters.splits_pruned)),
+                    ("stripes_pruned", int(self.dynamic_filters.stripes_pruned)),
+                    ("rows_filtered", int(self.dynamic_filters.rows_filtered)),
+                    ("wait_nanos", int(self.dynamic_filters.wait_nanos)),
+                ]),
+            ),
+            (
                 "caches",
                 Json::Arr(
                     self.caches
@@ -224,6 +237,7 @@ impl ClusterSnapshot {
     pub fn from_json(v: &Json) -> Result<ClusterSnapshot> {
         let shuffle = v.field("shuffle")?;
         let queries = v.field("queries")?;
+        let df = v.field("dynamic_filters")?;
         Ok(ClusterSnapshot {
             uptime_nanos: v.field_u64("uptime_nanos")?,
             workers: v
@@ -245,6 +259,13 @@ impl ClusterSnapshot {
                 running: queries.field_u64("running")?,
                 finished: queries.field_u64("finished")?,
                 failed: queries.field_u64("failed")?,
+            },
+            dynamic_filters: DynamicFilterMetrics {
+                filters_published: df.field_u64("filters_published")?,
+                splits_pruned: df.field_u64("splits_pruned")?,
+                stripes_pruned: df.field_u64("stripes_pruned")?,
+                rows_filtered: df.field_u64("rows_filtered")?,
+                wait_nanos: df.field_u64("wait_nanos")?,
             },
             caches: v
                 .field_arr("caches")?
@@ -415,6 +436,13 @@ mod tests {
                 running: 2,
                 finished: 6,
                 failed: 1,
+            },
+            dynamic_filters: DynamicFilterMetrics {
+                filters_published: 2,
+                splits_pruned: 7,
+                stripes_pruned: 11,
+                rows_filtered: 5000,
+                wait_nanos: 1_250_000,
             },
             caches: vec![CacheLayerMetrics {
                 layer: "porc_footer".to_string(),

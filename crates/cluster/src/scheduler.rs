@@ -126,6 +126,13 @@ impl SplitFeeder<'_> {
     /// bucketed splits go to their bucket's task; others to the shortest
     /// queue among candidate tasks (respecting address constraints).
     /// Returns the number of splits assigned.
+    ///
+    /// When a dynamic filter targets this scan, every split still
+    /// unassigned once the filter arrives is re-checked against the
+    /// narrowed domain and dropped if it provably holds no matching rows —
+    /// the coarsest of the three pruning levels. Enumeration never blocks
+    /// on the filter: splits assigned before it arrives are pruned later
+    /// at stripe and row granularity.
     #[allow(clippy::too_many_arguments)]
     pub fn feed(
         &self,
@@ -137,6 +144,7 @@ impl SplitFeeder<'_> {
         bucketed: bool,
         query: &QueryState,
         node_of_worker: &dyn Fn(usize) -> presto_common::NodeId,
+        dynamic_filter: Option<&presto_exec::ScanDynamicFilter>,
     ) -> Result<u64> {
         let connector = self.catalogs.catalog(catalog)?;
         let mut source = connector.split_source(table, layout, predicate)?;
@@ -154,6 +162,16 @@ impl SplitFeeder<'_> {
                 continue;
             }
             for split in batch {
+                if let (Some(df), Some(split_domain)) = (dynamic_filter, &split.domain) {
+                    if df.ready() {
+                        if let Some(table_domain) = df.table_domain() {
+                            if presto_exec::dynfilter::split_pruned(&table_domain, split_domain) {
+                                df.note_splits_pruned(1);
+                                continue;
+                            }
+                        }
+                    }
+                }
                 if bucketed {
                     let bucket = split.bucket.ok_or_else(|| {
                         PrestoError::internal("bucketed stage received a split without a bucket")
@@ -311,6 +329,7 @@ mod tests {
             addresses: vec![presto_common::NodeId(2)],
             estimated_rows: 1,
             bucket: None,
+            domain: None,
             info: "pinned".into(),
         };
         let mut source = FixedSplitSource::new(vec![split]);
@@ -359,6 +378,7 @@ mod tests {
                 false,
                 &state,
                 &|w| presto_common::NodeId(w as u32),
+                None,
             )
             .unwrap();
         assert!(assigned >= 10);

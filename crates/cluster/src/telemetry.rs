@@ -40,6 +40,28 @@ struct Inner {
     /// named layer ("porc_footer", "metastore_stats", …) exporting its
     /// live [`CacheStats`] handle.
     caches: Mutex<Vec<(&'static str, Arc<CacheStats>)>>,
+    /// Dynamic-filtering totals, rolled in per query after it finishes.
+    df_filters_published: AtomicU64,
+    df_splits_pruned: AtomicU64,
+    df_stripes_pruned: AtomicU64,
+    df_rows_filtered: AtomicU64,
+    df_wait_nanos: AtomicU64,
+}
+
+/// Cluster-lifetime dynamic-filtering counters (§VII): how much work the
+/// build-side domains pushed into probe scans saved, across all queries.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DynamicFilterMetrics {
+    /// Filters completed and published by join builds.
+    pub filters_published: u64,
+    /// Splits discarded before a scan driver opened them.
+    pub splits_pruned: u64,
+    /// Stripes skipped by readers under a narrowed domain.
+    pub stripes_pruned: u64,
+    /// Rows dropped by the row-level membership check.
+    pub rows_filtered: u64,
+    /// Total time scans spent gated on filter arrival.
+    pub wait_nanos: u64,
 }
 
 /// Lifecycle record for one query.
@@ -91,6 +113,11 @@ impl ClusterTelemetry {
                 queries: Mutex::new(HashMap::new()),
                 errors: Mutex::new(HashMap::new()),
                 caches: Mutex::new(Vec::new()),
+                df_filters_published: AtomicU64::new(0),
+                df_splits_pruned: AtomicU64::new(0),
+                df_stripes_pruned: AtomicU64::new(0),
+                df_rows_filtered: AtomicU64::new(0),
+                df_wait_nanos: AtomicU64::new(0),
             }),
         }
     }
@@ -224,6 +251,33 @@ impl ClusterTelemetry {
 
     pub fn errors(&self) -> HashMap<&'static str, u64> {
         self.inner.errors.lock().clone()
+    }
+
+    /// Accumulate one query's dynamic-filtering totals into the
+    /// cluster-lifetime counters.
+    pub fn record_dynamic_filters(&self, totals: DynamicFilterMetrics) {
+        let i = &self.inner;
+        i.df_filters_published
+            .fetch_add(totals.filters_published, Ordering::Relaxed);
+        i.df_splits_pruned
+            .fetch_add(totals.splits_pruned, Ordering::Relaxed);
+        i.df_stripes_pruned
+            .fetch_add(totals.stripes_pruned, Ordering::Relaxed);
+        i.df_rows_filtered
+            .fetch_add(totals.rows_filtered, Ordering::Relaxed);
+        i.df_wait_nanos
+            .fetch_add(totals.wait_nanos, Ordering::Relaxed);
+    }
+
+    pub fn dynamic_filter_metrics(&self) -> DynamicFilterMetrics {
+        let i = &self.inner;
+        DynamicFilterMetrics {
+            filters_published: i.df_filters_published.load(Ordering::Relaxed),
+            splits_pruned: i.df_splits_pruned.load(Ordering::Relaxed),
+            stripes_pruned: i.df_stripes_pruned.load(Ordering::Relaxed),
+            rows_filtered: i.df_rows_filtered.load(Ordering::Relaxed),
+            wait_nanos: i.df_wait_nanos.load(Ordering::Relaxed),
+        }
     }
 
     /// Export a cache layer's live counters under `name`.

@@ -319,3 +319,40 @@ fn cross_join_residual_filter_finds_all_matches() {
     let out = c.execute(SLOW_JOIN).unwrap();
     assert_eq!(out.row_count(), 4000);
 }
+
+/// Dynamic filtering under faults: the worker building the join's hash
+/// table (the filter publisher) hangs past the probe scan's
+/// `dynamic_filter_wait` deadline. The scan must degrade to an unpruned
+/// read and the query must still return the exact result once the worker
+/// resumes — a late (or absent) filter is a lost optimization, never a
+/// correctness or liveness problem.
+#[test]
+fn dynamic_filter_publisher_hang_degrades_to_unpruned_scan() {
+    let config = ClusterConfig {
+        workers: 2,
+        // Generous liveness budget: the hang must expire the filter wait,
+        // not get the worker declared lost.
+        liveness_timeout: Duration::from_secs(10),
+        ..ClusterConfig::test()
+    };
+    let c = start(config);
+    let session = Session {
+        dynamic_filter_wait: Duration::from_millis(1),
+        ..Session::default()
+    };
+    // Probe: full orders scan; build: the 10 smallest orderkeys. Each
+    // custkey value 0..100 appears 40 times, so keys 0..10 match 400 rows.
+    let sql = "SELECT COUNT(*) FROM orders f JOIN \
+               (SELECT orderkey FROM orders WHERE orderkey < 10) d \
+               ON f.custkey = d.orderkey";
+    let handle = c.submit(sql, session.clone());
+    c.hang_worker(1);
+    std::thread::sleep(Duration::from_millis(50));
+    c.resume_worker(1);
+    let out = handle.join().unwrap().expect("query survives the hang");
+    assert_eq!(out.rows()[0][0], Value::Bigint(400));
+    // Same query, no faults, for reference: identical answer.
+    let out = c.execute_with_session(sql, &session).unwrap();
+    assert_eq!(out.rows()[0][0], Value::Bigint(400));
+    assert_clean(&c, Duration::from_secs(5));
+}

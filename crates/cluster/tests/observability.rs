@@ -6,7 +6,7 @@
 use presto_cluster::metrics::{CacheLayerMetrics, ClusterSnapshot, QueryGauges, ShuffleMetrics, WorkerMetrics};
 use presto_cluster::memory::PoolSnapshot;
 use presto_cluster::mlfq::{LevelSnapshot, SchedulerSnapshot};
-use presto_cluster::{Cluster, ClusterConfig};
+use presto_cluster::{Cluster, ClusterConfig, DynamicFilterMetrics};
 use presto_common::json::Json;
 use presto_common::{DataType, Schema, Session, Value};
 use presto_connector::CatalogManager;
@@ -299,12 +299,15 @@ fn arb_snapshot() -> impl Strategy<Value = ClusterSnapshot> {
         counter(),
         proptest::collection::vec(arb_worker(), 0..4),
         proptest::collection::vec(counter(), 6..7),
-        proptest::collection::vec(counter(), 5..6),
+        (
+            proptest::collection::vec(counter(), 5..6),
+            proptest::collection::vec(counter(), 5..6),
+        ),
         proptest::collection::vec(arb_cache(), 0..3),
         counter(),
     )
         .prop_map(
-            |(uptime_nanos, workers, shuffle, queries, caches, trace_events)| ClusterSnapshot {
+            |(uptime_nanos, workers, shuffle, (queries, df), caches, trace_events)| ClusterSnapshot {
                 uptime_nanos,
                 workers,
                 shuffle: ShuffleMetrics {
@@ -321,6 +324,13 @@ fn arb_snapshot() -> impl Strategy<Value = ClusterSnapshot> {
                     running: queries[2],
                     finished: queries[3],
                     failed: queries[4],
+                },
+                dynamic_filters: DynamicFilterMetrics {
+                    filters_published: df[0],
+                    splits_pruned: df[1],
+                    stripes_pruned: df[2],
+                    rows_filtered: df[3],
+                    wait_nanos: df[4],
                 },
                 caches,
                 trace_events,

@@ -94,6 +94,15 @@ pub struct Session {
     /// this query's exchange clients (0 = off). Exercises the §IV-G
     /// low-level retry path from `chaos_bench` and tests.
     pub exchange_chaos_decode_every: usize,
+    /// Push join build-side key domains into probe-side scans at runtime
+    /// (split re-pruning, stripe pruning, row-level membership filter).
+    pub dynamic_filtering: bool,
+    /// How long a probe-side scan waits for its dynamic filter before
+    /// proceeding unpruned. Bounds added latency; never affects results.
+    pub dynamic_filter_wait: Duration,
+    /// Build-side keys with at most this many distinct values publish an
+    /// exact value set; larger domains degrade to min/max + Bloom.
+    pub dynamic_filter_max_values: usize,
 }
 
 impl Default for Session {
@@ -123,6 +132,9 @@ impl Default for Session {
             query_retry_attempts: 0,
             query_retry_backoff: Duration::from_millis(50),
             exchange_chaos_decode_every: 0,
+            dynamic_filtering: true,
+            dynamic_filter_wait: Duration::from_millis(500),
+            dynamic_filter_max_values: 10_000,
         }
     }
 }
@@ -156,6 +168,11 @@ mod tests {
         // client opts in.
         assert_eq!(s.query_retry_attempts, 0);
         assert_eq!(s.exchange_chaos_decode_every, 0);
+        // Dynamic filtering is on by default; the wait deadline bounds the
+        // latency cost of waiting for the build side.
+        assert!(s.dynamic_filtering);
+        assert!(s.dynamic_filter_wait > Duration::ZERO);
+        assert!(s.dynamic_filter_max_values > 0);
     }
 
     #[test]

@@ -33,5 +33,5 @@ pub use domain::{Domain, TupleDomain};
 pub use index::IndexSource;
 pub use metadata::{ConnectorMetadata, DataLayout, Partitioning};
 pub use sink::{PageSink, PageSinkFactory};
-pub use source::{PageSource, PageSourceFactory, ScanOptions};
+pub use source::{DynamicFilter, PageSource, PageSourceFactory, ScanOptions};
 pub use split::{FixedSplitSource, Split, SplitPayload, SplitSource};

@@ -2,12 +2,28 @@
 
 use presto_common::Result;
 use presto_page::Page;
+use std::sync::Arc;
 
 use crate::domain::TupleDomain;
 use crate::split::Split;
 
+/// A predicate that may *narrow while the scan runs*: the engine publishes
+/// join build-side key domains here once the build finalizes, and page
+/// sources re-consult it between stripes to skip data a static pushdown
+/// could not. Connectors apply it best-effort — the engine always re-applies
+/// the full filter — so ignoring it is always correct, just slower.
+pub trait DynamicFilter: Send + Sync {
+    /// The current narrowed domain over table-schema column indices, or
+    /// `None` if no filter has arrived yet. May tighten between calls.
+    fn domain(&self) -> Option<TupleDomain>;
+
+    /// Connector reports stripes (or equivalent units) it skipped because
+    /// of the dynamic domain, for the operator stats tree.
+    fn record_stripes_pruned(&self, _n: u64) {}
+}
+
 /// Options the engine passes when opening a split for reading.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct ScanOptions {
     /// Columns to read, as indices into the table schema, in output order.
     pub columns: Vec<usize>,
@@ -15,6 +31,9 @@ pub struct ScanOptions {
     /// to skip data. Connectors apply it best-effort; the engine always
     /// re-applies the full filter.
     pub predicate: TupleDomain,
+    /// Runtime-narrowing predicate from dynamic filtering, if any join
+    /// upstream of this scan publishes one.
+    pub dynamic_filter: Option<Arc<dyn DynamicFilter>>,
     /// Produce lazy blocks that decode on first access (§V-D). Connectors
     /// that cannot are free to ignore this.
     pub lazy: bool,
@@ -22,11 +41,24 @@ pub struct ScanOptions {
     pub target_page_rows: usize,
 }
 
+impl std::fmt::Debug for ScanOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScanOptions")
+            .field("columns", &self.columns)
+            .field("predicate", &self.predicate)
+            .field("dynamic_filter", &self.dynamic_filter.is_some())
+            .field("lazy", &self.lazy)
+            .field("target_page_rows", &self.target_page_rows)
+            .finish()
+    }
+}
+
 impl Default for ScanOptions {
     fn default() -> Self {
         ScanOptions {
             columns: Vec::new(),
             predicate: TupleDomain::all(),
+            dynamic_filter: None,
             lazy: true,
             target_page_rows: 1024,
         }

@@ -7,6 +7,7 @@
 //! can finish before enumeration completes, and coordinator memory stays
 //! bounded.
 
+use crate::domain::TupleDomain;
 use presto_common::{NodeId, Result};
 use std::sync::Arc;
 
@@ -32,6 +33,11 @@ pub struct Split {
     /// splits (across co-partitioned tables) to the same task, enabling
     /// co-located joins (§IV-C3).
     pub bucket: Option<usize>,
+    /// Value summary over table-schema column indices (e.g. per-column
+    /// min/max across the split's stripes). Lets the scheduler re-prune
+    /// still-unassigned splits when a dynamic filter narrows the predicate
+    /// after enumeration.
+    pub domain: Option<TupleDomain>,
     /// Human-readable description for telemetry.
     pub info: String,
 }
@@ -102,6 +108,7 @@ mod tests {
             addresses: vec![],
             estimated_rows: 1,
             bucket: None,
+            domain: None,
             info: format!("split-{i}"),
         }
     }

@@ -224,6 +224,10 @@ impl SplitSource for HiveSplitSource {
                     addresses: vec![],
                     estimated_rows: rows,
                     bucket: None,
+                    // Footer min/max summary lets the scheduler re-prune
+                    // this split if a dynamic filter lands before it is
+                    // assigned.
+                    domain: Some(reader.stripes_domain(stripes[i], end - i)),
                     info: format!(
                         "{}[{}..{}]",
                         file.file_name().unwrap_or_default().to_string_lossy(),
@@ -413,9 +417,20 @@ impl PageSource for HivePageSource {
     fn next_page(&mut self) -> Result<Option<Page>> {
         for stripe in self.stripes.by_ref() {
             // Re-check pruning: the predicate may be tighter than at
-            // enumeration (dynamic filters would land here too).
+            // enumeration.
             if !self.reader.stripe_matches(stripe, &self.options.predicate) {
                 continue;
+            }
+            // Dynamic filters narrow the predicate while the scan runs:
+            // re-check the stripe against the build-side key domain before
+            // paying the storage read. An empty domain prunes everything.
+            if let Some(df) = &self.options.dynamic_filter {
+                if let Some(dynamic) = df.domain() {
+                    if !self.reader.stripe_matches(stripe, &dynamic) {
+                        df.record_stripes_pruned(1);
+                        continue;
+                    }
+                }
             }
             if !self.read_latency.is_zero() {
                 std::thread::sleep(self.read_latency);

@@ -216,6 +216,7 @@ impl Connector for MemoryConnector {
                 addresses: vec![],
                 estimated_rows: rows,
                 bucket: None,
+                domain: None,
                 info: format!("{table}[{first}..{}]", first + count),
             });
             first += count;

@@ -344,6 +344,7 @@ impl Connector for RaptorConnector {
                 addresses: vec![s.node],
                 estimated_rows: s.rows,
                 bucket: Some(s.bucket),
+                domain: None,
                 info: format!("{table}/bucket-{}@{}", s.bucket, s.node),
             })
             .collect();

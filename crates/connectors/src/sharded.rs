@@ -238,6 +238,7 @@ impl Connector for ShardedSqlConnector {
                 addresses: vec![],
                 estimated_rows: t.shards[s].rows.len() as u64,
                 bucket: Some(s),
+                domain: None,
                 info: format!("{table}/shard-{s}"),
             })
             .collect();

@@ -1,0 +1,843 @@
+//! Runtime dynamic filtering: push join build-side key domains into
+//! probe-side table scans.
+//!
+//! A hash join's build side, once fully consumed, knows the exact set of
+//! key values any probe row must carry to survive the join. For selective
+//! joins (a dimension table filtered to a few rows joining a large fact
+//! table) that domain is a far stronger predicate than anything the
+//! optimizer could derive statically, so the engine collects it at runtime
+//! and feeds it back into the probe-side scans (§IV-B3 pushdown applied at
+//! execution time):
+//!
+//! 1. **Collection** — each [`crate::join::HashBuilderOperator`] folds its
+//!    build rows into a [`DomainCollector`] (exact value set, overflowing
+//!    to min/max, escalating to "no constraint"), reusing the row hashes
+//!    the build already computed for the eventual Bloom filter.
+//! 2. **Publication** — when the last builder finishes, the merged domains
+//!    are reported to the query's [`DynamicFilterRegistry`]. Partitioned
+//!    builds merge one report per task; replicated (broadcast) builds
+//!    complete on the first report, short-circuiting locally.
+//! 3. **Consumption** — probe-side scans hold a [`ScanDynamicFilter`]:
+//!    unassigned splits are re-pruned against their min/max summaries,
+//!    open readers re-check stripes (via [`presto_connector::DynamicFilter`]),
+//!    and surviving pages pass a cheap row-level membership filter before
+//!    leaving the scan. Scans wait at most `session.dynamic_filter_wait`
+//!    for filters; an expired deadline simply scans unpruned — dynamic
+//!    filtering is an optimization, never a correctness dependency.
+
+use parking_lot::{Condvar, Mutex};
+use presto_common::{DataType, PlanNodeId, Value};
+use presto_connector::{Domain, TupleDomain};
+use presto_page::hash::hash_columns;
+use presto_page::Page;
+use presto_planner::DynamicFilterSpec;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Row hashes retained for the probe-side Bloom filter are capped; a build
+/// side past this size publishes domains only.
+const MAX_BLOOM_HASHES: usize = 1 << 20;
+
+/// Value sets larger than this are not checked per-row (the Bloom filter
+/// covers large sets); ranges and small sets are always checked.
+const MAX_ROW_CHECK_SET: usize = 64;
+
+/// Accumulated domain of one build-side join key: an exact value set until
+/// `max_values` distinct values, then a min/max range, escalating to `All`
+/// (no constraint) for values that are not self-comparable (NaN), which
+/// min/max statistics cannot soundly summarize.
+#[derive(Debug, Clone)]
+pub enum KeyDomain {
+    Values(HashSet<Value>),
+    Range { min: Value, max: Value },
+    All,
+}
+
+impl KeyDomain {
+    fn new() -> KeyDomain {
+        KeyDomain::Values(HashSet::new())
+    }
+
+    fn add(&mut self, v: Value, max_values: usize) {
+        if v.is_null() {
+            return; // NULL keys never join
+        }
+        if v.sql_cmp(&v) != Some(std::cmp::Ordering::Equal) {
+            *self = KeyDomain::All;
+            return;
+        }
+        match self {
+            KeyDomain::All => {}
+            KeyDomain::Values(set) => {
+                set.insert(v);
+                if set.len() > max_values {
+                    *self = range_of(set.drain());
+                }
+            }
+            KeyDomain::Range { min, max } => {
+                if v.sql_cmp(min) == Some(std::cmp::Ordering::Less) {
+                    *min = v;
+                } else if v.sql_cmp(max) == Some(std::cmp::Ordering::Greater) {
+                    *max = v;
+                }
+            }
+        }
+    }
+
+    fn merge(self, other: KeyDomain) -> KeyDomain {
+        match (self, other) {
+            (KeyDomain::All, _) | (_, KeyDomain::All) => KeyDomain::All,
+            (KeyDomain::Values(mut a), KeyDomain::Values(b)) => {
+                a.extend(b);
+                KeyDomain::Values(a)
+            }
+            (KeyDomain::Values(set), KeyDomain::Range { min, max })
+            | (KeyDomain::Range { min, max }, KeyDomain::Values(set)) => {
+                let mut r = KeyDomain::Range { min, max };
+                for v in set {
+                    r.add(v, 0);
+                }
+                r
+            }
+            (KeyDomain::Range { min: a0, max: a1 }, KeyDomain::Range { min: b0, max: b1 }) => {
+                let mut r = KeyDomain::Range { min: a0, max: a1 };
+                r.add(b0, 0);
+                r.add(b1, 0);
+                r
+            }
+        }
+    }
+
+    /// The pushdown [`Domain`], `None` when unconstrained. The caller is
+    /// expected to have normalized an overflowed set via `add`.
+    fn to_domain(&self, max_values: usize) -> Option<Domain> {
+        match self {
+            KeyDomain::All => None,
+            KeyDomain::Values(set) if set.len() > max_values => {
+                match range_of(set.iter().cloned()) {
+                    KeyDomain::Range { min, max } => Some(Domain::Range {
+                        min: Some(min),
+                        max: Some(max),
+                    }),
+                    _ => None,
+                }
+            }
+            KeyDomain::Values(set) => {
+                let mut values: Vec<Value> = set.iter().cloned().collect();
+                values.sort(); // deterministic explain / pruning order
+                Some(Domain::Set(values))
+            }
+            KeyDomain::Range { min, max } => Some(Domain::Range {
+                min: Some(min.clone()),
+                max: Some(max.clone()),
+            }),
+        }
+    }
+}
+
+fn range_of(values: impl Iterator<Item = Value>) -> KeyDomain {
+    let mut min: Option<Value> = None;
+    let mut max: Option<Value> = None;
+    for v in values {
+        if min
+            .as_ref()
+            .is_none_or(|m| v.sql_cmp(m) == Some(std::cmp::Ordering::Less))
+        {
+            min = Some(v.clone());
+        }
+        if max
+            .as_ref()
+            .is_none_or(|m| v.sql_cmp(m) == Some(std::cmp::Ordering::Greater))
+        {
+            max = Some(v);
+        }
+    }
+    match (min, max) {
+        (Some(min), Some(max)) => KeyDomain::Range { min, max },
+        _ => KeyDomain::All, // empty input: caller keeps the empty set instead
+    }
+}
+
+/// Bloom filter over combined build-key row hashes (three probes via
+/// double hashing). Sized at ~12 bits/key for a low false-positive rate.
+#[derive(Debug, Clone)]
+pub struct DfBloom {
+    bits: Vec<u64>,
+    mask: u64,
+}
+
+impl DfBloom {
+    pub fn build(hashes: &[u64]) -> DfBloom {
+        let nbits = (hashes.len().max(64) * 12).next_power_of_two();
+        let mut bits = vec![0u64; nbits / 64];
+        let mask = (nbits - 1) as u64;
+        for &h in hashes {
+            let step = (h >> 32) | 1;
+            for k in 0..3u64 {
+                let bit = h.wrapping_add(k.wrapping_mul(step)) & mask;
+                bits[(bit / 64) as usize] |= 1 << (bit % 64);
+            }
+        }
+        DfBloom { bits, mask }
+    }
+
+    #[inline]
+    pub fn may_contain(&self, h: u64) -> bool {
+        let step = (h >> 32) | 1;
+        (0..3u64).all(|k| {
+            let bit = h.wrapping_add(k.wrapping_mul(step)) & self.mask;
+            self.bits[(bit / 64) as usize] & (1 << (bit % 64)) != 0
+        })
+    }
+
+    pub fn memory_bytes(&self) -> usize {
+        self.bits.len() * 8
+    }
+}
+
+/// One builder's (or one task's) raw contribution: per-key domains plus the
+/// combined row hashes, mergeable across builders and tasks.
+#[derive(Debug)]
+pub struct CollectedDomains {
+    pub keys: Vec<KeyDomain>,
+    /// `None` once the hash count overflowed [`MAX_BLOOM_HASHES`].
+    pub hashes: Option<Vec<u64>>,
+    pub rows: u64,
+    max_values: usize,
+}
+
+impl CollectedDomains {
+    pub fn empty(key_count: usize, max_values: usize) -> CollectedDomains {
+        CollectedDomains {
+            keys: (0..key_count).map(|_| KeyDomain::new()).collect(),
+            hashes: Some(Vec::new()),
+            rows: 0,
+            max_values,
+        }
+    }
+
+    pub fn merge(mut self, other: CollectedDomains) -> CollectedDomains {
+        self.keys = self
+            .keys
+            .into_iter()
+            .zip(other.keys)
+            .map(|(a, b)| a.merge(b))
+            .collect();
+        self.hashes = match (self.hashes, other.hashes) {
+            (Some(mut a), Some(b)) if a.len() + b.len() <= MAX_BLOOM_HASHES => {
+                a.extend(b);
+                Some(a)
+            }
+            _ => None,
+        };
+        self.rows += other.rows;
+        self
+    }
+
+    fn publish(self) -> PublishedFilter {
+        let bloom = match &self.hashes {
+            Some(h) if !h.is_empty() => Some(DfBloom::build(h)),
+            _ => None,
+        };
+        PublishedFilter {
+            domains: self
+                .keys
+                .iter()
+                .map(|k| k.to_domain(self.max_values))
+                .collect(),
+            bloom,
+            rows: self.rows,
+        }
+    }
+}
+
+/// Per-builder collector, filled off the bridge lock as build pages arrive.
+#[derive(Debug)]
+pub struct DomainCollector {
+    key_channels: Vec<usize>,
+    key_types: Vec<DataType>,
+    collected: CollectedDomains,
+}
+
+impl DomainCollector {
+    pub fn new(
+        key_channels: Vec<usize>,
+        key_types: Vec<DataType>,
+        max_values: usize,
+    ) -> DomainCollector {
+        let n = key_channels.len();
+        DomainCollector {
+            key_channels,
+            key_types,
+            collected: CollectedDomains::empty(n, max_values),
+        }
+    }
+
+    /// Fold one non-null-key build row in. `hash` is the row's combined
+    /// key hash, exactly as the join build computed it.
+    pub fn add_row(&mut self, page: &Page, row: usize, hash: u64) {
+        self.collected.rows += 1;
+        match &mut self.collected.hashes {
+            Some(h) if h.len() < MAX_BLOOM_HASHES => h.push(hash),
+            slot => *slot = None,
+        }
+        let max_values = self.collected.max_values;
+        for (slot, (&ch, &dt)) in self
+            .collected
+            .keys
+            .iter_mut()
+            .zip(self.key_channels.iter().zip(&self.key_types))
+        {
+            slot.add(page.block(ch).value_at(dt, row), max_values);
+        }
+    }
+
+    pub fn finish(self) -> CollectedDomains {
+        self.collected
+    }
+}
+
+/// A completed, merged dynamic filter for one join.
+#[derive(Debug)]
+pub struct PublishedFilter {
+    /// Per build-key domain, aligned with the join's key order; `None`
+    /// means that key is unconstrained.
+    pub domains: Vec<Option<Domain>>,
+    /// Membership filter over combined key hashes in key order.
+    pub bloom: Option<DfBloom>,
+    /// Build rows with fully non-null keys. Zero proves the join — and so
+    /// the probe scan — produces nothing.
+    pub rows: u64,
+}
+
+/// Cumulative dynamic-filtering counters for a query, rolled into cluster
+/// telemetry by the coordinator.
+#[derive(Debug, Default)]
+pub struct DfTotals {
+    pub filters_published: AtomicU64,
+    pub splits_pruned: AtomicU64,
+    pub stripes_pruned: AtomicU64,
+    pub rows_filtered: AtomicU64,
+    pub wait_nanos: AtomicU64,
+}
+
+struct FilterSlot {
+    expected: usize,
+    received: usize,
+    pending: Option<CollectedDomains>,
+    done: Option<Arc<PublishedFilter>>,
+}
+
+/// Coordinator-routed rendezvous between join builds (producers) and scans
+/// (consumers). One registry serves a whole query; joins are keyed by plan
+/// node id.
+#[derive(Default)]
+pub struct DynamicFilterRegistry {
+    slots: Mutex<HashMap<PlanNodeId, FilterSlot>>,
+    cond: Condvar,
+    totals: DfTotals,
+}
+
+impl DynamicFilterRegistry {
+    pub fn new() -> Arc<DynamicFilterRegistry> {
+        Arc::new(DynamicFilterRegistry::default())
+    }
+
+    pub fn totals(&self) -> &DfTotals {
+        &self.totals
+    }
+
+    /// Declare how many build-side reports complete `join`'s filter: the
+    /// join stage's task count for partitioned builds, 1 for replicated
+    /// builds (every task sees the full build side, the first wins).
+    pub fn register(&self, join: PlanNodeId, expected: usize) {
+        let mut slots = self.slots.lock();
+        slots.entry(join).or_insert(FilterSlot {
+            expected: expected.max(1),
+            received: 0,
+            pending: None,
+            done: None,
+        });
+    }
+
+    /// Merge one build side's domains in; the report completing the filter
+    /// publishes it and wakes waiters. Reports to an unregistered join
+    /// complete immediately (single-task execution).
+    pub fn report(&self, join: PlanNodeId, collected: CollectedDomains) {
+        let mut slots = self.slots.lock();
+        let slot = slots.entry(join).or_insert(FilterSlot {
+            expected: 1,
+            received: 0,
+            pending: None,
+            done: None,
+        });
+        if slot.done.is_some() {
+            return; // replicated build: later tasks re-report the same domain
+        }
+        slot.received += 1;
+        slot.pending = Some(match slot.pending.take() {
+            Some(prev) => prev.merge(collected),
+            None => collected,
+        });
+        if slot.received >= slot.expected {
+            let merged = slot.pending.take().expect("just stored");
+            slot.done = Some(Arc::new(merged.publish()));
+            self.totals.filters_published.fetch_add(1, Ordering::Relaxed);
+            drop(slots);
+            self.cond.notify_all();
+        }
+    }
+
+    pub fn completed(&self, join: PlanNodeId) -> Option<Arc<PublishedFilter>> {
+        self.slots.lock().get(&join).and_then(|s| s.done.clone())
+    }
+
+    pub fn is_complete(&self, join: PlanNodeId) -> bool {
+        self.slots
+            .lock()
+            .get(&join)
+            .is_some_and(|s| s.done.is_some())
+    }
+
+    /// Block until every listed join's filter is complete or `deadline`
+    /// passes; returns whether all completed. Used by the coordinator's
+    /// split feeder — operators poll non-blockingly instead.
+    pub fn wait_all(&self, joins: &[PlanNodeId], deadline: Instant) -> bool {
+        let mut slots = self.slots.lock();
+        loop {
+            let all = joins
+                .iter()
+                .all(|j| slots.get(j).is_some_and(|s| s.done.is_some()));
+            if all {
+                return true;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            self.cond.wait_for(&mut slots, deadline - now);
+        }
+    }
+
+    pub fn filters_published(&self) -> u64 {
+        self.totals.filters_published.load(Ordering::Relaxed)
+    }
+}
+
+/// Whether a split whose per-column min/max summary is `split` can be
+/// discarded under the dynamic constraint `dynamic` (both keyed by table
+/// column index).
+pub fn split_pruned(dynamic: &TupleDomain, split: &TupleDomain) -> bool {
+    if dynamic.is_none() {
+        return true;
+    }
+    dynamic.columns().any(|col| {
+        match (dynamic.domain(col), split.domain(col)) {
+            (Some(d), Some(s)) => d.intersect(s).is_none(),
+            _ => false,
+        }
+    })
+}
+
+/// Hand-off from the coordinator into task compilation: the query's
+/// registry plus the planner's filter specs.
+pub struct TaskDynamicFilters {
+    pub registry: Arc<DynamicFilterRegistry>,
+    pub specs: Vec<DynamicFilterSpec>,
+}
+
+impl TaskDynamicFilters {
+    pub fn new(
+        registry: Arc<DynamicFilterRegistry>,
+        specs: Vec<DynamicFilterSpec>,
+    ) -> Arc<TaskDynamicFilters> {
+        Arc::new(TaskDynamicFilters { registry, specs })
+    }
+
+    pub fn specs_for_scan(&self, scan: PlanNodeId) -> Vec<DynamicFilterSpec> {
+        self.specs.iter().filter(|s| s.scan == scan).cloned().collect()
+    }
+
+    pub fn produces_for_join(&self, join: PlanNodeId) -> bool {
+        self.specs.iter().any(|s| s.join == join)
+    }
+}
+
+/// Consumer handle held by one scan operator. A scan can receive filters
+/// from several joins (a star-schema fact table gets one per dimension);
+/// their domains intersect. All counters are also forwarded to the
+/// registry's query-wide totals.
+pub struct ScanDynamicFilter {
+    registry: Arc<DynamicFilterRegistry>,
+    specs: Vec<DynamicFilterSpec>,
+    started: Instant,
+    deadline: Instant,
+    ready: AtomicBool,
+    /// Cached effective domain, computed once every filter is in (or the
+    /// deadline expired).
+    cache: Mutex<Option<Option<TupleDomain>>>,
+    splits_pruned: AtomicU64,
+    stripes_pruned: AtomicU64,
+    rows_filtered: AtomicU64,
+    wait_nanos: AtomicU64,
+}
+
+impl ScanDynamicFilter {
+    pub fn new(
+        registry: Arc<DynamicFilterRegistry>,
+        specs: Vec<DynamicFilterSpec>,
+        wait: Duration,
+    ) -> Arc<ScanDynamicFilter> {
+        let started = Instant::now();
+        Arc::new(ScanDynamicFilter {
+            registry,
+            specs,
+            started,
+            deadline: started + wait,
+            ready: AtomicBool::new(false),
+            cache: Mutex::new(None),
+            splits_pruned: AtomicU64::new(0),
+            stripes_pruned: AtomicU64::new(0),
+            rows_filtered: AtomicU64::new(0),
+            wait_nanos: AtomicU64::new(0),
+        })
+    }
+
+    /// Whether the scan may proceed: every expected filter arrived or the
+    /// wait deadline expired. Records the wait time on the transition.
+    pub fn ready(&self) -> bool {
+        if self.ready.load(Ordering::Relaxed) {
+            return true;
+        }
+        let complete = self
+            .specs
+            .iter()
+            .all(|s| self.registry.is_complete(s.join));
+        if !complete && Instant::now() < self.deadline {
+            return false;
+        }
+        if self
+            .ready
+            .compare_exchange(false, true, Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok()
+        {
+            let waited = self.started.elapsed().as_nanos() as u64;
+            self.wait_nanos.store(waited, Ordering::Relaxed);
+            self.registry
+                .totals()
+                .wait_nanos
+                .fetch_add(waited, Ordering::Relaxed);
+        }
+        true
+    }
+
+    /// The effective constraint over *table* column indices, from every
+    /// completed filter; `None` when nothing has arrived yet.
+    pub fn table_domain(&self) -> Option<TupleDomain> {
+        if let Some(cached) = &*self.cache.lock() {
+            return cached.clone();
+        }
+        let domain = self.compute_domain();
+        if self.ready.load(Ordering::Relaxed) {
+            *self.cache.lock() = Some(domain.clone());
+        }
+        domain
+    }
+
+    fn compute_domain(&self) -> Option<TupleDomain> {
+        let mut td = TupleDomain::all();
+        let mut any = false;
+        for spec in &self.specs {
+            let Some(filter) = self.registry.completed(spec.join) else {
+                continue;
+            };
+            any = true;
+            if filter.rows == 0 {
+                return Some(TupleDomain::none());
+            }
+            for key in spec.mapped_keys() {
+                if let Some(Some(d)) = filter.domains.get(key.key_index) {
+                    td.constrain(key.table_column, d.clone());
+                }
+            }
+        }
+        if any {
+            Some(td)
+        } else {
+            None
+        }
+    }
+
+    /// An empty build side proves the probe produces nothing; the scan
+    /// becomes a no-op.
+    pub fn provably_empty(&self) -> bool {
+        self.table_domain().is_some_and(|d| d.is_none())
+    }
+
+    /// Row-level membership filter: per-key range / small-set checks plus
+    /// the Bloom filter over combined key hashes (only when every key of a
+    /// spec maps onto this scan, so the hash is reproducible).
+    pub fn prune_rows(&self, page: Page) -> Page {
+        let active: Vec<(Arc<PublishedFilter>, &DynamicFilterSpec)> = self
+            .specs
+            .iter()
+            .filter_map(|s| self.registry.completed(s.join).map(|f| (f, s)))
+            .collect();
+        if active.is_empty() {
+            return page;
+        }
+        let rows = page.row_count();
+        let mut keep = vec![true; rows];
+        for (filter, spec) in &active {
+            if filter.rows == 0 {
+                keep.iter_mut().for_each(|k| *k = false);
+                break;
+            }
+            for key in spec.mapped_keys() {
+                let Some(Some(d)) = filter.domains.get(key.key_index) else {
+                    continue;
+                };
+                if matches!(d, Domain::Set(v) if v.len() > MAX_ROW_CHECK_SET) {
+                    continue; // the Bloom filter covers large sets
+                }
+                let block = page.block(key.scan_channel).loaded();
+                for (r, slot) in keep.iter_mut().enumerate() {
+                    if *slot && !d.contains(&block.value_at(key.data_type, r)) {
+                        *slot = false;
+                    }
+                }
+            }
+            if let Some(bloom) = &filter.bloom {
+                if !spec.keys.is_empty() && spec.keys.iter().all(Option::is_some) {
+                    let channels: Vec<usize> = spec
+                        .keys
+                        .iter()
+                        .flatten()
+                        .map(|k| k.scan_channel)
+                        .collect();
+                    let hashes = hash_columns(&page, &channels);
+                    for (slot, h) in keep.iter_mut().zip(&hashes) {
+                        if *slot && !bloom.may_contain(*h) {
+                            *slot = false;
+                        }
+                    }
+                }
+            }
+        }
+        let selection: Vec<u32> = keep
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &k)| k.then_some(i as u32))
+            .collect();
+        let dropped = (rows - selection.len()) as u64;
+        if dropped == 0 {
+            return page;
+        }
+        self.rows_filtered.fetch_add(dropped, Ordering::Relaxed);
+        self.registry
+            .totals()
+            .rows_filtered
+            .fetch_add(dropped, Ordering::Relaxed);
+        page.filter(&selection)
+    }
+
+    pub fn note_splits_pruned(&self, n: u64) {
+        self.splits_pruned.fetch_add(n, Ordering::Relaxed);
+        self.registry
+            .totals()
+            .splits_pruned
+            .fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Counters surfaced through the owning scan operator's stats.
+    pub fn counters(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("df_splits_pruned", self.splits_pruned.load(Ordering::Relaxed)),
+            ("df_stripes_pruned", self.stripes_pruned.load(Ordering::Relaxed)),
+            ("df_rows_filtered", self.rows_filtered.load(Ordering::Relaxed)),
+            (
+                "df_wait_ms",
+                self.wait_nanos.load(Ordering::Relaxed) / 1_000_000,
+            ),
+        ]
+    }
+}
+
+impl presto_connector::DynamicFilter for ScanDynamicFilter {
+    fn domain(&self) -> Option<TupleDomain> {
+        self.table_domain()
+    }
+
+    fn record_stripes_pruned(&self, n: u64) {
+        self.stripes_pruned.fetch_add(n, Ordering::Relaxed);
+        self.registry
+            .totals()
+            .stripes_pruned
+            .fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// Build-side publication config, attached to a [`crate::join::JoinBridge`]
+/// when the planner mapped this join's keys onto a probe-side scan.
+pub struct DynamicFilterSource {
+    pub join: PlanNodeId,
+    pub registry: Arc<DynamicFilterRegistry>,
+    pub key_types: Vec<DataType>,
+    pub max_values: usize,
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use presto_common::Schema;
+
+    fn collect(values: &[i64], max_values: usize) -> CollectedDomains {
+        let schema = Schema::of(&[("k", DataType::Bigint)]);
+        let rows: Vec<Vec<Value>> = values.iter().map(|&v| vec![Value::Bigint(v)]).collect();
+        let page = Page::from_rows(&schema, &rows);
+        let hashes = hash_columns(&page, &[0]);
+        let mut c = DomainCollector::new(vec![0], vec![DataType::Bigint], max_values);
+        for (i, &h) in hashes.iter().enumerate() {
+            c.add_row(&page, i, h);
+        }
+        c.finish()
+    }
+
+    #[test]
+    fn small_build_publishes_exact_set() {
+        let f = collect(&[3, 1, 2, 2], 100).publish();
+        assert_eq!(f.rows, 4);
+        match &f.domains[0] {
+            Some(Domain::Set(v)) => {
+                assert_eq!(
+                    v,
+                    &vec![Value::Bigint(1), Value::Bigint(2), Value::Bigint(3)]
+                );
+            }
+            other => panic!("expected set, got {other:?}"),
+        }
+        assert!(f.bloom.is_some());
+    }
+
+    #[test]
+    fn overflow_demotes_to_range() {
+        let values: Vec<i64> = (0..50).collect();
+        let f = collect(&values, 10).publish();
+        match &f.domains[0] {
+            Some(Domain::Range { min, max }) => {
+                assert_eq!(min, &Some(Value::Bigint(0)));
+                assert_eq!(max, &Some(Value::Bigint(49)));
+            }
+            other => panic!("expected range, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nan_escalates_to_unconstrained() {
+        let mut k = KeyDomain::new();
+        k.add(Value::Double(1.0), 10);
+        k.add(Value::Double(f64::NAN), 10);
+        assert!(matches!(k, KeyDomain::All));
+        assert!(k.to_domain(10).is_none());
+    }
+
+    #[test]
+    fn bloom_has_no_false_negatives() {
+        let hashes: Vec<u64> = (0..1000u64).map(|v| v.wrapping_mul(0x9E3779B97F4A7C15)).collect();
+        let bloom = DfBloom::build(&hashes);
+        assert!(hashes.iter().all(|&h| bloom.may_contain(h)));
+        let misses = (5000..6000u64)
+            .map(|v| v.wrapping_mul(0x517CC1B727220A95))
+            .filter(|&h| bloom.may_contain(h))
+            .count();
+        assert!(misses < 100, "false positive rate too high: {misses}/1000");
+    }
+
+    #[test]
+    fn registry_merges_partitioned_reports() {
+        let registry = DynamicFilterRegistry::new();
+        let join = PlanNodeId(7);
+        registry.register(join, 2);
+        registry.report(join, collect(&[1, 2], 100));
+        assert!(!registry.is_complete(join));
+        registry.report(join, collect(&[3], 100));
+        let f = registry.completed(join).unwrap();
+        assert_eq!(f.rows, 3);
+        match &f.domains[0] {
+            Some(Domain::Set(v)) => assert_eq!(v.len(), 3),
+            other => panic!("expected set, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn broadcast_first_report_wins() {
+        let registry = DynamicFilterRegistry::new();
+        let join = PlanNodeId(9);
+        registry.register(join, 1);
+        registry.report(join, collect(&[1], 100));
+        registry.report(join, collect(&[1], 100)); // replica re-report: dropped
+        let f = registry.completed(join).unwrap();
+        assert_eq!(f.rows, 1);
+        assert_eq!(registry.filters_published(), 1);
+    }
+
+    #[test]
+    fn wait_all_times_out_without_reports() {
+        let registry = DynamicFilterRegistry::new();
+        let join = PlanNodeId(1);
+        registry.register(join, 1);
+        let deadline = Instant::now() + Duration::from_millis(20);
+        assert!(!registry.wait_all(&[join], deadline));
+        registry.report(join, collect(&[5], 100));
+        assert!(registry.wait_all(&[join], Instant::now()));
+    }
+
+    #[test]
+    fn split_pruning_by_range_overlap() {
+        let mut dynamic = TupleDomain::all();
+        dynamic.constrain(2, Domain::Set(vec![Value::Bigint(100), Value::Bigint(200)]));
+        let mut inside = TupleDomain::all();
+        inside.constrain(
+            2,
+            Domain::Range {
+                min: Some(Value::Bigint(150)),
+                max: Some(Value::Bigint(250)),
+            },
+        );
+        let mut outside = TupleDomain::all();
+        outside.constrain(
+            2,
+            Domain::Range {
+                min: Some(Value::Bigint(300)),
+                max: Some(Value::Bigint(400)),
+            },
+        );
+        assert!(!split_pruned(&dynamic, &inside));
+        assert!(split_pruned(&dynamic, &outside));
+        // An empty dynamic domain prunes everything.
+        assert!(split_pruned(&TupleDomain::none(), &inside));
+        // A split with no summary is never pruned.
+        assert!(!split_pruned(&dynamic, &TupleDomain::all()));
+    }
+
+    #[test]
+    fn empty_build_side_proves_empty_scan() {
+        let registry = DynamicFilterRegistry::new();
+        let join = PlanNodeId(3);
+        registry.report(join, collect(&[], 100));
+        let spec = DynamicFilterSpec {
+            join,
+            join_fragment: 0,
+            scan: PlanNodeId(4),
+            scan_fragment: 1,
+            broadcast: false,
+            keys: vec![None],
+        };
+        let df = ScanDynamicFilter::new(registry, vec![spec], Duration::from_secs(5));
+        assert!(df.ready());
+        assert!(df.provably_empty());
+    }
+}

@@ -18,6 +18,7 @@ use presto_page::{Block, Page};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
+use crate::dynfilter::{CollectedDomains, DomainCollector, DynamicFilterSource};
 use crate::flathash::FlatHashTable;
 use crate::operator::{BlockedReason, Operator};
 
@@ -168,6 +169,9 @@ struct BuildState {
     partitions: Vec<PartitionInput>,
     finalize: Option<Arc<FinalizeState>>,
     table: Option<Arc<JoinHashTable>>,
+    /// Dynamic-filter publication config + merged builder contributions.
+    df_source: Option<DynamicFilterSource>,
+    df_collected: Option<CollectedDomains>,
 }
 
 /// Shared hand-off between the build pipeline and probe drivers.
@@ -198,6 +202,8 @@ impl JoinBridge {
                 partitions: (0..partition_count).map(|_| PartitionInput::default()).collect(),
                 finalize: None,
                 table: None,
+                df_source: None,
+                df_collected: None,
             }),
             finalize_participants: AtomicUsize::new(0),
         })
@@ -214,6 +220,24 @@ impl JoinBridge {
     fn partitioning(&self) -> (Vec<usize>, u32) {
         let s = self.state.lock();
         (s.key_channels.clone(), s.partition_bits)
+    }
+
+    /// Arm build-side dynamic-filter collection. Must be called before the
+    /// builder operators are instantiated (they snapshot the config).
+    pub fn enable_dynamic_filter(&self, source: DynamicFilterSource) {
+        self.state.lock().df_source = Some(source);
+    }
+
+    /// A fresh per-builder collector when dynamic filtering is armed.
+    fn df_collector(&self) -> Option<DomainCollector> {
+        let s = self.state.lock();
+        s.df_source.as_ref().map(|src| {
+            DomainCollector::new(
+                s.key_channels.clone(),
+                src.key_types.clone(),
+                src.max_values,
+            )
+        })
     }
 
     pub fn build_bytes(&self) -> usize {
@@ -255,15 +279,33 @@ impl JoinBridge {
         }
     }
 
-    /// A builder is done. The last one moves the accumulated input into the
+    /// A builder is done, optionally handing in its dynamic-filter
+    /// contribution. The last one moves the accumulated input into the
     /// finalize work queue — it does NOT build under the lock; partitions
-    /// are built by [`JoinBridge::claim_and_build_one`] callers.
-    fn builder_finished(&self) {
+    /// are built by [`JoinBridge::claim_and_build_one`] callers. It also
+    /// publishes the merged dynamic-filter domains *before* the partition
+    /// build starts, so probe scans begin pruning while the hash table is
+    /// still being laid out.
+    fn builder_finished_with(&self, df: Option<DomainCollector>) {
         let mut s = self.state.lock();
+        if let Some(collector) = df {
+            let collected = collector.finish();
+            s.df_collected = Some(match s.df_collected.take() {
+                Some(prev) => prev.merge(collected),
+                None => collected,
+            });
+        }
         s.pending_builders -= 1;
         if s.pending_builders > 0 || s.table.is_some() || s.finalize.is_some() {
             return;
         }
+        let publish = s.df_source.take().map(|src| {
+            let collected = match s.df_collected.take() {
+                Some(c) => c,
+                None => CollectedDomains::empty(s.key_channels.len(), src.max_values),
+            };
+            (src, collected)
+        });
         let pages = Arc::new(std::mem::take(&mut s.pages));
         let partitions = std::mem::take(&mut s.partitions);
         let count = partitions.len();
@@ -277,6 +319,10 @@ impl JoinBridge {
             remaining: AtomicUsize::new(count),
             built_bytes: AtomicUsize::new(0),
         }));
+        drop(s);
+        if let Some((src, collected)) = publish {
+            src.registry.report(src.join, collected);
+        }
     }
 
     /// Claim and build one pending partition, off the bridge lock. Returns
@@ -334,6 +380,8 @@ pub struct HashBuilderOperator {
     key_channels: Vec<usize>,
     partition_bits: u32,
     hash_cache: DictionaryHashCache,
+    /// Per-builder dynamic-filter collector, filled off the bridge lock.
+    df_collector: Option<DomainCollector>,
     finished: bool,
     partitions_built: u64,
     counted_as_participant: bool,
@@ -342,11 +390,13 @@ pub struct HashBuilderOperator {
 impl HashBuilderOperator {
     pub fn new(bridge: Arc<JoinBridge>) -> HashBuilderOperator {
         let (key_channels, partition_bits) = bridge.partitioning();
+        let df_collector = bridge.df_collector();
         HashBuilderOperator {
             bridge,
             key_channels,
             partition_bits,
             hash_cache: DictionaryHashCache::new(),
+            df_collector,
             finished: false,
             partitions_built: 0,
             counted_as_participant: false,
@@ -399,6 +449,9 @@ impl Operator for HashBuilderOperator {
             if self.key_channels.iter().any(|&c| page.block(c).is_null(ri)) {
                 continue;
             }
+            if let Some(collector) = &mut self.df_collector {
+                collector.add_row(&page, ri, h);
+            }
             parts[partition_of(h, self.partition_bits)].push((ri as u32, h));
         }
         self.bridge.add_page(page, parts);
@@ -408,7 +461,7 @@ impl Operator for HashBuilderOperator {
     fn finish(&mut self) {
         if !self.finished {
             self.finished = true;
-            self.bridge.builder_finished();
+            self.bridge.builder_finished_with(self.df_collector.take());
             self.drain_finalize();
         }
     }
@@ -1153,7 +1206,7 @@ mod tests {
         let mut b = HashBuilderOperator::new(Arc::clone(&bridge));
         b.add_input(kv_page(&borrowed)).unwrap();
         // Go through the bridge directly so no operator drains the queue.
-        bridge.builder_finished();
+        bridge.builder_finished_with(None);
         assert!(bridge.table().is_none(), "nothing built under the lock");
         let mut built = 0;
         while bridge.claim_and_build_one() {
@@ -1180,8 +1233,8 @@ mod tests {
         b2.add_input(kv_page(&borrowed[128..])).unwrap();
         // Finish via the bridge so the operators don't drain the queue
         // single-threadedly first.
-        bridge.builder_finished();
-        bridge.builder_finished();
+        bridge.builder_finished_with(None);
+        bridge.builder_finished_with(None);
         let barrier = std::sync::Barrier::new(2);
         let claims: Vec<bool> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..2)
@@ -1298,6 +1351,43 @@ mod tests {
         )]);
         probe.add_input(null_rle).unwrap();
         assert!(probe.output().unwrap().is_none());
+    }
+
+    #[test]
+    fn build_publishes_dynamic_filter() {
+        use crate::dynfilter::{DynamicFilterRegistry, DynamicFilterSource};
+        let registry = DynamicFilterRegistry::new();
+        let join = presto_common::PlanNodeId(42);
+        let bridge = JoinBridge::new(vec![0], 1);
+        bridge.enable_dynamic_filter(DynamicFilterSource {
+            join,
+            registry: Arc::clone(&registry),
+            key_types: vec![DataType::Bigint],
+            max_values: 100,
+        });
+        let mut b = HashBuilderOperator::new(Arc::clone(&bridge));
+        let s = schema();
+        // A NULL key must not widen the published domain.
+        b.add_input(Page::from_rows(
+            &s,
+            &[
+                vec![Value::Bigint(5), Value::varchar("a")],
+                vec![Value::Null, Value::varchar("n")],
+                vec![Value::Bigint(9), Value::varchar("b")],
+            ],
+        ))
+        .unwrap();
+        b.finish();
+        let f = registry.completed(join).unwrap();
+        assert_eq!(f.rows, 2, "null-key rows are not collected");
+        match &f.domains[0] {
+            Some(presto_connector::Domain::Set(v)) => {
+                assert_eq!(v, &vec![Value::Bigint(5), Value::Bigint(9)]);
+            }
+            other => panic!("expected set, got {other:?}"),
+        }
+        // The table itself still builds normally.
+        assert_eq!(bridge.table().unwrap().row_count(), 2);
     }
 
     /// Invert the splitmix64 finalizer used by `presto_page::hash` so the

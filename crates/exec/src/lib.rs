@@ -18,6 +18,7 @@
 
 pub mod agg;
 pub mod driver;
+pub mod dynfilter;
 pub mod exchange;
 pub mod filter;
 pub mod flathash;
@@ -34,6 +35,9 @@ pub mod window;
 pub mod writer;
 
 pub use driver::{Driver, DriverState};
+pub use dynfilter::{
+    DynamicFilterRegistry, PublishedFilter, ScanDynamicFilter, TaskDynamicFilters,
+};
 pub use memory::{MemoryPool, TaskMemoryContext, UnlimitedPool};
 pub use operator::{BlockedReason, Operator, OperatorStats};
 pub use pipeline::Pipeline;

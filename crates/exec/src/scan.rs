@@ -15,6 +15,7 @@ use presto_page::Page;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
+use crate::dynfilter::{split_pruned, ScanDynamicFilter};
 use crate::operator::{BlockedReason, Operator};
 
 /// Shared queue of splits assigned to a task. The coordinator appends
@@ -87,6 +88,8 @@ pub struct ScanOperator {
     splits_processed: u64,
     /// Optional timeline: (buffer, pid, tid) for split start/finish events.
     trace: Option<(Arc<presto_common::TraceBuffer>, u32, u32)>,
+    /// Join build-side domains pushed into this scan (dynamic filtering).
+    dyn_filter: Option<Arc<ScanDynamicFilter>>,
 }
 
 impl ScanOperator {
@@ -107,6 +110,7 @@ impl ScanOperator {
             predicate,
             lazy: session.lazy_loading,
             target_page_rows: session.target_page_rows,
+            dynamic_filter: None,
         };
         ScanOperator {
             connector,
@@ -121,7 +125,18 @@ impl ScanOperator {
             rows_produced: 0,
             splits_processed: 0,
             trace: None,
+            dyn_filter: None,
         }
+    }
+
+    /// Attach a dynamic filter: the scan waits (bounded) for the join
+    /// build-side domains, prunes splits/stripes/rows against them, and
+    /// forwards the filter to the connector for stripe-level re-checks.
+    pub fn with_dynamic_filter(mut self, filter: Arc<ScanDynamicFilter>) -> ScanOperator {
+        self.options.dynamic_filter =
+            Some(Arc::clone(&filter) as Arc<dyn presto_connector::DynamicFilter>);
+        self.dyn_filter = Some(filter);
+        self
     }
 
     pub fn with_trace(
@@ -145,8 +160,23 @@ impl ScanOperator {
     }
 
     fn open_next_split(&mut self) -> Result<bool> {
-        let Some(split) = self.queue.pop() else {
-            return Ok(false);
+        let split = loop {
+            let Some(split) = self.queue.pop() else {
+                return Ok(false);
+            };
+            // Re-prune assigned splits against the dynamic domain: filters
+            // that arrived after split assignment still skip whole files.
+            if let (Some(df), Some(summary)) = (&self.dyn_filter, &split.domain) {
+                if let Some(dynamic) = df.table_domain() {
+                    if split_pruned(&dynamic, summary) {
+                        self.queue.mark_completed();
+                        self.splits_processed += 1;
+                        df.note_splits_pruned(1);
+                        continue;
+                    }
+                }
+            }
+            break split;
         };
         match self
             .connector
@@ -193,6 +223,29 @@ impl Operator for ScanOperator {
             if self.finished {
                 return Ok(None);
             }
+            if let Some(df) = &self.dyn_filter {
+                if !df.ready() {
+                    // Bounded wait for build-side domains; blocked() keeps
+                    // the driver polling, so an expired deadline simply
+                    // resumes the scan unpruned.
+                    return Ok(None);
+                }
+                if df.provably_empty() {
+                    // Empty build side: the join emits nothing, so drain
+                    // the queue without reading a byte.
+                    while self.queue.pop().is_some() {
+                        self.queue.mark_completed();
+                        self.splits_processed += 1;
+                        df.note_splits_pruned(1);
+                    }
+                    self.current = None;
+                    self.current_split = None;
+                    if self.queue.is_exhausted() {
+                        self.finished = true;
+                    }
+                    return Ok(None);
+                }
+            }
             if self.current.is_none() && !self.open_next_split()? {
                 if self.queue.is_exhausted() {
                     self.finished = true;
@@ -202,6 +255,15 @@ impl Operator for ScanOperator {
             let source = self.current.as_mut().expect("split open");
             match source.next_page() {
                 Ok(Some(page)) => {
+                    let page = match &self.dyn_filter {
+                        // Row-level membership check before any downstream
+                        // work (filter/project, shuffle, probe).
+                        Some(df) => df.prune_rows(page),
+                        None => page,
+                    };
+                    if page.row_count() == 0 {
+                        continue;
+                    }
                     let processed = self.processor.process(&page)?;
                     if processed.is_empty() && processed.column_count() > 0 {
                         continue; // fully filtered; pull the next page
@@ -238,6 +300,13 @@ impl Operator for ScanOperator {
     }
 
     fn blocked(&self) -> Option<BlockedReason> {
+        if !self.finished {
+            if let Some(df) = &self.dyn_filter {
+                if !df.ready() {
+                    return Some(BlockedReason::WaitingForInput);
+                }
+            }
+        }
         if !self.finished && self.current.is_none() && self.queue.queued_len() == 0 {
             Some(BlockedReason::WaitingForInput)
         } else {
@@ -255,10 +324,14 @@ impl Operator for ScanOperator {
     }
 
     fn counters(&self) -> Vec<(&'static str, u64)> {
-        vec![
+        let mut counters = vec![
             ("splits_processed", self.splits_processed),
             ("rows_produced", self.rows_produced),
-        ]
+        ];
+        if let Some(df) = &self.dyn_filter {
+            counters.extend(df.counters());
+        }
+        counters
     }
 }
 
@@ -384,6 +457,169 @@ mod tests {
             }
         }
         assert_eq!(rows, 10);
+    }
+
+    use presto_common::PlanNodeId;
+
+    fn scan_spec(join: PlanNodeId) -> presto_planner::DynamicFilterSpec {
+        presto_planner::DynamicFilterSpec {
+            join,
+            join_fragment: 0,
+            scan: PlanNodeId(2),
+            scan_fragment: 1,
+            broadcast: false,
+            keys: vec![Some(presto_planner::DynamicFilterKey {
+                key_index: 0,
+                scan_channel: 0,
+                table_column: 0,
+                data_type: DataType::Bigint,
+            })],
+        }
+    }
+
+    fn report_build_keys(
+        registry: &crate::dynfilter::DynamicFilterRegistry,
+        join: PlanNodeId,
+        keys: &[i64],
+    ) {
+        use crate::dynfilter::DomainCollector;
+        let schema = Schema::of(&[("k", DataType::Bigint)]);
+        let rows: Vec<Vec<Value>> = keys.iter().map(|&k| vec![Value::Bigint(k)]).collect();
+        let mut collector = DomainCollector::new(vec![0], vec![DataType::Bigint], 100);
+        if !rows.is_empty() {
+            let page = Page::from_rows(&schema, &rows);
+            let hashes = presto_page::hash::hash_columns(&page, &[0]);
+            for (i, &h) in hashes.iter().enumerate() {
+                collector.add_row(&page, i, h);
+            }
+        }
+        registry.report(join, collector.finish());
+    }
+
+    #[test]
+    fn dynamic_filter_gates_then_prunes_rows() {
+        use crate::dynfilter::{DynamicFilterRegistry, ScanDynamicFilter};
+        use presto_common::PlanNodeId;
+        let c = data_connector(1000);
+        let queue = SplitQueue::new();
+        feed_splits(c.as_ref(), &queue);
+        let session = Session::default();
+        let registry = DynamicFilterRegistry::new();
+        let join = PlanNodeId(1);
+        registry.register(join, 1);
+        let df = ScanDynamicFilter::new(
+            Arc::clone(&registry),
+            vec![scan_spec(join)],
+            std::time::Duration::from_secs(5),
+        );
+        let proj = vec![Expr::column(0, DataType::Bigint)];
+        let mut scan = ScanOperator::new(
+            c as Arc<dyn Connector>,
+            queue,
+            vec![0, 1],
+            presto_connector::TupleDomain::all(),
+            None,
+            &proj,
+            &session,
+        )
+        .with_dynamic_filter(Arc::clone(&df));
+        // Gate: domains not published yet → the scan yields, blocked.
+        assert!(scan.output().unwrap().is_none());
+        assert_eq!(scan.blocked(), Some(BlockedReason::WaitingForInput));
+        assert!(!scan.is_finished());
+        report_build_keys(&registry, join, &[5, 42]);
+        let mut rows = 0;
+        while !scan.is_finished() {
+            if let Some(p) = scan.output().unwrap() {
+                rows += p.row_count();
+            }
+        }
+        assert_eq!(rows, 2, "only build-side keys survive the scan");
+        let counters = scan.counters();
+        let filtered = counters
+            .iter()
+            .find(|(n, _)| *n == "df_rows_filtered")
+            .map(|&(_, v)| v);
+        assert_eq!(filtered, Some(998));
+    }
+
+    #[test]
+    fn empty_build_side_makes_scan_noop() {
+        use crate::dynfilter::{DynamicFilterRegistry, ScanDynamicFilter};
+        use presto_common::PlanNodeId;
+        let c = data_connector(500);
+        let queue = SplitQueue::new();
+        feed_splits(c.as_ref(), &queue);
+        let splits = queue.queued_len() as u64;
+        assert!(splits > 0);
+        let session = Session::default();
+        let registry = DynamicFilterRegistry::new();
+        let join = PlanNodeId(1);
+        registry.register(join, 1);
+        report_build_keys(&registry, join, &[]);
+        let df = ScanDynamicFilter::new(
+            Arc::clone(&registry),
+            vec![scan_spec(join)],
+            std::time::Duration::from_secs(5),
+        );
+        let proj = vec![Expr::column(0, DataType::Bigint)];
+        let mut scan = ScanOperator::new(
+            Arc::clone(&c) as Arc<dyn Connector>,
+            Arc::clone(&queue),
+            vec![0, 1],
+            presto_connector::TupleDomain::all(),
+            None,
+            &proj,
+            &session,
+        )
+        .with_dynamic_filter(Arc::clone(&df));
+        while !scan.is_finished() {
+            assert!(scan.output().unwrap().is_none(), "no page is ever read");
+        }
+        assert_eq!(queue.completed(), splits, "splits completed without reads");
+        let counters = scan.counters();
+        let pruned = counters
+            .iter()
+            .find(|(n, _)| *n == "df_splits_pruned")
+            .map(|&(_, v)| v);
+        assert_eq!(pruned, Some(splits));
+    }
+
+    #[test]
+    fn expired_wait_deadline_scans_unpruned() {
+        use crate::dynfilter::{DynamicFilterRegistry, ScanDynamicFilter};
+        use presto_common::PlanNodeId;
+        let c = data_connector(100);
+        let queue = SplitQueue::new();
+        feed_splits(c.as_ref(), &queue);
+        let session = Session::default();
+        let registry = DynamicFilterRegistry::new();
+        let join = PlanNodeId(1);
+        registry.register(join, 1); // never reported: the "failed worker" case
+        let df = ScanDynamicFilter::new(
+            Arc::clone(&registry),
+            vec![scan_spec(join)],
+            std::time::Duration::from_millis(20),
+        );
+        let proj = vec![Expr::column(0, DataType::Bigint)];
+        let mut scan = ScanOperator::new(
+            c as Arc<dyn Connector>,
+            queue,
+            vec![0, 1],
+            presto_connector::TupleDomain::all(),
+            None,
+            &proj,
+            &session,
+        )
+        .with_dynamic_filter(df);
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        let mut rows = 0;
+        while !scan.is_finished() {
+            if let Some(p) = scan.output().unwrap() {
+                rows += p.row_count();
+            }
+        }
+        assert_eq!(rows, 100, "deadline expiry falls back to a full scan");
     }
 
     #[test]

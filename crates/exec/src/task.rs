@@ -44,6 +44,9 @@ pub struct TaskContext {
     /// Optional shared timeline: split and page events from this task's
     /// operators land here (pid = query id, tid = fragment id).
     pub trace: Option<Arc<presto_common::TraceBuffer>>,
+    /// Dynamic-filter registry + specs for this query (`None` disables
+    /// dynamic filtering for the task).
+    pub dynamic_filters: Option<Arc<crate::dynfilter::TaskDynamicFilters>>,
 }
 
 /// A scan inside a task: the coordinator feeds its split queue.
@@ -331,6 +334,7 @@ impl<'a> Compiler<'a> {
                 Ok(chain)
             }
             PlanNode::Join {
+                id,
                 left,
                 right,
                 join_type,
@@ -345,6 +349,20 @@ impl<'a> Compiler<'a> {
                 let mut build_chain = self.compile(right)?;
                 let build_drivers = build_chain.driver_count(self.ctx.leaf_parallelism);
                 let bridge = JoinBridge::new(right_keys.clone(), build_drivers);
+                if let Some(df) = &self.ctx.dynamic_filters {
+                    if df.produces_for_join(*id) {
+                        let build_schema = right.output_schema();
+                        bridge.enable_dynamic_filter(crate::dynfilter::DynamicFilterSource {
+                            join: *id,
+                            registry: Arc::clone(&df.registry),
+                            key_types: right_keys
+                                .iter()
+                                .map(|&c| build_schema.data_type(c))
+                                .collect(),
+                            max_values: self.ctx.session.dynamic_filter_max_values,
+                        });
+                    }
+                }
                 {
                     let bridge = Arc::clone(&bridge);
                     build_chain.push(
@@ -630,6 +648,17 @@ impl<'a> Compiler<'a> {
         let trace = self.ctx.trace.clone();
         let trace_pid = self.ctx.task_id.stage.query.0 as u32;
         let trace_tid = self.ctx.task_id.stage.stage;
+        // Dynamic filters targeting this scan (one consumer handle per
+        // operator instance: counters stay per-driver, the deadline starts
+        // at instantiation).
+        let dyn_filters = self.ctx.dynamic_filters.as_ref().and_then(|df| {
+            let specs = df.specs_for_scan(*id);
+            if specs.is_empty() {
+                None
+            } else {
+                Some((Arc::clone(&df.registry), specs))
+            }
+        });
         let factory: OpFactory = Arc::new(move || {
             let mut op = ScanOperator::new(
                 Arc::clone(&connector),
@@ -642,6 +671,13 @@ impl<'a> Compiler<'a> {
             );
             if let Some(trace) = &trace {
                 op = op.with_trace(Arc::clone(trace), trace_pid, trace_tid);
+            }
+            if let Some((registry, specs)) = &dyn_filters {
+                op = op.with_dynamic_filter(crate::dynfilter::ScanDynamicFilter::new(
+                    Arc::clone(registry),
+                    specs.clone(),
+                    session.dynamic_filter_wait,
+                ));
             }
             Ok(Box::new(op) as Box<dyn crate::operator::Operator>)
         });

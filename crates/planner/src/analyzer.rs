@@ -226,7 +226,8 @@ impl<'a> Analyzer<'a> {
                 }
             }
             if acc_inputs.len() == 1 {
-                (acc_inputs.pop().unwrap(), scope)
+                let only = acc_inputs.pop().expect("len checked above");
+                (only, scope)
             } else {
                 (
                     PlanNode::Union {
@@ -554,7 +555,10 @@ impl<'a> Analyzer<'a> {
         for (i, g) in group_asts.iter().enumerate() {
             let e = self.rewrite_expr(g, &scope)?;
             pre_names.push(match g {
-                AstExpr::Identifier(q) => q.parts.last().unwrap().clone(),
+                AstExpr::Identifier(q) => match q.parts.last() {
+                    Some(part) => part.clone(),
+                    None => format!("_group{i}"),
+                },
                 _ => format!("_group{i}"),
             });
             pre_exprs.push(e);
@@ -1365,7 +1369,10 @@ fn expand_items(items: &[SelectItem], scope: &Scope) -> Result<Vec<(AstExpr, Str
             }
             SelectItem::Expr { expr, alias } => {
                 let name = alias.clone().unwrap_or_else(|| match expr {
-                    AstExpr::Identifier(q) => q.parts.last().unwrap().clone(),
+                    AstExpr::Identifier(q) => match q.parts.last() {
+                        Some(part) => part.clone(),
+                        None => format!("_col{}", out.len()),
+                    },
                     _ => format!("_col{}", out.len()),
                 });
                 out.push((expr.clone(), name));

@@ -111,7 +111,7 @@ pub fn reorder_joins(
                     _ => rows[a].total_cmp(&rows[b]),
                 }
             })
-            .unwrap();
+            .expect("order.len() < sources.len(), so a source remains");
         order.push(next);
         in_tree[next] = true;
     }
@@ -218,7 +218,7 @@ pub fn reorder_joins(
         let (s, within) = source_of(global);
         new_offset_of_source[s] + within
     };
-    let mut result = tree.unwrap();
+    let mut result = tree.expect("non-empty join order built a tree");
     // Unused edges (cycles in the join graph) become residual filters.
     let mut residual_conjuncts: Vec<Expr> = residuals
         .into_iter()

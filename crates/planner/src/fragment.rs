@@ -104,6 +104,9 @@ impl PlanFragment {
 pub struct PhysicalPlan {
     pub fragments: Vec<PlanFragment>,
     pub root: u32,
+    /// Dynamic-filter channels (inner-join build domain → probe-side scan),
+    /// collected by [`crate::dynfilter::collect_dynamic_filters`].
+    pub dynamic_filters: Vec<crate::dynfilter::DynamicFilterSpec>,
 }
 
 impl PhysicalPlan {
@@ -127,6 +130,9 @@ impl PhysicalPlan {
                 f.root.explain()
             ));
         }
+        out.push_str(&crate::dynfilter::explain_dynamic_filters(
+            &self.dynamic_filters,
+        ));
         out
     }
 
@@ -234,10 +240,13 @@ pub fn fragment_plan(
         partitioning: root_partitioning,
         output: OutputPartitioning::None,
     });
-    Ok(PhysicalPlan {
+    let mut plan = PhysicalPlan {
         fragments: f.fragments,
         root: root_id,
-    })
+        dynamic_filters: Vec::new(),
+    };
+    plan.dynamic_filters = crate::dynfilter::collect_dynamic_filters(&plan);
+    Ok(plan)
 }
 
 enum ExchangeKind {

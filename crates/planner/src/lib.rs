@@ -15,6 +15,7 @@
 
 pub mod analyzer;
 pub mod cbo;
+pub mod dynfilter;
 pub mod fragment;
 pub mod optimizer;
 pub mod plan;
@@ -25,6 +26,7 @@ use presto_common::{Result, Session};
 use presto_connector::CatalogManager;
 use presto_sql::ast::Statement;
 
+pub use dynfilter::{DynamicFilterKey, DynamicFilterSpec};
 pub use fragment::{FragmentPartitioning, OutputPartitioning, PhysicalPlan, PlanFragment};
 pub use plan::{AggregateStep, JoinDistribution, JoinType, PlanNode, SortKey};
 

@@ -437,6 +437,7 @@ impl PlanNode {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use presto_common::PlanNodeId;

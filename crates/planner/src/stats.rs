@@ -49,7 +49,9 @@ pub fn estimate(node: &PlanNode, catalogs: &CatalogManager) -> PlanStats {
             let mut rows = stats.row_count;
             // Scale by pushed-down predicate selectivity.
             for col in predicate.columns() {
-                let domain = predicate.domain(col).unwrap();
+                let Some(domain) = predicate.domain(col) else {
+                    continue;
+                };
                 let cs = stats.column(col);
                 let sel = match domain {
                     presto_connector::Domain::Set(values) => {
@@ -272,6 +274,7 @@ fn column_cmp_selectivity(op: CmpOp, stats: ColumnStatistics, value: &Value) -> 
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use presto_common::DataType;

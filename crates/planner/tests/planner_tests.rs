@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used)]
+
 //! End-to-end planner tests: SQL text → logical plan → fragments.
 
 use presto_common::{DataType, Schema, Session, Value};

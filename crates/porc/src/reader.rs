@@ -156,6 +156,46 @@ impl PorcReader {
         true
     }
 
+    /// Per-column min/max summary of a contiguous stripe range. Connectors
+    /// attach this to splits so the scheduler can re-prune still-unassigned
+    /// splits when a dynamic filter narrows the predicate after enumeration.
+    pub fn stripes_domain(&self, first_stripe: usize, stripe_count: usize) -> TupleDomain {
+        use std::cmp::Ordering;
+        let mut summary = TupleDomain::all();
+        let columns = self.meta.schema.len();
+        for col in 0..columns {
+            let mut min: Option<Value> = None;
+            let mut max: Option<Value> = None;
+            let mut any = false;
+            for s in first_stripe..(first_stripe + stripe_count).min(self.meta.stripes.len()) {
+                let Some(chunk) = self.meta.stripes[s].columns.get(col) else {
+                    continue;
+                };
+                // All-null chunks contribute no comparable values.
+                let (Some(cmin), Some(cmax)) = (&chunk.min, &chunk.max) else {
+                    continue;
+                };
+                if min
+                    .as_ref()
+                    .is_none_or(|m| cmin.sql_cmp(m) == Some(Ordering::Less))
+                {
+                    min = Some(cmin.clone());
+                }
+                if max
+                    .as_ref()
+                    .is_none_or(|m| cmax.sql_cmp(m) == Some(Ordering::Greater))
+                {
+                    max = Some(cmax.clone());
+                }
+                any = true;
+            }
+            if any {
+                summary.constrain(col, Domain::Range { min, max });
+            }
+        }
+        summary
+    }
+
     /// Indices of stripes surviving predicate pruning; prunes are counted
     /// in the shared [`IoStats`].
     pub fn select_stripes(&self, predicate: &TupleDomain) -> Vec<usize> {
@@ -346,6 +386,23 @@ mod tests {
         let page = reader.read_stripe(0, &[2], false).unwrap();
         assert_eq!(page.column_count(), 1);
         assert_eq!(page.block(0).str_at(0), "A");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn stripes_domain_summarizes_min_max() {
+        let path = temp_path("stripesdomain");
+        write_sample(&path, 1000, 100);
+        let reader = PorcReader::open(&path, Arc::new(IoStats::new())).unwrap();
+        // Stripes 2..5 hold k in [200, 499].
+        let summary = reader.stripes_domain(2, 3);
+        let d = summary.domain(0).unwrap();
+        assert!(!d.contains(&Value::Bigint(199)));
+        assert!(d.contains(&Value::Bigint(200)));
+        assert!(d.contains(&Value::Bigint(499)));
+        assert!(!d.contains(&Value::Bigint(500)));
+        // Every column with values is summarized.
+        assert_eq!(summary.columns().count(), 3);
         std::fs::remove_file(path).ok();
     }
 

@@ -154,6 +154,25 @@ impl Condvar {
         guard.inner = Some(self.0.wait(std_guard).unwrap_or_else(|e| e.into_inner()));
     }
 
+    /// Block until notified or `timeout` elapses, matching parking_lot's
+    /// `wait_for` signature.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        let std_guard = match guard.inner.take() {
+            Some(g) => g,
+            None => unreachable!("guard vacated only inside Condvar::wait"),
+        };
+        let (g, result) = self
+            .0
+            .wait_timeout(std_guard, timeout)
+            .unwrap_or_else(|e| e.into_inner());
+        guard.inner = Some(g);
+        WaitTimeoutResult(result.timed_out())
+    }
+
     pub fn notify_one(&self) {
         self.0.notify_one();
     }
@@ -166,6 +185,16 @@ impl Condvar {
 impl Default for Condvar {
     fn default() -> Condvar {
         Condvar::new()
+    }
+}
+
+/// Whether a timed wait returned because the timeout elapsed.
+#[derive(Debug, Clone, Copy)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    pub fn timed_out(&self) -> bool {
+        self.0
     }
 }
 
