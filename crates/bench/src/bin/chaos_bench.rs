@@ -20,9 +20,12 @@
 //! ```sh
 //! cargo run --release -p presto-bench --bin chaos_bench [-- --smoke] [-- --seed N]
 //! ```
+//!
+//! Emits `BENCH_chaos.json` in the working directory.
 
 use presto_cluster::{ChaosProfile, ChaosSchedule, Cluster, ClusterConfig, WorkerState};
 use presto_common::chaos::seed_from_env;
+use presto_common::json::Json;
 use presto_common::{DataType, ErrorCode, Schema, Session, Value};
 use presto_connector::{CatalogManager, Connector};
 use presto_connectors::{ChaosConnector, ChaosPolicy, MemoryConnector};
@@ -119,7 +122,7 @@ fn await_clean(cluster: &Cluster, grace: Duration) -> Duration {
 }
 
 /// Scenario 1: hung-worker detection latency and bounded query failure.
-fn bench_detection(sz: &Sizing) {
+fn bench_detection(sz: &Sizing) -> Json {
     let liveness = Duration::from_millis(100);
     let grace = Duration::from_secs(5);
     let config = ClusterConfig {
@@ -154,10 +157,16 @@ fn bench_detection(sz: &Sizing) {
         "detection       liveness={liveness:>8.2?} detect={detection:>8.2?} \
          query_end={terminated:>8.2?} clean={teardown:>8.2?}"
     );
+    Json::obj([
+        ("liveness_ms", Json::Num(liveness.as_secs_f64() * 1e3)),
+        ("detect_ms", Json::Num(detection.as_secs_f64() * 1e3)),
+        ("query_end_ms", Json::Num(terminated.as_secs_f64() * 1e3)),
+        ("clean_ms", Json::Num(teardown.as_secs_f64() * 1e3)),
+    ])
 }
 
 /// Scenario 2: crash teardown latency and coordinator-retry success rate.
-fn bench_teardown_retry(sz: &Sizing) {
+fn bench_teardown_retry(sz: &Sizing) -> Json {
     let grace = Duration::from_secs(10);
     let mut teardown_total = Duration::ZERO;
     let mut recovered = 0usize;
@@ -195,10 +204,22 @@ fn bench_teardown_retry(sz: &Sizing) {
         recovered as f64 / sz.retry_trials as f64,
         teardown_total / sz.retry_trials as u32,
     );
+    Json::obj([
+        ("trials", Json::Int(sz.retry_trials as i64)),
+        ("recovered", Json::Int(recovered as i64)),
+        (
+            "retry_rate",
+            Json::Num(recovered as f64 / sz.retry_trials as f64),
+        ),
+        (
+            "avg_clean_ms",
+            Json::Num(teardown_total.as_secs_f64() * 1e3 / sz.retry_trials as f64),
+        ),
+    ])
 }
 
 /// Scenario 3: seeded chaos storm over a concurrent workload.
-fn bench_chaos_run(sz: &Sizing, seed: u64) {
+fn bench_chaos_run(sz: &Sizing, seed: u64) -> Json {
     let liveness = Duration::from_millis(150);
     let grace = Duration::from_secs(10);
     let workers = 4;
@@ -314,6 +335,26 @@ fn bench_chaos_run(sz: &Sizing, seed: u64) {
         chaos_connector.injected_delays(),
         started.elapsed(),
     );
+    Json::obj([
+        ("queries", Json::Int(total as i64)),
+        ("ok", Json::Int(ok as i64)),
+        ("failed", Json::Int(failed as i64)),
+        ("chaos_events", Json::Int(schedule.events.len() as i64)),
+        (
+            "split_faults",
+            Json::Int(chaos_connector.injected_failures() as i64),
+        ),
+        (
+            "stragglers",
+            Json::Int(chaos_connector.injected_delays() as i64),
+        ),
+        ("slowest_ms", Json::Num(slowest.as_secs_f64() * 1e3)),
+        ("clean_ms", Json::Num(teardown.as_secs_f64() * 1e3)),
+        (
+            "wall_ms",
+            Json::Num(started.elapsed().as_secs_f64() * 1e3),
+        ),
+    ])
 }
 
 fn main() {
@@ -330,8 +371,18 @@ fn main() {
         "chaos_bench seed={seed} mode={}",
         if smoke { "smoke" } else { "full" }
     );
-    bench_detection(&sz);
-    bench_teardown_retry(&sz);
-    bench_chaos_run(&sz, seed);
+    let detection = bench_detection(&sz);
+    let teardown = bench_teardown_retry(&sz);
+    let chaos_run = bench_chaos_run(&sz, seed);
+    let report = Json::obj([
+        ("bench", Json::Str("chaos".into())),
+        ("mode", Json::Str(if smoke { "smoke" } else { "full" }.into())),
+        ("seed", Json::Int(seed as i64)),
+        ("detection", detection),
+        ("teardown_retry", teardown),
+        ("chaos_run", chaos_run),
+    ]);
+    std::fs::write("BENCH_chaos.json", report.to_string()).expect("write BENCH_chaos.json");
+    println!("wrote BENCH_chaos.json");
     println!("chaos_bench: ok");
 }

@@ -9,10 +9,13 @@
 //! ```sh
 //! cargo run --release -p presto-bench --bin hash_kernels [-- --smoke]
 //! ```
+//!
+//! Emits `BENCH_hash_kernels.json` in the working directory.
 
 use presto_bench::kernels::{
     baseline_group_by, baseline_join, flat_group_by, flat_join, make_pages, KernelRun, KeyEncoding,
 };
+use presto_common::json::Json;
 
 fn mrps(r: &KernelRun) -> String {
     format!("{:8.2} Mrows/s", r.rows_per_sec() / 1e6)
@@ -40,6 +43,9 @@ fn main() {
         if smoke { " (smoke)" } else { "" }
     );
 
+    let mut join_report = Vec::new();
+    let mut group_report = Vec::new();
+
     println!("\njoin build+probe (inner, bigint key):");
     for encoding in [KeyEncoding::Flat, KeyEncoding::Dictionary, KeyEncoding::Rle] {
         let build = make_pages(build_rows, join_cardinality, KeyEncoding::Flat);
@@ -61,14 +67,22 @@ fn main() {
             base_best.expect("baseline run"),
             flat_best.expect("flat run"),
         );
+        let speedup = b.elapsed.as_secs_f64() / f.elapsed.as_secs_f64().max(1e-9);
         println!(
             "  {:<5} baseline {}  flat {}  speedup {:4.2}x  ({} out rows)",
             encoding.label(),
             mrps(&b),
             mrps(&f),
-            b.elapsed.as_secs_f64() / f.elapsed.as_secs_f64().max(1e-9),
+            speedup,
             f.output_rows,
         );
+        join_report.push(Json::obj([
+            ("encoding", Json::Str(encoding.label().into())),
+            ("baseline_mrows_per_sec", Json::Num(b.rows_per_sec() / 1e6)),
+            ("flat_mrows_per_sec", Json::Num(f.rows_per_sec() / 1e6)),
+            ("speedup", Json::Num(speedup)),
+            ("output_rows", Json::Int(f.output_rows as i64)),
+        ]));
     }
 
     println!("\ngroup-by (bigint key):");
@@ -91,13 +105,34 @@ fn main() {
             base_best.expect("baseline run"),
             flat_best.expect("flat run"),
         );
+        let speedup = b.elapsed.as_secs_f64() / f.elapsed.as_secs_f64().max(1e-9);
         println!(
             "  {:<5} baseline {}  flat {}  speedup {:4.2}x  ({} groups)",
             encoding.label(),
             mrps(&b),
             mrps(&f),
-            b.elapsed.as_secs_f64() / f.elapsed.as_secs_f64().max(1e-9),
+            speedup,
             f.output_rows,
         );
+        group_report.push(Json::obj([
+            ("encoding", Json::Str(encoding.label().into())),
+            ("baseline_mrows_per_sec", Json::Num(b.rows_per_sec() / 1e6)),
+            ("flat_mrows_per_sec", Json::Num(f.rows_per_sec() / 1e6)),
+            ("speedup", Json::Num(speedup)),
+            ("groups", Json::Int(f.output_rows as i64)),
+        ]));
     }
+
+    let report = Json::obj([
+        ("bench", Json::Str("hash_kernels".into())),
+        ("mode", Json::Str(if smoke { "smoke" } else { "full" }.into())),
+        ("build_rows", Json::Int(build_rows as i64)),
+        ("probe_rows", Json::Int(probe_rows as i64)),
+        ("group_rows", Json::Int(group_rows as i64)),
+        ("join", Json::Arr(join_report)),
+        ("group_by", Json::Arr(group_report)),
+    ]);
+    std::fs::write("BENCH_hash_kernels.json", report.to_string())
+        .expect("write BENCH_hash_kernels.json");
+    println!("\nwrote BENCH_hash_kernels.json");
 }

@@ -10,8 +10,11 @@
 //! ```sh
 //! cargo run --release -p presto-bench --bin metadata_cache
 //! ```
+//!
+//! Emits `BENCH_metadata_cache.json` in the working directory.
 
 use presto_bench::{bench_config, print_cache_summary, scale_factor, scratch_dir};
+use presto_common::json::Json;
 use presto_cache::MetadataCache;
 use presto_cluster::Cluster;
 use presto_common::{DataType, Schema, Session, Value};
@@ -103,4 +106,19 @@ fn main() {
         "warm run should be at least 2x faster (got {speedup:.1}x)"
     );
     std::fs::remove_dir_all(&dir).ok();
+
+    let report = Json::obj([
+        ("bench", Json::Str("metadata_cache".into())),
+        ("files", Json::Int(files as i64)),
+        ("rows_per_file", Json::Int(rows_per_file as i64)),
+        ("cold_ms", Json::Num(cold.as_secs_f64() * 1e3)),
+        ("warm_ms", Json::Num(warm.as_secs_f64() * 1e3)),
+        ("speedup", Json::Num(speedup)),
+        ("cold_footer_reads", Json::Int(cold_footers as i64)),
+        ("warm_footer_reads", Json::Int(warm_footers as i64)),
+        ("cache_hits", Json::Int(hits as i64)),
+    ]);
+    std::fs::write("BENCH_metadata_cache.json", report.to_string())
+        .expect("write BENCH_metadata_cache.json");
+    println!("wrote BENCH_metadata_cache.json");
 }

@@ -19,7 +19,10 @@
 //! ```sh
 //! cargo run --release -p presto-bench --bin shuffle_bench [-- --smoke]
 //! ```
+//!
+//! Emits `BENCH_shuffle.json` in the working directory.
 
+use presto_common::json::Json;
 use presto_exec::partitioned_output::PagePartitioner;
 use presto_page::hash::hash_columns;
 use presto_page::{decode_framed_page, Block, LongBlock, Page};
@@ -289,6 +292,10 @@ fn main() {
         if smoke { " (smoke)" } else { "" }
     );
 
+    let mut sink_report = Vec::new();
+    let mut compression_report = Json::Null;
+    let mut fetch_report = Vec::new();
+
     println!("\nhash-partitioned sink (shatter baseline vs coalescing writer):");
     let input = make_input(total_rows, rows_per_page, 100_000);
     for consumers in [4usize, 16, 64] {
@@ -324,6 +331,17 @@ fn main() {
             mean_rows,
             b.elapsed.as_secs_f64() / n.elapsed.as_secs_f64().max(1e-9),
         );
+        sink_report.push(Json::obj([
+            ("consumers", Json::Int(consumers as i64)),
+            ("baseline_ms", Json::Num(b.elapsed.as_secs_f64() * 1e3)),
+            ("coalescing_ms", Json::Num(n.elapsed.as_secs_f64() * 1e3)),
+            (
+                "speedup",
+                Json::Num(b.elapsed.as_secs_f64() / n.elapsed.as_secs_f64().max(1e-9)),
+            ),
+            ("mean_page_rows", Json::Int(mean_rows as i64)),
+            ("baseline_mean_page_rows", Json::Int(base_mean as i64)),
+        ]));
         if smoke {
             assert!(
                 mean_rows >= target_rows / 2,
@@ -345,6 +363,14 @@ fn main() {
             mrps(raw.delivered_rows, raw.elapsed),
             mrps(compressed.delivered_rows, compressed.elapsed),
         );
+        compression_report = Json::obj([
+            ("raw_wire_bytes", Json::Int(raw.wire_bytes as i64)),
+            ("lz_wire_bytes", Json::Int(compressed.wire_bytes as i64)),
+            (
+                "ratio",
+                Json::Num(raw.wire_bytes as f64 / compressed.wire_bytes.max(1) as f64),
+            ),
+        ]);
     }
 
     println!("\nexchange fetch (sleep-under-lock baseline vs concurrent fetcher):");
@@ -380,8 +406,32 @@ fn main() {
             new_elapsed,
             base_elapsed.as_secs_f64() / new_elapsed.as_secs_f64().max(1e-9),
         );
+        fetch_report.push(Json::obj([
+            ("sources", Json::Int(n_sources as i64)),
+            ("latency_ms", Json::Num(latency.as_secs_f64() * 1e3)),
+            ("drivers", Json::Int(drivers as i64)),
+            ("baseline_ms", Json::Num(base_elapsed.as_secs_f64() * 1e3)),
+            ("concurrent_ms", Json::Num(new_elapsed.as_secs_f64() * 1e3)),
+            (
+                "speedup",
+                Json::Num(base_elapsed.as_secs_f64() / new_elapsed.as_secs_f64().max(1e-9)),
+            ),
+        ]));
     }
     println!("\nexpected shape: coalescing ≥ 2x the shatter baseline at 64 consumers with");
     println!("near-target mean page rows; with 1ms injected latency the concurrent fetcher's");
     println!("wall-clock stays sub-linear in source count (overlapped virtual round trips).");
+
+    let report = Json::obj([
+        ("bench", Json::Str("shuffle".into())),
+        ("mode", Json::Str(if smoke { "smoke" } else { "full" }.into())),
+        ("total_rows", Json::Int(total_rows as i64)),
+        ("rows_per_page", Json::Int(rows_per_page as i64)),
+        ("target_rows", Json::Int(target_rows as i64)),
+        ("sink", Json::Arr(sink_report)),
+        ("compression", compression_report),
+        ("fetch", Json::Arr(fetch_report)),
+    ]);
+    std::fs::write("BENCH_shuffle.json", report.to_string()).expect("write BENCH_shuffle.json");
+    println!("wrote BENCH_shuffle.json");
 }

@@ -17,6 +17,8 @@
 //! ```sh
 //! cargo run --release -p presto-bench --bin telemetry_bench [-- --smoke]
 //! ```
+//!
+//! Emits `BENCH_telemetry.json` in the working directory.
 
 use presto_bench::kernels::{make_pages, KeyEncoding};
 use presto_cluster::{Cluster, ClusterConfig};
@@ -276,5 +278,20 @@ fn main() {
         events.len(),
         chrome.len()
     );
+
+    let report = Json::obj([
+        ("bench", Json::Str("telemetry".into())),
+        ("mode", Json::Str(if smoke { "smoke" } else { "full" }.into())),
+        ("group_by_rows", Json::Int(rows as i64)),
+        ("stats_overhead_pct", Json::Num(best * 100.0)),
+        ("snapshot_us", Json::Num(per_snap.as_secs_f64() * 1e6)),
+        ("snapshot_json_bytes", Json::Int(json_bytes as i64)),
+        ("queries_recorded", Json::Int(records.len() as i64)),
+        ("queries_failed", Json::Int(failed as i64)),
+        ("trace_events", Json::Int(events.len() as i64)),
+        ("trace_json_bytes", Json::Int(chrome.len() as i64)),
+    ]);
+    std::fs::write("BENCH_telemetry.json", report.to_string()).expect("write BENCH_telemetry.json");
+    println!("wrote BENCH_telemetry.json");
     println!("telemetry_bench: ok");
 }

@@ -116,6 +116,29 @@ fn dynfilter_bench_smoke_mode_runs() {
     assert!(stdout.contains("dynfilter_bench: ok"), "end marker present");
 }
 
+#[test]
+fn fusion_bench_smoke_mode_runs() {
+    // The pipeline-fusion benchmark in --smoke mode: asserts internally
+    // that fused and discrete pipelines return byte-identical rows on
+    // both query shapes and that the fused telemetry counters accounted
+    // for every scanned row.
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_fusion_bench"))
+        .arg("--smoke")
+        .current_dir(std::env::temp_dir())
+        .output()
+        .expect("run fusion_bench --smoke");
+    assert!(
+        out.status.success(),
+        "fusion_bench --smoke failed:\n{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr),
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("zero diffs"), "differential check present");
+    assert!(stdout.contains("fused vs discrete"), "comparison table present");
+    assert!(stdout.contains("fusion_bench: ok"), "end marker present");
+}
+
 fn smoke_cluster() -> Cluster {
     let mem = MemoryConnector::new();
     TpchGenerator::new(0.001).load_memory(&mem);

@@ -47,6 +47,12 @@ pub fn render_explain_analyze(plan: &PhysicalPlan, stats: &QueryStats) -> String
         }
         out.push('\n');
     }
+    // Which chains ran fused (and why the rest fell back); the per-stage
+    // row counts themselves print as fused_* counters on the
+    // FusedPipeline operator lines above.
+    out.push_str(&presto_planner::fusion::explain_fused_chains(
+        &plan.fused_chains,
+    ));
     out
 }
 

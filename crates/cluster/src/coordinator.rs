@@ -552,6 +552,32 @@ impl Coordinator {
                 wall_time: started.elapsed(),
             }
         });
+        // Roll this query's pipeline-fusion totals into the cluster-lifetime
+        // counters exported by `ClusterSnapshot`. Fused operators export
+        // their per-stage row counts as uniform OperatorStats counters, so
+        // the rollup just sums them out of the task snapshots. Best-effort
+        // for plain queries (drivers retire asynchronously); stats-bearing
+        // queries already waited for the drain above.
+        let mut fusion = crate::telemetry::FusionMetrics::default();
+        for handle in handles.iter().flatten() {
+            for pipeline in handle.task.stats_snapshot().pipelines {
+                for op in &pipeline.operators {
+                    if op.name != "FusedPipeline" {
+                        continue;
+                    }
+                    let c = |n: &str| op.stats.counter(n).unwrap_or(0);
+                    fusion.pipelines += 1;
+                    fusion.scan_rows += c("fused_scan_rows");
+                    fusion.filter_rows += c("fused_filter_rows");
+                    fusion.project_rows += c("fused_project_rows");
+                    fusion.agg_rows += c("fused_agg_rows");
+                    fusion.rows_produced += op.stats.output_rows;
+                }
+            }
+        }
+        if fusion.pipelines > 0 {
+            self.telemetry.record_fusion(fusion);
+        }
         Ok((pages, stats))
     }
 

@@ -41,5 +41,5 @@ pub use cluster::{Cluster, QueryResult};
 pub use config::ClusterConfig;
 pub use coordinator::QueryError;
 pub use metrics::ClusterSnapshot;
-pub use telemetry::{ClusterTelemetry, DynamicFilterMetrics};
+pub use telemetry::{ClusterTelemetry, DynamicFilterMetrics, FusionMetrics};
 pub use worker::WorkerState;

@@ -14,7 +14,7 @@ use std::sync::Arc;
 
 use crate::memory::PoolSnapshot;
 use crate::mlfq::{LevelSnapshot, SchedulerSnapshot};
-use crate::telemetry::{ClusterTelemetry, DynamicFilterMetrics};
+use crate::telemetry::{ClusterTelemetry, DynamicFilterMetrics, FusionMetrics};
 use crate::worker::Worker;
 
 /// One worker's runtime state.
@@ -97,6 +97,8 @@ pub struct ClusterSnapshot {
     pub queries: QueryGauges,
     /// Dynamic-filtering savings accumulated across finished queries.
     pub dynamic_filters: DynamicFilterMetrics,
+    /// Pipeline-fusion totals accumulated across finished queries.
+    pub fusion: FusionMetrics,
     pub caches: Vec<CacheLayerMetrics>,
     /// Events recorded into the trace timeline so far (0 when disabled).
     pub trace_events: u64,
@@ -150,6 +152,7 @@ impl ClusterSnapshot {
                 failed: telemetry.failed_queries(),
             },
             dynamic_filters: telemetry.dynamic_filter_metrics(),
+            fusion: telemetry.fusion_metrics(),
             caches: telemetry
                 .cache_counters_by_layer()
                 .into_iter()
@@ -212,6 +215,17 @@ impl ClusterSnapshot {
                 ]),
             ),
             (
+                "fusion",
+                Json::obj([
+                    ("pipelines", int(self.fusion.pipelines)),
+                    ("scan_rows", int(self.fusion.scan_rows)),
+                    ("filter_rows", int(self.fusion.filter_rows)),
+                    ("project_rows", int(self.fusion.project_rows)),
+                    ("agg_rows", int(self.fusion.agg_rows)),
+                    ("rows_produced", int(self.fusion.rows_produced)),
+                ]),
+            ),
+            (
                 "caches",
                 Json::Arr(
                     self.caches
@@ -238,6 +252,7 @@ impl ClusterSnapshot {
         let shuffle = v.field("shuffle")?;
         let queries = v.field("queries")?;
         let df = v.field("dynamic_filters")?;
+        let fusion = v.field("fusion")?;
         Ok(ClusterSnapshot {
             uptime_nanos: v.field_u64("uptime_nanos")?,
             workers: v
@@ -266,6 +281,14 @@ impl ClusterSnapshot {
                 stripes_pruned: df.field_u64("stripes_pruned")?,
                 rows_filtered: df.field_u64("rows_filtered")?,
                 wait_nanos: df.field_u64("wait_nanos")?,
+            },
+            fusion: FusionMetrics {
+                pipelines: fusion.field_u64("pipelines")?,
+                scan_rows: fusion.field_u64("scan_rows")?,
+                filter_rows: fusion.field_u64("filter_rows")?,
+                project_rows: fusion.field_u64("project_rows")?,
+                agg_rows: fusion.field_u64("agg_rows")?,
+                rows_produced: fusion.field_u64("rows_produced")?,
             },
             caches: v
                 .field_arr("caches")?
@@ -443,6 +466,14 @@ mod tests {
                 stripes_pruned: 11,
                 rows_filtered: 5000,
                 wait_nanos: 1_250_000,
+            },
+            fusion: FusionMetrics {
+                pipelines: 3,
+                scan_rows: 60_000,
+                filter_rows: 900,
+                project_rows: 900,
+                agg_rows: 900,
+                rows_produced: 12,
             },
             caches: vec![CacheLayerMetrics {
                 layer: "porc_footer".to_string(),

@@ -46,6 +46,13 @@ struct Inner {
     df_stripes_pruned: AtomicU64,
     df_rows_filtered: AtomicU64,
     df_wait_nanos: AtomicU64,
+    /// Pipeline-fusion totals, rolled in per query after it finishes.
+    fused_pipelines: AtomicU64,
+    fused_scan_rows: AtomicU64,
+    fused_filter_rows: AtomicU64,
+    fused_project_rows: AtomicU64,
+    fused_agg_rows: AtomicU64,
+    fused_rows_produced: AtomicU64,
 }
 
 /// Cluster-lifetime dynamic-filtering counters (§VII): how much work the
@@ -62,6 +69,26 @@ pub struct DynamicFilterMetrics {
     pub rows_filtered: u64,
     /// Total time scans spent gated on filter arrival.
     pub wait_nanos: u64,
+}
+
+/// Cluster-lifetime pipeline-fusion counters: how much data flowed
+/// through fused scan→filter→project[→partial-agg] loops, across all
+/// queries. Row counts are per fused stage, so the scan→filter→project
+/// cascade shows the selectivity the fused loop exploited.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FusionMetrics {
+    /// Fused pipeline instances (one per task-pipeline that ran fused).
+    pub pipelines: u64,
+    /// Rows read from splits by fused scan stages.
+    pub scan_rows: u64,
+    /// Rows surviving fused filter stages.
+    pub filter_rows: u64,
+    /// Rows emitted by fused projection stages.
+    pub project_rows: u64,
+    /// Rows fed into fused partial-aggregation stages.
+    pub agg_rows: u64,
+    /// Rows produced downstream by fused pipelines.
+    pub rows_produced: u64,
 }
 
 /// Lifecycle record for one query.
@@ -118,6 +145,12 @@ impl ClusterTelemetry {
                 df_stripes_pruned: AtomicU64::new(0),
                 df_rows_filtered: AtomicU64::new(0),
                 df_wait_nanos: AtomicU64::new(0),
+                fused_pipelines: AtomicU64::new(0),
+                fused_scan_rows: AtomicU64::new(0),
+                fused_filter_rows: AtomicU64::new(0),
+                fused_project_rows: AtomicU64::new(0),
+                fused_agg_rows: AtomicU64::new(0),
+                fused_rows_produced: AtomicU64::new(0),
             }),
         }
     }
@@ -280,6 +313,36 @@ impl ClusterTelemetry {
         }
     }
 
+    /// Accumulate one query's pipeline-fusion totals into the
+    /// cluster-lifetime counters.
+    pub fn record_fusion(&self, totals: FusionMetrics) {
+        let i = &self.inner;
+        i.fused_pipelines
+            .fetch_add(totals.pipelines, Ordering::Relaxed);
+        i.fused_scan_rows
+            .fetch_add(totals.scan_rows, Ordering::Relaxed);
+        i.fused_filter_rows
+            .fetch_add(totals.filter_rows, Ordering::Relaxed);
+        i.fused_project_rows
+            .fetch_add(totals.project_rows, Ordering::Relaxed);
+        i.fused_agg_rows
+            .fetch_add(totals.agg_rows, Ordering::Relaxed);
+        i.fused_rows_produced
+            .fetch_add(totals.rows_produced, Ordering::Relaxed);
+    }
+
+    pub fn fusion_metrics(&self) -> FusionMetrics {
+        let i = &self.inner;
+        FusionMetrics {
+            pipelines: i.fused_pipelines.load(Ordering::Relaxed),
+            scan_rows: i.fused_scan_rows.load(Ordering::Relaxed),
+            filter_rows: i.fused_filter_rows.load(Ordering::Relaxed),
+            project_rows: i.fused_project_rows.load(Ordering::Relaxed),
+            agg_rows: i.fused_agg_rows.load(Ordering::Relaxed),
+            rows_produced: i.fused_rows_produced.load(Ordering::Relaxed),
+        }
+    }
+
     /// Export a cache layer's live counters under `name`.
     pub fn register_cache(&self, name: &'static str, stats: Arc<CacheStats>) {
         self.inner.caches.lock().push((name, stats));
@@ -335,6 +398,25 @@ mod tests {
         let busy = t.worker_busy();
         assert_eq!(busy[0], Duration::from_millis(15));
         assert_eq!(busy[1], Duration::from_millis(1));
+    }
+
+    #[test]
+    fn fusion_totals_accumulate() {
+        let t = ClusterTelemetry::new(1);
+        let per_query = FusionMetrics {
+            pipelines: 2,
+            scan_rows: 1000,
+            filter_rows: 100,
+            project_rows: 100,
+            agg_rows: 100,
+            rows_produced: 7,
+        };
+        t.record_fusion(per_query);
+        t.record_fusion(per_query);
+        let got = t.fusion_metrics();
+        assert_eq!(got.pipelines, 4);
+        assert_eq!(got.scan_rows, 2000);
+        assert_eq!(got.rows_produced, 14);
     }
 
     #[test]

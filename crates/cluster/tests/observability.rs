@@ -6,7 +6,7 @@
 use presto_cluster::metrics::{CacheLayerMetrics, ClusterSnapshot, QueryGauges, ShuffleMetrics, WorkerMetrics};
 use presto_cluster::memory::PoolSnapshot;
 use presto_cluster::mlfq::{LevelSnapshot, SchedulerSnapshot};
-use presto_cluster::{Cluster, ClusterConfig, DynamicFilterMetrics};
+use presto_cluster::{Cluster, ClusterConfig, DynamicFilterMetrics, FusionMetrics};
 use presto_common::json::Json;
 use presto_common::{DataType, Schema, Session, Value};
 use presto_connector::CatalogManager;
@@ -98,6 +98,59 @@ fn explain_analyze_row_counts_reconcile_across_exchange() {
     assert!(text.contains("out 100 rows"), "{text}");
     // Operator-specific counters surface (group-by hash table counters).
     assert!(text.contains("="), "{text}");
+}
+
+/// Acceptance: EXPLAIN ANALYZE of a fusable scan→filter→agg query renders
+/// the fused chain with per-stage row counts, and the cluster snapshot
+/// accumulates the fusion totals after the query finishes.
+#[test]
+fn explain_analyze_fused_chain_shows_per_stage_rows() {
+    let c = cluster();
+    let out = c
+        .execute("EXPLAIN ANALYZE SELECT SUM(totalprice) FROM orders WHERE custkey < 10")
+        .unwrap();
+    let text = out.rows()[0][0].as_str().unwrap().to_string();
+    // The chain compiled into the fused operator, not discrete ones.
+    assert!(text.contains("FusedPipeline"), "{text}");
+    // Per-stage row counters: 1000 rows scanned, custkey < 10 keeps
+    // i % 100 < 10 → exactly 100 rows into the partial aggregation.
+    assert!(text.contains("fused_scan_rows=1000"), "{text}");
+    assert!(text.contains("fused_filter_rows=100"), "{text}");
+    assert!(text.contains("fused_agg_rows=100"), "{text}");
+    assert!(text.contains("fused_stages="), "{text}");
+    // The plan-level fusion summary renders the chain and its verdict.
+    assert!(text.contains("Fused pipelines:"), "{text}");
+    assert!(text.contains("[fused]"), "{text}");
+    // The per-query totals rolled into the cluster-lifetime counters.
+    let fusion = c.metrics_snapshot().fusion;
+    assert!(fusion.pipelines >= 1, "{fusion:?}");
+    assert_eq!(fusion.scan_rows, 1000, "{fusion:?}");
+    assert_eq!(fusion.filter_rows, 100, "{fusion:?}");
+}
+
+/// Disabling the session knob falls back to discrete operators with the
+/// same answer.
+#[test]
+fn fusion_knob_off_runs_discrete_operators() {
+    let c = cluster();
+    let sql = "SELECT SUM(totalprice) FROM orders WHERE custkey < 10";
+    let fused = c.execute(sql).unwrap();
+    let mut session = Session::default();
+    session.pipeline_fusion = false;
+    let unfused = c.execute_with_session(sql, &session).unwrap();
+    assert_eq!(fused.rows(), unfused.rows());
+    let text = c
+        .execute_with_session(
+            "EXPLAIN ANALYZE SELECT SUM(totalprice) FROM orders WHERE custkey < 10",
+            &session,
+        )
+        .unwrap()
+        .rows()[0][0]
+        .as_str()
+        .unwrap()
+        .to_string();
+    assert!(!text.contains("FusedPipeline"), "{text}");
+    assert!(text.contains("ScanFilterProject"), "{text}");
 }
 
 #[test]
@@ -302,12 +355,13 @@ fn arb_snapshot() -> impl Strategy<Value = ClusterSnapshot> {
         (
             proptest::collection::vec(counter(), 5..6),
             proptest::collection::vec(counter(), 5..6),
+            proptest::collection::vec(counter(), 6..7),
         ),
         proptest::collection::vec(arb_cache(), 0..3),
         counter(),
     )
         .prop_map(
-            |(uptime_nanos, workers, shuffle, (queries, df), caches, trace_events)| ClusterSnapshot {
+            |(uptime_nanos, workers, shuffle, (queries, df, fu), caches, trace_events)| ClusterSnapshot {
                 uptime_nanos,
                 workers,
                 shuffle: ShuffleMetrics {
@@ -331,6 +385,14 @@ fn arb_snapshot() -> impl Strategy<Value = ClusterSnapshot> {
                     stripes_pruned: df[2],
                     rows_filtered: df[3],
                     wait_nanos: df[4],
+                },
+                fusion: FusionMetrics {
+                    pipelines: fu[0],
+                    scan_rows: fu[1],
+                    filter_rows: fu[2],
+                    project_rows: fu[3],
+                    agg_rows: fu[4],
+                    rows_produced: fu[5],
                 },
                 caches,
                 trace_events,

@@ -103,6 +103,11 @@ pub struct Session {
     /// Build-side keys with at most this many distinct values publish an
     /// exact value set; larger domains degrade to min/max + Bloom.
     pub dynamic_filter_max_values: usize,
+    /// Fuse supported scan→filter→project[→partial-agg] chains into one
+    /// type-specialized loop with selection vectors between stages instead
+    /// of materialized pages. Never correctness-bearing: unsupported
+    /// chains (or `false`) fall back to the discrete operators.
+    pub pipeline_fusion: bool,
 }
 
 impl Default for Session {
@@ -135,6 +140,7 @@ impl Default for Session {
             dynamic_filtering: true,
             dynamic_filter_wait: Duration::from_millis(500),
             dynamic_filter_max_values: 10_000,
+            pipeline_fusion: true,
         }
     }
 }
@@ -173,6 +179,9 @@ mod tests {
         assert!(s.dynamic_filtering);
         assert!(s.dynamic_filter_wait > Duration::ZERO);
         assert!(s.dynamic_filter_max_values > 0);
+        // Pipeline fusion is the production path; disabling it is an
+        // ablation knob like `compiled_expressions`.
+        assert!(s.pipeline_fusion);
     }
 
     #[test]

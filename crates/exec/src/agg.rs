@@ -127,6 +127,23 @@ impl GroupByHash {
         // shuffle/join row hashes across encodings.
         let hashes =
             presto_page::hash::hash_columns_cached(page, &self.key_channels, &mut self.hash_cache);
+        self.group_ids_vectorized(page, &hashes)
+    }
+
+    /// [`group_ids`](Self::group_ids) with the per-row key hashes already
+    /// computed — the fused pipeline hashes key values while they are still
+    /// hot in registers during its gather loop. The hashes must be the same
+    /// function [`hash_columns_cached`](presto_page::hash::hash_columns_cached)
+    /// computes (combine in key-channel order), or lookups will miss groups
+    /// created through the unhashed paths.
+    pub fn group_ids_prehashed(&mut self, page: &Page, hashes: &[u64]) -> Vec<u32> {
+        debug_assert_eq!(hashes.len(), page.row_count());
+        self.group_ids_vectorized(page, hashes)
+    }
+
+    /// Stages 1-4 of the vectorized path, with hashes supplied.
+    fn group_ids_vectorized(&mut self, page: &Page, hashes: &[u64]) -> Vec<u32> {
+        let rows = page.row_count();
         let mut scratch_bytes: Vec<u8> = Vec::with_capacity(rows * 9);
         let mut scratch_offsets: Vec<u32> = Vec::with_capacity(rows + 1);
         scratch_offsets.push(0);
@@ -359,14 +376,18 @@ impl HashAggregationOperator {
     }
 
     fn accumulate(&mut self, page: &Page) -> Result<()> {
-        self.rows_in += page.row_count() as u64;
         let ids = self.hash.group_ids(page);
+        self.accumulate_grouped(page, &ids)
+    }
+
+    fn accumulate_grouped(&mut self, page: &Page, ids: &[u32]) -> Result<()> {
+        self.rows_in += page.row_count() as u64;
         let max_group = self.hash.group_count().saturating_sub(1) as u32;
         for (acc, spec) in self.accumulators.iter_mut().zip(&self.aggs) {
             match self.phase {
                 AggPhase::Single | AggPhase::Partial => {
                     let block = spec.input.map(|c| page.block(c));
-                    acc.add_input(block, &ids, max_group);
+                    acc.add_input(block, ids, max_group);
                 }
                 AggPhase::Final => {
                     let start = spec.input.expect("final aggregation input channel");
@@ -374,7 +395,7 @@ impl HashAggregationOperator {
                     let blocks: Vec<Block> = (start..start + arity)
                         .map(|c| page.block(c).clone())
                         .collect();
-                    acc.add_intermediate(&blocks, &ids, max_group);
+                    acc.add_intermediate(&blocks, ids, max_group);
                 }
             }
         }
@@ -434,6 +455,33 @@ impl HashAggregationOperator {
         Ok(out)
     }
 
+    /// [`Operator::add_input`] with key hashes supplied by the caller (see
+    /// [`GroupByHash::group_ids_prehashed`]). Used by the fused pipeline,
+    /// which hashes keys during its gather loop instead of re-reading the
+    /// key columns. Applies the same adaptive partial flush.
+    pub fn add_input_prehashed(&mut self, page: &Page, hashes: &[u64]) -> Result<()> {
+        let ids = self.hash.group_ids_prehashed(page, hashes);
+        self.accumulate_grouped(page, &ids)?;
+        self.maybe_partial_flush()
+    }
+
+    /// Feed a page whose group ids are already known. Used by the fused
+    /// pipeline's global-aggregation fast path (no keys → every row is
+    /// group 0, the hash table is never touched).
+    pub(crate) fn add_input_grouped(&mut self, page: &Page, ids: &[u32]) -> Result<()> {
+        self.accumulate_grouped(page, ids)?;
+        self.maybe_partial_flush()
+    }
+
+    /// Adaptive partial flush keeps partial aggregations bounded.
+    fn maybe_partial_flush(&mut self) -> Result<()> {
+        if self.phase == AggPhase::Partial && self.user_memory_bytes() > self.partial_flush_bytes {
+            let pages = self.flush(true)?;
+            self.outputs.extend(pages);
+        }
+        Ok(())
+    }
+
     fn spill_path(&mut self) -> PathBuf {
         self.spill_seq += 1;
         std::env::temp_dir().join(format!(
@@ -468,12 +516,7 @@ impl Operator for HashAggregationOperator {
 
     fn add_input(&mut self, page: Page) -> Result<()> {
         self.accumulate(&page)?;
-        // Adaptive partial flush keeps partial aggregations bounded.
-        if self.phase == AggPhase::Partial && self.user_memory_bytes() > self.partial_flush_bytes {
-            let pages = self.flush(true)?;
-            self.outputs.extend(pages);
-        }
-        Ok(())
+        self.maybe_partial_flush()
     }
 
     fn finish(&mut self) {

@@ -231,6 +231,13 @@ struct Compiler<'a> {
 
 impl<'a> Compiler<'a> {
     fn compile(&mut self, node: &PlanNode) -> Result<Chain> {
+        // Pipeline fusion: a supported `TableScan → Filter → Project
+        // [→ partial Aggregate]` chain compiles to one fused operator.
+        // Unsupported chains (or `pipeline_fusion = false`) fall through to
+        // the discrete operators below with identical results.
+        if let Some(chain) = self.try_compile_fused(node)? {
+            return Ok(chain);
+        }
         match node {
             PlanNode::Output { input, .. } => self.compile(input),
             PlanNode::TableScan { .. } => self.compile_scan(node, None, None),
@@ -609,6 +616,143 @@ impl<'a> Compiler<'a> {
                 })
             }
         }
+    }
+
+    /// Lower a fusable chain rooted at `node` into a
+    /// [`FusedPipelineOperator`](crate::fused::FusedPipelineOperator), or
+    /// return `None` when the chain shape, the session, or
+    /// [`presto_planner::fusion::chain_fallback`] (shared with the planner's
+    /// EXPLAIN annotation) says it must stay on the discrete operators.
+    fn try_compile_fused(&mut self, node: &PlanNode) -> Result<Option<Chain>> {
+        if !self.ctx.session.pipeline_fusion || !self.ctx.session.compiled_expressions {
+            return Ok(None);
+        }
+        // Peel optional partial aggregate → projection → filter, exactly as
+        // the planner's chain matcher does.
+        let (agg, below) = match node {
+            PlanNode::Aggregate {
+                input,
+                group_by,
+                aggregates,
+                step: AggregateStep::Partial,
+                ..
+            } => (
+                Some((group_by, aggregates, input.output_schema())),
+                input.as_ref(),
+            ),
+            other => (None, other),
+        };
+        let (projections, below) = match below {
+            PlanNode::Project {
+                input, expressions, ..
+            } => (Some(expressions), input.as_ref()),
+            other => (None, other),
+        };
+        let (filter, below) = match below {
+            PlanNode::Filter {
+                input, predicate, ..
+            } => (Some(predicate), input.as_ref()),
+            other => (None, other),
+        };
+        let scan = match below {
+            s @ PlanNode::TableScan { .. } => s,
+            _ => return Ok(None),
+        };
+        if agg.is_none() && projections.is_none() && filter.is_none() {
+            return Ok(None); // a bare scan has nothing to fuse
+        }
+        if presto_planner::fusion::chain_fallback(
+            filter,
+            projections.map(|p| p.as_slice()),
+            agg.as_ref().map(|(g, a, _)| (g.as_slice(), a.as_slice())),
+        )
+        .is_some()
+        {
+            return Ok(None);
+        }
+        let PlanNode::TableScan {
+            id,
+            catalog,
+            table,
+            layout,
+            table_schema,
+            columns,
+            predicate,
+        } = scan
+        else {
+            unreachable!("matched above");
+        };
+        let connector = self.ctx.catalogs.catalog(catalog)?;
+        let queue = SplitQueue::new();
+        self.scans.push(ScanSource {
+            node_id: *id,
+            catalog: catalog.clone(),
+            table: table.clone(),
+            layout: layout.clone(),
+            predicate: predicate.clone(),
+            queue: Arc::clone(&queue),
+        });
+        let scan_schema = table_schema.project(columns);
+        let fused_agg = agg
+            .map(|(group_by, aggregates, agg_input)| -> Result<_> {
+                Ok(crate::fused::FusedAggStage {
+                    group_channels: group_by.clone(),
+                    group_types: group_by
+                        .iter()
+                        .map(|&c| agg_input.data_type(c))
+                        .collect(),
+                    specs: specs_from_planner(aggregates)?,
+                })
+            })
+            .transpose()?;
+        let chain_spec = crate::fused::FusedChain {
+            filter: filter.cloned(),
+            explicit_project: projections.is_some(),
+            projections: projections
+                .cloned()
+                .unwrap_or_else(|| identity_projections(&scan_schema)),
+            agg: fused_agg,
+        };
+        let columns = columns.clone();
+        let predicate = predicate.clone();
+        let session = self.ctx.session.clone();
+        let trace = self.ctx.trace.clone();
+        let trace_pid = self.ctx.task_id.stage.query.0 as u32;
+        let trace_tid = self.ctx.task_id.stage.stage;
+        let dyn_filters = self.ctx.dynamic_filters.as_ref().and_then(|df| {
+            let specs = df.specs_for_scan(*id);
+            if specs.is_empty() {
+                None
+            } else {
+                Some((Arc::clone(&df.registry), specs))
+            }
+        });
+        let factory: OpFactory = Arc::new(move || {
+            let mut op = crate::fused::FusedPipelineOperator::new(
+                Arc::clone(&connector),
+                Arc::clone(&queue),
+                columns.clone(),
+                predicate.clone(),
+                &chain_spec,
+                &session,
+            );
+            if let Some(trace) = &trace {
+                op = op.with_trace(Arc::clone(trace), trace_pid, trace_tid);
+            }
+            if let Some((registry, specs)) = &dyn_filters {
+                op = op.with_dynamic_filter(crate::dynfilter::ScanDynamicFilter::new(
+                    Arc::clone(registry),
+                    specs.clone(),
+                    session.dynamic_filter_wait,
+                ));
+            }
+            Ok(Box::new(op) as Box<dyn crate::operator::Operator>)
+        });
+        Ok(Some(Chain {
+            factories: vec![factory],
+            parallel: true,
+            description: "FusedPipeline".to_string(),
+        }))
     }
 
     /// A (possibly fused) scan pipeline start.

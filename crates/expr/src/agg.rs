@@ -107,7 +107,7 @@ impl AggregateFunction {
         use AggregateKind::*;
         match self.kind {
             Count | CountNonNull | CountDistinct => DataType::Bigint,
-            Sum | Min | Max => self.input_type.unwrap(),
+            Sum | Min | Max => self.input_type.expect("non-count aggregate carries an input type"),
             Avg | StddevPop | StddevSamp | VarPop | VarSamp => DataType::Double,
         }
     }
@@ -117,7 +117,7 @@ impl AggregateFunction {
         use AggregateKind::*;
         match self.kind {
             Count | CountNonNull => vec![DataType::Bigint],
-            Sum | Min | Max => vec![self.input_type.unwrap()],
+            Sum | Min | Max => vec![self.input_type.expect("non-count aggregate carries an input type")],
             Avg => vec![DataType::Double, DataType::Bigint],
             StddevPop | StddevSamp | VarPop | VarSamp => {
                 vec![DataType::Bigint, DataType::Double, DataType::Double]
@@ -309,7 +309,7 @@ impl GroupedAccumulator {
             }
             GroupedAccumulator::MinMax { values, .. } => {
                 let block = input.expect("min/max input");
-                let t = f.input_type.unwrap();
+                let t = f.input_type.expect("non-count aggregate carries an input type");
                 let want_max = f.kind == AggregateKind::Max;
                 for (i, &g) in group_ids.iter().enumerate() {
                     if block.is_null(i) {
@@ -370,7 +370,7 @@ impl GroupedAccumulator {
             }
             GroupedAccumulator::Distinct { sets, .. } => {
                 let block = input.expect("count distinct input");
-                let t = f.input_type.unwrap();
+                let t = f.input_type.expect("non-count aggregate carries an input type");
                 for (i, &g) in group_ids.iter().enumerate() {
                     if !block.is_null(i) {
                         sets[g as usize].insert(block.value_at(t, i));
@@ -458,7 +458,7 @@ impl GroupedAccumulator {
             GroupedAccumulator::Sum {
                 sums, saw_value, ..
             } => {
-                let mut b = BlockBuilder::with_capacity(f.input_type.unwrap(), n);
+                let mut b = BlockBuilder::with_capacity(f.input_type.expect("non-count aggregate carries an input type"), n);
                 for g in 0..n {
                     if !saw_value[g] {
                         b.push_null();
@@ -471,7 +471,7 @@ impl GroupedAccumulator {
                 vec![b.finish()]
             }
             GroupedAccumulator::MinMax { values, .. } => {
-                let mut b = BlockBuilder::with_capacity(f.input_type.unwrap(), n);
+                let mut b = BlockBuilder::with_capacity(f.input_type.expect("non-count aggregate carries an input type"), n);
                 for v in values {
                     match v {
                         Some(v) => b.push_value(v),
@@ -576,6 +576,7 @@ pub fn aggregate_single(function: AggregateFunction, input: Option<&Block>, rows
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use presto_page::blocks::LongBlock;

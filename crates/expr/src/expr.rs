@@ -182,7 +182,10 @@ impl Expr {
     pub fn and(exprs: Vec<Expr>) -> Expr {
         match exprs.len() {
             0 => Expr::literal(true),
-            1 => exprs.into_iter().next().unwrap(),
+            1 => match exprs.into_iter().next() {
+                Some(e) => e,
+                None => unreachable!("len checked"),
+            },
             _ => Expr::And(exprs),
         }
     }
@@ -190,7 +193,10 @@ impl Expr {
     pub fn or(exprs: Vec<Expr>) -> Expr {
         match exprs.len() {
             0 => Expr::literal(false),
-            1 => exprs.into_iter().next().unwrap(),
+            1 => match exprs.into_iter().next() {
+                Some(e) => e,
+                None => unreachable!("len checked"),
+            },
             _ => Expr::Or(exprs),
         }
     }
@@ -411,6 +417,7 @@ impl fmt::Display for Expr {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

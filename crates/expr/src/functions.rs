@@ -231,50 +231,50 @@ impl ScalarFn {
         Ok(match self {
             ScalarFn::Abs => match &args[0] {
                 Value::Bigint(v) => Value::Bigint(v.wrapping_abs()),
-                v => Value::Double(v.as_f64().unwrap().abs()),
+                v => Value::Double(v.as_f64().expect("numeric argument").abs()),
             },
-            ScalarFn::Sqrt => Value::Double(args[0].as_f64().unwrap().sqrt()),
-            ScalarFn::Ln => Value::Double(args[0].as_f64().unwrap().ln()),
-            ScalarFn::Exp => Value::Double(args[0].as_f64().unwrap().exp()),
+            ScalarFn::Sqrt => Value::Double(args[0].as_f64().expect("numeric argument").sqrt()),
+            ScalarFn::Ln => Value::Double(args[0].as_f64().expect("numeric argument").ln()),
+            ScalarFn::Exp => Value::Double(args[0].as_f64().expect("numeric argument").exp()),
             ScalarFn::Power => {
-                Value::Double(args[0].as_f64().unwrap().powf(args[1].as_f64().unwrap()))
+                Value::Double(args[0].as_f64().expect("numeric argument").powf(args[1].as_f64().expect("numeric argument")))
             }
             ScalarFn::Floor => match &args[0] {
                 Value::Bigint(v) => Value::Bigint(*v),
-                v => Value::Double(v.as_f64().unwrap().floor()),
+                v => Value::Double(v.as_f64().expect("numeric argument").floor()),
             },
             ScalarFn::Ceil => match &args[0] {
                 Value::Bigint(v) => Value::Bigint(*v),
-                v => Value::Double(v.as_f64().unwrap().ceil()),
+                v => Value::Double(v.as_f64().expect("numeric argument").ceil()),
             },
             ScalarFn::Round => match &args[0] {
                 Value::Bigint(v) => Value::Bigint(*v),
-                v => Value::Double(v.as_f64().unwrap().round()),
+                v => Value::Double(v.as_f64().expect("numeric argument").round()),
             },
-            ScalarFn::Lower => Value::varchar(args[0].as_str().unwrap().to_lowercase()),
-            ScalarFn::Upper => Value::varchar(args[0].as_str().unwrap().to_uppercase()),
-            ScalarFn::Length => Value::Bigint(args[0].as_str().unwrap().chars().count() as i64),
+            ScalarFn::Lower => Value::varchar(args[0].as_str().expect("varchar argument").to_lowercase()),
+            ScalarFn::Upper => Value::varchar(args[0].as_str().expect("varchar argument").to_uppercase()),
+            ScalarFn::Length => Value::Bigint(args[0].as_str().expect("varchar argument").chars().count() as i64),
             ScalarFn::Substr => {
-                let s = args[0].as_str().unwrap();
-                let start = args[1].as_i64().unwrap();
-                let len = args.get(2).map(|v| v.as_i64().unwrap().max(0) as usize);
+                let s = args[0].as_str().expect("varchar argument");
+                let start = args[1].as_i64().expect("bigint argument");
+                let len = args.get(2).map(|v| v.as_i64().expect("bigint argument").max(0) as usize);
                 Value::varchar(substr(s, start, len))
             }
             ScalarFn::Concat => {
                 let mut out = String::new();
                 for a in args {
-                    out.push_str(a.as_str().unwrap());
+                    out.push_str(a.as_str().expect("varchar argument"));
                 }
                 Value::varchar(out)
             }
-            ScalarFn::Trim => Value::varchar(args[0].as_str().unwrap().trim()),
+            ScalarFn::Trim => Value::varchar(args[0].as_str().expect("varchar argument").trim()),
             ScalarFn::Like => Value::Boolean(like_match(
-                args[0].as_str().unwrap(),
-                args[1].as_str().unwrap(),
+                args[0].as_str().expect("varchar argument"),
+                args[1].as_str().expect("varchar argument"),
             )),
             ScalarFn::StrPos => {
-                let hay = args[0].as_str().unwrap();
-                let needle = args[1].as_str().unwrap();
+                let hay = args[0].as_str().expect("varchar argument");
+                let needle = args[1].as_str().expect("varchar argument");
                 Value::Bigint(match hay.find(needle) {
                     Some(byte_pos) => (hay[..byte_pos].chars().count() + 1) as i64,
                     None => 0,
@@ -285,12 +285,12 @@ impl ScalarFn {
                 .iter()
                 .max_by(|a, b| a.sql_cmp(b).unwrap_or(std::cmp::Ordering::Equal))
                 .cloned()
-                .unwrap(),
+                .expect("non-empty argument list"),
             ScalarFn::Least => args
                 .iter()
                 .min_by(|a, b| a.sql_cmp(b).unwrap_or(std::cmp::Ordering::Equal))
                 .cloned()
-                .unwrap(),
+                .expect("non-empty argument list"),
             ScalarFn::Year => Value::Bigint(civil_from_value(&args[0]).0),
             ScalarFn::Month => Value::Bigint(civil_from_value(&args[0]).1),
             ScalarFn::Day => Value::Bigint(civil_from_value(&args[0]).2),
@@ -369,6 +369,7 @@ fn civil_from_value(v: &Value) -> (i64, i64, i64) {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -139,7 +139,7 @@ pub fn eval_arith(op: ArithOp, l: &Value, r: &Value, result: DataType) -> Result
     }
     match result {
         DataType::Bigint => {
-            let (a, b) = (l.as_i64().unwrap(), r.as_i64().unwrap());
+            let (a, b) = (l.as_i64().expect("bigint operand"), r.as_i64().expect("bigint operand"));
             Ok(Value::Bigint(match op {
                 ArithOp::Add => a.wrapping_add(b),
                 ArithOp::Sub => a.wrapping_sub(b),
@@ -159,7 +159,7 @@ pub fn eval_arith(op: ArithOp, l: &Value, r: &Value, result: DataType) -> Result
             }))
         }
         DataType::Double => {
-            let (a, b) = (l.as_f64().unwrap(), r.as_f64().unwrap());
+            let (a, b) = (l.as_f64().expect("numeric operand"), r.as_f64().expect("numeric operand"));
             Ok(Value::Double(match op {
                 ArithOp::Add => a + b,
                 ArithOp::Sub => a - b,
@@ -220,6 +220,7 @@ pub fn cast_value(v: &Value, target: DataType) -> Result<Value> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::expr::CmpOp;

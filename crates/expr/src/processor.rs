@@ -44,6 +44,9 @@ pub struct PageProcessor {
     /// When the session disables compiled expressions (§V-B ablation),
     /// fall back to the row interpreter using these originals.
     interpreted: Option<(Option<Expr>, Vec<Expr>)>,
+    /// Selection buffer reused across pages (one allocation per split
+    /// instead of one per page).
+    sel_buf: Vec<u32>,
     stats: ProcessorStats,
 }
 
@@ -85,6 +88,7 @@ impl PageProcessor {
             speculate: true,
             interpreted: (!session.compiled_expressions)
                 .then(|| (filter.cloned(), projections.to_vec())),
+            sel_buf: Vec::new(),
             stats: ProcessorStats::default(),
         }
     }
@@ -112,11 +116,11 @@ impl PageProcessor {
         let filtered_storage;
         let filtered = match &self.filter {
             Some(f) => {
-                let selected = f.eval_selection(page)?;
-                if selected.len() == page.row_count() {
+                f.eval_selection_into(page, &mut self.sel_buf)?;
+                if self.sel_buf.len() == page.row_count() {
                     page
                 } else {
-                    filtered_storage = page.filter(&selected);
+                    filtered_storage = page.filter(&self.sel_buf);
                     &filtered_storage
                 }
             }
@@ -211,6 +215,7 @@ pub fn process_interpreted(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::expr::CmpOp;

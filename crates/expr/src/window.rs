@@ -137,6 +137,7 @@ impl WindowFunction {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use presto_page::blocks::LongBlock;

@@ -5,7 +5,8 @@
 //! branch-light). Structured blocks — RLE, dictionary, lazy — wrap other
 //! blocks, mirroring Fig. 5 of the paper.
 
-use std::sync::{Arc, OnceLock};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock, Weak};
 
 use crate::block::Block;
 
@@ -290,15 +291,52 @@ impl RleBlock {
 pub struct DictionaryBlock {
     pub dictionary: Arc<Block>,
     pub ids: Vec<u32>,
-    /// Identity of the dictionary allocation, used by operators to notice
-    /// that successive blocks share a dictionary and reuse per-entry work
-    /// (§V-E: retained hash-location arrays).
+    /// Identity of the dictionary, used by operators to notice that
+    /// successive blocks share a dictionary and reuse per-entry work
+    /// (§V-E: retained hash-location arrays). Two blocks get the same id iff
+    /// they were built from the same live `Arc`; the id is never the raw
+    /// allocation address, because a freed dictionary's address can be
+    /// recycled for a different dictionary and an address-based id would
+    /// then serve stale cached entry work for the new contents.
     pub dictionary_id: u64,
+}
+
+/// Next [`DictionaryBlock::dictionary_id`]; 0 is never issued so caches
+/// can use it as "empty".
+static NEXT_DICTIONARY_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+
+/// Live-dictionary registry: allocation address -> (liveness witness, id).
+/// An entry is only trusted while its `Weak` still upgrades, i.e. while the
+/// original `Arc` allocation is alive; once it drops, a recycled address
+/// fails the liveness check and gets a fresh id, which is what makes
+/// [`DictionaryBlock::dictionary_id`] ABA-safe.
+static DICTIONARY_IDS: OnceLock<Mutex<HashMap<usize, (Weak<Block>, u64)>>> = OnceLock::new();
+
+fn dictionary_identity(dictionary: &Arc<Block>) -> u64 {
+    let registry = DICTIONARY_IDS.get_or_init(|| Mutex::new(HashMap::new()));
+    let key = Arc::as_ptr(dictionary) as usize;
+    let mut map = match registry.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    if let Some((witness, id)) = map.get(&key) {
+        if witness.strong_count() > 0 {
+            return *id;
+        }
+    }
+    // Dead entries linger until their address is recycled; sweep them once
+    // the registry gets large so it tracks live dictionaries, not history.
+    if map.len() >= 1024 {
+        map.retain(|_, (witness, _)| witness.strong_count() > 0);
+    }
+    let id = NEXT_DICTIONARY_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    map.insert(key, (Arc::downgrade(dictionary), id));
+    id
 }
 
 impl DictionaryBlock {
     pub fn new(dictionary: Arc<Block>, ids: Vec<u32>) -> Self {
-        let dictionary_id = Arc::as_ptr(&dictionary) as u64;
+        let dictionary_id = dictionary_identity(&dictionary);
         debug_assert!(ids.iter().all(|&id| (id as usize) < dictionary.len()));
         DictionaryBlock {
             dictionary,

@@ -107,6 +107,9 @@ pub struct PhysicalPlan {
     /// Dynamic-filter channels (inner-join build domain → probe-side scan),
     /// collected by [`crate::dynfilter::collect_dynamic_filters`].
     pub dynamic_filters: Vec<crate::dynfilter::DynamicFilterSpec>,
+    /// Fusable scan→filter→project[→partial-agg] chains (with fallback
+    /// reasons), collected by [`crate::fusion::collect_fused_chains`].
+    pub fused_chains: Vec<crate::fusion::FusedChainSpec>,
 }
 
 impl PhysicalPlan {
@@ -133,6 +136,7 @@ impl PhysicalPlan {
         out.push_str(&crate::dynfilter::explain_dynamic_filters(
             &self.dynamic_filters,
         ));
+        out.push_str(&crate::fusion::explain_fused_chains(&self.fused_chains));
         out
     }
 
@@ -244,8 +248,10 @@ pub fn fragment_plan(
         fragments: f.fragments,
         root: root_id,
         dynamic_filters: Vec::new(),
+        fused_chains: Vec::new(),
     };
     plan.dynamic_filters = crate::dynfilter::collect_dynamic_filters(&plan);
+    plan.fused_chains = crate::fusion::collect_fused_chains(&plan);
     Ok(plan)
 }
 

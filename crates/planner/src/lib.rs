@@ -17,6 +17,7 @@ pub mod analyzer;
 pub mod cbo;
 pub mod dynfilter;
 pub mod fragment;
+pub mod fusion;
 pub mod optimizer;
 pub mod plan;
 pub mod stats;
@@ -28,6 +29,7 @@ use presto_sql::ast::Statement;
 
 pub use dynfilter::{DynamicFilterKey, DynamicFilterSpec};
 pub use fragment::{FragmentPartitioning, OutputPartitioning, PhysicalPlan, PlanFragment};
+pub use fusion::{FusedChainSpec, FusedStage};
 pub use plan::{AggregateStep, JoinDistribution, JoinType, PlanNode, SortKey};
 
 /// Plan a parsed statement end-to-end: analyze → optimize → fragment.
