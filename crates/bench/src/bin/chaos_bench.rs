@@ -23,6 +23,7 @@
 //!
 //! Emits `BENCH_chaos.json` in the working directory.
 
+use presto_bench::report::BenchReport;
 use presto_cluster::{ChaosProfile, ChaosSchedule, Cluster, ClusterConfig, WorkerState};
 use presto_common::chaos::seed_from_env;
 use presto_common::json::Json;
@@ -374,15 +375,12 @@ fn main() {
     let detection = bench_detection(&sz);
     let teardown = bench_teardown_retry(&sz);
     let chaos_run = bench_chaos_run(&sz, seed);
-    let report = Json::obj([
-        ("bench", Json::Str("chaos".into())),
-        ("mode", Json::Str(if smoke { "smoke" } else { "full" }.into())),
-        ("seed", Json::Int(seed as i64)),
-        ("detection", detection),
-        ("teardown_retry", teardown),
-        ("chaos_run", chaos_run),
-    ]);
-    std::fs::write("BENCH_chaos.json", report.to_string()).expect("write BENCH_chaos.json");
-    println!("wrote BENCH_chaos.json");
+    BenchReport::new("chaos")
+        .config("mode", Json::Str(if smoke { "smoke" } else { "full" }.into()))
+        .config("seed", Json::Int(seed as i64))
+        .metric("detection", detection)
+        .metric("teardown_retry", teardown)
+        .metric("chaos_run", chaos_run)
+        .write();
     println!("chaos_bench: ok");
 }

@@ -17,6 +17,7 @@
 //!
 //! Emits `BENCH_dynfilter.json` in the working directory.
 
+use presto_bench::report::BenchReport;
 use presto_bench::{bench_config, ms, scratch_dir, worker_count};
 use presto_cluster::{Cluster, DynamicFilterMetrics};
 use presto_common::json::Json;
@@ -142,26 +143,24 @@ fn main() {
         );
     }
 
-    let report = Json::obj([
-        ("bench", Json::Str("dynfilter".into())),
-        ("mode", Json::Str(if smoke { "smoke" } else { "full" }.into())),
-        ("fact_rows", Json::Int(fact_rows)),
-        ("dim_rows", Json::Int(dim_hi - dim_lo)),
-        ("result_rows", Json::Int(r_on.values.len() as i64)),
-        ("wall_ms_off", Json::Num(r_off.wall.as_secs_f64() * 1e3)),
-        ("wall_ms_on", Json::Num(r_on.wall.as_secs_f64() * 1e3)),
-        ("scan_bytes_off", Json::Int(r_off.bytes as i64)),
-        ("scan_bytes_on", Json::Int(r_on.bytes as i64)),
-        ("bytes_reduction", Json::Num(bytes_ratio)),
-        ("speedup", Json::Num(speedup)),
-        ("filters_published", Json::Int(df.filters_published as i64)),
-        ("splits_pruned", Json::Int(r_on.df.splits_pruned as i64)),
-        ("stripes_pruned", Json::Int(r_on.df.stripes_pruned as i64)),
-        ("rows_filtered", Json::Int(r_on.df.rows_filtered as i64)),
-        ("wait_ms", Json::Num(r_on.df.wait_nanos as f64 / 1e6)),
-    ]);
-    std::fs::write("BENCH_dynfilter.json", report.to_string()).expect("write BENCH_dynfilter.json");
-    println!("\nwrote BENCH_dynfilter.json");
+    println!();
+    BenchReport::new("dynfilter")
+        .config("mode", Json::Str(if smoke { "smoke" } else { "full" }.into()))
+        .config("fact_rows", Json::Int(fact_rows))
+        .config("dim_rows", Json::Int(dim_hi - dim_lo))
+        .metric("result_rows", Json::Int(r_on.values.len() as i64))
+        .metric("wall_ms_off", Json::Num(r_off.wall.as_secs_f64() * 1e3))
+        .metric("wall_ms_on", Json::Num(r_on.wall.as_secs_f64() * 1e3))
+        .metric("scan_bytes_off", Json::Int(r_off.bytes as i64))
+        .metric("scan_bytes_on", Json::Int(r_on.bytes as i64))
+        .metric("bytes_reduction", Json::Num(bytes_ratio))
+        .metric("speedup", Json::Num(speedup))
+        .metric("filters_published", Json::Int(df.filters_published as i64))
+        .metric("splits_pruned", Json::Int(r_on.df.splits_pruned as i64))
+        .metric("stripes_pruned", Json::Int(r_on.df.stripes_pruned as i64))
+        .metric("rows_filtered", Json::Int(r_on.df.rows_filtered as i64))
+        .metric("wait_ms", Json::Num(r_on.df.wait_nanos as f64 / 1e6))
+        .write();
     println!("dynfilter_bench: ok");
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -23,6 +23,7 @@
 //!
 //! Emits `BENCH_fusion.json` in the working directory.
 
+use presto_bench::report::BenchReport;
 use presto_bench::{bench_config, ms, worker_count};
 use presto_cluster::Cluster;
 use presto_common::json::Json;
@@ -131,26 +132,24 @@ fn main() {
         );
     }
 
-    let report = Json::obj([
-        ("bench", Json::Str("fusion".into())),
-        ("mode", Json::Str(if smoke { "smoke" } else { "full" }.into())),
-        ("lineitem_rows", Json::Int(rows as i64)),
-        ("page_rows", Json::Int(PAGE_ROWS as i64)),
-        ("iterations", Json::Int(iterations as i64)),
-        ("q6_result_rows", Json::Int(q6.result_rows as i64)),
-        ("q6_wall_ms_off", Json::Num(q6.off_wall.as_secs_f64() * 1e3)),
-        ("q6_wall_ms_on", Json::Num(q6.on_wall.as_secs_f64() * 1e3)),
-        ("q6_speedup", Json::Num(q6_speedup)),
-        ("q1_result_rows", Json::Int(q1.result_rows as i64)),
-        ("q1_wall_ms_off", Json::Num(q1.off_wall.as_secs_f64() * 1e3)),
-        ("q1_wall_ms_on", Json::Num(q1.on_wall.as_secs_f64() * 1e3)),
-        ("q1_speedup", Json::Num(q1_speedup)),
-        ("fused_pipelines", Json::Int(fused_after.pipelines as i64)),
-        ("fused_scan_rows", Json::Int(fused_after.scan_rows as i64)),
-        ("fused_filter_rows", Json::Int(fused_after.filter_rows as i64)),
-    ]);
-    std::fs::write("BENCH_fusion.json", report.to_string()).expect("write BENCH_fusion.json");
-    println!("\nwrote BENCH_fusion.json");
+    println!();
+    BenchReport::new("fusion")
+        .config("mode", Json::Str(if smoke { "smoke" } else { "full" }.into()))
+        .config("lineitem_rows", Json::Int(rows as i64))
+        .config("page_rows", Json::Int(PAGE_ROWS as i64))
+        .config("iterations", Json::Int(iterations as i64))
+        .metric("q6_result_rows", Json::Int(q6.result_rows as i64))
+        .metric("q6_wall_ms_off", Json::Num(q6.off_wall.as_secs_f64() * 1e3))
+        .metric("q6_wall_ms_on", Json::Num(q6.on_wall.as_secs_f64() * 1e3))
+        .metric("q6_speedup", Json::Num(q6_speedup))
+        .metric("q1_result_rows", Json::Int(q1.result_rows as i64))
+        .metric("q1_wall_ms_off", Json::Num(q1.off_wall.as_secs_f64() * 1e3))
+        .metric("q1_wall_ms_on", Json::Num(q1.on_wall.as_secs_f64() * 1e3))
+        .metric("q1_speedup", Json::Num(q1_speedup))
+        .metric("fused_pipelines", Json::Int(fused_after.pipelines as i64))
+        .metric("fused_scan_rows", Json::Int(fused_after.scan_rows as i64))
+        .metric("fused_filter_rows", Json::Int(fused_after.filter_rows as i64))
+        .write();
     println!("fusion_bench: ok");
 }
 

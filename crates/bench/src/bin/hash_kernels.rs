@@ -12,6 +12,7 @@
 //!
 //! Emits `BENCH_hash_kernels.json` in the working directory.
 
+use presto_bench::report::BenchReport;
 use presto_bench::kernels::{
     baseline_group_by, baseline_join, flat_group_by, flat_join, make_pages, KernelRun, KeyEncoding,
 };
@@ -123,16 +124,13 @@ fn main() {
         ]));
     }
 
-    let report = Json::obj([
-        ("bench", Json::Str("hash_kernels".into())),
-        ("mode", Json::Str(if smoke { "smoke" } else { "full" }.into())),
-        ("build_rows", Json::Int(build_rows as i64)),
-        ("probe_rows", Json::Int(probe_rows as i64)),
-        ("group_rows", Json::Int(group_rows as i64)),
-        ("join", Json::Arr(join_report)),
-        ("group_by", Json::Arr(group_report)),
-    ]);
-    std::fs::write("BENCH_hash_kernels.json", report.to_string())
-        .expect("write BENCH_hash_kernels.json");
-    println!("\nwrote BENCH_hash_kernels.json");
+    println!();
+    BenchReport::new("hash_kernels")
+        .config("mode", Json::Str(if smoke { "smoke" } else { "full" }.into()))
+        .config("build_rows", Json::Int(build_rows as i64))
+        .config("probe_rows", Json::Int(probe_rows as i64))
+        .config("group_rows", Json::Int(group_rows as i64))
+        .metric("join", Json::Arr(join_report))
+        .metric("group_by", Json::Arr(group_report))
+        .write();
 }

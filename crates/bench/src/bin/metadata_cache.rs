@@ -13,6 +13,7 @@
 //!
 //! Emits `BENCH_metadata_cache.json` in the working directory.
 
+use presto_bench::report::BenchReport;
 use presto_bench::{bench_config, print_cache_summary, scale_factor, scratch_dir};
 use presto_common::json::Json;
 use presto_cache::MetadataCache;
@@ -107,18 +108,14 @@ fn main() {
     );
     std::fs::remove_dir_all(&dir).ok();
 
-    let report = Json::obj([
-        ("bench", Json::Str("metadata_cache".into())),
-        ("files", Json::Int(files as i64)),
-        ("rows_per_file", Json::Int(rows_per_file as i64)),
-        ("cold_ms", Json::Num(cold.as_secs_f64() * 1e3)),
-        ("warm_ms", Json::Num(warm.as_secs_f64() * 1e3)),
-        ("speedup", Json::Num(speedup)),
-        ("cold_footer_reads", Json::Int(cold_footers as i64)),
-        ("warm_footer_reads", Json::Int(warm_footers as i64)),
-        ("cache_hits", Json::Int(hits as i64)),
-    ]);
-    std::fs::write("BENCH_metadata_cache.json", report.to_string())
-        .expect("write BENCH_metadata_cache.json");
-    println!("wrote BENCH_metadata_cache.json");
+    BenchReport::new("metadata_cache")
+        .config("files", Json::Int(files as i64))
+        .config("rows_per_file", Json::Int(rows_per_file as i64))
+        .metric("cold_ms", Json::Num(cold.as_secs_f64() * 1e3))
+        .metric("warm_ms", Json::Num(warm.as_secs_f64() * 1e3))
+        .metric("speedup", Json::Num(speedup))
+        .metric("cold_footer_reads", Json::Int(cold_footers as i64))
+        .metric("warm_footer_reads", Json::Int(warm_footers as i64))
+        .metric("cache_hits", Json::Int(hits as i64))
+        .write();
 }

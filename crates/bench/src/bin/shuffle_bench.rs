@@ -22,6 +22,7 @@
 //!
 //! Emits `BENCH_shuffle.json` in the working directory.
 
+use presto_bench::report::BenchReport;
 use presto_common::json::Json;
 use presto_exec::partitioned_output::PagePartitioner;
 use presto_page::hash::hash_columns;
@@ -422,16 +423,13 @@ fn main() {
     println!("near-target mean page rows; with 1ms injected latency the concurrent fetcher's");
     println!("wall-clock stays sub-linear in source count (overlapped virtual round trips).");
 
-    let report = Json::obj([
-        ("bench", Json::Str("shuffle".into())),
-        ("mode", Json::Str(if smoke { "smoke" } else { "full" }.into())),
-        ("total_rows", Json::Int(total_rows as i64)),
-        ("rows_per_page", Json::Int(rows_per_page as i64)),
-        ("target_rows", Json::Int(target_rows as i64)),
-        ("sink", Json::Arr(sink_report)),
-        ("compression", compression_report),
-        ("fetch", Json::Arr(fetch_report)),
-    ]);
-    std::fs::write("BENCH_shuffle.json", report.to_string()).expect("write BENCH_shuffle.json");
-    println!("wrote BENCH_shuffle.json");
+    BenchReport::new("shuffle")
+        .config("mode", Json::Str(if smoke { "smoke" } else { "full" }.into()))
+        .config("total_rows", Json::Int(total_rows as i64))
+        .config("rows_per_page", Json::Int(rows_per_page as i64))
+        .config("target_rows", Json::Int(target_rows as i64))
+        .metric("sink", Json::Arr(sink_report))
+        .metric("compression", compression_report)
+        .metric("fetch", Json::Arr(fetch_report))
+        .write();
 }

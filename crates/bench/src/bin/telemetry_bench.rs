@@ -21,6 +21,7 @@
 //! Emits `BENCH_telemetry.json` in the working directory.
 
 use presto_bench::kernels::{make_pages, KeyEncoding};
+use presto_bench::report::BenchReport;
 use presto_cluster::{Cluster, ClusterConfig};
 use presto_common::json::Json;
 use presto_common::{DataType, QueryId, Schema, Value};
@@ -279,19 +280,104 @@ fn main() {
         chrome.len()
     );
 
-    let report = Json::obj([
-        ("bench", Json::Str("telemetry".into())),
-        ("mode", Json::Str(if smoke { "smoke" } else { "full" }.into())),
-        ("group_by_rows", Json::Int(rows as i64)),
-        ("stats_overhead_pct", Json::Num(best * 100.0)),
-        ("snapshot_us", Json::Num(per_snap.as_secs_f64() * 1e6)),
-        ("snapshot_json_bytes", Json::Int(json_bytes as i64)),
-        ("queries_recorded", Json::Int(records.len() as i64)),
-        ("queries_failed", Json::Int(failed as i64)),
-        ("trace_events", Json::Int(events.len() as i64)),
-        ("trace_json_bytes", Json::Int(chrome.len() as i64)),
-    ]);
-    std::fs::write("BENCH_telemetry.json", report.to_string()).expect("write BENCH_telemetry.json");
-    println!("wrote BENCH_telemetry.json");
+    let (history_ns, histogram_ns) = bench_history_and_histogram(smoke);
+    println!(
+        "per-query bookkeeping: history append {history_ns:.0}ns, histogram record {histogram_ns:.1}ns"
+    );
+
+    BenchReport::new("telemetry")
+        .config("mode", Json::Str(if smoke { "smoke" } else { "full" }.into()))
+        .config("group_by_rows", Json::Int(rows as i64))
+        .metric("stats_overhead_pct", Json::Num(best * 100.0))
+        .metric("snapshot_us", Json::Num(per_snap.as_secs_f64() * 1e6))
+        .metric("snapshot_json_bytes", Json::Int(json_bytes as i64))
+        .metric("queries_recorded", Json::Int(records.len() as i64))
+        .metric("queries_failed", Json::Int(failed as i64))
+        .metric("trace_events", Json::Int(events.len() as i64))
+        .metric("trace_json_bytes", Json::Int(chrome.len() as i64))
+        .metric("history_record_ns", Json::Num(history_ns))
+        .metric("histogram_record_ns", Json::Num(histogram_ns))
+        .write();
     println!("telemetry_bench: ok");
+}
+
+/// Per-query bookkeeping cost (§VII): one query-history append (with a
+/// representative retained entry: 2 tasks × 3 operators, 4 lifecycle
+/// events) and one latency-histogram record. Both sit on the
+/// coordinator's query-completion path; the history push must stay
+/// trivially cheap because the ring mutex is shared with `system.runtime`
+/// scans, and the histogram must stay lock-free-cheap because three of
+/// them fire per query.
+fn bench_history_and_histogram(smoke: bool) -> (f64, f64) {
+    use presto_cluster::history::{LifecycleEvent, OperatorSummary, TaskSummary};
+    use presto_cluster::{QueryHistory, QueryHistoryEntry};
+    use presto_common::LatencyHistogram;
+
+    let n: u64 = if smoke { 10_000 } else { 200_000 };
+    let history = QueryHistory::new(256);
+    let make_entry = |i: u64| QueryHistoryEntry {
+        query: QueryId(i),
+        state: "finished",
+        error_tag: None,
+        error_message: None,
+        queued: Duration::from_micros(120),
+        planning: Duration::from_micros(800),
+        executing: Duration::from_millis(35),
+        cpu: Duration::from_millis(60),
+        wall: Duration::from_millis(36),
+        attempts: 1,
+        peak_memory_bytes: 1 << 20,
+        rows_returned: 100,
+        tasks: (0..2)
+            .map(|t| TaskSummary {
+                stage: t,
+                task: t,
+                cpu: Duration::from_millis(30),
+                output_pages: 8,
+                output_wire_bytes: 1 << 16,
+                output_logical_bytes: 1 << 17,
+                exchange_bytes_received: 1 << 14,
+                operators: (0..3)
+                    .map(|o| OperatorSummary {
+                        pipeline: o,
+                        name: "ScanFilterProject",
+                        input_rows: 10_000,
+                        input_bytes: 1 << 18,
+                        output_rows: 5_000,
+                        output_bytes: 1 << 17,
+                        cpu: Duration::from_millis(10),
+                        blocked: Duration::from_micros(50),
+                        peak_memory_bytes: 1 << 18,
+                    })
+                    .collect(),
+            })
+            .collect(),
+        events: ["queued", "started", "retry", "finished"]
+            .iter()
+            .map(|s| LifecycleEvent {
+                state: s,
+                at_nanos: 1_000,
+            })
+            .collect(),
+        finished_at_nanos: 2_000,
+    };
+    let t = Instant::now();
+    for i in 0..n {
+        history.record(make_entry(i));
+    }
+    let history_ns = t.elapsed().as_secs_f64() * 1e9 / n as f64;
+    assert_eq!(history.recorded(), n, "history dropped records");
+    assert_eq!(history.len() as u64, n.min(256), "ring bound violated");
+
+    let hist = LatencyHistogram::new();
+    let m = n * 10;
+    let t = Instant::now();
+    for i in 0..m {
+        hist.record(1_000 + (i % 7) * 40_000);
+    }
+    let histogram_ns = t.elapsed().as_secs_f64() * 1e9 / m as f64;
+    let summary = hist.summary();
+    assert_eq!(summary.count, m, "histogram dropped records");
+    assert!(summary.p50_nanos > 0);
+    (history_ns, histogram_ns)
 }

@@ -18,6 +18,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 pub mod kernels;
+pub mod report;
 
 /// Scale factor for benchmark data; override with `PRESTO_SF`.
 pub fn scale_factor() -> f64 {

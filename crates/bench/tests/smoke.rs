@@ -1,7 +1,10 @@
-//! Tier-1 smoke coverage for the benchmark suite: the `hash_kernels`
-//! binary's `--smoke` mode plus tiny fig4/fig6-style join and aggregation
-//! queries, so `cargo test -q` exercises the measured code paths end to
-//! end without release-build timing runs.
+//! Tier-1 smoke coverage for the benchmark suite: every binary with a
+//! `--smoke` mode runs end to end in its own scratch directory, its
+//! stdout markers are checked, and the `BENCH_<name>.json` it emits is
+//! validated against the required-keys report schema
+//! (`presto_bench::report`) — plus tiny fig4/fig6-style join and
+//! aggregation queries, so `cargo test -q` exercises the measured code
+//! paths without release-build timing runs.
 #![allow(clippy::unwrap_used)]
 
 use presto_bench::kernels::{
@@ -14,23 +17,44 @@ use presto_connectors::MemoryConnector;
 use presto_workload::TpchGenerator;
 use std::sync::Arc;
 
-#[test]
-fn hash_kernels_smoke_mode_runs() {
-    // The benchmark binary itself, in --smoke mode: asserts internally
-    // that baseline and flat kernels agree on every encoding.
-    let out = std::process::Command::new(env!("CARGO_BIN_EXE_hash_kernels"))
+/// Run one benchmark binary in `--smoke` mode inside a fresh scratch
+/// directory, assert the given stdout markers, and validate the
+/// `BENCH_<name>.json` it emits against the report schema.
+fn run_smoke_and_validate(exe: &str, name: &str, markers: &[&str]) {
+    let dir = std::env::temp_dir().join(format!("presto-smoke-{name}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = std::process::Command::new(exe)
         .arg("--smoke")
+        .current_dir(&dir)
         .output()
-        .expect("run hash_kernels --smoke");
+        .unwrap_or_else(|e| panic!("run {name} --smoke: {e}"));
     assert!(
         out.status.success(),
-        "hash_kernels --smoke failed:\n{}{}",
+        "{name} --smoke failed:\n{}{}",
         String::from_utf8_lossy(&out.stdout),
         String::from_utf8_lossy(&out.stderr),
     );
     let stdout = String::from_utf8_lossy(&out.stdout);
-    assert!(stdout.contains("join build+probe"), "join section present");
-    assert!(stdout.contains("group-by"), "group-by section present");
+    for marker in markers {
+        assert!(stdout.contains(marker), "{name}: missing \"{marker}\" in:\n{stdout}");
+    }
+    let path = dir.join(format!("BENCH_{name}.json"));
+    let report = presto_bench::report::validate_file(&path)
+        .unwrap_or_else(|e| panic!("{name} emitted an invalid report: {e}"));
+    assert_eq!(report.field_str("name").unwrap(), name);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn hash_kernels_smoke_mode_runs() {
+    // Asserts internally that baseline and flat kernels agree on every
+    // encoding.
+    run_smoke_and_validate(
+        env!("CARGO_BIN_EXE_hash_kernels"),
+        "hash_kernels",
+        &["join build+probe", "group-by"],
+    );
 }
 
 #[test]
@@ -51,92 +75,65 @@ fn kernel_library_paths_agree_at_smoke_sizes() {
 
 #[test]
 fn shuffle_bench_smoke_mode_runs() {
-    // The §IV-E2 shuffle data-plane benchmark in --smoke mode: asserts
-    // internally that the shatter baseline and the coalescing writer agree
-    // on rows and key checksums, that coalesced pages reach at least half
-    // the target row count, and that both fetch clients deliver every row.
-    let out = std::process::Command::new(env!("CARGO_BIN_EXE_shuffle_bench"))
-        .arg("--smoke")
-        .output()
-        .expect("run shuffle_bench --smoke");
-    assert!(
-        out.status.success(),
-        "shuffle_bench --smoke failed:\n{}{}",
-        String::from_utf8_lossy(&out.stdout),
-        String::from_utf8_lossy(&out.stderr),
+    // The §IV-E2 shuffle data-plane benchmark: asserts internally that the
+    // shatter baseline and the coalescing writer agree on rows and key
+    // checksums, that coalesced pages reach at least half the target row
+    // count, and that both fetch clients deliver every row.
+    run_smoke_and_validate(
+        env!("CARGO_BIN_EXE_shuffle_bench"),
+        "shuffle",
+        &["hash-partitioned sink", "exchange fetch"],
     );
-    let stdout = String::from_utf8_lossy(&out.stdout);
-    assert!(stdout.contains("hash-partitioned sink"), "sink section present");
-    assert!(stdout.contains("exchange fetch"), "fetch section present");
 }
 
 #[test]
 fn telemetry_bench_smoke_mode_runs() {
-    // The §VII telemetry benchmark in --smoke mode: asserts internally
-    // that the per-operator stats hooks cost under 3% on the group-by
-    // pipeline, that metrics snapshots round-trip through JSON, and that
-    // the Chrome trace export parses with events present.
-    let out = std::process::Command::new(env!("CARGO_BIN_EXE_telemetry_bench"))
-        .arg("--smoke")
-        .output()
-        .expect("run telemetry_bench --smoke");
-    assert!(
-        out.status.success(),
-        "telemetry_bench --smoke failed:\n{}{}",
-        String::from_utf8_lossy(&out.stdout),
-        String::from_utf8_lossy(&out.stderr),
+    // The §VII telemetry benchmark: asserts internally that the
+    // per-operator stats hooks cost under 3% on the group-by pipeline,
+    // that metrics snapshots round-trip through JSON, that the Chrome
+    // trace export parses with events present, and measures the per-query
+    // history/histogram bookkeeping cost.
+    run_smoke_and_validate(
+        env!("CARGO_BIN_EXE_telemetry_bench"),
+        "telemetry",
+        &[
+            "stats overhead",
+            "trace timeline",
+            "per-query bookkeeping",
+            "telemetry_bench: ok",
+        ],
     );
-    let stdout = String::from_utf8_lossy(&out.stdout);
-    assert!(stdout.contains("stats overhead"), "overhead section present");
-    assert!(stdout.contains("trace timeline"), "trace section present");
-    assert!(stdout.contains("telemetry_bench: ok"), "completion marker");
 }
 
 #[test]
 fn dynfilter_bench_smoke_mode_runs() {
-    // The runtime dynamic-filtering benchmark in --smoke mode: asserts
-    // internally that the filtered and unfiltered runs return identical
-    // rows, that at least one filter is published, and that split/stripe/
-    // row pruning reduced scan bytes.
-    let out = std::process::Command::new(env!("CARGO_BIN_EXE_dynfilter_bench"))
-        .arg("--smoke")
-        .current_dir(std::env::temp_dir())
-        .output()
-        .expect("run dynfilter_bench --smoke");
-    assert!(
-        out.status.success(),
-        "dynfilter_bench --smoke failed:\n{}{}",
-        String::from_utf8_lossy(&out.stdout),
-        String::from_utf8_lossy(&out.stderr),
+    // The runtime dynamic-filtering benchmark: asserts internally that the
+    // filtered and unfiltered runs return identical rows, that at least
+    // one filter is published, and that split/stripe/row pruning reduced
+    // scan bytes.
+    run_smoke_and_validate(
+        env!("CARGO_BIN_EXE_dynfilter_bench"),
+        "dynfilter",
+        &[
+            "star-schema join",
+            "zero diffs",
+            "scan-bytes reduction",
+            "dynfilter_bench: ok",
+        ],
     );
-    let stdout = String::from_utf8_lossy(&out.stdout);
-    assert!(stdout.contains("star-schema join"), "join section present");
-    assert!(stdout.contains("zero diffs"), "differential check present");
-    assert!(stdout.contains("scan-bytes reduction"), "bytes section present");
-    assert!(stdout.contains("dynfilter_bench: ok"), "end marker present");
 }
 
 #[test]
 fn fusion_bench_smoke_mode_runs() {
-    // The pipeline-fusion benchmark in --smoke mode: asserts internally
-    // that fused and discrete pipelines return byte-identical rows on
-    // both query shapes and that the fused telemetry counters accounted
-    // for every scanned row.
-    let out = std::process::Command::new(env!("CARGO_BIN_EXE_fusion_bench"))
-        .arg("--smoke")
-        .current_dir(std::env::temp_dir())
-        .output()
-        .expect("run fusion_bench --smoke");
-    assert!(
-        out.status.success(),
-        "fusion_bench --smoke failed:\n{}{}",
-        String::from_utf8_lossy(&out.stdout),
-        String::from_utf8_lossy(&out.stderr),
+    // The pipeline-fusion benchmark: asserts internally that fused and
+    // discrete pipelines return byte-identical rows on both query shapes
+    // and that the fused telemetry counters accounted for every scanned
+    // row.
+    run_smoke_and_validate(
+        env!("CARGO_BIN_EXE_fusion_bench"),
+        "fusion",
+        &["zero diffs", "fused vs discrete", "fusion_bench: ok"],
     );
-    let stdout = String::from_utf8_lossy(&out.stdout);
-    assert!(stdout.contains("zero diffs"), "differential check present");
-    assert!(stdout.contains("fused vs discrete"), "comparison table present");
-    assert!(stdout.contains("fusion_bench: ok"), "end marker present");
 }
 
 fn smoke_cluster() -> Cluster {
@@ -176,24 +173,26 @@ fn fig6_style_aggregation_runs_on_flat_group_by() {
 
 #[test]
 fn chaos_bench_smoke_mode_runs() {
-    // The §IV-G fault-injection benchmark in --smoke mode: asserts
-    // internally that a hung worker is detected within the liveness
-    // timeout, that crash teardown leaves zero live tasks and zero pool
-    // bytes, and that every query under the seeded chaos storm terminates
-    // with a fault-shaped outcome.
-    let out = std::process::Command::new(env!("CARGO_BIN_EXE_chaos_bench"))
-        .arg("--smoke")
-        .output()
-        .expect("run chaos_bench --smoke");
-    assert!(
-        out.status.success(),
-        "chaos_bench --smoke failed:\n{}{}",
-        String::from_utf8_lossy(&out.stdout),
-        String::from_utf8_lossy(&out.stderr),
+    // The §IV-G fault-injection benchmark: asserts internally that a hung
+    // worker is detected within the liveness timeout, that crash teardown
+    // leaves zero live tasks and zero pool bytes, and that every query
+    // under the seeded chaos storm terminates with a fault-shaped outcome.
+    run_smoke_and_validate(
+        env!("CARGO_BIN_EXE_chaos_bench"),
+        "chaos",
+        &["detection", "teardown/retry", "chaos run", "chaos_bench: ok"],
     );
-    let stdout = String::from_utf8_lossy(&out.stdout);
-    assert!(stdout.contains("detection"), "detection section present");
-    assert!(stdout.contains("teardown/retry"), "teardown section present");
-    assert!(stdout.contains("chaos run"), "chaos-run section present");
-    assert!(stdout.contains("chaos_bench: ok"), "end marker present");
+}
+
+#[test]
+fn systables_bench_smoke_mode_runs() {
+    // The §VII system-catalog benchmark: asserts internally that the
+    // `system.runtime` tables retain the whole workload, that the
+    // queries ⋈ operators self-join covers every retained operator row,
+    // and measures the snapshot-to-page scan cost.
+    run_smoke_and_validate(
+        env!("CARGO_BIN_EXE_systables_bench"),
+        "systables",
+        &["system-table scan", "system-⋈-system join", "systables_bench: ok"],
+    );
 }

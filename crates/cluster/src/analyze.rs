@@ -3,6 +3,8 @@
 //! ran — rows, bytes, thread time, blocked time by reason, peak memory,
 //! and operator-specific counters.
 
+use crate::telemetry::QueryLatencyMetrics;
+use presto_common::LatencySummary;
 use presto_exec::stats::{fmt_bytes, fmt_count, fmt_duration, PipelineStats, QueryStats};
 use presto_planner::PhysicalPlan;
 use std::fmt::Write as _;
@@ -10,8 +12,13 @@ use std::time::Duration;
 
 /// Render the annotated plan. Fragments print in the same root-first
 /// order as [`PhysicalPlan::explain`], each followed by its stage's
-/// pipeline and operator statistics.
-pub fn render_explain_analyze(plan: &PhysicalPlan, stats: &QueryStats) -> String {
+/// pipeline and operator statistics. `latency` carries the cluster-wide
+/// phase histograms so the header places this query among its peers.
+pub fn render_explain_analyze(
+    plan: &PhysicalPlan,
+    stats: &QueryStats,
+    latency: &QueryLatencyMetrics,
+) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -20,6 +27,28 @@ pub fn render_explain_analyze(plan: &PhysicalPlan, stats: &QueryStats) -> String
         fmt_duration(stats.total_cpu),
         fmt_duration(stats.wall_time),
     );
+    let p = &stats.phases;
+    let _ = writeln!(
+        out,
+        "Phases: queued {}, planning {}, execution {} ({} attempt{})",
+        fmt_duration(p.queued),
+        fmt_duration(p.planning),
+        fmt_duration(p.execution),
+        p.attempts,
+        if p.attempts == 1 { "" } else { "s" },
+    );
+    // Cluster context: where this query's phases sit against the log-
+    // bucketed latency histograms of every query the cluster has run.
+    if latency.execution.count > 0 {
+        let _ = writeln!(
+            out,
+            "Cluster latency: queued {}, planning {}, execution {} (p50/p95/p99 over {} queries)",
+            fmt_percentiles(&latency.queued),
+            fmt_percentiles(&latency.planning),
+            fmt_percentiles(&latency.execution),
+            latency.execution.count,
+        );
+    }
     out.push('\n');
     for f in plan.fragments.iter().rev() {
         let _ = writeln!(
@@ -93,6 +122,16 @@ fn render_pipeline(out: &mut String, p: &PipelineStats) {
             let _ = writeln!(out, "      {}", counters.join(", "));
         }
     }
+}
+
+/// `"1.00ms/2.50ms/4.00ms"` — p50/p95/p99 of one phase histogram.
+fn fmt_percentiles(s: &LatencySummary) -> String {
+    format!(
+        "{}/{}/{}",
+        fmt_duration(Duration::from_nanos(s.p50_nanos)),
+        fmt_duration(Duration::from_nanos(s.p95_nanos)),
+        fmt_duration(Duration::from_nanos(s.p99_nanos)),
+    )
 }
 
 /// `" input"` / `" output"` / `" memory"` naming the dominant blocked

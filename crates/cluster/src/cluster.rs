@@ -9,9 +9,12 @@ use std::time::{Duration, Instant};
 
 use crate::config::ClusterConfig;
 use crate::coordinator::{Coordinator, QueryError, QueryOutput};
+use crate::history::QueryHistory;
 use crate::memory::{NodeMemoryPool, PoolSystemCharger, ReservedPoolLock};
+use crate::system_provider::ClusterSystemState;
 use crate::telemetry::ClusterTelemetry;
 use crate::worker::{Worker, WorkerState};
+use presto_connectors::SystemConnector;
 
 /// Re-exported result type.
 pub type QueryResult = QueryOutput;
@@ -87,7 +90,7 @@ impl Cluster {
     /// its per-layer counters are registered with cluster telemetry.
     pub fn start_with_cache(
         config: ClusterConfig,
-        catalogs: CatalogManager,
+        mut catalogs: CatalogManager,
         cache: Arc<MetadataCache>,
     ) -> Result<Cluster> {
         config.validate()?;
@@ -135,12 +138,26 @@ impl Cluster {
                 .spawn(move || run_liveness_monitor(workers, telemetry, timeout, stop))
                 .expect("spawn liveness monitor")
         });
+        // The self-describing `system` catalog (§VII): live runtime state
+        // and the bounded query history as SQL tables. Skipped if the
+        // embedder mounted its own "system" catalog.
+        let history = QueryHistory::new(config.query_history_capacity);
+        if !catalogs.catalog_names().iter().any(|c| c == "system") {
+            let provider = ClusterSystemState::new(
+                workers.clone(),
+                telemetry.clone(),
+                Arc::clone(&history),
+                trace.clone(),
+            );
+            catalogs.register("system", SystemConnector::new(provider));
+        }
         let coordinator = Arc::new(Coordinator::new(
             config,
             catalogs,
             workers.clone(),
             telemetry,
             reserved,
+            history,
             trace.clone(),
         ));
         Ok(Cluster {
@@ -208,6 +225,12 @@ impl Cluster {
 
     pub fn telemetry(&self) -> &ClusterTelemetry {
         &self.coordinator.telemetry
+    }
+
+    /// The bounded query-history store backing `system.runtime.queries`
+    /// (finished/failed queries, per-task summaries, lifecycle events).
+    pub fn query_history(&self) -> &Arc<QueryHistory> {
+        &self.coordinator.history
     }
 
     pub fn catalogs(&self) -> &CatalogManager {

@@ -59,6 +59,11 @@ pub struct ClusterConfig {
     /// (§VII). Old events are overwritten once full; `0` disables
     /// tracing entirely.
     pub trace_capacity: usize,
+    /// Queries retained in the bounded query-history store backing
+    /// `system.runtime.queries`/`tasks`/`operators` (§VII). Oldest entries
+    /// are evicted once full (the eviction count is exported); `0`
+    /// disables retention so system tables only show live queries.
+    pub query_history_capacity: usize,
     /// Failure-detector grace period (§IV-G): a worker whose heartbeat
     /// counter stops advancing for this long is declared lost — its state
     /// flips to `Lost`, every query with a task on it fails with the
@@ -89,6 +94,7 @@ impl Default for ClusterConfig {
             writer_scale_up_threshold: 0.5,
             cache: MetadataCacheConfig::default(),
             trace_capacity: 4096,
+            query_history_capacity: 256,
             liveness_timeout: Duration::from_secs(2),
         }
     }

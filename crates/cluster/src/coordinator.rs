@@ -7,7 +7,7 @@ use presto_common::{
 };
 use presto_connector::CatalogManager;
 use presto_exec::task::{create_task, TaskContext};
-use presto_exec::{QueryStats, StageStats};
+use presto_exec::{QueryPhases, QueryStats, StageStats};
 use presto_page::{decode_framed_page, Page};
 use presto_planner::{OutputPartitioning, PhysicalPlan};
 use presto_sql::ast::Statement;
@@ -17,6 +17,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::config::ClusterConfig;
+use crate::history::{self, LifecycleEvent, QueryHistory, QueryHistoryEntry};
 use crate::memory::{QueryMemoryLimits, ReservedPoolLock};
 use crate::scheduler::{build_side_sources, place_fragments, Placement, SplitFeeder};
 use crate::telemetry::ClusterTelemetry;
@@ -111,6 +112,9 @@ pub struct Coordinator {
     pub workers: Vec<Arc<Worker>>,
     pub telemetry: ClusterTelemetry,
     pub reserved: Arc<ReservedPoolLock>,
+    /// Bounded retention of finished queries (§VII), read by
+    /// `system.runtime.queries`/`tasks`/`operators`.
+    pub history: Arc<QueryHistory>,
     trace: Option<Arc<TraceBuffer>>,
     ids: QueryIdGenerator,
     admission: Admission,
@@ -126,6 +130,7 @@ impl Coordinator {
         workers: Vec<Arc<Worker>>,
         telemetry: ClusterTelemetry,
         reserved: Arc<ReservedPoolLock>,
+        history: Arc<QueryHistory>,
         trace: Option<Arc<TraceBuffer>>,
     ) -> Coordinator {
         let admission = Admission::new(config.max_concurrent_queries, config.max_queued_queries);
@@ -135,6 +140,7 @@ impl Coordinator {
             workers,
             telemetry,
             reserved,
+            history,
             trace,
             ids: QueryIdGenerator::new(),
             admission,
@@ -173,21 +179,56 @@ impl Coordinator {
         let query = self.ids.next_id();
         let queued_at = Instant::now();
         self.telemetry.query_queued(query);
+        let mut events = vec![LifecycleEvent {
+            state: "queued",
+            at_nanos: self.telemetry.now_nanos(),
+        }];
         let fail = |e: PrestoError| QueryError { query, error: e };
         // Parse before admission so syntax errors fail fast. The query
         // fails while still queued — it never started running, and
         // telemetry accounts it against the queued gauge.
-        let statement = parse_statement(sql).map_err(|e| {
+        let statement = match parse_statement(sql) {
+            Ok(s) => s,
+            Err(e) => {
+                self.telemetry.query_finished(query, Duration::ZERO, true);
+                self.telemetry.record_query_error(query, e.code.tag());
+                self.record_history(
+                    query,
+                    Some(&e),
+                    queued_at.elapsed(),
+                    Phases::default(),
+                    Duration::ZERO,
+                    Duration::ZERO,
+                    0,
+                    None,
+                    0,
+                    events,
+                );
+                return Err(fail(e));
+            }
+        };
+        if let Err(e) = self.admission.acquire() {
             self.telemetry.query_finished(query, Duration::ZERO, true);
             self.telemetry.record_query_error(query, e.code.tag());
-            fail(e)
-        })?;
-        self.admission.acquire().map_err(|e| {
-            self.telemetry.query_finished(query, Duration::ZERO, true);
-            self.telemetry.record_query_error(query, e.code.tag());
-            fail(e)
-        })?;
+            self.record_history(
+                query,
+                Some(&e),
+                queued_at.elapsed(),
+                Phases::default(),
+                Duration::ZERO,
+                Duration::ZERO,
+                0,
+                None,
+                0,
+                events,
+            );
+            return Err(fail(e));
+        }
         self.telemetry.query_started(query);
+        events.push(LifecycleEvent {
+            state: "started",
+            at_nanos: self.telemetry.now_nanos(),
+        });
         let queued_time = queued_at.elapsed();
         let started_at = Instant::now();
         // Coordinator-level query retry (§IV-G). The paper leaves whole-query
@@ -197,27 +238,62 @@ impl Coordinator {
         // tasks — a lost worker is excluded the second time around.
         let mut attempt: u32 = 0;
         let mut total_cpu = Duration::ZERO;
+        // Explicit phase measurements (§VII): planning and executing sum
+        // over attempts; retry backoff counts as execution-side wall so
+        // retried queries do not inflate the queueing numbers.
+        let mut phases = Phases::default();
+        let mut last_stats: Option<QueryStats> = None;
         let result = loop {
-            let (result, cpu) = self.run_admitted(query, &statement, session);
-            total_cpu += cpu;
-            match result {
+            let attempt_started = Instant::now();
+            let outcome = self.run_admitted(query, &statement, session, queued_time, attempt);
+            total_cpu += outcome.cpu;
+            phases.planning += outcome.planning;
+            phases.executing += attempt_started.elapsed().saturating_sub(outcome.planning);
+            if outcome.stats.is_some() {
+                last_stats = outcome.stats;
+            }
+            match outcome.result {
                 Err(e) if e.is_retryable() && attempt < session.query_retry_attempts => {
                     attempt += 1;
                     self.telemetry.record_error("QUERY_RETRY");
-                    std::thread::sleep(retry_backoff(
-                        session.query_retry_backoff,
-                        attempt,
-                        query.0,
-                    ));
+                    events.push(LifecycleEvent {
+                        state: "retry",
+                        at_nanos: self.telemetry.now_nanos(),
+                    });
+                    let backoff =
+                        retry_backoff(session.query_retry_backoff, attempt, query.0);
+                    phases.executing += backoff;
+                    std::thread::sleep(backoff);
                 }
                 other => break other,
             }
         };
         let cpu = total_cpu;
         self.admission.release();
+        let attempts = attempt + 1;
+        self.telemetry.record_query_phases(
+            query,
+            queued_time,
+            phases.planning,
+            phases.executing,
+            attempts,
+        );
         match result {
             Ok((schema, pages)) => {
                 self.telemetry.query_finished(query, cpu, false);
+                let rows_returned = pages.iter().map(Page::row_count).sum::<usize>() as u64;
+                self.record_history(
+                    query,
+                    None,
+                    queued_time,
+                    phases,
+                    cpu,
+                    started_at.elapsed(),
+                    attempts,
+                    last_stats.as_ref(),
+                    rows_returned,
+                    events,
+                );
                 Ok(QueryOutput {
                     query,
                     schema,
@@ -233,9 +309,63 @@ impl Coordinator {
                 self.telemetry.query_finished(query, cpu, true);
                 self.telemetry
                     .record_query_failure(query, e.code.tag(), e.message.clone());
+                self.record_history(
+                    query,
+                    Some(&e),
+                    queued_time,
+                    phases,
+                    cpu,
+                    started_at.elapsed(),
+                    attempts,
+                    last_stats.as_ref(),
+                    0,
+                    events,
+                );
                 Err(fail(e))
             }
         }
+    }
+
+    /// Build and push one [`QueryHistoryEntry`]; the terminal lifecycle
+    /// event is stamped here so entry state and event trail always agree.
+    #[allow(clippy::too_many_arguments)]
+    fn record_history(
+        &self,
+        query: QueryId,
+        error: Option<&PrestoError>,
+        queued: Duration,
+        phases: Phases,
+        cpu: Duration,
+        wall: Duration,
+        attempts: u32,
+        stats: Option<&QueryStats>,
+        rows_returned: u64,
+        mut events: Vec<LifecycleEvent>,
+    ) {
+        let (tasks, peak_memory_bytes) = stats.map(history::summarize_stats).unwrap_or_default();
+        let state = if error.is_some() { "failed" } else { "finished" };
+        let now = self.telemetry.now_nanos();
+        events.push(LifecycleEvent {
+            state,
+            at_nanos: now,
+        });
+        self.history.record(QueryHistoryEntry {
+            query,
+            state,
+            error_tag: error.map(|e| e.code.tag()),
+            error_message: error.map(|e| e.message.clone()),
+            queued,
+            planning: phases.planning,
+            executing: phases.executing,
+            cpu,
+            wall,
+            attempts,
+            peak_memory_bytes,
+            rows_returned,
+            tasks,
+            events,
+            finished_at_nanos: now,
+        });
     }
 
     fn run_admitted(
@@ -243,7 +373,9 @@ impl Coordinator {
         query: QueryId,
         statement: &Statement,
         session: &Session,
-    ) -> (Result<(Schema, Vec<Page>)>, Duration) {
+        queued: Duration,
+        attempt: u32,
+    ) -> AttemptOutcome {
         fn plan_page(text: String) -> (Schema, Vec<Page>) {
             let schema = Schema::of(&[("plan", DataType::Varchar)]);
             let page = Page::from_rows(&schema, &[vec![Value::varchar(text)]]);
@@ -252,47 +384,98 @@ impl Coordinator {
         match statement {
             // EXPLAIN returns the distributed plan as text, without running.
             Statement::Explain(inner) => {
-                let res = presto_planner::plan_statement(inner, session, &self.catalogs)
+                let planning_started = Instant::now();
+                let result = presto_planner::plan_statement(inner, session, &self.catalogs)
                     .map(|plan| plan_page(plan.explain()));
-                (res, Duration::ZERO)
+                AttemptOutcome {
+                    result,
+                    cpu: Duration::ZERO,
+                    planning: planning_started.elapsed(),
+                    stats: None,
+                }
             }
             // EXPLAIN ANALYZE executes the inner statement, discards its
             // rows, and renders the fragment tree annotated with the
             // statistics collected while it ran.
             Statement::ExplainAnalyze(inner) => {
-                let (res, cpu) = self.execute_plan(query, inner, session, true);
-                let res = res.map(|(plan, _pages, stats)| {
-                    let stats = stats.unwrap_or(QueryStats {
-                        query,
-                        stages: Vec::new(),
-                        total_cpu: cpu,
-                        wall_time: Duration::ZERO,
-                    });
-                    plan_page(crate::analyze::render_explain_analyze(&plan, &stats))
-                });
-                (res, cpu)
+                let (res, cpu, planning) = self.execute_plan(query, inner, session, true);
+                match res {
+                    Ok((plan, _pages, mut stats)) => {
+                        stats.phases = QueryPhases {
+                            queued,
+                            planning,
+                            execution: stats.wall_time,
+                            attempts: attempt + 1,
+                        };
+                        let text = crate::analyze::render_explain_analyze(
+                            &plan,
+                            &stats,
+                            &self.telemetry.latency_metrics(),
+                        );
+                        AttemptOutcome {
+                            result: Ok(plan_page(text)),
+                            cpu,
+                            planning,
+                            stats: Some(stats),
+                        }
+                    }
+                    Err(e) => AttemptOutcome {
+                        result: Err(e),
+                        cpu,
+                        planning,
+                        stats: None,
+                    },
+                }
             }
             _ => {
-                let (res, cpu) = self.execute_plan(query, statement, session, false);
-                (res.map(|(plan, pages, _)| (plan.output_schema(), pages)), cpu)
+                let (res, cpu, planning) = self.execute_plan(query, statement, session, false);
+                match res {
+                    Ok((plan, pages, mut stats)) => {
+                        stats.phases = QueryPhases {
+                            queued,
+                            planning,
+                            execution: stats.wall_time,
+                            attempts: attempt + 1,
+                        };
+                        AttemptOutcome {
+                            result: Ok((plan.output_schema(), pages)),
+                            cpu,
+                            planning,
+                            stats: Some(stats),
+                        }
+                    }
+                    Err(e) => AttemptOutcome {
+                        result: Err(e),
+                        cpu,
+                        planning,
+                        stats: None,
+                    },
+                }
             }
         }
     }
 
-    /// Plan and run a statement. The returned `Duration` is the query's
-    /// total thread time, available for successes and failures alike.
+    /// Plan and run a statement. The returned `Duration`s are the query's
+    /// total thread time and the planning wall time, available for
+    /// successes and failures alike.
     #[allow(clippy::type_complexity)]
     fn execute_plan(
         &self,
         query: QueryId,
         statement: &Statement,
         session: &Session,
-        want_stats: bool,
-    ) -> (Result<(PhysicalPlan, Vec<Page>, Option<QueryStats>)>, Duration) {
+        drain_for_stats: bool,
+    ) -> (
+        Result<(PhysicalPlan, Vec<Page>, QueryStats)>,
+        Duration,
+        Duration,
+    ) {
+        let planning_started = Instant::now();
         let plan = match presto_planner::plan_statement(statement, session, &self.catalogs) {
             Ok(plan) => plan,
-            Err(e) => return (Err(e), Duration::ZERO),
+            Err(e) => return (Err(e), Duration::ZERO, planning_started.elapsed()),
         };
+        let planning = planning_started.elapsed();
         let state = QueryState::new(query);
         self.active.lock().insert(query, Arc::clone(&state));
         // Register memory limits on every node.
@@ -305,7 +488,7 @@ impl Coordinator {
         for w in &self.workers {
             w.pool.register_query(Arc::clone(&limits));
         }
-        let run = self.run_tasks(query, &plan, session, &state, want_stats);
+        let run = self.run_tasks(query, &plan, session, &state, drain_for_stats);
         // Cleanup regardless of outcome: cancel first so stragglers (e.g.
         // leaf drivers of a LIMIT query that finished early) stop before
         // their memory registration disappears.
@@ -316,7 +499,11 @@ impl Coordinator {
         }
         self.reserved.release(query);
         let cpu = state.cpu();
-        (run.map(|(pages, stats)| (plan, pages, stats)), cpu)
+        (
+            run.map(|(pages, stats)| (plan, pages, stats)),
+            cpu,
+            planning,
+        )
     }
 
     fn run_tasks(
@@ -325,8 +512,8 @@ impl Coordinator {
         plan: &PhysicalPlan,
         session: &Session,
         state: &Arc<QueryState>,
-        want_stats: bool,
-    ) -> Result<(Vec<Page>, Option<QueryStats>)> {
+        drain_for_stats: bool,
+    ) -> Result<(Vec<Page>, QueryStats)> {
         let started = Instant::now();
         // Lease every worker for the placement-to-submission window, THEN
         // read availability. Ordering matters: a graceful drain first flips
@@ -529,7 +716,7 @@ impl Coordinator {
                     wait_nanos: t.wait_nanos.load(Relaxed),
                 });
         }
-        let stats = want_stats.then(|| {
+        if drain_for_stats {
             // Give in-flight drivers a moment to retire so their final
             // reports land in the rollup. Bounded: LIMIT-style plans leave
             // leaf drivers running until cancellation, and those report
@@ -538,29 +725,34 @@ impl Coordinator {
             while !handles.iter().flatten().all(|h| h.is_done()) && Instant::now() < deadline {
                 std::thread::sleep(Duration::from_micros(200));
             }
-            QueryStats {
-                query,
-                stages: handles
-                    .iter()
-                    .enumerate()
-                    .map(|(fid, hs)| StageStats {
-                        stage: fid as u32,
-                        tasks: hs.iter().map(|h| h.task.stats_snapshot()).collect(),
-                    })
-                    .collect(),
-                total_cpu: state.cpu(),
-                wall_time: started.elapsed(),
-            }
-        });
+        }
+        // Final statistics are always assembled (§VII: "Presto collects
+        // and stores operator level statistics … for every query") — they
+        // feed the query-history store behind `system.runtime.*` and, for
+        // EXPLAIN ANALYZE, the rendered plan. Best-effort for plain
+        // queries (drivers retire asynchronously); stats-bearing queries
+        // waited for the drain above.
+        let stats = QueryStats {
+            query,
+            stages: handles
+                .iter()
+                .enumerate()
+                .map(|(fid, hs)| StageStats {
+                    stage: fid as u32,
+                    tasks: hs.iter().map(|h| h.task.stats_snapshot()).collect(),
+                })
+                .collect(),
+            total_cpu: state.cpu(),
+            wall_time: started.elapsed(),
+            phases: QueryPhases::default(),
+        };
         // Roll this query's pipeline-fusion totals into the cluster-lifetime
         // counters exported by `ClusterSnapshot`. Fused operators export
         // their per-stage row counts as uniform OperatorStats counters, so
-        // the rollup just sums them out of the task snapshots. Best-effort
-        // for plain queries (drivers retire asynchronously); stats-bearing
-        // queries already waited for the drain above.
+        // the rollup just sums them out of the same snapshot.
         let mut fusion = crate::telemetry::FusionMetrics::default();
-        for handle in handles.iter().flatten() {
-            for pipeline in handle.task.stats_snapshot().pipelines {
+        for task in stats.stages.iter().flat_map(|s| &s.tasks) {
+            for pipeline in &task.pipelines {
                 for op in &pipeline.operators {
                     if op.name != "FusedPipeline" {
                         continue;
@@ -666,6 +858,24 @@ impl Coordinator {
         }
         Ok(())
     }
+}
+
+/// Accumulated planning/executing wall time across a query's attempts
+/// (queued time is measured separately, once, before the retry loop).
+#[derive(Debug, Clone, Copy, Default)]
+struct Phases {
+    planning: Duration,
+    executing: Duration,
+}
+
+/// Everything one attempt of `run_admitted` produces: the client-facing
+/// result, thread time, planning wall time, and (when the attempt got far
+/// enough to run tasks) the final statistics tree for the history store.
+struct AttemptOutcome {
+    result: Result<(Schema, Vec<Page>)>,
+    cpu: Duration,
+    planning: Duration,
+    stats: Option<QueryStats>,
 }
 
 /// RAII guard over the placement-to-submission window: holds one lease on

@@ -29,10 +29,12 @@ pub mod chaos;
 pub mod cluster;
 pub mod config;
 pub mod coordinator;
+pub mod history;
 pub mod memory;
 pub mod metrics;
 pub mod mlfq;
 pub mod scheduler;
+pub mod system_provider;
 pub mod telemetry;
 pub mod worker;
 
@@ -40,6 +42,10 @@ pub use chaos::{ChaosEvent, ChaosProfile, ChaosSchedule};
 pub use cluster::{Cluster, QueryResult};
 pub use config::ClusterConfig;
 pub use coordinator::QueryError;
+pub use history::{QueryHistory, QueryHistoryEntry};
 pub use metrics::ClusterSnapshot;
-pub use telemetry::{ClusterTelemetry, DynamicFilterMetrics, FusionMetrics};
+pub use system_provider::ClusterSystemState;
+pub use telemetry::{
+    ClusterTelemetry, DynamicFilterMetrics, FusionMetrics, QueryLatencyMetrics,
+};
 pub use worker::WorkerState;

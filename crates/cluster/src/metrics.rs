@@ -9,12 +9,14 @@
 //! shipped, diffed, and re-parsed without third-party crates.
 
 use presto_common::json::Json;
-use presto_common::{Result, TraceBuffer};
+use presto_common::{LatencySummary, Result, TraceBuffer};
 use std::sync::Arc;
 
 use crate::memory::PoolSnapshot;
 use crate::mlfq::{LevelSnapshot, SchedulerSnapshot};
-use crate::telemetry::{ClusterTelemetry, DynamicFilterMetrics, FusionMetrics};
+use crate::telemetry::{
+    ClusterTelemetry, DynamicFilterMetrics, FusionMetrics, QueryLatencyMetrics,
+};
 use crate::worker::Worker;
 
 /// One worker's runtime state.
@@ -100,8 +102,14 @@ pub struct ClusterSnapshot {
     /// Pipeline-fusion totals accumulated across finished queries.
     pub fusion: FusionMetrics,
     pub caches: Vec<CacheLayerMetrics>,
+    /// p50/p95/p99 of queue/planning/execution wall time across finished
+    /// queries, from the log-bucketed latency histograms (§VII).
+    pub latency: QueryLatencyMetrics,
     /// Events recorded into the trace timeline so far (0 when disabled).
     pub trace_events: u64,
+    /// Events lost to ring overwrites so far — nonzero means the timeline
+    /// is no longer complete from the start (silent loss made visible).
+    pub trace_overwritten: u64,
 }
 
 impl ClusterSnapshot {
@@ -166,7 +174,9 @@ impl ClusterSnapshot {
                     bytes: c.bytes,
                 })
                 .collect(),
+            latency: telemetry.latency_metrics(),
             trace_events: trace.map_or(0, |t| t.recorded()),
+            trace_overwritten: trace.map_or(0, |t| t.overwritten_events()),
         }
     }
 
@@ -244,7 +254,16 @@ impl ClusterSnapshot {
                         .collect(),
                 ),
             ),
+            (
+                "latency",
+                Json::obj([
+                    ("queued", summary_to_json(&self.latency.queued)),
+                    ("planning", summary_to_json(&self.latency.planning)),
+                    ("execution", summary_to_json(&self.latency.execution)),
+                ]),
+            ),
             ("trace_events", int(self.trace_events)),
+            ("trace_overwritten", int(self.trace_overwritten)),
         ])
     }
 
@@ -305,9 +324,38 @@ impl ClusterSnapshot {
                     })
                 })
                 .collect::<Result<Vec<_>>>()?,
+            latency: {
+                let lat = v.field("latency")?;
+                QueryLatencyMetrics {
+                    queued: summary_from_json(lat.field("queued")?)?,
+                    planning: summary_from_json(lat.field("planning")?)?,
+                    execution: summary_from_json(lat.field("execution")?)?,
+                }
+            },
             trace_events: v.field_u64("trace_events")?,
+            trace_overwritten: v.field_u64("trace_overwritten")?,
         })
     }
+}
+
+fn summary_to_json(s: &LatencySummary) -> Json {
+    Json::obj([
+        ("count", int(s.count)),
+        ("p50_nanos", int(s.p50_nanos)),
+        ("p95_nanos", int(s.p95_nanos)),
+        ("p99_nanos", int(s.p99_nanos)),
+        ("max_nanos", int(s.max_nanos)),
+    ])
+}
+
+fn summary_from_json(v: &Json) -> Result<LatencySummary> {
+    Ok(LatencySummary {
+        count: v.field_u64("count")?,
+        p50_nanos: v.field_u64("p50_nanos")?,
+        p95_nanos: v.field_u64("p95_nanos")?,
+        p99_nanos: v.field_u64("p99_nanos")?,
+        max_nanos: v.field_u64("max_nanos")?,
+    })
 }
 
 /// u64 → JSON integer. Counters beyond `i64::MAX` saturate (a physical
@@ -484,7 +532,31 @@ mod tests {
                 invalidations: 0,
                 bytes: 333,
             }],
+            latency: QueryLatencyMetrics {
+                queued: LatencySummary {
+                    count: 7,
+                    p50_nanos: 1_000,
+                    p95_nanos: 9_000,
+                    p99_nanos: 9_500,
+                    max_nanos: 10_000,
+                },
+                planning: LatencySummary {
+                    count: 7,
+                    p50_nanos: 52_000,
+                    p95_nanos: 90_000,
+                    p99_nanos: 96_000,
+                    max_nanos: 100_000,
+                },
+                execution: LatencySummary {
+                    count: 7,
+                    p50_nanos: 4_100_000,
+                    p95_nanos: 9_300_000,
+                    p99_nanos: 9_900_000,
+                    max_nanos: 10_000_000,
+                },
+            },
             trace_events: 42,
+            trace_overwritten: 3,
         }
     }
 

@@ -7,7 +7,7 @@
 
 use parking_lot::Mutex;
 use presto_cache::{CacheCounters, CacheStats};
-use presto_common::QueryId;
+use presto_common::{LatencyHistogram, LatencySummary, QueryId};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -53,6 +53,20 @@ struct Inner {
     fused_project_rows: AtomicU64,
     fused_agg_rows: AtomicU64,
     fused_rows_produced: AtomicU64,
+    /// Per-phase wall-time histograms across all finished queries (§VI
+    /// latency tables): queue wait, planning, and execution.
+    queued_hist: LatencyHistogram,
+    planning_hist: LatencyHistogram,
+    execution_hist: LatencyHistogram,
+}
+
+/// Percentile summaries of the per-phase latency histograms, exported in
+/// [`crate::metrics::ClusterSnapshot`] and `system.runtime` views.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryLatencyMetrics {
+    pub queued: LatencySummary,
+    pub planning: LatencySummary,
+    pub execution: LatencySummary,
 }
 
 /// Cluster-lifetime dynamic-filtering counters (§VII): how much work the
@@ -98,6 +112,15 @@ pub struct QueryRecord {
     pub started_at: Option<Instant>,
     pub finished_at: Option<Instant>,
     pub cpu: Duration,
+    /// Wall time spent planning, summed across retry attempts (each
+    /// attempt replans), recorded explicitly by the coordinator rather
+    /// than derived from timestamps.
+    pub planning: Duration,
+    /// Wall time spent executing tasks, summed across retry attempts.
+    pub executing: Duration,
+    /// Attempts made: 1 for a query that never retried, 1 + retries
+    /// otherwise. Zero until the coordinator records phases.
+    pub attempts: u32,
     pub failed: bool,
     /// Error-code tag of the failure, when the query failed.
     pub error_tag: Option<&'static str>,
@@ -151,6 +174,9 @@ impl ClusterTelemetry {
                 fused_project_rows: AtomicU64::new(0),
                 fused_agg_rows: AtomicU64::new(0),
                 fused_rows_produced: AtomicU64::new(0),
+                queued_hist: LatencyHistogram::new(),
+                planning_hist: LatencyHistogram::new(),
+                execution_hist: LatencyHistogram::new(),
             }),
         }
     }
@@ -173,6 +199,46 @@ impl ClusterTelemetry {
         self.inner.started_at.elapsed()
     }
 
+    /// Nanoseconds since cluster start — the shared time domain lifecycle
+    /// events and history entries are stamped in.
+    pub fn now_nanos(&self) -> u64 {
+        self.inner.started_at.elapsed().as_nanos() as u64
+    }
+
+    /// Record a finished query's explicit per-phase wall times (queue wait,
+    /// planning, execution — the latter two summed across retry attempts)
+    /// onto its record and into the cluster latency histograms. Replaces
+    /// the old practice of deriving phases ad hoc from timestamps, which
+    /// folded every retry attempt into one opaque duration.
+    pub fn record_query_phases(
+        &self,
+        query: QueryId,
+        queued: Duration,
+        planning: Duration,
+        executing: Duration,
+        attempts: u32,
+    ) {
+        if let Some(r) = self.inner.queries.lock().get_mut(&query) {
+            r.planning = planning;
+            r.executing = executing;
+            r.attempts = attempts;
+        }
+        self.inner.queued_hist.record(queued.as_nanos() as u64);
+        self.inner.planning_hist.record(planning.as_nanos() as u64);
+        self.inner
+            .execution_hist
+            .record(executing.as_nanos() as u64);
+    }
+
+    /// Percentile summaries of the per-phase latency histograms.
+    pub fn latency_metrics(&self) -> QueryLatencyMetrics {
+        QueryLatencyMetrics {
+            queued: self.inner.queued_hist.summary(),
+            planning: self.inner.planning_hist.summary(),
+            execution: self.inner.execution_hist.summary(),
+        }
+    }
+
     pub fn query_queued(&self, query: QueryId) {
         self.inner.submitted_queries.fetch_add(1, Ordering::SeqCst);
         self.inner.queued_queries.fetch_add(1, Ordering::SeqCst);
@@ -183,6 +249,9 @@ impl ClusterTelemetry {
                 started_at: None,
                 finished_at: None,
                 cpu: Duration::ZERO,
+                planning: Duration::ZERO,
+                executing: Duration::ZERO,
+                attempts: 0,
                 failed: false,
                 error_tag: None,
                 error_message: None,
@@ -417,6 +486,33 @@ mod tests {
         assert_eq!(got.pipelines, 4);
         assert_eq!(got.scan_rows, 2000);
         assert_eq!(got.rows_produced, 14);
+    }
+
+    #[test]
+    fn phases_recorded_per_query_and_into_histograms() {
+        let t = ClusterTelemetry::new(1);
+        for i in 1..=10u64 {
+            let q = QueryId(i);
+            t.query_queued(q);
+            t.query_started(q);
+            t.query_finished(q, Duration::from_millis(1), false);
+            t.record_query_phases(
+                q,
+                Duration::from_micros(i * 10),
+                Duration::from_micros(i * 100),
+                Duration::from_millis(i),
+                if i == 3 { 2 } else { 1 },
+            );
+        }
+        let r = t.query_record(QueryId(3)).unwrap();
+        assert_eq!(r.planning, Duration::from_micros(300));
+        assert_eq!(r.executing, Duration::from_millis(3));
+        assert_eq!(r.attempts, 2, "retried query counts both attempts");
+        let lat = t.latency_metrics();
+        assert_eq!(lat.queued.count, 10);
+        assert_eq!(lat.execution.max_nanos, 10_000_000);
+        assert!(lat.execution.p50_nanos >= 4_000_000);
+        assert!(lat.planning.p99_nanos <= lat.planning.max_nanos);
     }
 
     #[test]

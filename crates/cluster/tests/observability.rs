@@ -6,9 +6,9 @@
 use presto_cluster::metrics::{CacheLayerMetrics, ClusterSnapshot, QueryGauges, ShuffleMetrics, WorkerMetrics};
 use presto_cluster::memory::PoolSnapshot;
 use presto_cluster::mlfq::{LevelSnapshot, SchedulerSnapshot};
-use presto_cluster::{Cluster, ClusterConfig, DynamicFilterMetrics, FusionMetrics};
+use presto_cluster::{Cluster, ClusterConfig, DynamicFilterMetrics, FusionMetrics, QueryLatencyMetrics};
 use presto_common::json::Json;
-use presto_common::{DataType, Schema, Session, Value};
+use presto_common::{DataType, LatencySummary, Schema, Session, Value};
 use presto_connector::CatalogManager;
 use presto_connectors::MemoryConnector;
 use proptest::prelude::*;
@@ -269,6 +269,94 @@ fn failed_queries_settle_gauges_and_tag_errors() {
     }
 }
 
+/// Satellite: a *collected* (not hand-built) snapshot with populated
+/// `dynamic_filters` and `fusion` sections must round-trip through JSON,
+/// and the latency histograms must carry every finished query.
+#[test]
+fn populated_snapshot_round_trips_with_df_fusion_and_latency() {
+    let c = cluster();
+    // Fusable scan→filter→agg query populates the fusion totals.
+    c.execute("SELECT SUM(totalprice) FROM orders WHERE custkey < 10")
+        .unwrap();
+    // Selective join publishes a dynamic filter from the build side.
+    let mut session = Session::default();
+    session.dynamic_filter_wait = std::time::Duration::from_secs(5);
+    c.execute_with_session(
+        "SELECT COUNT(*) FROM lineitem l JOIN orders o ON l.orderkey = o.orderkey \
+         WHERE o.custkey < 3",
+        &session,
+    )
+    .unwrap();
+    let snap = c.metrics_snapshot();
+    assert!(snap.fusion.pipelines >= 1, "{:?}", snap.fusion);
+    assert!(snap.fusion.scan_rows >= 1000, "{:?}", snap.fusion);
+    assert!(
+        snap.dynamic_filters.filters_published >= 1,
+        "{:?}",
+        snap.dynamic_filters
+    );
+    // Phase histograms saw both queries.
+    assert_eq!(snap.latency.execution.count, 2, "{:?}", snap.latency);
+    assert!(snap.latency.execution.p50_nanos > 0);
+    assert!(snap.latency.execution.p99_nanos >= snap.latency.execution.p50_nanos);
+    let text = snap.to_json().to_string();
+    let back = ClusterSnapshot::from_json(&Json::parse(&text).unwrap()).unwrap();
+    assert_eq!(back, snap);
+}
+
+/// Satellite: scraping `ClusterSnapshot` while 8 threads run queries must
+/// never panic, wrap a gauge, or produce a snapshot that fails to
+/// serialize — the §VII "counters are always on" property under load.
+#[test]
+fn concurrent_scrape_under_load_is_consistent() {
+    let c = cluster();
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    std::thread::scope(|s| {
+        let mut runners = Vec::new();
+        for i in 0..8 {
+            let c = &c;
+            runners.push(s.spawn(move || {
+                for round in 0..6 {
+                    let sql = if (i + round) % 2 == 0 {
+                        "SELECT custkey, COUNT(*) FROM orders GROUP BY custkey".to_string()
+                    } else {
+                        format!("SELECT SUM(totalprice) FROM orders WHERE custkey < {}", 10 + i)
+                    };
+                    c.execute(&sql).unwrap();
+                }
+            }));
+        }
+        // Scrape continuously while the runners churn.
+        let mut scrapes = 0u64;
+        while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+            let snap = c.metrics_snapshot();
+            let q = &snap.queries;
+            assert!(q.queued < u64::MAX / 2, "queued gauge underflowed");
+            assert!(q.running < u64::MAX / 2, "running gauge underflowed");
+            assert!(q.queued + q.running + q.finished + q.failed <= q.submitted);
+            let text = snap.to_json().to_string();
+            let back = ClusterSnapshot::from_json(&Json::parse(&text).unwrap()).unwrap();
+            assert_eq!(back, snap);
+            scrapes += 1;
+            if runners.iter().all(|r| r.is_finished()) {
+                stop.store(true, std::sync::atomic::Ordering::Relaxed);
+            }
+        }
+        for r in runners {
+            r.join().unwrap();
+        }
+        assert!(scrapes > 0);
+    });
+    // Settled: every query accounted for, histograms saw all 48.
+    let end = c.metrics_snapshot();
+    assert_eq!(end.queries.finished, 48);
+    assert_eq!(end.latency.execution.count, 48);
+    assert_eq!(
+        end.queries.finished + end.queries.failed,
+        end.queries.submitted
+    );
+}
+
 // --- proptest: serialization round-trip over arbitrary snapshots ---
 
 fn counter() -> impl Strategy<Value = u64> {
@@ -347,6 +435,16 @@ fn arb_cache() -> impl Strategy<Value = CacheLayerMetrics> {
     })
 }
 
+fn arb_summary() -> impl Strategy<Value = LatencySummary> {
+    proptest::collection::vec(counter(), 5..6).prop_map(|v| LatencySummary {
+        count: v[0],
+        p50_nanos: v[1],
+        p95_nanos: v[2],
+        p99_nanos: v[3],
+        max_nanos: v[4],
+    })
+}
+
 fn arb_snapshot() -> impl Strategy<Value = ClusterSnapshot> {
     (
         counter(),
@@ -358,10 +456,10 @@ fn arb_snapshot() -> impl Strategy<Value = ClusterSnapshot> {
             proptest::collection::vec(counter(), 6..7),
         ),
         proptest::collection::vec(arb_cache(), 0..3),
-        counter(),
+        ((arb_summary(), arb_summary(), arb_summary()), counter(), counter()),
     )
         .prop_map(
-            |(uptime_nanos, workers, shuffle, (queries, df, fu), caches, trace_events)| ClusterSnapshot {
+            |(uptime_nanos, workers, shuffle, (queries, df, fu), caches, ((lq, lp, le), trace_events, trace_overwritten))| ClusterSnapshot {
                 uptime_nanos,
                 workers,
                 shuffle: ShuffleMetrics {
@@ -395,7 +493,13 @@ fn arb_snapshot() -> impl Strategy<Value = ClusterSnapshot> {
                     rows_produced: fu[5],
                 },
                 caches,
+                latency: QueryLatencyMetrics {
+                    queued: lq,
+                    planning: lp,
+                    execution: le,
+                },
                 trace_events,
+                trace_overwritten,
             },
         )
 }

@@ -1,0 +1,367 @@
+//! End-to-end tests for the self-describing `system` catalog (§VII):
+//! after a mixed workload, the `system.runtime.*` tables must be
+//! scannable with plain SQL — filters, aggregations, and joins between
+//! system tables — and agree with the out-of-band `ClusterSnapshot` and
+//! query-history store.
+
+#![allow(clippy::unwrap_used)]
+
+use presto_cluster::{Cluster, ClusterConfig};
+use presto_common::{DataType, Schema, Session, Value};
+use presto_connector::CatalogManager;
+use presto_connectors::MemoryConnector;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+fn cluster() -> Cluster {
+    let mem = MemoryConnector::new();
+    let orders_schema = Schema::of(&[
+        ("orderkey", DataType::Bigint),
+        ("custkey", DataType::Bigint),
+        ("totalprice", DataType::Double),
+    ]);
+    let orders: Vec<Vec<Value>> = (0..1000)
+        .map(|i| {
+            vec![
+                Value::Bigint(i),
+                Value::Bigint(i % 100),
+                Value::Double((i % 500) as f64),
+            ]
+        })
+        .collect();
+    let pages: Vec<presto_page::Page> = orders
+        .chunks(100)
+        .map(|chunk| presto_page::Page::from_rows(&orders_schema, chunk))
+        .collect();
+    mem.load_table("orders", orders_schema, pages);
+    let lineitem_schema = Schema::of(&[("orderkey", DataType::Bigint), ("tax", DataType::Double)]);
+    let lineitem: Vec<Vec<Value>> = (0..5000)
+        .map(|i| vec![Value::Bigint(i % 1000), Value::Double(0.05)])
+        .collect();
+    let pages: Vec<presto_page::Page> = lineitem
+        .chunks(500)
+        .map(|chunk| presto_page::Page::from_rows(&lineitem_schema, chunk))
+        .collect();
+    mem.load_table("lineitem", lineitem_schema, pages);
+    mem.analyze("orders").unwrap();
+    mem.analyze("lineitem").unwrap();
+    let mut catalogs = CatalogManager::new();
+    catalogs.register(
+        "memory",
+        Arc::clone(&mem) as Arc<dyn presto_connector::Connector>,
+    );
+    Cluster::start(ClusterConfig::test(), catalogs).unwrap()
+}
+
+fn i64_at(row: &[Value], col: usize) -> i64 {
+    row[col].as_i64().unwrap_or_else(|| panic!("non-bigint at column {col}: {row:?}"))
+}
+
+/// Every runtime table is mounted and scannable with `SELECT *` through
+/// the ordinary three-part name path (`system.runtime.queries` resolves to
+/// catalog `system`, table `runtime.queries`).
+#[test]
+fn every_system_table_scans() {
+    let c = cluster();
+    c.execute("SELECT custkey, COUNT(*) FROM orders GROUP BY custkey")
+        .unwrap();
+    for table in [
+        "queries",
+        "tasks",
+        "operators",
+        "memory_pools",
+        "caches",
+        "dynamic_filters",
+        "trace_events",
+    ] {
+        let out = c
+            .execute(&format!("SELECT * FROM system.runtime.{table}"))
+            .unwrap();
+        // Every table but the per-query ones is populated even on an idle
+        // cluster; after one query they all have rows except (possibly)
+        // operators of still-draining tasks.
+        match table {
+            "queries" | "memory_pools" | "caches" | "dynamic_filters" | "trace_events" => {
+                assert!(!out.rows().is_empty(), "{table} came back empty");
+            }
+            _ => {}
+        }
+    }
+    // Unknown tables fail with a user error, not a panic.
+    assert!(c.execute("SELECT * FROM system.runtime.nope").is_err());
+}
+
+/// The acceptance scenario: run a background workload (successes,
+/// failures, a join that publishes a dynamic filter), then interrogate the
+/// cluster *through SQL* and check the answers against the out-of-band
+/// `ClusterSnapshot` and `QueryHistory` APIs.
+#[test]
+fn system_tables_agree_with_snapshot_after_workload() {
+    let c = cluster();
+
+    // -- Workload: 6 concurrent group-bys, one selective join (publishes a
+    // dynamic filter), and 2 failures (one planning error, one parse
+    // error).
+    let mut max_id = 0u64;
+    let handles: Vec<_> = (0..6)
+        .map(|i| {
+            c.submit(
+                format!(
+                    "SELECT custkey, COUNT(*) FROM orders WHERE custkey < {} GROUP BY custkey",
+                    20 + i
+                ),
+                Session::default(),
+            )
+        })
+        .collect();
+    for (i, h) in handles.into_iter().enumerate() {
+        let out = h.join().unwrap().unwrap();
+        assert_eq!(out.rows().len(), 20 + i);
+        max_id = max_id.max(out.query.0);
+    }
+    let mut session = Session::default();
+    session.dynamic_filter_wait = std::time::Duration::from_secs(5);
+    let join = c
+        .execute_with_session(
+            "SELECT COUNT(*) FROM lineitem l JOIN orders o ON l.orderkey = o.orderkey \
+             WHERE o.custkey < 3",
+            &session,
+        )
+        .unwrap();
+    max_id = max_id.max(join.query.0);
+    let planning_err = c.execute("SELECT no_such_column FROM orders").unwrap_err();
+    max_id = max_id.max(planning_err.query.0);
+    let parse_err = c.execute("SELEKT broken !!").unwrap_err();
+    max_id = max_id.max(parse_err.query.0);
+
+    let snap = c.metrics_snapshot();
+    assert_eq!(snap.queries.finished, 7);
+    assert_eq!(snap.queries.failed, 2);
+    let history = c.query_history();
+    assert_eq!(history.len(), 9);
+    assert_eq!(history.evicted(), 0);
+
+    // Later introspection queries land in history themselves, so every
+    // agreement query pins the workload with `query_id <= max_id`.
+
+    // -- Dynamic filters first (the system-⋈-system query below may
+    // publish filters of its own): the single row must equal telemetry.
+    let df = c
+        .execute("SELECT * FROM system.runtime.dynamic_filters")
+        .unwrap();
+    let df_rows = df.rows();
+    assert_eq!(df_rows.len(), 1);
+    assert!(i64_at(&df_rows[0], 0) >= 1, "join published no filter");
+    assert_eq!(
+        i64_at(&df_rows[0], 0) as u64,
+        snap.dynamic_filters.filters_published
+    );
+    assert_eq!(
+        i64_at(&df_rows[0], 3) as u64,
+        snap.dynamic_filters.rows_filtered
+    );
+
+    // -- Aggregation over queries: states and returned-row totals. The
+    // 6 group-bys return 20..=25 rows (135), the join returns 1.
+    let out = c
+        .execute(&format!(
+            "SELECT state, COUNT(*), SUM(rows_returned) FROM system.runtime.queries \
+             WHERE query_id <= {max_id} GROUP BY state"
+        ))
+        .unwrap();
+    let by_state: HashMap<String, (i64, i64)> = out
+        .rows()
+        .iter()
+        .map(|r| {
+            (
+                r[0].as_str().unwrap().to_string(),
+                (i64_at(r, 1), i64_at(r, 2)),
+            )
+        })
+        .collect();
+    assert_eq!(by_state.len(), 2, "{by_state:?}");
+    assert_eq!(by_state["finished"], (7, 135 + 1), "{by_state:?}");
+    assert_eq!(by_state["failed"].0, 2, "{by_state:?}");
+    assert_eq!(by_state["finished"].0 as u64, snap.queries.finished);
+    assert_eq!(by_state["failed"].0 as u64, snap.queries.failed);
+
+    // -- Filters on history-only columns: the parse error never reached
+    // execution (attempts = 0), the planning error was admitted once.
+    let failed = c
+        .execute(&format!(
+            "SELECT query_id, error_tag, attempts, retries FROM system.runtime.queries \
+             WHERE query_id <= {max_id} AND state = 'failed'"
+        ))
+        .unwrap();
+    let failed_rows = failed.rows();
+    assert_eq!(failed_rows.len(), 2);
+    for row in &failed_rows {
+        let id = i64_at(row, 0) as u64;
+        let tag = row[1].as_str().unwrap();
+        if id == parse_err.query.0 {
+            assert_eq!(i64_at(row, 2), 0, "parse failure has no attempts");
+        } else {
+            assert_eq!(id, planning_err.query.0);
+            assert_eq!(i64_at(row, 2), 1);
+        }
+        assert!(!tag.is_empty());
+        assert_eq!(i64_at(row, 3), 0, "no retries in this workload");
+    }
+
+    // -- Phase columns agree with the histograms: total executed nanos of
+    // finished queries is positive and every finished query spent more
+    // wall than execution-phase time never exceeds wall.
+    let phases = c
+        .execute(&format!(
+            "SELECT COUNT(*) FROM system.runtime.queries \
+             WHERE query_id <= {max_id} AND state = 'finished' \
+             AND execution_nanos > 0 AND wall_nanos >= execution_nanos"
+        ))
+        .unwrap();
+    assert_eq!(i64_at(&phases.rows()[0], 0), 7);
+    // Every admitted query records phases (parse failures never reach
+    // admission): 7 successes + the planning failure.
+    assert_eq!(snap.latency.execution.count, 8);
+
+    // -- Tasks: SQL count equals the history rollup, task CPU totals are
+    // consistent with per-query CPU.
+    let expected_tasks: i64 = history
+        .snapshot()
+        .iter()
+        .filter(|e| e.query.0 <= max_id)
+        .map(|e| e.tasks.len() as i64)
+        .sum();
+    assert!(expected_tasks > 0);
+    let tasks = c
+        .execute(&format!(
+            "SELECT COUNT(*) FROM system.runtime.tasks WHERE query_id <= {max_id}"
+        ))
+        .unwrap();
+    assert_eq!(i64_at(&tasks.rows()[0], 0), expected_tasks);
+
+    // -- Memory pools: one row per (worker, pool), limits equal to the
+    // snapshot's per-worker general-pool limits.
+    let pools = c
+        .execute("SELECT pool, COUNT(*), SUM(limit_bytes) FROM system.runtime.memory_pools GROUP BY pool")
+        .unwrap();
+    let by_pool: HashMap<String, (i64, i64)> = pools
+        .rows()
+        .iter()
+        .map(|r| {
+            (
+                r[0].as_str().unwrap().to_string(),
+                (i64_at(r, 1), i64_at(r, 2)),
+            )
+        })
+        .collect();
+    let workers = snap.workers.len() as i64;
+    assert_eq!(by_pool.len(), 3, "{by_pool:?}");
+    for pool in ["general", "reserved", "system"] {
+        assert_eq!(by_pool[pool].0, workers, "{by_pool:?}");
+    }
+    let general_limit: i64 = snap.workers.iter().map(|w| w.memory.general_limit).sum();
+    assert_eq!(by_pool["general"].1, general_limit);
+
+    // -- Caches: one row per registered layer.
+    let caches = c
+        .execute("SELECT COUNT(*) FROM system.runtime.caches")
+        .unwrap();
+    assert_eq!(i64_at(&caches.rows()[0], 0), snap.caches.len() as i64);
+
+    // -- Trace events: bounded by the ring, carrying the overwrite count.
+    let trace = c
+        .execute("SELECT COUNT(*), MAX(overwritten_events) FROM system.runtime.trace_events")
+        .unwrap();
+    let trace_rows = trace.rows();
+    let retained = i64_at(&trace_rows[0], 0);
+    assert!(retained > 0);
+    assert!(retained <= c.config().trace_capacity as i64);
+    assert!(i64_at(&trace_rows[0], 1) >= snap.trace_overwritten as i64);
+
+    // -- The tentpole: a join BETWEEN two system tables. Per finished
+    // workload query, roll up the operator stats and compare row counts
+    // against the history store.
+    let joined = c
+        .execute(&format!(
+            "SELECT q.query_id, COUNT(*), SUM(o.output_rows) \
+             FROM system.runtime.queries q \
+             JOIN system.runtime.operators o ON q.query_id = o.query_id \
+             WHERE q.state = 'finished' AND q.query_id <= {max_id} \
+             GROUP BY q.query_id"
+        ))
+        .unwrap();
+    let joined_rows = joined.rows();
+    assert_eq!(joined_rows.len(), 7, "one group per finished workload query");
+    let by_query: HashMap<u64, (i64, i64)> = joined_rows
+        .iter()
+        .map(|r| (i64_at(r, 0) as u64, (i64_at(r, 1), i64_at(r, 2))))
+        .collect();
+    for e in history.snapshot() {
+        if e.query.0 > max_id || e.state != "finished" {
+            continue;
+        }
+        let ops: i64 = e.tasks.iter().map(|t| t.operators.len() as i64).sum();
+        let out_rows: i64 = e
+            .tasks
+            .iter()
+            .flat_map(|t| &t.operators)
+            .map(|o| o.output_rows as i64)
+            .sum();
+        let (sql_ops, sql_rows) = by_query[&e.query.0];
+        assert_eq!(sql_ops, ops, "operator count mismatch for {:?}", e.query);
+        assert_eq!(sql_rows, out_rows, "output_rows mismatch for {:?}", e.query);
+        assert!(sql_ops >= 1);
+    }
+}
+
+/// Live queries are visible: while background threads keep the cluster
+/// busy, `system.runtime.queries` shows in-flight rows (state queued or
+/// running, history columns NULL). Load keeps running until the poller
+/// has seen them, so the test is not timing-dependent.
+#[test]
+fn live_queries_appear_in_system_tables() {
+    let c = cluster();
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            let c = &c;
+            let stop = &stop;
+            s.spawn(move || {
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    c.execute(
+                        "SELECT o.custkey, COUNT(*), SUM(l.tax) \
+                         FROM orders o JOIN lineitem l ON o.orderkey = l.orderkey \
+                         GROUP BY o.custkey",
+                    )
+                    .unwrap();
+                }
+            });
+        }
+        // The introspection query itself is one live row; with 4 load
+        // threads churning, a scan observing >= 2 in-flight queries proves
+        // the live (telemetry-backed) path populates the table.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        let mut seen_live = 0usize;
+        while std::time::Instant::now() < deadline {
+            let out = c
+                .execute(
+                    "SELECT query_id, error_tag, queued_nanos FROM system.runtime.queries \
+                     WHERE state = 'running' OR state = 'queued'",
+                )
+                .unwrap();
+            let rows = out.rows();
+            if rows.len() >= 2 {
+                for row in &rows {
+                    assert!(row[0].as_i64().is_some());
+                    // History-only columns are NULL on live rows.
+                    assert_eq!(row[1], Value::Null);
+                    assert!(i64_at(row, 2) >= 0);
+                }
+                seen_live = rows.len();
+                break;
+            }
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        assert!(seen_live >= 2, "never observed in-flight queries via SQL");
+    });
+}

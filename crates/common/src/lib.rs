@@ -11,6 +11,7 @@
 
 pub mod chaos;
 pub mod error;
+pub mod histogram;
 pub mod id;
 pub mod json;
 pub mod schema;
@@ -22,6 +23,7 @@ pub mod types;
 pub mod value;
 
 pub use error::{ErrorCode, PrestoError, Result};
+pub use histogram::{LatencyHistogram, LatencySummary};
 pub use id::{NodeId, PlanNodeId, QueryId, StageId, TaskId};
 pub use schema::{Field, Schema};
 pub use session::Session;

@@ -132,6 +132,14 @@ impl TraceBuffer {
         self.head.load(Ordering::Relaxed)
     }
 
+    /// Events silently lost to ring wrap-around: every record beyond
+    /// capacity overwrote the then-oldest slot. `head` is monotone, so
+    /// this is exact accounting, not an estimate — exporters surface it so
+    /// a truncated timeline is never mistaken for a complete one.
+    pub fn overwritten_events(&self) -> u64 {
+        self.recorded().saturating_sub(self.slots.len() as u64)
+    }
+
     /// Nanoseconds since the buffer's epoch, the `ts` domain of every
     /// event in this ring.
     pub fn now_nanos(&self) -> u64 {
@@ -222,7 +230,12 @@ impl TraceBuffer {
     pub fn to_chrome_trace(&self) -> String {
         let events = self.snapshot();
         let mut out = String::with_capacity(events.len() * 96 + 64);
-        out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+        // Metadata first: how many events the ring dropped, so consumers
+        // know whether the timeline is complete.
+        out.push_str(&format!(
+            "{{\"displayTimeUnit\":\"ms\",\"overwrittenEvents\":{},\"traceEvents\":[",
+            self.overwritten_events()
+        ));
         for (i, e) in events.iter().enumerate() {
             if i > 0 {
                 out.push(',');
@@ -281,6 +294,19 @@ mod tests {
         assert_eq!(events.len(), 16);
         assert!(events.iter().all(|e| e.b >= 84), "only newest survive");
         assert_eq!(buf.recorded(), 100);
+        assert_eq!(buf.overwritten_events(), 84, "loss is accounted exactly");
+    }
+
+    #[test]
+    fn overwrite_counter_stays_zero_until_full() {
+        let buf = TraceBuffer::new(16);
+        for i in 0..16u64 {
+            buf.record_at(TraceKind::PageEnqueue, i, 0, 0, 0, 0, i);
+            assert_eq!(buf.overwritten_events(), 0);
+        }
+        buf.record_at(TraceKind::PageEnqueue, 16, 0, 0, 0, 0, 16);
+        assert_eq!(buf.overwritten_events(), 1);
+        assert!(buf.to_chrome_trace().contains("\"overwrittenEvents\":1"));
     }
 
     #[test]

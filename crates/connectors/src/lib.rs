@@ -21,14 +21,21 @@
 //! * [`chaos::ChaosConnector`] — wraps any connector and injects transient
 //!   failures, for exercising the §IV-G low-level retry path.
 
+//! * [`system::SystemConnector`] — the engine's own runtime state
+//!   (`system.runtime.*`, §VII): queries, tasks, operators, memory pools,
+//!   caches, dynamic filters, and the trace timeline as SQL tables, backed
+//!   by a [`system::SystemStateProvider`] the cluster implements.
+
 pub mod chaos;
 pub mod hive;
 pub mod memory;
 pub mod raptor;
 pub mod sharded;
+pub mod system;
 
 pub use chaos::{ChaosConnector, ChaosPolicy};
 pub use hive::HiveConnector;
 pub use memory::MemoryConnector;
 pub use raptor::RaptorConnector;
 pub use sharded::ShardedSqlConnector;
+pub use system::{SystemConnector, SystemStateProvider, SystemTable};

@@ -43,7 +43,7 @@ pub use memory::{MemoryPool, TaskMemoryContext, UnlimitedPool};
 pub use operator::{BlockedReason, Operator, OperatorStats};
 pub use pipeline::Pipeline;
 pub use stats::{
-    DriverStatsReport, OperatorStatsEntry, PipelineStats, QueryStats, StageStats, TaskStats,
-    TaskStatsCollector,
+    DriverStatsReport, OperatorStatsEntry, PipelineStats, QueryPhases, QueryStats, StageStats,
+    TaskStats, TaskStatsCollector,
 };
 pub use task::{Task, TaskContext};

@@ -124,6 +124,20 @@ impl StageStats {
     }
 }
 
+/// Explicit wall-time phase measurements for one query, recorded on the
+/// coordinator (§VII): time spent waiting for admission, planning, and
+/// executing. For retried queries planning/execution sum over attempts,
+/// while queued time covers only the admission wait — retry backoff is
+/// execution-side, so retries no longer masquerade as queueing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryPhases {
+    pub queued: Duration,
+    pub planning: Duration,
+    pub execution: Duration,
+    /// 1 + retries; 0 when phases were never measured.
+    pub attempts: u32,
+}
+
 /// The immutable per-query statistics tree assembled on the coordinator
 /// when the query completes (or fails).
 #[derive(Debug, Clone)]
@@ -134,6 +148,8 @@ pub struct QueryStats {
     pub total_cpu: Duration,
     /// Coordinator-observed wall time (admission to completion).
     pub wall_time: Duration,
+    /// Coordinator-measured wall-time phases.
+    pub phases: QueryPhases,
 }
 
 impl QueryStats {

@@ -173,6 +173,10 @@ impl<'a> Analyzer<'a> {
         match name.parts.as_slice() {
             [t] => Ok((self.session.catalog.clone(), t.clone())),
             [c, t] => Ok((c.clone(), t.clone())),
+            // catalog.schema.table: connectors that expose schemas (the
+            // system catalog's "runtime" schema) receive "schema.table" as
+            // their table name.
+            [c, s, t] => Ok((c.clone(), format!("{s}.{t}"))),
             _ => Err(PrestoError::user(format!("invalid table name '{name}'"))),
         }
     }
