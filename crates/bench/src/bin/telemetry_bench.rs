@@ -348,6 +348,8 @@ fn bench_history_and_histogram(smoke: bool) -> (f64, f64) {
                         cpu: Duration::from_millis(10),
                         blocked: Duration::from_micros(50),
                         peak_memory_bytes: 1 << 18,
+                        spilled_bytes: 0,
+                        spill_events: 0,
                     })
                     .collect(),
             })

@@ -196,3 +196,16 @@ fn systables_bench_smoke_mode_runs() {
         &["system-table scan", "system-⋈-system join", "systables_bench: ok"],
     );
 }
+
+#[test]
+fn spill_bench_smoke_mode_runs() {
+    // The §IV-F2 graceful-degradation benchmark: asserts internally that
+    // a join+aggregation under an 8 KB memory pool completes by spilling
+    // with results byte-identical to the unconstrained run, and that no
+    // spill run file outlives the query.
+    run_smoke_and_validate(
+        env!("CARGO_BIN_EXE_spill_bench"),
+        "spill",
+        &["identical=true", "slowdown", "spill_bench: ok"],
+    );
+}

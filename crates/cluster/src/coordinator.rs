@@ -530,6 +530,17 @@ impl Coordinator {
             ));
         }
         let placements = place_fragments(plan, &self.config, &available);
+        // Echo the effective spill knobs into telemetry so `ClusterSnapshot`
+        // reports where spill runs land and under what disk budget while
+        // the query is still running (§IV-F2).
+        if session.spill_enabled {
+            let dir = session
+                .spill_dir
+                .clone()
+                .unwrap_or_else(std::env::temp_dir);
+            self.telemetry
+                .record_spill_config(dir.display().to_string(), session.spill_max_bytes);
+        }
         // Dynamic filtering (§IV-B2): one registry per query routes
         // build-side key domains from join builds to probe-side scans.
         // Partitioned builds complete a filter after every join-stage task
@@ -769,6 +780,23 @@ impl Coordinator {
         }
         if fusion.pipelines > 0 {
             self.telemetry.record_fusion(fusion);
+        }
+        // Roll this query's spill totals into the cluster-lifetime
+        // counters: every spilling operator (grace-join build/probe, agg,
+        // sort) exports uniform `spilled_bytes`/`spill_events` counters.
+        let (mut spilled_bytes, mut spill_events) = (0u64, 0u64);
+        for op in stats
+            .stages
+            .iter()
+            .flat_map(|s| &s.tasks)
+            .flat_map(|t| &t.pipelines)
+            .flat_map(|p| &p.operators)
+        {
+            spilled_bytes += op.stats.counter("spilled_bytes").unwrap_or(0);
+            spill_events += op.stats.counter("spill_events").unwrap_or(0);
+        }
+        if spill_events > 0 || spilled_bytes > 0 {
+            self.telemetry.record_spill(spilled_bytes, spill_events);
         }
         Ok((pages, stats))
     }

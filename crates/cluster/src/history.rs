@@ -40,6 +40,10 @@ pub struct OperatorSummary {
     pub cpu: Duration,
     pub blocked: Duration,
     pub peak_memory_bytes: u64,
+    /// Bytes this operator wrote to spill run files (§IV-F2).
+    pub spilled_bytes: u64,
+    /// Spill episodes (revocations and overflow flushes).
+    pub spill_events: u64,
 }
 
 /// One task's final counters (per-stage rows/bytes roll up from these).
@@ -112,6 +116,8 @@ pub fn summarize_stats(stats: &QueryStats) -> (Vec<TaskSummary>, u64) {
                         cpu: s.cpu,
                         blocked: s.blocked_total(),
                         peak_memory_bytes: op_peak,
+                        spilled_bytes: s.counter("spilled_bytes").unwrap_or(0),
+                        spill_events: s.counter("spill_events").unwrap_or(0),
                     });
                 }
             }

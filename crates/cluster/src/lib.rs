@@ -46,6 +46,6 @@ pub use history::{QueryHistory, QueryHistoryEntry};
 pub use metrics::ClusterSnapshot;
 pub use system_provider::ClusterSystemState;
 pub use telemetry::{
-    ClusterTelemetry, DynamicFilterMetrics, FusionMetrics, QueryLatencyMetrics,
+    ClusterTelemetry, DynamicFilterMetrics, FusionMetrics, QueryLatencyMetrics, SpillMetrics,
 };
 pub use worker::WorkerState;

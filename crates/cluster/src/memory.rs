@@ -10,7 +10,7 @@
 
 use parking_lot::Mutex;
 use presto_common::{PrestoError, QueryId, Result, TraceBuffer, TraceKind};
-use presto_exec::memory::{MemoryPool, ReservationResult};
+use presto_exec::memory::{MemoryPool, ReservationResult, RevocationHandle};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::{Arc, OnceLock};
@@ -121,6 +121,9 @@ pub struct PoolSnapshot {
     pub general_limit: i64,
     pub reserved_limit: i64,
     pub blocked_reservations: i64,
+    /// Spill requests the arbiter issued to revocable reservations
+    /// (§IV-F2 revocable memory) instead of promoting or killing.
+    pub revocation_requests: i64,
     /// Queries with non-zero accounting on this node right now.
     pub active_queries: usize,
 }
@@ -136,6 +139,12 @@ pub struct NodeMemoryPool {
     limits: Mutex<HashMap<QueryId, Arc<QueryMemoryLimits>>>,
     /// Count of reservation attempts that blocked (telemetry).
     blocked_reservations: AtomicI64,
+    /// Per-driver revocable reservations (§IV-F2 revocable memory). On
+    /// general-pool exhaustion the arbiter asks the largest one to spill
+    /// *before* reserved-pool promotion or kill.
+    revocables: Mutex<HashMap<QueryId, Vec<Arc<RevocationHandle>>>>,
+    /// Spill requests issued by the arbiter (telemetry).
+    revocation_requests: AtomicI64,
     /// Node-level *system* memory not owned by any query — metadata and
     /// footer caches. It consumes general-pool headroom so that cached
     /// bytes participate in §IV-F2 arbitration, but never blocks or kills:
@@ -168,9 +177,37 @@ impl NodeMemoryPool {
             reserved,
             limits: Mutex::new(HashMap::new()),
             blocked_reservations: AtomicI64::new(0),
+            revocables: Mutex::new(HashMap::new()),
+            revocation_requests: AtomicI64::new(0),
             system_used: AtomicI64::new(0),
             trace: OnceLock::new(),
         })
+    }
+
+    /// Ask the largest revocable reservation (any query, any driver) to
+    /// spill. Returns false when none has revocable bytes left or all are
+    /// already servicing a request — the caller then falls through to
+    /// promotion/kill so an unserviced request can never stall the pool.
+    fn request_revocation(&self) -> bool {
+        let revocables = self.revocables.lock();
+        let target = revocables
+            .values()
+            .flatten()
+            .filter(|h| h.bytes() > 0 && !h.is_requested())
+            .max_by_key(|h| h.bytes());
+        match target {
+            Some(handle) => {
+                handle.request();
+                self.revocation_requests.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Spill requests the arbiter has issued so far.
+    pub fn revocation_requests(&self) -> i64 {
+        self.revocation_requests.load(Ordering::Relaxed)
     }
 
     /// Attach a trace buffer; reservation grants and releases then emit
@@ -220,6 +257,7 @@ impl NodeMemoryPool {
 
     /// Drop a finished query's accounting.
     pub fn unregister_query(&self, query: QueryId) {
+        self.revocables.lock().remove(&query);
         let mut state = self.state.lock();
         if let Some(usage) = state.per_query.remove(&query) {
             if self.reserved.owner() == Some(query) {
@@ -272,6 +310,7 @@ impl NodeMemoryPool {
             general_limit: self.general_limit,
             reserved_limit: self.reserved_limit,
             blocked_reservations: self.blocked_reservations.load(Ordering::Relaxed),
+            revocation_requests: self.revocation_requests.load(Ordering::Relaxed),
             active_queries: state
                 .per_query
                 .values()
@@ -378,6 +417,15 @@ impl MemoryPool for NodeMemoryPool {
         };
         if total_delta > 0 && used + total_delta > limit {
             if !in_reserved {
+                // §IV-F2 revocable memory: before promoting or killing, ask
+                // the largest spillable reservation on this node to revoke.
+                // The owning driver spills at its next quantum, frees the
+                // memory, and this (blocked) reservation retries. Only when
+                // nothing revocable remains does arbitration escalate.
+                if self.request_revocation() {
+                    self.blocked_reservations.fetch_add(1, Ordering::Relaxed);
+                    return Ok(ReservationResult::Blocked);
+                }
                 // General pool exhausted: promote the biggest query on this
                 // node to the reserved pool — but only when the reserved
                 // pool is free (one owner cluster-wide), and never move a
@@ -450,6 +498,20 @@ impl MemoryPool for NodeMemoryPool {
         drop(state);
         self.trace_delta(query, total_delta);
         Ok(ReservationResult::Granted)
+    }
+
+    fn register_revocable(&self, query: QueryId, handle: Arc<RevocationHandle>) {
+        self.revocables.lock().entry(query).or_default().push(handle);
+    }
+
+    fn unregister_revocable(&self, query: QueryId, handle: &Arc<RevocationHandle>) {
+        let mut revocables = self.revocables.lock();
+        if let Some(handles) = revocables.get_mut(&query) {
+            handles.retain(|h| !Arc::ptr_eq(h, handle));
+            if handles.is_empty() {
+                revocables.remove(&query);
+            }
+        }
     }
 }
 
@@ -552,6 +614,69 @@ mod tests {
         // When q1 finishes, the reserved pool frees.
         pool.unregister_query(QueryId(1));
         assert_eq!(lock.owner(), None);
+    }
+
+    #[test]
+    fn arbiter_requests_largest_revocable_before_promotion() {
+        let (pool, lock) = setup(100, 1000, false);
+        pool.register_query(limits(1));
+        pool.register_query(limits(2));
+        // Two revocable reservations; q1's is larger.
+        let small = RevocationHandle::new();
+        small.set_bytes(10);
+        let big = RevocationHandle::new();
+        big.set_bytes(70);
+        pool.register_revocable(QueryId(2), Arc::clone(&small));
+        pool.register_revocable(QueryId(1), Arc::clone(&big));
+        assert!(matches!(
+            pool.reserve(QueryId(1), 80, 0),
+            Ok(ReservationResult::Granted)
+        ));
+        // Exhaustion: the arbiter flags the *largest* revocable handle and
+        // blocks instead of promoting.
+        assert!(matches!(
+            pool.reserve(QueryId(2), 50, 0),
+            Ok(ReservationResult::Blocked)
+        ));
+        assert!(big.is_requested());
+        assert!(!small.is_requested());
+        assert_eq!(lock.owner(), None, "no promotion while spill is pending");
+        assert_eq!(pool.revocation_requests(), 1);
+        // The owner spills: frees memory, publishes the new balance,
+        // clears the flag.
+        assert!(big.take_request());
+        big.set_bytes(0);
+        assert!(matches!(
+            pool.reserve(QueryId(1), -60, 0),
+            Ok(ReservationResult::Granted)
+        ));
+        // The retry now fits in the general pool — still no promotion.
+        assert!(matches!(
+            pool.reserve(QueryId(2), 50, 0),
+            Ok(ReservationResult::Granted)
+        ));
+        assert_eq!(lock.owner(), None);
+        // Next exhaustion: only the small handle is left; after it too is
+        // consumed, arbitration escalates to promotion as before.
+        small.set_bytes(0);
+        assert!(matches!(
+            pool.reserve(QueryId(2), 40, 0),
+            Ok(ReservationResult::Granted)
+        ));
+        assert_eq!(lock.owner(), Some(QueryId(2)), "fell through to promotion");
+        assert_eq!(pool.snapshot().revocation_requests, 1);
+    }
+
+    #[test]
+    fn unregister_revocable_removes_handle() {
+        let (pool, _) = setup(100, 1000, false);
+        pool.register_query(limits(1));
+        let h = RevocationHandle::new();
+        h.set_bytes(50);
+        pool.register_revocable(QueryId(1), Arc::clone(&h));
+        pool.unregister_revocable(QueryId(1), &h);
+        assert!(!pool.request_revocation(), "no revocable handles remain");
+        assert_eq!(pool.revocation_requests(), 0);
     }
 
     #[test]

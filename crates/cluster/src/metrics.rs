@@ -15,7 +15,7 @@ use std::sync::Arc;
 use crate::memory::PoolSnapshot;
 use crate::mlfq::{LevelSnapshot, SchedulerSnapshot};
 use crate::telemetry::{
-    ClusterTelemetry, DynamicFilterMetrics, FusionMetrics, QueryLatencyMetrics,
+    ClusterTelemetry, DynamicFilterMetrics, FusionMetrics, QueryLatencyMetrics, SpillMetrics,
 };
 use crate::worker::Worker;
 
@@ -101,6 +101,9 @@ pub struct ClusterSnapshot {
     pub dynamic_filters: DynamicFilterMetrics,
     /// Pipeline-fusion totals accumulated across finished queries.
     pub fusion: FusionMetrics,
+    /// Spill totals accumulated across finished queries, plus the
+    /// effective `spill_dir`/`spill_max_bytes` knobs (§IV-F2).
+    pub spill: SpillMetrics,
     pub caches: Vec<CacheLayerMetrics>,
     /// p50/p95/p99 of queue/planning/execution wall time across finished
     /// queries, from the log-bucketed latency histograms (§VII).
@@ -161,6 +164,7 @@ impl ClusterSnapshot {
             },
             dynamic_filters: telemetry.dynamic_filter_metrics(),
             fusion: telemetry.fusion_metrics(),
+            spill: telemetry.spill_metrics(),
             caches: telemetry
                 .cache_counters_by_layer()
                 .into_iter()
@@ -236,6 +240,16 @@ impl ClusterSnapshot {
                 ]),
             ),
             (
+                "spill",
+                Json::obj([
+                    ("queries_spilled", int(self.spill.queries_spilled)),
+                    ("spilled_bytes", int(self.spill.spilled_bytes)),
+                    ("spill_events", int(self.spill.spill_events)),
+                    ("spill_dir", Json::Str(self.spill.spill_dir.clone())),
+                    ("spill_max_bytes", int(self.spill.spill_max_bytes)),
+                ]),
+            ),
+            (
                 "caches",
                 Json::Arr(
                     self.caches
@@ -308,6 +322,16 @@ impl ClusterSnapshot {
                 project_rows: fusion.field_u64("project_rows")?,
                 agg_rows: fusion.field_u64("agg_rows")?,
                 rows_produced: fusion.field_u64("rows_produced")?,
+            },
+            spill: {
+                let spill = v.field("spill")?;
+                SpillMetrics {
+                    queries_spilled: spill.field_u64("queries_spilled")?,
+                    spilled_bytes: spill.field_u64("spilled_bytes")?,
+                    spill_events: spill.field_u64("spill_events")?,
+                    spill_dir: spill.field_str("spill_dir")?.to_string(),
+                    spill_max_bytes: spill.field_u64("spill_max_bytes")?,
+                }
             },
             caches: v
                 .field_arr("caches")?
@@ -410,6 +434,10 @@ fn worker_to_json(w: &WorkerMetrics) -> Json {
                     "blocked_reservations",
                     Json::Int(w.memory.blocked_reservations),
                 ),
+                (
+                    "revocation_requests",
+                    Json::Int(w.memory.revocation_requests),
+                ),
                 ("active_queries", int(w.memory.active_queries as u64)),
             ]),
         ),
@@ -451,6 +479,7 @@ fn worker_from_json(v: &Json) -> Result<WorkerMetrics> {
             general_limit: memory.field_i64("general_limit")?,
             reserved_limit: memory.field_i64("reserved_limit")?,
             blocked_reservations: memory.field_i64("blocked_reservations")?,
+            revocation_requests: memory.field_i64("revocation_requests")?,
             active_queries: memory.field_u64("active_queries")? as usize,
         },
     })
@@ -490,6 +519,7 @@ mod tests {
                     general_limit: 1 << 29,
                     reserved_limit: 1 << 27,
                     blocked_reservations: 1,
+                    revocation_requests: 1,
                     active_queries: 1,
                 },
             }],
@@ -522,6 +552,13 @@ mod tests {
                 project_rows: 900,
                 agg_rows: 900,
                 rows_produced: 12,
+            },
+            spill: SpillMetrics {
+                queries_spilled: 2,
+                spilled_bytes: 1 << 20,
+                spill_events: 5,
+                spill_dir: "/tmp/presto-spill".to_string(),
+                spill_max_bytes: 1 << 30,
             },
             caches: vec![CacheLayerMetrics {
                 layer: "porc_footer".to_string(),

@@ -165,6 +165,8 @@ impl ClusterSystemState {
                             nanos(s.cpu),
                             nanos(s.blocked_total()),
                             bigint(s.peak_user_memory_bytes + s.peak_system_memory_bytes),
+                            bigint(s.counter("spilled_bytes").unwrap_or(0)),
+                            bigint(s.counter("spill_events").unwrap_or(0)),
                         ]);
                     }
                 }
@@ -186,6 +188,8 @@ impl ClusterSystemState {
                         nanos(op.cpu),
                         nanos(op.blocked),
                         bigint(op.peak_memory_bytes),
+                        bigint(op.spilled_bytes),
+                        bigint(op.spill_events),
                     ]);
                 }
             }
@@ -218,6 +222,7 @@ impl ClusterSystemState {
                     Value::Bigint(peak),
                     Value::Bigint(limit),
                     Value::Bigint(p.blocked_reservations),
+                    Value::Bigint(p.revocation_requests),
                     bigint(p.active_queries as u64),
                 ]);
             }

@@ -53,6 +53,13 @@ struct Inner {
     fused_project_rows: AtomicU64,
     fused_agg_rows: AtomicU64,
     fused_rows_produced: AtomicU64,
+    /// Spill totals (§IV-F2), rolled in per query after it finishes.
+    spill_queries: AtomicU64,
+    spill_bytes: AtomicU64,
+    spill_events: AtomicU64,
+    /// Effective spill config of the most recent spill-enabled query:
+    /// (directory, disk budget). `None` until one runs.
+    spill_config: Mutex<Option<(String, u64)>>,
     /// Per-phase wall-time histograms across all finished queries (§VI
     /// latency tables): queue wait, planning, and execution.
     queued_hist: LatencyHistogram,
@@ -103,6 +110,26 @@ pub struct FusionMetrics {
     pub agg_rows: u64,
     /// Rows produced downstream by fused pipelines.
     pub rows_produced: u64,
+}
+
+/// Cluster-lifetime spill counters (§IV-F2): how much revocable state
+/// (grace-join builds, aggregation hash tables, sort runs) was written
+/// to disk under memory pressure, across all queries, plus the effective
+/// spill configuration — the `spill_dir`/`spill_max_bytes` session knobs
+/// of the most recent spill-enabled query (empty/zero until one runs).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SpillMetrics {
+    /// Queries that spilled at least once.
+    pub queries_spilled: u64,
+    /// Bytes written to spill run files.
+    pub spilled_bytes: u64,
+    /// Individual spill episodes (revocations and overflow flushes).
+    pub spill_events: u64,
+    /// Directory run files were written to ("" until a spill-enabled
+    /// query ran; the OS temp dir when the session left it unset).
+    pub spill_dir: String,
+    /// Per-task disk budget in bytes (0 = unlimited).
+    pub spill_max_bytes: u64,
 }
 
 /// Lifecycle record for one query.
@@ -174,6 +201,10 @@ impl ClusterTelemetry {
                 fused_project_rows: AtomicU64::new(0),
                 fused_agg_rows: AtomicU64::new(0),
                 fused_rows_produced: AtomicU64::new(0),
+                spill_queries: AtomicU64::new(0),
+                spill_bytes: AtomicU64::new(0),
+                spill_events: AtomicU64::new(0),
+                spill_config: Mutex::new(None),
                 queued_hist: LatencyHistogram::new(),
                 planning_hist: LatencyHistogram::new(),
                 execution_hist: LatencyHistogram::new(),
@@ -412,6 +443,34 @@ impl ClusterTelemetry {
         }
     }
 
+    /// Note the effective spill configuration of a spill-enabled query
+    /// (called at admission, so the snapshot reflects it while the query
+    /// is still running).
+    pub fn record_spill_config(&self, dir: String, max_bytes: u64) {
+        *self.inner.spill_config.lock() = Some((dir, max_bytes));
+    }
+
+    /// Accumulate one query's spill totals into the cluster-lifetime
+    /// counters.
+    pub fn record_spill(&self, spilled_bytes: u64, spill_events: u64) {
+        let i = &self.inner;
+        i.spill_queries.fetch_add(1, Ordering::Relaxed);
+        i.spill_bytes.fetch_add(spilled_bytes, Ordering::Relaxed);
+        i.spill_events.fetch_add(spill_events, Ordering::Relaxed);
+    }
+
+    pub fn spill_metrics(&self) -> SpillMetrics {
+        let i = &self.inner;
+        let (spill_dir, spill_max_bytes) = i.spill_config.lock().clone().unwrap_or_default();
+        SpillMetrics {
+            queries_spilled: i.spill_queries.load(Ordering::Relaxed),
+            spilled_bytes: i.spill_bytes.load(Ordering::Relaxed),
+            spill_events: i.spill_events.load(Ordering::Relaxed),
+            spill_dir,
+            spill_max_bytes,
+        }
+    }
+
     /// Export a cache layer's live counters under `name`.
     pub fn register_cache(&self, name: &'static str, stats: Arc<CacheStats>) {
         self.inner.caches.lock().push((name, stats));
@@ -486,6 +545,21 @@ mod tests {
         assert_eq!(got.pipelines, 4);
         assert_eq!(got.scan_rows, 2000);
         assert_eq!(got.rows_produced, 14);
+    }
+
+    #[test]
+    fn spill_totals_accumulate_and_config_echoes() {
+        let t = ClusterTelemetry::new(1);
+        assert_eq!(t.spill_metrics(), SpillMetrics::default());
+        t.record_spill_config("/tmp/presto-spill".to_string(), 1 << 30);
+        t.record_spill(4096, 2);
+        t.record_spill(1024, 1);
+        let got = t.spill_metrics();
+        assert_eq!(got.queries_spilled, 2);
+        assert_eq!(got.spilled_bytes, 5120);
+        assert_eq!(got.spill_events, 3);
+        assert_eq!(got.spill_dir, "/tmp/presto-spill");
+        assert_eq!(got.spill_max_bytes, 1 << 30);
     }
 
     #[test]

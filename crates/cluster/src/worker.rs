@@ -176,6 +176,11 @@ impl TaskHandle {
         }
         if !self.done.swap(true, Ordering::SeqCst) {
             self.task.memory.release_all();
+            // Guaranteed spill cleanup: any run file this task wrote (agg,
+            // sort, grace join — including runs still referenced by a
+            // published hash table) is deleted here, not when the last Arc
+            // happens to drop.
+            self.task.spill.remove_all();
         }
     }
 
@@ -197,6 +202,8 @@ impl TaskHandle {
         if self.remaining_drivers.fetch_sub(1, Ordering::SeqCst) == 1 {
             self.done.store(true, Ordering::SeqCst);
             self.task.memory.release_all();
+            // All drivers retired: no operator can read a spill run again.
+            self.task.spill.remove_all();
         }
     }
 }

@@ -369,6 +369,174 @@ fn spill_enables_memory_constrained_aggregation() {
     assert_eq!(out.row_count(), 100);
 }
 
+/// A cluster whose node pools are small enough that any sizeable hash
+/// build or aggregation exhausts them, forcing §IV-F2 revocation + spill.
+fn tiny_memory_config() -> ClusterConfig {
+    ClusterConfig {
+        node_memory_bytes: 8 << 10,
+        reserved_pool_bytes: 8 << 10,
+        ..ClusterConfig::test()
+    }
+}
+
+fn unique_spill_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("presto-spill-test-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn spill_dir_file_count(dir: &std::path::Path) -> usize {
+    std::fs::read_dir(dir).map(|d| d.count()).unwrap_or(0)
+}
+
+/// The acceptance scenario: under a memory budget far below the working
+/// set, a spilling query produces results identical to an unconstrained
+/// run, the snapshot reports the spill totals and the session knobs, and
+/// normal completion leaves zero run files in the spill directory.
+#[test]
+fn spilling_query_matches_unconstrained_run_and_cleans_up() {
+    let dir = unique_spill_dir("agg-join");
+    let sql = "SELECT o.orderkey, COUNT(*), SUM(l.tax) FROM orders o \
+               JOIN lineitem l ON o.orderkey = l.orderkey \
+               GROUP BY o.orderkey";
+    let (catalogs, _) = test_catalogs();
+    let c = Cluster::start(tiny_memory_config(), catalogs).unwrap();
+    let session = Session {
+        spill_enabled: true,
+        spill_dir: Some(dir.clone()),
+        spill_max_bytes: 64 << 20,
+        ..Session::default()
+    };
+    let constrained = c.execute_with_session(sql, &session).unwrap();
+    let (reference_catalogs, _) = test_catalogs();
+    let reference = Cluster::start(ClusterConfig::test(), reference_catalogs)
+        .unwrap()
+        .execute(sql)
+        .unwrap();
+    let mut a = constrained.rows();
+    let mut b = reference.rows();
+    a.sort();
+    b.sort();
+    assert_eq!(a, b, "spilled results must match the unconstrained run");
+
+    let snap = c.metrics_snapshot();
+    assert!(snap.spill.spilled_bytes > 0, "query should have spilled");
+    assert!(snap.spill.spill_events > 0);
+    assert!(snap.spill.queries_spilled >= 1);
+    // Satellite: the session's spill knobs echo through the snapshot.
+    assert_eq!(snap.spill.spill_dir, dir.display().to_string());
+    assert_eq!(snap.spill.spill_max_bytes, 64 << 20);
+    // Revocation-before-promotion leaves its audit trail on the pools.
+    let requests: i64 = snap.workers.iter().map(|w| w.memory.revocation_requests).sum();
+    assert!(requests >= 0);
+    // Normal completion re-ingested or deleted every run file.
+    assert_eq!(spill_dir_file_count(&dir), 0, "no run files may remain");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Chaos: every spill write fails transiently — the query must surface a
+/// retryable error (§IV-G), not hang or corrupt results.
+#[test]
+fn spill_write_failure_surfaces_retryable_error() {
+    let dir = unique_spill_dir("chaos-write");
+    let (catalogs, _) = test_catalogs();
+    let c = Cluster::start(tiny_memory_config(), catalogs).unwrap();
+    let session = Session {
+        spill_enabled: true,
+        spill_dir: Some(dir.clone()),
+        spill_chaos_write_error_after: Some(0),
+        ..Session::default()
+    };
+    let err = c
+        .execute_with_session(
+            "SELECT orderkey, COUNT(*), SUM(totalprice) FROM orders GROUP BY orderkey",
+            &session,
+        )
+        .unwrap_err();
+    assert!(
+        err.error.is_retryable(),
+        "spill write failure should be retryable, got {:?}",
+        err.error
+    );
+    assert_eq!(spill_dir_file_count(&dir), 0, "failed query must clean up");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Chaos: the spill "disk" fills after a few KB — same retryable surface.
+#[test]
+fn spill_disk_full_surfaces_retryable_error() {
+    let dir = unique_spill_dir("chaos-full");
+    let (catalogs, _) = test_catalogs();
+    let c = Cluster::start(tiny_memory_config(), catalogs).unwrap();
+    let session = Session {
+        spill_enabled: true,
+        spill_dir: Some(dir.clone()),
+        spill_chaos_disk_capacity: Some(64),
+        ..Session::default()
+    };
+    let err = c
+        .execute_with_session(
+            "SELECT orderkey, COUNT(*), SUM(totalprice) FROM orders GROUP BY orderkey",
+            &session,
+        )
+        .unwrap_err();
+    assert!(
+        err.error.is_retryable(),
+        "disk-full should be retryable, got {:?}",
+        err.error
+    );
+    assert_eq!(spill_dir_file_count(&dir), 0, "failed query must clean up");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Aborting a spilling query leaves zero spill files on disk (the PR 5
+/// teardown cascade calls `SpillManager::remove_all` on task abort).
+#[test]
+fn cancelled_spilling_query_leaves_no_spill_files() {
+    let dir = unique_spill_dir("cancel");
+    let (catalogs, _) = test_catalogs();
+    let c = Cluster::start(tiny_memory_config(), catalogs).unwrap();
+    let session = Session {
+        spill_enabled: true,
+        spill_dir: Some(dir.clone()),
+        ..Session::default()
+    };
+    let sql = "SELECT o.orderkey, COUNT(*), SUM(l.tax) FROM orders o \
+               JOIN lineitem l ON o.orderkey = l.orderkey \
+               GROUP BY o.orderkey";
+    let handle = c.submit(sql, session);
+    // Wait until the query registers, let it get into the memory-pressured
+    // (spilling) phase, then kill it mid-flight. Whether the cancel lands
+    // before, during, or after a spill, no run file may survive the
+    // teardown cascade.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
+    let query = loop {
+        if let Some(q) = c.active_queries().first().copied() {
+            break q;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "query never became active"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    };
+    std::thread::sleep(std::time::Duration::from_millis(30));
+    c.cancel_query(query);
+    let _ = handle.join();
+    // Teardown is asynchronous with respect to cancel; give the abort
+    // cascade a bounded moment to delete the files.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    while spill_dir_file_count(&dir) > 0 && std::time::Instant::now() < deadline {
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    assert_eq!(
+        spill_dir_file_count(&dir),
+        0,
+        "aborting a spilling query must leave zero spill files"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn phased_scheduling_produces_same_results() {
     let (c, _) = cluster();

@@ -6,7 +6,7 @@
 use presto_cluster::metrics::{CacheLayerMetrics, ClusterSnapshot, QueryGauges, ShuffleMetrics, WorkerMetrics};
 use presto_cluster::memory::PoolSnapshot;
 use presto_cluster::mlfq::{LevelSnapshot, SchedulerSnapshot};
-use presto_cluster::{Cluster, ClusterConfig, DynamicFilterMetrics, FusionMetrics, QueryLatencyMetrics};
+use presto_cluster::{Cluster, ClusterConfig, DynamicFilterMetrics, FusionMetrics, QueryLatencyMetrics, SpillMetrics};
 use presto_common::json::Json;
 use presto_common::{DataType, LatencySummary, Schema, Session, Value};
 use presto_connector::CatalogManager;
@@ -384,7 +384,7 @@ fn arb_worker() -> impl Strategy<Value = WorkerMetrics> {
             counter(),
         ),
         (
-            proptest::collection::vec(any::<i64>(), 8..9),
+            proptest::collection::vec(any::<i64>(), 9..10),
             0..100_000usize,
             0..4usize,
         ),
@@ -415,6 +415,7 @@ fn arb_worker() -> impl Strategy<Value = WorkerMetrics> {
                     general_limit: mem[5],
                     reserved_limit: mem[6],
                     blocked_reservations: mem[7],
+                    revocation_requests: mem[8],
                     active_queries,
                 },
             },
@@ -454,12 +455,13 @@ fn arb_snapshot() -> impl Strategy<Value = ClusterSnapshot> {
             proptest::collection::vec(counter(), 5..6),
             proptest::collection::vec(counter(), 5..6),
             proptest::collection::vec(counter(), 6..7),
+            (proptest::collection::vec(counter(), 4..5), "[a-z/_-]{0,16}"),
         ),
         proptest::collection::vec(arb_cache(), 0..3),
         ((arb_summary(), arb_summary(), arb_summary()), counter(), counter()),
     )
         .prop_map(
-            |(uptime_nanos, workers, shuffle, (queries, df, fu), caches, ((lq, lp, le), trace_events, trace_overwritten))| ClusterSnapshot {
+            |(uptime_nanos, workers, shuffle, (queries, df, fu, (sp, spill_dir)), caches, ((lq, lp, le), trace_events, trace_overwritten))| ClusterSnapshot {
                 uptime_nanos,
                 workers,
                 shuffle: ShuffleMetrics {
@@ -491,6 +493,13 @@ fn arb_snapshot() -> impl Strategy<Value = ClusterSnapshot> {
                     project_rows: fu[3],
                     agg_rows: fu[4],
                     rows_produced: fu[5],
+                },
+                spill: SpillMetrics {
+                    queries_spilled: sp[0],
+                    spilled_bytes: sp[1],
+                    spill_events: sp[2],
+                    spill_dir,
+                    spill_max_bytes: sp[3],
                 },
                 caches,
                 latency: QueryLatencyMetrics {

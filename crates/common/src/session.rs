@@ -68,8 +68,24 @@ pub struct Session {
     pub exchange_concurrency: usize,
     /// Number of hash partitions (tasks) for intermediate stages.
     pub hash_partition_count: usize,
-    /// Allow spilling revocable state (hash aggregations, sorts) to disk.
+    /// Allow spilling revocable state (hash aggregations, sorts, grace
+    /// hash joins) to disk.
     pub spill_enabled: bool,
+    /// Directory spill run files are written to. `None` uses the OS temp
+    /// directory.
+    pub spill_dir: Option<std::path::PathBuf>,
+    /// Upper bound on bytes one task may hold in spill files at once;
+    /// exceeding it fails the query with an insufficient-resources error
+    /// (`0` = unlimited).
+    pub spill_max_bytes: u64,
+    /// Chaos hook: every spill write after the first N fails transiently
+    /// in this query's tasks (None = off). Exercises the §IV-G retry path
+    /// against spill IO like `exchange_chaos_decode_every` does for the
+    /// shuffle.
+    pub spill_chaos_write_error_after: Option<u64>,
+    /// Chaos hook: the spill "disk" holds only this many live bytes before
+    /// writes fail transiently, simulating disk-full (None = off).
+    pub spill_chaos_disk_capacity: Option<u64>,
     /// Global (cluster-aggregated) user memory limit per query, in bytes.
     pub query_max_memory: u64,
     /// Per-node user memory limit per query, in bytes.
@@ -128,6 +144,10 @@ impl Default for Session {
             exchange_concurrency: 8,
             hash_partition_count: 4,
             spill_enabled: false,
+            spill_dir: None,
+            spill_max_bytes: 16 << 30,
+            spill_chaos_write_error_after: None,
+            spill_chaos_disk_capacity: None,
             query_max_memory: 4 << 30,
             query_max_memory_per_node: 1 << 30,
             query_max_total_memory_per_node: 2 << 30,
@@ -170,6 +190,13 @@ mod tests {
         assert_eq!(s.scheduling_policy, SchedulingPolicy::AllAtOnce);
         // Facebook deployments do not spill (§IV-F2).
         assert!(!s.spill_enabled);
+        // Spill location defaults to the OS temp dir with a finite disk
+        // budget, so enabling spill cannot silently fill a disk.
+        assert!(s.spill_dir.is_none());
+        assert!(s.spill_max_bytes > 0);
+        // Chaos faults are strictly opt-in.
+        assert!(s.spill_chaos_write_error_after.is_none());
+        assert!(s.spill_chaos_disk_capacity.is_none());
         // Whole-query retry is external by default (§IV-G): off unless the
         // client opts in.
         assert_eq!(s.query_retry_attempts, 0);

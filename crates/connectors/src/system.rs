@@ -118,6 +118,8 @@ impl SystemTable {
                 ("cpu_nanos", Bigint),
                 ("blocked_nanos", Bigint),
                 ("peak_memory_bytes", Bigint),
+                ("spilled_bytes", Bigint),
+                ("spill_events", Bigint),
             ]),
             SystemTable::MemoryPools => Schema::of(&[
                 ("worker", Bigint),
@@ -126,6 +128,7 @@ impl SystemTable {
                 ("peak_bytes", Bigint),
                 ("limit_bytes", Bigint),
                 ("blocked_reservations", Bigint),
+                ("revocation_requests", Bigint),
                 ("active_queries", Bigint),
             ]),
             SystemTable::Caches => Schema::of(&[

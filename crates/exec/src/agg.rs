@@ -3,13 +3,13 @@
 
 use presto_common::{DataType, PrestoError, Result};
 use presto_expr::GroupedAccumulator;
-use presto_page::{deserialize_page, serialize_page, Block, BlockBuilder, Page};
+use presto_page::{Block, BlockBuilder, Page};
 use std::collections::VecDeque;
-use std::io::{Read, Write};
-use std::path::PathBuf;
+use std::sync::Arc;
 
 use crate::flathash::{FlatHashTable, KeyArena};
 use crate::operator::Operator;
+use crate::spill::{SpillManager, SpillRun};
 
 /// Aggregation phase (mirrors the planner's `AggregateStep`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -330,12 +330,14 @@ pub struct HashAggregationOperator {
     /// memory bounded without spilling (adaptive flush).
     partial_flush_bytes: usize,
     spill_enabled: bool,
-    spill_files: Vec<PathBuf>,
-    spill_seq: u64,
+    spill: Arc<SpillManager>,
+    spill_runs: Vec<SpillRun>,
     rows_in: u64,
     /// Cumulative bytes written to spill files (spilled files are deleted
     /// after re-ingest, so this cannot be derived from live metadata).
     spilled_bytes_total: u64,
+    /// Revocations that actually wrote a run.
+    spill_events: u64,
     /// Flathash counters carried over from hashes consumed by `flush`.
     rle_hits_flushed: u64,
     dict_cache_hits_flushed: u64,
@@ -366,13 +368,21 @@ impl HashAggregationOperator {
             produced: false,
             partial_flush_bytes: 16 << 20,
             spill_enabled,
-            spill_files: Vec::new(),
-            spill_seq: 0,
+            spill: SpillManager::new(None, 0),
+            spill_runs: Vec::new(),
             rows_in: 0,
             spilled_bytes_total: 0,
+            spill_events: 0,
             rle_hits_flushed: 0,
             dict_cache_hits_flushed: 0,
         }
+    }
+
+    /// Spill through the task's shared [`SpillManager`] (directory, disk
+    /// budget, abort cleanup) instead of a private default one.
+    pub fn with_spill_manager(mut self, spill: Arc<SpillManager>) -> HashAggregationOperator {
+        self.spill = spill;
+        self
     }
 
     fn accumulate(&mut self, page: &Page) -> Result<()> {
@@ -482,22 +492,9 @@ impl HashAggregationOperator {
         Ok(())
     }
 
-    fn spill_path(&mut self) -> PathBuf {
-        self.spill_seq += 1;
-        std::env::temp_dir().join(format!(
-            "presto-agg-spill-{}-{:p}-{}.bin",
-            std::process::id(),
-            self as *const _,
-            self.spill_seq
-        ))
-    }
-
+    /// Bytes currently held in this operator's live spill runs.
     pub fn spilled_bytes(&self) -> u64 {
-        self.spill_files
-            .iter()
-            .filter_map(|p| std::fs::metadata(p).ok())
-            .map(|m| m.len())
-            .sum()
+        self.spill_runs.iter().map(SpillRun::bytes).sum()
     }
 }
 
@@ -531,21 +528,12 @@ impl Operator for HashAggregationOperator {
             return Ok(None);
         }
         self.produced = true;
-        // Re-ingest any spilled runs before producing results.
-        let spill_files = std::mem::take(&mut self.spill_files);
-        for path in spill_files {
-            let mut file = std::fs::File::open(&path)?;
-            let mut len_buf = [0u8; 4];
-            loop {
-                match file.read_exact(&mut len_buf) {
-                    Ok(()) => {}
-                    Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => break,
-                    Err(e) => return Err(e.into()),
-                }
-                let len = u32::from_le_bytes(len_buf) as usize;
-                let mut buf = vec![0u8; len];
-                file.read_exact(&mut buf)?;
-                let page = deserialize_page(&buf)?;
+        // Re-ingest any spilled runs before producing results. `into_pages`
+        // verifies each record's frame checksum and deletes the file; runs
+        // left behind by an error drop (and delete themselves) on unwind.
+        let spill_runs = std::mem::take(&mut self.spill_runs);
+        for run in spill_runs {
+            for page in run.into_pages()? {
                 // Spilled pages are in intermediate form: merge them.
                 let ids = self.hash.group_ids(&page);
                 let max_group = self.hash.group_count().saturating_sub(1) as u32;
@@ -560,7 +548,6 @@ impl Operator for HashAggregationOperator {
                     channel += arity;
                 }
             }
-            std::fs::remove_file(&path).ok();
         }
         let pages = self.flush(self.phase == AggPhase::Partial)?;
         self.outputs.extend(pages);
@@ -598,16 +585,12 @@ impl Operator for HashAggregationOperator {
         // NOTE: spilled rows are keyed, so re-ingesting them groups
         // correctly; group ids are not stable across the spill.
         let pages = self.flush(true)?;
-        let path = self.spill_path();
-        let mut file = std::fs::File::create(&path)?;
+        let mut run = self.spill.create_run("agg");
         for page in &pages {
-            let bytes = serialize_page(page);
-            file.write_all(&(bytes.len() as u32).to_le_bytes())?;
-            file.write_all(&bytes)?;
-            self.spilled_bytes_total += bytes.len() as u64 + 4;
+            self.spilled_bytes_total += run.append(page)?;
         }
-        file.flush()?;
-        self.spill_files.push(path);
+        self.spill_events += 1;
+        self.spill_runs.push(run);
         Ok(before)
     }
 
@@ -619,6 +602,7 @@ impl Operator for HashAggregationOperator {
                 self.dict_cache_hits_flushed + self.hash.dict_cache_hits(),
             ),
             ("spilled_bytes", self.spilled_bytes_total),
+            ("spill_events", self.spill_events),
         ]
     }
 }
@@ -749,7 +733,7 @@ mod tests {
         let mut rows: Vec<(i64, f64)> = (0..p.row_count())
             .map(|i| (p.block(0).i64_at(i), p.block(1).f64_at(i)))
             .collect();
-        rows.sort_by(|a, b| a.0.cmp(&b.0));
+        rows.sort_by_key(|r| r.0);
         assert_eq!(rows, vec![(1, 15.0), (2, 5.0)]);
     }
 
@@ -941,7 +925,7 @@ mod flat_hash_tests {
         // distinct and stable under growth/rehash.
         let mut hash = GroupByHash::new(vec![0], vec![DataType::Varchar]);
         let schema = presto_common::Schema::of(&[("s", DataType::Varchar)]);
-        let rows: Vec<Vec<Value>> = (0..2000).map(|i| vec![Value::varchar(&format!("key-{i}"))]).collect();
+        let rows: Vec<Vec<Value>> = (0..2000).map(|i| vec![Value::varchar(format!("key-{i}"))]).collect();
         let first = hash.group_ids(&Page::from_rows(&schema, &rows));
         assert_eq!(hash.group_count(), 2000);
         // Replaying the same input yields identical ids (lookup, no insert).

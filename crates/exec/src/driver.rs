@@ -130,6 +130,12 @@ impl Driver {
                 self.stats[op].record_blocked(reason, start.duration_since(since));
             }
         }
+        // Service a pending revocation request first: the arbiter flagged
+        // this driver's revocable reservation to unblock someone else
+        // (possibly another query), so spill before making more progress.
+        if self.memory.revocation().take_request() {
+            self.revoke_memory()?;
+        }
         let result = self.process_until(start, quanta);
         self.cpu_time += start.elapsed();
         if let Ok(DriverState::Blocked(reason)) = &result {
@@ -225,17 +231,25 @@ impl Driver {
                     page.row_count()
                 )));
             }
-            // Reconcile memory with the pool, tracking per-operator peaks.
+            // Reconcile memory with the pool, tracking per-operator peaks
+            // and publishing how much of the reservation is revocable
+            // (spillable) so the pool's arbiter can request spill instead
+            // of promoting or killing (§IV-F2).
             let mut user = 0usize;
             let mut system = 0usize;
+            let mut revocable = 0u64;
             for (op, stats) in self.operators.iter().zip(self.stats.iter_mut()) {
                 let u = op.user_memory_bytes();
                 let s = op.system_memory_bytes();
                 user += u;
                 system += s;
+                if op.can_revoke_memory() {
+                    revocable += u as u64;
+                }
                 stats.peak_user_memory_bytes = stats.peak_user_memory_bytes.max(u as u64);
                 stats.peak_system_memory_bytes = stats.peak_system_memory_bytes.max(s as u64);
             }
+            self.memory.revocation().set_bytes(revocable);
             if self.memory.update(user, system)? == ReservationResult::Blocked {
                 return Ok(DriverState::Blocked(BlockedReason::Memory));
             }
@@ -271,6 +285,15 @@ impl Driver {
         for i in order {
             freed += self.operators[i].revoke_memory()?;
         }
+        // Refresh the published revocable balance so the arbiter does not
+        // request again based on the pre-spill figure.
+        let remaining: u64 = self
+            .operators
+            .iter()
+            .filter(|op| op.can_revoke_memory())
+            .map(|op| op.user_memory_bytes() as u64)
+            .sum();
+        self.memory.revocation().set_bytes(remaining);
         Ok(freed)
     }
 }

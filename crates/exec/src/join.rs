@@ -15,12 +15,14 @@ use presto_common::{PrestoError, Result};
 use presto_expr::{CompiledExpr, Expr};
 use presto_page::hash::{combine_hashes, hash_cell, hash_columns_cached, DictionaryHashCache};
 use presto_page::{Block, Page};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use crate::dynfilter::{CollectedDomains, DomainCollector, DynamicFilterSource};
 use crate::flathash::FlatHashTable;
 use crate::operator::{BlockedReason, Operator};
+use crate::spill::{SpillManager, SpillRun};
 
 /// Pick the radix partition for a row hash. Partitions use the *high* bits;
 /// the flat tables bucket by the low bits, so the two never alias.
@@ -32,6 +34,24 @@ fn partition_of(hash: u64, bits: u32) -> usize {
         (hash >> (64 - bits)) as usize
     }
 }
+
+/// Grace-join recursion: sub-partition an oversized spilled partition by
+/// the *next* radix bits of the same row hash (the parent consumed the top
+/// `consumed_bits`).
+#[inline]
+fn sub_partition_of(hash: u64, consumed_bits: u32, bits: u32) -> usize {
+    ((hash << consumed_bits) >> (64 - bits)) as usize
+}
+
+/// Sub-partitions per grace-join recursion level.
+const GRACE_BITS: u32 = 3;
+/// Maximum grace-join recursion depth. Beyond this the partition is built
+/// in memory whatever its size (pathological single-key skew cannot be
+/// split by hash anyway).
+const GRACE_MAX_DEPTH: u32 = 4;
+/// Default in-memory build size above which a spilled partition-pair is
+/// recursively sub-partitioned rather than built directly.
+const GRACE_PARTITION_LIMIT: usize = 64 << 20;
 
 /// One radix partition of the completed build side: its row addresses plus
 /// a flat hash table whose entry `i` describes `rows[i]`.
@@ -81,11 +101,71 @@ pub struct JoinHashTable {
     key_channels: Vec<usize>,
     memory_bytes: usize,
     row_count: usize,
+    /// Grace join: bit `p` set means partition `p` was spilled under memory
+    /// revocation. Its in-memory [`PartitionTable`] is empty; its build rows
+    /// live in `build_runs[p]`. ≤ 64 partitions by construction.
+    spilled_mask: u64,
+    /// Spilled build-side runs, readable by every probe operator
+    /// (non-consuming reads; files removed when the table drops).
+    build_runs: Vec<Option<Mutex<SpillRun>>>,
 }
 
 impl JoinHashTable {
     pub fn row_count(&self) -> usize {
         self.row_count
+    }
+
+    /// Did any build partition spill? Probes must run the grace path.
+    pub fn has_spill(&self) -> bool {
+        self.spilled_mask != 0
+    }
+
+    #[inline]
+    fn is_spilled(&self, partition: usize) -> bool {
+        (self.spilled_mask >> partition) & 1 == 1
+    }
+
+    /// Read back one spilled partition's build pages (checksummed decode;
+    /// the run file stays for other probe operators).
+    fn spilled_build_pages(&self, partition: usize) -> Result<Vec<Page>> {
+        match self.build_runs.get(partition).and_then(|r| r.as_ref()) {
+            Some(run) => run.lock().read_pages(),
+            None => Ok(Vec::new()),
+        }
+    }
+
+    /// Build an in-memory table over one restored grace partition (or
+    /// recursion leaf). Single partition: the row hashes already agreed on
+    /// the consumed radix bits, so further partitioning is pointless.
+    fn for_grace_partition(pages: Vec<Page>, key_channels: Vec<usize>) -> JoinHashTable {
+        let mut input = PartitionInput::default();
+        let mut cache = DictionaryHashCache::new();
+        for (pi, page) in pages.iter().enumerate() {
+            let hashes = hash_columns_cached(page, &key_channels, &mut cache);
+            let mut entries: Vec<(u32, u64)> = Vec::new();
+            for (ri, &h) in hashes.iter().enumerate() {
+                if key_channels.iter().any(|&c| page.block(c).is_null(ri)) {
+                    continue;
+                }
+                entries.push((ri as u32, h));
+            }
+            input.len += entries.len();
+            input.chunks.push((pi as u32, entries));
+        }
+        let part = PartitionTable::build(input);
+        let page_bytes: usize = pages.iter().map(Page::size_in_bytes).sum();
+        let layout_bytes = part.memory_bytes();
+        let row_count = part.rows.len();
+        JoinHashTable {
+            pages: Arc::new(pages),
+            partitions: vec![part],
+            partition_bits: 0,
+            key_channels,
+            memory_bytes: page_bytes + layout_bytes,
+            row_count,
+            spilled_mask: 0,
+            build_runs: Vec::new(),
+        }
     }
 
     /// Exact retained bytes: page data plus every partition's row-address
@@ -156,6 +236,18 @@ struct FinalizeState {
     next: AtomicUsize,
     remaining: AtomicUsize,
     built_bytes: AtomicUsize,
+    /// Spilled-partition state carried through to the assembled table.
+    spill: Mutex<Option<BuildSpill>>,
+}
+
+/// Grace-join spill state on the build side. Present only when the bridge
+/// was armed with [`JoinBridge::enable_spill`] (keyed joins with spill on).
+struct BuildSpill {
+    manager: Arc<SpillManager>,
+    /// Bit `p`: partition `p` has been revoked to disk.
+    spilled_mask: u64,
+    /// One run per spilled partition (`None` until that partition spills).
+    runs: Vec<Option<SpillRun>>,
 }
 
 struct BuildState {
@@ -172,7 +264,13 @@ struct BuildState {
     /// Dynamic-filter publication config + merged builder contributions.
     df_source: Option<DynamicFilterSource>,
     df_collected: Option<CollectedDomains>,
+    /// Grace-join spill state (None: spill not armed; build never spills).
+    spill: Option<BuildSpill>,
 }
+
+/// One radix partition's compacted rows from a single input page: the
+/// partition index, the compacted page, and its (row, hash) entries.
+type PartitionedPage = (usize, Page, Vec<(u32, u64)>);
 
 /// Shared hand-off between the build pipeline and probe drivers.
 pub struct JoinBridge {
@@ -180,6 +278,10 @@ pub struct JoinBridge {
     /// Distinct operators that built at least one partition during
     /// finalize (observability: > 1 means the build used > 1 thread).
     finalize_participants: AtomicUsize,
+    /// Build-side bytes written to spill runs / spill operations, for
+    /// operator counters (survives the BuildSpill → table hand-off).
+    spill_written: AtomicU64,
+    spill_events: AtomicU64,
 }
 
 impl JoinBridge {
@@ -204,9 +306,55 @@ impl JoinBridge {
                 table: None,
                 df_source: None,
                 df_collected: None,
+                spill: None,
             }),
             finalize_participants: AtomicUsize::new(0),
+            spill_written: AtomicU64::new(0),
+            spill_events: AtomicU64::new(0),
         })
+    }
+
+    /// Arm grace-join spill: under memory revocation the build side can
+    /// move whole radix partitions to disk through `manager`. Cross joins
+    /// (no keys) are ineligible — they keep the non-spilling path, so spill
+    /// is never correctness-bearing there. Must be called before the
+    /// builder operators are instantiated (they snapshot the config).
+    pub fn enable_spill(&self, manager: Arc<SpillManager>) {
+        let mut s = self.state.lock();
+        if s.key_channels.is_empty() {
+            return;
+        }
+        let count = s.partitions.len();
+        s.spill = Some(BuildSpill {
+            manager,
+            spilled_mask: 0,
+            runs: (0..count).map(|_| None).collect(),
+        });
+    }
+
+    /// Is grace spill armed on this bridge?
+    fn spill_armed(&self) -> bool {
+        self.state.lock().spill.is_some()
+    }
+
+    /// Build bytes that a revocation could free right now (0 once the
+    /// finalize has started — partitions are being consumed then).
+    fn revocable_build_bytes(&self) -> usize {
+        let s = self.state.lock();
+        if s.spill.is_some() && s.finalize.is_none() && s.table.is_none() {
+            s.bytes
+        } else {
+            0
+        }
+    }
+
+    /// Spilled bytes / events so far (operator counters; one builder
+    /// reports them, mirroring `build_bytes`).
+    fn spill_counters(&self) -> (u64, u64) {
+        (
+            self.spill_written.load(Ordering::Relaxed),
+            self.spill_events.load(Ordering::Relaxed),
+        )
     }
 
     /// The finished hash table, once all builders are done and every
@@ -279,6 +427,102 @@ impl JoinBridge {
         }
     }
 
+    /// Spill-mode ingest: each element is one partition's compacted rows
+    /// from a single input page (so a later revocation can move the whole
+    /// partition to disk page-by-page). Partitions already on disk are
+    /// appended straight to their run; returns the bytes written that way.
+    fn add_partitioned(&self, parts: Vec<PartitionedPage>) -> Result<u64> {
+        let entry_size = std::mem::size_of::<(u32, u64)>();
+        let mut s = self.state.lock();
+        let mut direct = 0u64;
+        for (p, page, entries) in parts {
+            let spilled = s
+                .spill
+                .as_ref()
+                .is_some_and(|sp| (sp.spilled_mask >> p) & 1 == 1);
+            if spilled {
+                let sp = s.spill.as_mut().expect("spilled implies armed");
+                let manager = Arc::clone(&sp.manager);
+                let run = sp.runs[p].get_or_insert_with(|| manager.create_run("join-build"));
+                direct += run.append(&page)?;
+            } else {
+                s.bytes += page.size_in_bytes() + entries.capacity() * entry_size;
+                let pi = s.pages.len() as u32;
+                s.pages.push(page);
+                s.partitions[p].len += entries.len();
+                s.partitions[p].chunks.push((pi, entries));
+            }
+        }
+        if direct > 0 {
+            self.spill_written.fetch_add(direct, Ordering::Relaxed);
+        }
+        Ok(direct)
+    }
+
+    /// Memory revocation: spill the largest in-memory partitions until at
+    /// least half the accumulated build bytes are freed. Returns the bytes
+    /// freed in memory (0 when nothing is revocable — finalize started,
+    /// table published, or everything already spilled).
+    fn revoke_build_memory(&self) -> Result<u64> {
+        let mut guard = self.state.lock();
+        let s = &mut *guard;
+        if s.finalize.is_some() || s.table.is_some() || s.spill.is_none() {
+            return Ok(0);
+        }
+        let entry_size = std::mem::size_of::<(u32, u64)>();
+        let spilled_mask = s.spill.as_ref().map_or(0, |sp| sp.spilled_mask);
+        // Size up every still-resident partition, biggest first.
+        let mut sizes: Vec<(usize, usize)> = s
+            .partitions
+            .iter()
+            .enumerate()
+            .filter(|&(p, part)| (spilled_mask >> p) & 1 == 0 && part.len > 0)
+            .map(|(p, part)| {
+                let bytes: usize = part
+                    .chunks
+                    .iter()
+                    .map(|(pi, e)| {
+                        s.pages[*pi as usize].size_in_bytes() + e.capacity() * entry_size
+                    })
+                    .sum();
+                (p, bytes)
+            })
+            .collect();
+        sizes.sort_unstable_by_key(|&(_, bytes)| std::cmp::Reverse(bytes));
+        if sizes.is_empty() {
+            return Ok(0);
+        }
+        let target = s.bytes / 2;
+        let mut freed = 0usize;
+        let mut written = 0u64;
+        let mut events = 0u64;
+        for (p, bytes) in sizes {
+            let sp = s.spill.as_mut().expect("checked above");
+            sp.spilled_mask |= 1 << p;
+            let manager = Arc::clone(&sp.manager);
+            let run = sp.runs[p].get_or_insert_with(|| manager.create_run("join-build"));
+            let chunks = std::mem::take(&mut s.partitions[p].chunks);
+            s.partitions[p].len = 0;
+            for (pi, entries) in chunks {
+                // Replace with an empty placeholder so u32 page indices of
+                // other partitions stay valid while this page's memory goes.
+                let page = std::mem::replace(&mut s.pages[pi as usize], Page::zero_column(0));
+                written += run.append(&page)?;
+                drop(entries);
+            }
+            freed += bytes;
+            events += 1;
+            if freed >= target {
+                break;
+            }
+        }
+        s.bytes -= freed.min(s.bytes);
+        drop(guard);
+        self.spill_written.fetch_add(written, Ordering::Relaxed);
+        self.spill_events.fetch_add(events, Ordering::Relaxed);
+        Ok(freed as u64)
+    }
+
     /// A builder is done, optionally handing in its dynamic-filter
     /// contribution. The last one moves the accumulated input into the
     /// finalize work queue — it does NOT build under the lock; partitions
@@ -308,6 +552,7 @@ impl JoinBridge {
         });
         let pages = Arc::new(std::mem::take(&mut s.pages));
         let partitions = std::mem::take(&mut s.partitions);
+        let spill = s.spill.take();
         let count = partitions.len();
         s.finalize = Some(Arc::new(FinalizeState {
             pages,
@@ -318,6 +563,7 @@ impl JoinBridge {
             next: AtomicUsize::new(0),
             remaining: AtomicUsize::new(count),
             built_bytes: AtomicUsize::new(0),
+            spill: Mutex::new(spill),
         }));
         drop(s);
         if let Some((src, collected)) = publish {
@@ -358,6 +604,13 @@ impl JoinBridge {
         let page_bytes: usize = fin.pages.iter().map(Page::size_in_bytes).sum();
         let layout_bytes: usize = partitions.iter().map(PartitionTable::memory_bytes).sum();
         let row_count = partitions.iter().map(|p| p.rows.len()).sum();
+        let (spilled_mask, build_runs) = match fin.spill.lock().take() {
+            Some(sp) => (
+                sp.spilled_mask,
+                sp.runs.into_iter().map(|r| r.map(Mutex::new)).collect(),
+            ),
+            None => (0, Vec::new()),
+        };
         let table = Arc::new(JoinHashTable {
             pages: Arc::clone(&fin.pages),
             partitions,
@@ -365,6 +618,8 @@ impl JoinBridge {
             key_channels: fin.key_channels.clone(),
             memory_bytes: page_bytes + layout_bytes,
             row_count,
+            spilled_mask,
+            build_runs,
         });
         let mut s = self.state.lock();
         s.bytes = 0;
@@ -382,6 +637,9 @@ pub struct HashBuilderOperator {
     hash_cache: DictionaryHashCache,
     /// Per-builder dynamic-filter collector, filled off the bridge lock.
     df_collector: Option<DomainCollector>,
+    /// Snapshot of [`JoinBridge::spill_armed`]: input is compacted per
+    /// partition so a revocation can move whole partitions to disk.
+    spill_mode: bool,
     finished: bool,
     partitions_built: u64,
     counted_as_participant: bool,
@@ -391,12 +649,14 @@ impl HashBuilderOperator {
     pub fn new(bridge: Arc<JoinBridge>) -> HashBuilderOperator {
         let (key_channels, partition_bits) = bridge.partitioning();
         let df_collector = bridge.df_collector();
+        let spill_mode = bridge.spill_armed();
         HashBuilderOperator {
             bridge,
             key_channels,
             partition_bits,
             hash_cache: DictionaryHashCache::new(),
             df_collector,
+            spill_mode,
             finished: false,
             partitions_built: 0,
             counted_as_participant: false,
@@ -441,9 +701,44 @@ impl Operator for HashBuilderOperator {
         // Hash + partition off the bridge lock; the hash pass is
         // dictionary/RLE-aware and the cache persists across pages.
         let hashes = hash_columns_cached(&page, &self.key_channels, &mut self.hash_cache);
-        let mut parts: Vec<Vec<(u32, u64)>> = (0..(1usize << self.partition_bits))
-            .map(|_| Vec::new())
-            .collect();
+        let part_count = 1usize << self.partition_bits;
+        if self.spill_mode {
+            // Grace mode: compact each partition's rows into their own
+            // sub-page so the bridge can later spill a partition without
+            // touching the others. The dynamic filter still sees every
+            // build row *before* any spill decision, so DF publication is
+            // unaffected by memory pressure. NULL-key rows are dropped
+            // outright (never match, and build rows are never padded).
+            let mut rows: Vec<Vec<u32>> = vec![Vec::new(); part_count];
+            let mut row_hashes: Vec<Vec<u64>> = vec![Vec::new(); part_count];
+            for (ri, &h) in hashes.iter().enumerate() {
+                if self.key_channels.iter().any(|&c| page.block(c).is_null(ri)) {
+                    continue;
+                }
+                if let Some(collector) = &mut self.df_collector {
+                    collector.add_row(&page, ri, h);
+                }
+                let p = partition_of(h, self.partition_bits);
+                rows[p].push(ri as u32);
+                row_hashes[p].push(h);
+            }
+            let mut parts: Vec<PartitionedPage> = Vec::new();
+            for p in 0..part_count {
+                if rows[p].is_empty() {
+                    continue;
+                }
+                let sub = page.filter(&rows[p]);
+                let entries: Vec<(u32, u64)> = row_hashes[p]
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &h)| (i as u32, h))
+                    .collect();
+                parts.push((p, sub, entries));
+            }
+            self.bridge.add_partitioned(parts)?;
+            return Ok(());
+        }
+        let mut parts: Vec<Vec<(u32, u64)>> = (0..part_count).map(|_| Vec::new()).collect();
         for (ri, &h) in hashes.iter().enumerate() {
             // NULL keys never join (SQL equality).
             if self.key_channels.iter().any(|&c| page.block(c).is_null(ri)) {
@@ -491,6 +786,22 @@ impl Operator for HashBuilderOperator {
         // Charged once by the (single) build pipeline driver.
         self.bridge.build_bytes()
     }
+
+    fn can_revoke_memory(&self) -> bool {
+        self.spill_mode && self.bridge.revocable_build_bytes() > 0
+    }
+
+    fn revoke_memory(&mut self) -> Result<u64> {
+        self.bridge.revoke_build_memory()
+    }
+
+    fn counters(&self) -> Vec<(&'static str, u64)> {
+        let (spilled_bytes, spill_events) = self.bridge.spill_counters();
+        vec![
+            ("spilled_bytes", spilled_bytes),
+            ("spill_events", spill_events),
+        ]
+    }
 }
 
 /// Entry → build-row matches memo for dictionary-keyed probes, retained
@@ -526,6 +837,26 @@ pub enum ProbeJoinType {
     Cross,
 }
 
+/// Probe-side grace-join state: rows whose partition spilled on the build
+/// side are diverted to per-partition disk runs; after input ends each
+/// (build run, probe run) pair is restored and joined, recursing on the
+/// next radix bits when a pair's build side is still too large.
+struct GraceProbe {
+    spill: Arc<SpillManager>,
+    /// Build-side key channels (for hashing restored build pages).
+    build_keys: Vec<usize>,
+    /// Partition → this operator's diverted probe rows.
+    probe_runs: HashMap<usize, SpillRun>,
+    /// Spilled partitions left to join once input is done.
+    pair_queue: Vec<usize>,
+    pairs_started: bool,
+    outputs: VecDeque<Page>,
+    /// Build bytes above which a restored pair is sub-partitioned.
+    partition_limit: usize,
+    spilled_bytes: u64,
+    spill_events: u64,
+}
+
 /// Probe-side operator: streams probe pages against the hash table.
 ///
 /// Probing is batched per page: one vectorized hash pass, one pass
@@ -550,6 +881,8 @@ pub struct LookupJoinOperator {
     dict_probe: Option<DictProbeCache>,
     dict_probe_hits: u64,
     rle_probe_rows: u64,
+    /// Grace-join probe state; present iff the bridge armed spill.
+    grace: Option<GraceProbe>,
 }
 
 impl LookupJoinOperator {
@@ -577,7 +910,35 @@ impl LookupJoinOperator {
             dict_probe: None,
             dict_probe_hits: 0,
             rle_probe_rows: 0,
+            grace: None,
         }
+    }
+
+    /// Arm the grace-probe path (must match the bridge's
+    /// [`JoinBridge::enable_spill`]; each probe operator diverts its own
+    /// probe rows through `spill`).
+    pub fn with_spill(mut self, spill: Arc<SpillManager>) -> LookupJoinOperator {
+        let (build_keys, _) = self.bridge.partitioning();
+        self.grace = Some(GraceProbe {
+            spill,
+            build_keys,
+            probe_runs: HashMap::new(),
+            pair_queue: Vec::new(),
+            pairs_started: false,
+            outputs: VecDeque::new(),
+            partition_limit: GRACE_PARTITION_LIMIT,
+            spilled_bytes: 0,
+            spill_events: 0,
+        });
+        self
+    }
+
+    /// Override the recursion threshold (tests force tiny pairs).
+    pub fn with_grace_partition_limit(mut self, bytes: usize) -> LookupJoinOperator {
+        if let Some(g) = &mut self.grace {
+            g.partition_limit = bytes;
+        }
+        self
     }
 
     /// Probe rows resolved through the per-dictionary-entry match cache.
@@ -841,6 +1202,145 @@ impl LookupJoinOperator {
         }
         Ok(combined)
     }
+
+    /// Grace-mode ingest: divert rows whose partition spilled on the build
+    /// side to per-partition probe runs, join the rest against the resident
+    /// partitions as usual. Each row goes to exactly one side, so LEFT-join
+    /// padding happens exactly once per unmatched row.
+    fn add_input_grace(&mut self, table: &JoinHashTable, page: Page) -> Result<()> {
+        let page = page.load_all();
+        let hashes = hash_columns_cached(&page, &self.probe_keys, &mut self.hash_cache);
+        let mut resident: Vec<u32> = Vec::with_capacity(hashes.len());
+        let mut diverted: HashMap<usize, Vec<u32>> = HashMap::new();
+        for (ri, &h) in hashes.iter().enumerate() {
+            // NULL keys hash arbitrarily but never match; keep them
+            // resident so LEFT padding happens in the streaming phase.
+            if self.probe_keys.iter().any(|&c| page.block(c).is_null(ri)) {
+                resident.push(ri as u32);
+                continue;
+            }
+            let p = partition_of(h, table.partition_bits);
+            if table.is_spilled(p) {
+                diverted.entry(p).or_default().push(ri as u32);
+            } else {
+                resident.push(ri as u32);
+            }
+        }
+        for (p, rows) in diverted {
+            let sub = page.filter(&rows);
+            let grace = self.grace.as_mut().expect("grace armed (caller checked)");
+            let manager = Arc::clone(&grace.spill);
+            let run = grace
+                .probe_runs
+                .entry(p)
+                .or_insert_with(|| manager.create_run("join-probe"));
+            grace.spilled_bytes += run.append(&sub)?;
+            grace.spill_events += 1;
+        }
+        // Undisturbed pages keep their dictionary/RLE probe fast paths.
+        let out = if resident.len() == page.row_count() {
+            self.join_page(table, &page)?
+        } else if resident.is_empty() {
+            return Ok(());
+        } else {
+            let filtered = page.filter(&resident);
+            self.join_page(table, &filtered)?
+        };
+        if out.row_count() > 0 {
+            self.rows_out += out.row_count() as u64;
+            self.pending = Some(out);
+        }
+        Ok(())
+    }
+
+    /// Join one spilled (build, probe) partition pair from disk.
+    fn process_pair(&mut self, table: &JoinHashTable, partition: usize) -> Result<()> {
+        let run = match self.grace.as_mut().and_then(|g| g.probe_runs.remove(&partition)) {
+            Some(run) => run,
+            // No probe rows ever hit this partition: nothing to join (the
+            // build run is cleaned up when the table drops).
+            None => return Ok(()),
+        };
+        let probe_pages = run.into_pages()?;
+        let build_pages = table.spilled_build_pages(partition)?;
+        self.join_grace_pair(build_pages, probe_pages, table.partition_bits, 0)
+    }
+
+    /// Join restored pages, sub-partitioning by the next radix bits while
+    /// the build side exceeds the grace partition limit.
+    fn join_grace_pair(
+        &mut self,
+        build: Vec<Page>,
+        probe: Vec<Page>,
+        consumed_bits: u32,
+        depth: u32,
+    ) -> Result<()> {
+        if probe.iter().map(Page::row_count).sum::<usize>() == 0 {
+            return Ok(());
+        }
+        let grace = self.grace.as_ref().expect("grace armed (caller checked)");
+        let limit = grace.partition_limit;
+        let build_keys = grace.build_keys.clone();
+        let build_bytes: usize = build.iter().map(Page::size_in_bytes).sum();
+        if build_bytes > limit
+            && depth < GRACE_MAX_DEPTH
+            && consumed_bits + GRACE_BITS < 64
+        {
+            let sub_build = split_by_hash(&build, &build_keys, consumed_bits, GRACE_BITS);
+            let sub_probe = split_by_hash(&probe, &self.probe_keys, consumed_bits, GRACE_BITS);
+            drop(build);
+            drop(probe);
+            for (b, p) in sub_build.into_iter().zip(sub_probe) {
+                self.join_grace_pair(b, p, consumed_bits + GRACE_BITS, depth + 1)?;
+            }
+            return Ok(());
+        }
+        // Leaf: build an in-memory table over this pair and stream the
+        // probe pages through the normal (LEFT-aware) join path.
+        let sub_table = JoinHashTable::for_grace_partition(build, build_keys);
+        // The dictionary-probe memo is table-specific; never reuse entries
+        // resolved against a different table.
+        self.dict_probe = None;
+        for page in probe {
+            if page.row_count() == 0 {
+                continue;
+            }
+            let out = self.join_page(&sub_table, &page)?;
+            if out.row_count() > 0 {
+                self.rows_out += out.row_count() as u64;
+                let grace = self.grace.as_mut().expect("grace armed");
+                grace.outputs.push_back(out);
+            }
+        }
+        self.dict_probe = None;
+        Ok(())
+    }
+}
+
+/// Split pages by the next `bits` radix bits of their key hash (the parent
+/// level already consumed the top `consumed_bits`).
+fn split_by_hash(
+    pages: &[Page],
+    keys: &[usize],
+    consumed_bits: u32,
+    bits: u32,
+) -> Vec<Vec<Page>> {
+    let parts = 1usize << bits;
+    let mut out: Vec<Vec<Page>> = (0..parts).map(|_| Vec::new()).collect();
+    let mut cache = DictionaryHashCache::new();
+    for page in pages {
+        let hashes = hash_columns_cached(page, keys, &mut cache);
+        let mut rows: Vec<Vec<u32>> = vec![Vec::new(); parts];
+        for (ri, &h) in hashes.iter().enumerate() {
+            rows[sub_partition_of(h, consumed_bits, bits)].push(ri as u32);
+        }
+        for (s, r) in rows.into_iter().enumerate() {
+            if !r.is_empty() {
+                out[s].push(page.filter(&r));
+            }
+        }
+    }
+    out
 }
 
 impl Operator for LookupJoinOperator {
@@ -857,6 +1357,14 @@ impl Operator for LookupJoinOperator {
             .bridge
             .table()
             .ok_or_else(|| PrestoError::internal("probe before build finished"))?;
+        if table.has_spill() {
+            if self.grace.is_none() {
+                return Err(PrestoError::internal(
+                    "build side spilled but probe has no spill manager",
+                ));
+            }
+            return self.add_input_grace(&table, page);
+        }
         let out = self.join_page(&table, &page)?;
         if out.row_count() > 0 {
             self.rows_out += out.row_count() as u64;
@@ -870,11 +1378,54 @@ impl Operator for LookupJoinOperator {
     }
 
     fn output(&mut self) -> Result<Option<Page>> {
-        Ok(self.pending.take())
+        if let Some(p) = self.pending.take() {
+            return Ok(Some(p));
+        }
+        if !self.input_done {
+            return Ok(None);
+        }
+        // Grace pair phase: once streaming input is done, join the spilled
+        // (build, probe) partition pairs, one partition per pass.
+        let Some(grace) = &mut self.grace else {
+            return Ok(None);
+        };
+        if let Some(p) = grace.outputs.pop_front() {
+            return Ok(Some(p));
+        }
+        if !grace.pairs_started {
+            grace.pairs_started = true;
+            let mut queue: Vec<usize> = grace.probe_runs.keys().copied().collect();
+            queue.sort_unstable();
+            // Popped back-to-front; sort descending so low partitions go
+            // first (determinism only — any order is correct).
+            queue.reverse();
+            grace.pair_queue = queue;
+        }
+        loop {
+            let next = match self.grace.as_mut().expect("grace set above").pair_queue.pop() {
+                Some(p) => p,
+                None => return Ok(None),
+            };
+            let table = self
+                .bridge
+                .table()
+                .ok_or_else(|| PrestoError::internal("pair phase before build finished"))?;
+            self.process_pair(&table, next)?;
+            let grace = self.grace.as_mut().expect("grace set above");
+            if let Some(p) = grace.outputs.pop_front() {
+                return Ok(Some(p));
+            }
+        }
     }
 
     fn is_finished(&self) -> bool {
-        self.input_done && self.pending.is_none()
+        self.input_done
+            && self.pending.is_none()
+            && self.grace.as_ref().is_none_or(|g| {
+                g.outputs.is_empty()
+                    && g.pair_queue.is_empty()
+                    && (g.pairs_started || g.probe_runs.is_empty())
+            })
     }
 
     fn blocked(&self) -> Option<BlockedReason> {
@@ -886,9 +1437,15 @@ impl Operator for LookupJoinOperator {
     }
 
     fn counters(&self) -> Vec<(&'static str, u64)> {
+        let (spilled_bytes, spill_events) = self
+            .grace
+            .as_ref()
+            .map_or((0, 0), |g| (g.spilled_bytes, g.spill_events));
         vec![
             ("dict_probe_hits", self.dict_probe_hits),
             ("rle_probe_rows", self.rle_probe_rows),
+            ("spilled_bytes", spilled_bytes),
+            ("spill_events", spill_events),
         ]
     }
 }
@@ -1478,5 +2035,193 @@ mod tests {
             ))
             .unwrap();
         assert_eq!(probe2.output().unwrap().unwrap().row_count(), 1);
+    }
+
+    /// A spill-armed bridge + probe joined over `build`/`probe` rows with a
+    /// forced revocation after `revoke_after` build pages; returns the
+    /// drained rows plus the total memory freed by revocations.
+    fn grace_run(
+        build: &[Vec<(i64, &str)>],
+        probe_pages: &[Vec<(i64, &str)>],
+        join_type: ProbeJoinType,
+        revoke: bool,
+    ) -> (Vec<(i64, String, i64, String)>, u64) {
+        let dir = std::env::temp_dir().join(format!(
+            "presto-grace-test-{}-{}",
+            std::process::id(),
+            NEXT_TEST_DIR.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let manager = SpillManager::new(Some(dir.clone()), 0);
+        let bridge = JoinBridge::new(vec![0], 1);
+        if revoke {
+            bridge.enable_spill(Arc::clone(&manager));
+        }
+        let mut b = HashBuilderOperator::new(Arc::clone(&bridge));
+        let mut freed_total = 0;
+        for rows in build {
+            b.add_input(kv_page(rows)).unwrap();
+            if revoke {
+                assert!(b.can_revoke_memory());
+                let freed = b.revoke_memory().unwrap();
+                assert!(freed > 0, "revocation frees build memory");
+                freed_total += freed;
+            }
+        }
+        b.finish();
+        let mut op = LookupJoinOperator::new(
+            Arc::clone(&bridge),
+            join_type,
+            vec![0],
+            schema(),
+            schema(),
+            None,
+        )
+        .with_spill(Arc::clone(&manager))
+        .with_grace_partition_limit(1); // force recursion on every pair
+        let mut rows = Vec::new();
+        let drain = |op: &mut LookupJoinOperator, out: &mut Vec<_>| {
+            while let Some(p) = op.output().unwrap() {
+                for i in 0..p.row_count() {
+                    out.push((
+                        p.block(0).i64_at(i),
+                        p.block(1).str_at(i).to_string(),
+                        if p.block(2).is_null(i) {
+                            -1
+                        } else {
+                            p.block(2).i64_at(i)
+                        },
+                        if p.block(3).is_null(i) {
+                            "-".into()
+                        } else {
+                            p.block(3).str_at(i).to_string()
+                        },
+                    ));
+                }
+            }
+        };
+        for page_rows in probe_pages {
+            op.add_input(kv_page(page_rows)).unwrap();
+            drain(&mut op, &mut rows);
+        }
+        op.finish();
+        drain(&mut op, &mut rows);
+        rows.sort();
+        assert!(op.is_finished());
+        drop(op);
+        drop(bridge);
+        manager.remove_all();
+        assert_eq!(
+            std::fs::read_dir(&dir).unwrap().count(),
+            0,
+            "no spill files leaked"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+        (rows, freed_total)
+    }
+
+    static NEXT_TEST_DIR: AtomicUsize = AtomicUsize::new(0);
+
+    #[test]
+    fn grace_join_matches_in_memory_inner_and_left() {
+        // Enough distinct keys to populate many radix partitions; probe
+        // includes matching, non-matching, and repeated keys.
+        let build: Vec<Vec<(i64, String)>> = (0..4)
+            .map(|c| (0..200).map(|i| (c * 200 + i, format!("b{c}_{i}"))).collect())
+            .collect();
+        let probe: Vec<Vec<(i64, String)>> = (0..3)
+            .map(|c| {
+                (0..150)
+                    .map(|i| (c * 137 + i * 7 % 900, format!("p{c}_{i}")))
+                    .collect()
+            })
+            .collect();
+        let build_ref: Vec<Vec<(i64, &str)>> = build
+            .iter()
+            .map(|v| v.iter().map(|(k, s)| (*k, s.as_str())).collect())
+            .collect();
+        let probe_ref: Vec<Vec<(i64, &str)>> = probe
+            .iter()
+            .map(|v| v.iter().map(|(k, s)| (*k, s.as_str())).collect())
+            .collect();
+        for join_type in [ProbeJoinType::Inner, ProbeJoinType::Left] {
+            let (spilled, freed) = grace_run(&build_ref, &probe_ref, join_type, true);
+            let (plain, _) = grace_run(&build_ref, &probe_ref, join_type, false);
+            assert!(freed > 0);
+            assert_eq!(spilled, plain, "{join_type:?} grace join identical");
+        }
+    }
+
+    #[test]
+    fn grace_join_hash_collisions_do_not_cross_join() {
+        let ((a1, b1), (a2, b2)) = collision_pair();
+        // Single-column collision is impossible to manufacture here, so use
+        // the two-key collision with both channels as keys and spill.
+        let s = Schema::of(&[("a", DataType::Bigint), ("b", DataType::Bigint)]);
+        let manager = SpillManager::new(None, 0);
+        let bridge = JoinBridge::new(vec![0, 1], 1);
+        bridge.enable_spill(Arc::clone(&manager));
+        let mut b = HashBuilderOperator::new(Arc::clone(&bridge));
+        b.add_input(Page::from_rows(
+            &s,
+            &[vec![Value::Bigint(a1), Value::Bigint(b1)]],
+        ))
+        .unwrap();
+        assert!(b.revoke_memory().unwrap() > 0, "whole build spills");
+        b.finish();
+        let table = bridge.table().unwrap();
+        assert!(table.has_spill());
+        assert_eq!(table.row_count(), 0, "all rows on disk");
+        let mut probe = LookupJoinOperator::new(
+            Arc::clone(&bridge),
+            ProbeJoinType::Inner,
+            vec![0, 1],
+            s.clone(),
+            s.clone(),
+            None,
+        )
+        .with_spill(Arc::clone(&manager));
+        probe
+            .add_input(Page::from_rows(
+                &s,
+                &[
+                    vec![Value::Bigint(a2), Value::Bigint(b2)],
+                    vec![Value::Bigint(a1), Value::Bigint(b1)],
+                ],
+            ))
+            .unwrap();
+        probe.finish();
+        let mut rows = 0;
+        while let Some(p) = probe.output().unwrap() {
+            for i in 0..p.row_count() {
+                assert_eq!(p.block(0).i64_at(i), a1);
+                assert_eq!(p.block(1).i64_at(i), b1);
+            }
+            rows += p.row_count();
+        }
+        assert_eq!(rows, 1, "colliding but unequal keys must not join");
+        assert!(probe.is_finished());
+    }
+
+    #[test]
+    fn revocation_is_a_noop_after_finalize_starts() {
+        let manager = SpillManager::new(None, 0);
+        let bridge = JoinBridge::new(vec![0], 1);
+        bridge.enable_spill(Arc::clone(&manager));
+        let mut b = HashBuilderOperator::new(Arc::clone(&bridge));
+        b.add_input(kv_page(&[(1, "a"), (2, "b")])).unwrap();
+        b.finish();
+        assert!(bridge.table().is_some());
+        assert!(!b.can_revoke_memory());
+        assert_eq!(b.revoke_memory().unwrap(), 0);
+        assert!(!bridge.table().unwrap().has_spill());
+    }
+
+    #[test]
+    fn cross_join_bridge_never_arms_spill() {
+        let manager = SpillManager::new(None, 0);
+        let bridge = JoinBridge::new(vec![], 1);
+        bridge.enable_spill(Arc::clone(&manager));
+        assert!(!bridge.spill_armed(), "cross joins are spill-ineligible");
     }
 }

@@ -30,6 +30,7 @@ pub mod partitioned_output;
 pub mod pipeline;
 pub mod scan;
 pub mod sort;
+pub mod spill;
 pub mod stats;
 pub mod task;
 pub mod window;
@@ -39,9 +40,10 @@ pub use driver::{Driver, DriverState};
 pub use dynfilter::{
     DynamicFilterRegistry, PublishedFilter, ScanDynamicFilter, TaskDynamicFilters,
 };
-pub use memory::{MemoryPool, TaskMemoryContext, UnlimitedPool};
+pub use memory::{MemoryPool, RevocationHandle, TaskMemoryContext, UnlimitedPool};
 pub use operator::{BlockedReason, Operator, OperatorStats};
 pub use pipeline::Pipeline;
+pub use spill::{SpillFault, SpillManager, SpillRun};
 pub use stats::{
     DriverStatsReport, OperatorStatsEntry, PipelineStats, QueryPhases, QueryStats, StageStats,
     TaskStats, TaskStatsCollector,

@@ -8,7 +8,7 @@
 //! general/reserved pool arbitration lives in `presto-cluster`).
 
 use presto_common::{QueryId, Result};
-use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Outcome of a reservation attempt.
@@ -22,6 +22,50 @@ pub enum ReservationResult {
     Blocked,
 }
 
+/// One driver's *revocable* reservation, registered with the node pool.
+///
+/// The driver publishes how many of its reserved bytes are held by
+/// operators that can spill (§IV-F2 "revocable memory"). When the general
+/// pool is exhausted, the arbiter picks the largest revocable reservation
+/// and flags it here instead of promoting to the reserved pool or killing;
+/// the owning driver observes the flag at its next quantum and spills.
+#[derive(Debug, Default)]
+pub struct RevocationHandle {
+    /// Bytes currently revocable (spillable operator state).
+    bytes: AtomicU64,
+    /// Set by the arbiter; cleared by the driver when it spills.
+    requested: AtomicBool,
+}
+
+impl RevocationHandle {
+    pub fn new() -> Arc<RevocationHandle> {
+        Arc::new(RevocationHandle::default())
+    }
+
+    /// Publish the current revocable byte count (driver reconcile).
+    pub fn set_bytes(&self, bytes: u64) {
+        self.bytes.store(bytes, Ordering::Relaxed);
+    }
+
+    pub fn bytes(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+
+    /// Arbiter side: ask the owner to spill.
+    pub fn request(&self) {
+        self.requested.store(true, Ordering::SeqCst);
+    }
+
+    pub fn is_requested(&self) -> bool {
+        self.requested.load(Ordering::SeqCst)
+    }
+
+    /// Driver side: consume a pending spill request, if any.
+    pub fn take_request(&self) -> bool {
+        self.requested.swap(false, Ordering::SeqCst)
+    }
+}
+
 /// A node-level memory pool the task reserves against.
 pub trait MemoryPool: Send + Sync {
     /// Try to adjust the query's reservation by `user_delta`/`system_delta`
@@ -32,6 +76,13 @@ pub trait MemoryPool: Send + Sync {
         user_delta: i64,
         system_delta: i64,
     ) -> Result<ReservationResult>;
+
+    /// Make a revocable reservation visible to the pool's arbiter. Pools
+    /// that do not arbitrate (tests, [`UnlimitedPool`]) ignore it.
+    fn register_revocable(&self, _query: QueryId, _handle: Arc<RevocationHandle>) {}
+
+    /// Remove a revocable reservation (driver teardown).
+    fn unregister_revocable(&self, _query: QueryId, _handle: &Arc<RevocationHandle>) {}
 }
 
 /// A pool that always grants — for tests and single-process embedding.
@@ -50,16 +101,26 @@ pub struct TaskMemoryContext {
     pool: Arc<dyn MemoryPool>,
     user: AtomicI64,
     system: AtomicI64,
+    revocation: Arc<RevocationHandle>,
 }
 
 impl TaskMemoryContext {
     pub fn new(query: QueryId, pool: Arc<dyn MemoryPool>) -> Arc<TaskMemoryContext> {
+        let revocation = RevocationHandle::new();
+        pool.register_revocable(query, Arc::clone(&revocation));
         Arc::new(TaskMemoryContext {
             query,
             pool,
             user: AtomicI64::new(0),
             system: AtomicI64::new(0),
+            revocation,
         })
+    }
+
+    /// This context's revocable-reservation handle (shared with the pool's
+    /// arbiter).
+    pub fn revocation(&self) -> &Arc<RevocationHandle> {
+        &self.revocation
     }
 
     /// Reconcile current retained sizes against the pool. Returns `Blocked`
@@ -88,6 +149,7 @@ impl TaskMemoryContext {
 
     /// Release everything (task end).
     pub fn release_all(&self) {
+        self.revocation.set_bytes(0);
         let user = self.user.swap(0, Ordering::Relaxed);
         let system = self.system.swap(0, Ordering::Relaxed);
         if user != 0 || system != 0 {
@@ -111,6 +173,7 @@ impl TaskMemoryContext {
 impl Drop for TaskMemoryContext {
     fn drop(&mut self) {
         self.release_all();
+        self.pool.unregister_revocable(self.query, &self.revocation);
     }
 }
 

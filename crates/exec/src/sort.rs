@@ -1,14 +1,14 @@
 //! Sorting: full sort (with spill-to-disk runs) and bounded TopN.
 
 use presto_common::Result;
-use presto_page::{deserialize_page, serialize_page, Page};
+use presto_page::Page;
 use presto_planner::SortKey;
 use std::cmp::Ordering;
 use std::collections::VecDeque;
-use std::io::{Read, Write};
-use std::path::PathBuf;
+use std::sync::Arc;
 
 use crate::operator::Operator;
+use crate::spill::{SpillManager, SpillRun};
 
 /// Compare two rows (possibly across pages) under a key set.
 pub fn compare_rows(a: &Page, arow: usize, b: &Page, brow: usize, keys: &[SortKey]) -> Ordering {
@@ -64,9 +64,10 @@ pub struct SortOperator {
     outputs: VecDeque<Page>,
     produced: bool,
     spill_enabled: bool,
-    spill_runs: Vec<PathBuf>,
-    spill_seq: u64,
+    spill: Arc<SpillManager>,
+    spill_runs: Vec<SpillRun>,
     spilled_bytes_total: u64,
+    spill_events: u64,
 }
 
 impl SortOperator {
@@ -79,10 +80,18 @@ impl SortOperator {
             outputs: VecDeque::new(),
             produced: false,
             spill_enabled,
+            spill: SpillManager::new(None, 0),
             spill_runs: Vec::new(),
-            spill_seq: 0,
             spilled_bytes_total: 0,
+            spill_events: 0,
         }
+    }
+
+    /// Spill through the task's shared [`SpillManager`] (directory, disk
+    /// budget, abort cleanup) instead of a private default one.
+    pub fn with_spill_manager(mut self, spill: Arc<SpillManager>) -> SortOperator {
+        self.spill = spill;
+        self
     }
 
     fn sorted_buffered(&mut self) -> Page {
@@ -147,22 +156,10 @@ impl Operator for SortOperator {
         if in_memory.row_count() > 0 {
             runs.push(in_memory);
         }
-        for path in std::mem::take(&mut self.spill_runs) {
-            let mut file = std::fs::File::open(&path)?;
-            let mut pages = Vec::new();
-            let mut len_buf = [0u8; 4];
-            loop {
-                match file.read_exact(&mut len_buf) {
-                    Ok(()) => {}
-                    Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => break,
-                    Err(e) => return Err(e.into()),
-                }
-                let len = u32::from_le_bytes(len_buf) as usize;
-                let mut buf = vec![0u8; len];
-                file.read_exact(&mut buf)?;
-                pages.push(deserialize_page(&buf)?);
-            }
-            std::fs::remove_file(&path).ok();
+        for run in std::mem::take(&mut self.spill_runs) {
+            // Checksums verified per record; the file is deleted on consume
+            // (or by the run's drop if an error unwinds out of here).
+            let pages = run.into_pages()?;
             runs.push(Page::concat(&pages));
         }
         // K-way merge by repeatedly taking the least head.
@@ -230,25 +227,18 @@ impl Operator for SortOperator {
         }
         let freed = self.buffered_bytes as u64;
         let sorted = self.sorted_buffered();
-        self.spill_seq += 1;
-        let path = std::env::temp_dir().join(format!(
-            "presto-sort-spill-{}-{:p}-{}.bin",
-            std::process::id(),
-            self as *const _,
-            self.spill_seq
-        ));
-        let mut file = std::fs::File::create(&path)?;
-        let bytes = serialize_page(&sorted);
-        file.write_all(&(bytes.len() as u32).to_le_bytes())?;
-        file.write_all(&bytes)?;
-        file.flush()?;
-        self.spilled_bytes_total += bytes.len() as u64 + 4;
-        self.spill_runs.push(path);
+        let mut run = self.spill.create_run("sort");
+        self.spilled_bytes_total += run.append(&sorted)?;
+        self.spill_events += 1;
+        self.spill_runs.push(run);
         Ok(freed)
     }
 
     fn counters(&self) -> Vec<(&'static str, u64)> {
-        vec![("spilled_bytes", self.spilled_bytes_total)]
+        vec![
+            ("spilled_bytes", self.spilled_bytes_total),
+            ("spill_events", self.spill_events),
+        ]
     }
 }
 

@@ -1,0 +1,504 @@
+//! The unified spill subsystem (§IV-F2: "Revocation is processed by
+//! spilling state to disk").
+//!
+//! Every operator that spills — hash aggregation, sort, grace hash join —
+//! writes its runs through one task-owned [`SpillManager`]: a configurable
+//! spill directory (`Session::spill_dir`, OS temp dir by default), a disk
+//! budget (`Session::spill_max_bytes`) enforced at write time, and a live
+//! registry of every run file so task teardown can guarantee nothing leaks
+//! when a spilling query is aborted or its worker dies mid-run.
+//!
+//! Run files hold framed pages: each record is a `u32` length followed by
+//! the §IV-E2 wire frame (`presto_page::frame_payload`) — xxh64-checksummed
+//! and LZ-compressed above a threshold — so a torn or corrupted run is
+//! detected on re-ingest and surfaces as a *transient* error instead of
+//! silently wrong results. File names are crash-safe: they embed the
+//! process id plus a process-unique monotonic id, so a recycled operator
+//! address can never collide with a leaked file from an earlier operator
+//! (the ABA class of bug), and leftovers of a crashed process are
+//! attributable by pid.
+//!
+//! The chaos harness injects spill-IO faults ([`SpillFault`]) here: write
+//! failures and disk-full conditions surface as retryable errors, so a
+//! query whose spill disk misbehaves degrades exactly like one whose
+//! network does.
+
+use parking_lot::Mutex;
+use presto_common::{PrestoError, Result};
+use presto_page::{deserialize_page, frame_payload, serialize_page, unframe_payload, Page};
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Process-unique monotonic run ids. Never reused within a process, unlike
+/// the operator addresses the file names previously embedded.
+static NEXT_RUN_ID: AtomicU64 = AtomicU64::new(0);
+
+/// Spill records at least this long are LZ-compressed inside their frame.
+const SPILL_COMPRESSION_MIN_BYTES: usize = 8 << 10;
+
+/// An injected spill-IO fault (chaos harness, §IV-G). Both kinds surface
+/// as *retryable* errors: a bad spill disk is environmental, and re-running
+/// the query on another node (or after the disk recovers) can succeed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpillFault {
+    /// Every spill write after the first `after_writes` fails.
+    WriteError { after_writes: u64 },
+    /// The disk "fills up" once the manager holds this many live bytes.
+    DiskFull { capacity_bytes: u64 },
+}
+
+/// Task-owned coordinator of all spill I/O: directory, disk budget,
+/// lifetime counters, fault injection, and the live-file registry that
+/// backs guaranteed cleanup on abort.
+pub struct SpillManager {
+    dir: PathBuf,
+    /// Disk budget in bytes; 0 = unlimited. Exceeding it is an
+    /// insufficient-resources failure, like exceeding a memory limit.
+    max_bytes: u64,
+    /// Bytes currently on disk across live runs.
+    used_bytes: AtomicU64,
+    /// Lifetime bytes written (monotonic; files are deleted after
+    /// re-ingest, so this cannot be derived from live state).
+    spilled_bytes: AtomicU64,
+    /// Lifetime spill write operations.
+    spill_events: AtomicU64,
+    /// Lifetime write calls, for fault-injection schedules.
+    writes: AtomicU64,
+    fault: Option<SpillFault>,
+    /// Live run files: id → path. Runs unregister when consumed or
+    /// dropped; [`SpillManager::remove_all`] deletes whatever remains.
+    files: Mutex<HashMap<u64, PathBuf>>,
+}
+
+impl SpillManager {
+    /// A manager writing to `dir` (OS temp dir when `None`) under a byte
+    /// budget (0 = unlimited).
+    pub fn new(dir: Option<PathBuf>, max_bytes: u64) -> Arc<SpillManager> {
+        SpillManager::with_fault(dir, max_bytes, None)
+    }
+
+    /// [`SpillManager::new`] with an injected IO fault (chaos harness).
+    pub fn with_fault(
+        dir: Option<PathBuf>,
+        max_bytes: u64,
+        fault: Option<SpillFault>,
+    ) -> Arc<SpillManager> {
+        Arc::new(SpillManager {
+            dir: dir.unwrap_or_else(std::env::temp_dir),
+            max_bytes,
+            used_bytes: AtomicU64::new(0),
+            spilled_bytes: AtomicU64::new(0),
+            spill_events: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+            fault,
+            files: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// The manager a session configures: `spill_dir`/`spill_max_bytes`.
+    pub fn for_session(session: &presto_common::Session) -> Arc<SpillManager> {
+        SpillManager::new(session.spill_dir.clone(), session.spill_max_bytes)
+    }
+
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    pub fn max_bytes(&self) -> u64 {
+        self.max_bytes
+    }
+
+    /// Bytes currently held on disk by live runs.
+    pub fn used_bytes(&self) -> u64 {
+        self.used_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime bytes written to spill files.
+    pub fn spilled_bytes(&self) -> u64 {
+        self.spilled_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime spill write operations.
+    pub fn spill_events(&self) -> u64 {
+        self.spill_events.load(Ordering::Relaxed)
+    }
+
+    /// Live (not yet consumed or removed) run files.
+    pub fn live_files(&self) -> usize {
+        self.files.lock().len()
+    }
+
+    /// Start a new empty run. No I/O happens until the first append.
+    pub fn create_run(self: &Arc<Self>, label: &'static str) -> SpillRun {
+        let id = NEXT_RUN_ID.fetch_add(1, Ordering::Relaxed);
+        let path = self
+            .dir
+            .join(format!("presto-spill-{}-{label}-{id}.run", std::process::id()));
+        SpillRun {
+            manager: Arc::clone(self),
+            id,
+            path,
+            file: None,
+            bytes: 0,
+            pages: 0,
+            rows: 0,
+        }
+    }
+
+    /// Delete every live run file. Called from the task teardown cascade so
+    /// an aborted or killed spilling task leaves zero files behind, and from
+    /// the manager's own `Drop` as a last resort.
+    pub fn remove_all(&self) {
+        let files = std::mem::take(&mut *self.files.lock());
+        let mut freed = 0u64;
+        for path in files.values() {
+            if let Ok(meta) = std::fs::metadata(path) {
+                freed += meta.len();
+            }
+            let _ = std::fs::remove_file(path);
+        }
+        sub_saturating(&self.used_bytes, freed);
+    }
+
+    /// Pre-write gate: fault injection, then the disk budget.
+    fn check_write(&self, len: u64, path: &Path) -> Result<()> {
+        let write_no = self.writes.fetch_add(1, Ordering::Relaxed);
+        match self.fault {
+            Some(SpillFault::WriteError { after_writes }) if write_no >= after_writes => {
+                return Err(PrestoError::transient(format!(
+                    "spill write failed (injected fault): {}",
+                    path.display()
+                )));
+            }
+            Some(SpillFault::DiskFull { capacity_bytes })
+                if self.used_bytes.load(Ordering::Relaxed) + len > capacity_bytes =>
+            {
+                return Err(PrestoError::transient(format!(
+                    "spill disk full (injected fault) at {} bytes: {}",
+                    capacity_bytes,
+                    path.display()
+                )));
+            }
+            _ => {}
+        }
+        if self.max_bytes > 0 && self.used_bytes.load(Ordering::Relaxed) + len > self.max_bytes {
+            return Err(PrestoError::resources(format!(
+                "spill budget exceeded: task holds {} spilled bytes, writing {} more \
+                 would pass spill_max_bytes={}",
+                self.used_bytes.load(Ordering::Relaxed),
+                len,
+                self.max_bytes
+            )));
+        }
+        Ok(())
+    }
+
+    fn record_write(&self, len: u64) {
+        self.used_bytes.fetch_add(len, Ordering::Relaxed);
+        self.spilled_bytes.fetch_add(len, Ordering::Relaxed);
+        self.spill_events.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn register(&self, id: u64, path: &Path) {
+        self.files.lock().insert(id, path.to_path_buf());
+    }
+
+    fn unregister(&self, id: u64, bytes: u64) {
+        self.files.lock().remove(&id);
+        sub_saturating(&self.used_bytes, bytes);
+    }
+}
+
+impl Drop for SpillManager {
+    fn drop(&mut self) {
+        self.remove_all();
+    }
+}
+
+fn sub_saturating(counter: &AtomicU64, v: u64) {
+    let mut cur = counter.load(Ordering::Relaxed);
+    loop {
+        let next = cur.saturating_sub(v);
+        match counter.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(now) => cur = now,
+        }
+    }
+}
+
+/// One checksummed run file of framed pages. Append during revocation,
+/// read back on re-ingest; the file is deleted when the run is consumed,
+/// dropped, or the owning manager tears down — whichever comes first.
+pub struct SpillRun {
+    manager: Arc<SpillManager>,
+    id: u64,
+    path: PathBuf,
+    file: Option<std::fs::File>,
+    bytes: u64,
+    pages: u64,
+    rows: u64,
+}
+
+impl SpillRun {
+    /// Frame and append one page. Returns the bytes written.
+    pub fn append(&mut self, page: &Page) -> Result<u64> {
+        let payload = serialize_page(page);
+        let frame = frame_payload(&payload, SPILL_COMPRESSION_MIN_BYTES);
+        let record_len = frame.len() as u64 + 4;
+        self.manager.check_write(record_len, &self.path)?;
+        if self.file.is_none() {
+            std::fs::create_dir_all(&self.manager.dir)?;
+            self.file = Some(std::fs::File::create(&self.path)?);
+            self.manager.register(self.id, &self.path);
+        }
+        let file = self.file.as_mut().expect("spill file just opened");
+        file.write_all(&(frame.len() as u32).to_le_bytes())?;
+        file.write_all(&frame)?;
+        file.flush()?;
+        self.bytes += record_len;
+        self.rows += page.row_count() as u64;
+        self.pages += 1;
+        self.manager.record_write(record_len);
+        Ok(record_len)
+    }
+
+    /// Bytes written to this run so far.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Rows written to this run so far.
+    pub fn rows(&self) -> u64 {
+        self.rows
+    }
+
+    /// Pages written to this run so far.
+    pub fn pages(&self) -> u64 {
+        self.pages
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.pages == 0
+    }
+
+    /// Read every page back, verifying checksums. The run stays on disk
+    /// (use [`SpillRun::into_pages`] to consume-and-delete). Corruption or
+    /// truncation surfaces as a transient error, like a bad wire frame.
+    pub fn read_pages(&mut self) -> Result<Vec<Page>> {
+        if self.pages == 0 {
+            return Ok(Vec::new());
+        }
+        // Reopen for reading; the write handle's cursor is at EOF.
+        let mut file = std::fs::File::open(&self.path)?;
+        let mut out = Vec::with_capacity(self.pages as usize);
+        let mut len_buf = [0u8; 4];
+        loop {
+            match file.read_exact(&mut len_buf) {
+                Ok(()) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => break,
+                Err(e) => return Err(e.into()),
+            }
+            let len = u32::from_le_bytes(len_buf) as usize;
+            let mut buf = vec![0u8; len];
+            file.read_exact(&mut buf).map_err(|e| {
+                PrestoError::transient(format!(
+                    "spill run truncated mid-record ({}): {e}",
+                    self.path.display()
+                ))
+            })?;
+            let payload = unframe_payload(&buf)?;
+            out.push(deserialize_page(&payload)?);
+        }
+        Ok(out)
+    }
+
+    /// Read every page back and delete the run.
+    pub fn into_pages(mut self) -> Result<Vec<Page>> {
+        let pages = self.read_pages()?;
+        self.remove();
+        Ok(pages)
+    }
+
+    /// Delete the file and release its budget. Idempotent.
+    pub fn remove(&mut self) {
+        if self.file.take().is_some() {
+            let _ = std::fs::remove_file(&self.path);
+            self.manager.unregister(self.id, self.bytes);
+            self.bytes = 0;
+            self.pages = 0;
+            self.rows = 0;
+        }
+    }
+}
+
+impl Drop for SpillRun {
+    fn drop(&mut self) {
+        self.remove();
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use presto_common::{DataType, Schema, Value};
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "presto-spilltest-{tag}-{}-{}",
+            std::process::id(),
+            NEXT_RUN_ID.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn page(n: i64) -> Page {
+        let schema = Schema::of(&[("k", DataType::Bigint), ("s", DataType::Varchar)]);
+        let rows: Vec<Vec<Value>> = (0..n)
+            .map(|i| vec![Value::Bigint(i), Value::varchar(format!("row-{i}"))])
+            .collect();
+        Page::from_rows(&schema, &rows)
+    }
+
+    fn rows_of(pages: &[Page]) -> Vec<(i64, String)> {
+        let mut out = Vec::new();
+        for p in pages {
+            for i in 0..p.row_count() {
+                out.push((p.block(0).i64_at(i), p.block(1).str_at(i).to_string()));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn round_trip_preserves_pages() {
+        let dir = scratch_dir("roundtrip");
+        let mgr = SpillManager::new(Some(dir.clone()), 0);
+        let mut run = mgr.create_run("test");
+        run.append(&page(100)).unwrap();
+        run.append(&page(7)).unwrap();
+        assert_eq!(run.rows(), 107);
+        assert_eq!(mgr.live_files(), 1);
+        assert!(mgr.used_bytes() > 0);
+        assert_eq!(mgr.spill_events(), 2);
+        let pages = run.into_pages().unwrap();
+        assert_eq!(
+            rows_of(&pages),
+            rows_of(&[page(100), page(7)]),
+            "byte-identical round trip"
+        );
+        assert_eq!(mgr.live_files(), 0, "consumed run removed its file");
+        assert_eq!(mgr.used_bytes(), 0);
+        assert!(std::fs::read_dir(&dir).unwrap().next().is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn drop_removes_file() {
+        let dir = scratch_dir("drop");
+        let mgr = SpillManager::new(Some(dir.clone()), 0);
+        {
+            let mut run = mgr.create_run("test");
+            run.append(&page(10)).unwrap();
+            assert_eq!(mgr.live_files(), 1);
+        }
+        assert_eq!(mgr.live_files(), 0);
+        assert!(std::fs::read_dir(&dir).unwrap().next().is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn remove_all_cleans_leaked_runs() {
+        let dir = scratch_dir("removeall");
+        let mgr = SpillManager::new(Some(dir.clone()), 0);
+        let mut a = mgr.create_run("a");
+        let mut b = mgr.create_run("b");
+        a.append(&page(5)).unwrap();
+        b.append(&page(5)).unwrap();
+        // Abort path: the manager deletes files out from under live runs.
+        mgr.remove_all();
+        assert_eq!(mgr.live_files(), 0);
+        assert_eq!(mgr.used_bytes(), 0);
+        assert!(std::fs::read_dir(&dir).unwrap().next().is_none());
+        drop(a);
+        drop(b);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn budget_exceeded_is_resources_error() {
+        let dir = scratch_dir("budget");
+        let mgr = SpillManager::new(Some(dir.clone()), 64);
+        let mut run = mgr.create_run("test");
+        let err = run.append(&page(1000)).unwrap_err();
+        assert_eq!(
+            err.code,
+            presto_common::ErrorCode::InsufficientResources,
+            "spill budget is a resource limit: {err}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn injected_write_fault_is_retryable() {
+        let dir = scratch_dir("fault");
+        let mgr = SpillManager::with_fault(
+            Some(dir.clone()),
+            0,
+            Some(SpillFault::WriteError { after_writes: 1 }),
+        );
+        let mut run = mgr.create_run("test");
+        run.append(&page(10)).unwrap();
+        let err = run.append(&page(10)).unwrap_err();
+        assert!(err.is_retryable(), "spill-IO fault must be retryable: {err}");
+        drop(run);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn injected_disk_full_is_retryable() {
+        let dir = scratch_dir("diskfull");
+        let mgr = SpillManager::with_fault(
+            Some(dir.clone()),
+            0,
+            Some(SpillFault::DiskFull { capacity_bytes: 64 }),
+        );
+        let mut run = mgr.create_run("test");
+        let err = run.append(&page(1000)).unwrap_err();
+        assert!(err.is_retryable(), "disk-full fault must be retryable: {err}");
+        drop(run);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupted_run_surfaces_transient_error() {
+        let dir = scratch_dir("corrupt");
+        let mgr = SpillManager::new(Some(dir.clone()), 0);
+        let mut run = mgr.create_run("test");
+        run.append(&page(50)).unwrap();
+        // Flip a byte past the length prefix: the frame checksum must catch it.
+        let path = dir
+            .join(format!("presto-spill-{}-test-{}.run", std::process::id(), run.id));
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = run.read_pages().unwrap_err();
+        assert!(err.is_retryable(), "corruption is transient: {err}");
+        drop(run);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn run_ids_are_process_unique() {
+        let mgr = SpillManager::new(None, 0);
+        let a = mgr.create_run("x");
+        let b = mgr.create_run("x");
+        assert_ne!(a.id, b.id);
+        assert_ne!(a.path, b.path);
+    }
+}

@@ -22,6 +22,7 @@ use crate::memory::{MemoryPool, TaskMemoryContext};
 use crate::pipeline::{LocalQueue, LocalQueueSink, LocalQueueSource, OpFactory, Pipeline};
 use crate::scan::{ScanOperator, SplitQueue};
 use crate::sort::{SortOperator, TopNOperator};
+use crate::spill::{SpillFault, SpillManager};
 use crate::stats::{PipelineMeta, TaskStats, TaskStatsCollector};
 use crate::window::WindowOperator;
 use crate::writer::TableWriterOperator;
@@ -77,6 +78,10 @@ pub struct Task {
     pub exchanges: Vec<ExchangeInput>,
     pub drivers: Mutex<Vec<Driver>>,
     pub memory: Arc<TaskMemoryContext>,
+    /// Task-owned spill coordinator shared by every spilling operator
+    /// (§IV-F2). Abort calls [`SpillManager::remove_all`] so no run file
+    /// outlives the task.
+    pub spill: Arc<SpillManager>,
     /// Per-driver statistics recorded by the worker as drivers retire.
     pub stats: TaskStatsCollector,
 }
@@ -107,6 +112,20 @@ impl Task {
     }
 }
 
+/// The spill manager a session configures: directory, disk budget, and
+/// (for the chaos harness) an injected IO fault.
+fn spill_manager_for(session: &Session) -> Arc<SpillManager> {
+    let fault = match (
+        session.spill_chaos_write_error_after,
+        session.spill_chaos_disk_capacity,
+    ) {
+        (Some(after_writes), _) => Some(SpillFault::WriteError { after_writes }),
+        (None, Some(capacity_bytes)) => Some(SpillFault::DiskFull { capacity_bytes }),
+        (None, None) => None,
+    };
+    SpillManager::with_fault(session.spill_dir.clone(), session.spill_max_bytes, fault)
+}
+
 /// Compile `fragment` into a [`Task`].
 pub fn create_task(fragment: &PlanFragment, ctx: &TaskContext) -> Result<Task> {
     let output = OutputBuffer::with_compression(
@@ -115,8 +134,10 @@ pub fn create_task(fragment: &PlanFragment, ctx: &TaskContext) -> Result<Task> {
         ctx.session.shuffle_compression_min_bytes,
     );
     let memory = TaskMemoryContext::new(ctx.task_id.stage.query, Arc::clone(&ctx.memory_pool));
+    let spill = spill_manager_for(&ctx.session);
     let mut compiler = Compiler {
         ctx,
+        spill: Arc::clone(&spill),
         scans: Vec::new(),
         exchanges: Vec::new(),
         pipelines: Vec::new(),
@@ -189,6 +210,7 @@ pub fn create_task(fragment: &PlanFragment, ctx: &TaskContext) -> Result<Task> {
         exchanges: compiler.exchanges,
         drivers: Mutex::new(drivers),
         memory,
+        spill,
         stats,
     })
 }
@@ -224,6 +246,8 @@ impl Chain {
 
 struct Compiler<'a> {
     ctx: &'a TaskContext,
+    /// Task-level spill coordinator handed to every spilling operator.
+    spill: Arc<SpillManager>,
     scans: Vec<ScanSource>,
     exchanges: Vec<ExchangeInput>,
     pipelines: Vec<Pipeline>,
@@ -326,16 +350,20 @@ impl<'a> Compiler<'a> {
                     .collect();
                 let specs = specs_from_planner(aggregates)?;
                 let spill = self.ctx.session.spill_enabled;
+                let spill_manager = Arc::clone(&self.spill);
                 chain.push(
                     "Aggregate",
                     Arc::new(move || {
-                        Ok(Box::new(HashAggregationOperator::new(
-                            phase,
-                            group_channels.clone(),
-                            group_types.clone(),
-                            specs.clone(),
-                            spill,
-                        )))
+                        Ok(Box::new(
+                            HashAggregationOperator::new(
+                                phase,
+                                group_channels.clone(),
+                                group_types.clone(),
+                                specs.clone(),
+                                spill,
+                            )
+                            .with_spill_manager(Arc::clone(&spill_manager)),
+                        ))
                     }),
                 );
                 Ok(chain)
@@ -356,6 +384,12 @@ impl<'a> Compiler<'a> {
                 let mut build_chain = self.compile(right)?;
                 let build_drivers = build_chain.driver_count(self.ctx.leaf_parallelism);
                 let bridge = JoinBridge::new(right_keys.clone(), build_drivers);
+                // Grace-join spill: keyed joins only (the bridge ignores
+                // the call for cross joins, which keep the in-memory path).
+                let join_spill = self.ctx.session.spill_enabled && !right_keys.is_empty();
+                if join_spill {
+                    bridge.enable_spill(Arc::clone(&self.spill));
+                }
                 if let Some(df) = &self.ctx.dynamic_filters {
                     if df.produces_for_join(*id) {
                         let build_schema = right.output_schema();
@@ -402,17 +436,22 @@ impl<'a> Compiler<'a> {
                 let build_schema = right.output_schema();
                 let filter = filter.clone();
                 let _ = distribution;
+                let spill_manager = join_spill.then(|| Arc::clone(&self.spill));
                 chain.push(
                     "LookupJoin",
                     Arc::new(move || {
-                        Ok(Box::new(LookupJoinOperator::new(
+                        let mut op = LookupJoinOperator::new(
                             Arc::clone(&bridge),
                             probe_type,
                             probe_keys.clone(),
                             probe_schema.clone(),
                             build_schema.clone(),
                             filter.as_ref(),
-                        )))
+                        );
+                        if let Some(spill) = &spill_manager {
+                            op = op.with_spill(Arc::clone(spill));
+                        }
+                        Ok(Box::new(op))
                     }),
                 );
                 Ok(chain)
@@ -464,9 +503,15 @@ impl<'a> Compiler<'a> {
                 chain.force_single_driver();
                 let keys = keys.clone();
                 let spill = self.ctx.session.spill_enabled;
+                let spill_manager = Arc::clone(&self.spill);
                 chain.push(
                     "Sort",
-                    Arc::new(move || Ok(Box::new(SortOperator::new(keys.clone(), spill)))),
+                    Arc::new(move || {
+                        Ok(Box::new(
+                            SortOperator::new(keys.clone(), spill)
+                                .with_spill_manager(Arc::clone(&spill_manager)),
+                        ))
+                    }),
                 );
                 Ok(chain)
             }
